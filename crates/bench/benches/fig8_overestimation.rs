@@ -1,0 +1,23 @@
+//! Criterion wrapper for Fig. 8: hardware-model overestimation on
+//! reproducible paths (computed-for-the-path vs observed-on-the-path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rt_bench::workloads::WorstFault;
+use rt_hw::HwConfig;
+use rt_kernel::kernel::KernelConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_paths");
+    g.sample_size(10);
+    g.bench_function("observed_page_fault_path", |b| {
+        let mut w = WorstFault::new(KernelConfig::after(), HwConfig::default());
+        b.iter(|| w.fire_page_fault_polluted())
+    });
+    g.finish();
+
+    let bars = rt_bench::tables::fig8(8);
+    println!("\n{}", rt_bench::tables::render_fig8(&bars));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion wrapper for Fig. 9: the effect of the L2 cache and branch
+//! predictor on observed worst-case execution times.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rt_bench::workloads::WorstInterrupt;
+use rt_hw::HwConfig;
+use rt_kernel::kernel::KernelConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_hw_features");
+    g.sample_size(10);
+    for (name, l2, bp) in [
+        ("baseline", false, false),
+        ("l2", true, false),
+        ("bpred", false, true),
+        ("l2_bpred", true, true),
+    ] {
+        let hw = HwConfig {
+            l2_enabled: l2,
+            bpred_enabled: bp,
+            ..HwConfig::default()
+        };
+        g.bench_function(format!("worst_interrupt_{name}"), |b| {
+            let mut w = WorstInterrupt::new(KernelConfig::after(), hw);
+            b.iter(|| w.fire_polluted())
+        });
+    }
+    g.finish();
+
+    let groups = rt_bench::tables::fig9(8);
+    println!("\n{}", rt_bench::tables::render_fig9(&groups));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion wrapper for Table 1: the static analysis with and without
+//! cache pinning, per entry point. The *measurements* here are analysis
+//! runtimes (§6.3 territory); the Table 1 numbers themselves are printed
+//! once at the end via `rt_bench::tables`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rt_kernel::kernel::{EntryPoint, KernelConfig};
+use rt_wcet::{analyze, AnalysisConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_pinning");
+    g.sample_size(10);
+    for pinning in [false, true] {
+        let cfg = AnalysisConfig {
+            kernel: KernelConfig::after(),
+            l2: false,
+            pinning,
+            l2_kernel_locked: false,
+            manual_constraints: true,
+        };
+        g.bench_function(format!("analyze_interrupt_pinning_{pinning}"), |b| {
+            b.iter(|| analyze(EntryPoint::Interrupt, &cfg).cycles)
+        });
+    }
+    g.finish();
+
+    // Print the regenerated table once, so `cargo bench` output carries it.
+    let rows = rt_bench::tables::table1();
+    println!("\n{}", rt_bench::tables::render_table1(&rows));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion wrapper for Table 2: before/after computed bounds and
+//! observed worst cases. The timed kernels-under-benchmark are the
+//! observed worst-case runs; the assembled table is printed at the end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rt_bench::workloads::{WorstInterrupt, WorstSyscall};
+use rt_hw::HwConfig;
+use rt_kernel::kernel::KernelConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_observed");
+    g.sample_size(10);
+    g.bench_function("worst_syscall_l2off", |b| {
+        let mut w = WorstSyscall::new(KernelConfig::after(), HwConfig::default());
+        b.iter(|| w.fire_polluted())
+    });
+    g.bench_function("worst_interrupt_l2off", |b| {
+        let mut w = WorstInterrupt::new(KernelConfig::after(), HwConfig::default());
+        b.iter(|| w.fire_polluted())
+    });
+    g.finish();
+
+    let rows = rt_bench::tables::table2(8);
+    println!("\n{}", rt_bench::tables::render_table2(&rows));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

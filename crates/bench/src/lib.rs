@@ -1,0 +1,26 @@
+//! # rt-bench — benchmark harnesses for every table and figure
+//!
+//! This crate turns the kernel (`rt-kernel`), the machine model (`rt-hw`)
+//! and the static analysis (`rt-wcet`) into the paper's evaluation:
+//!
+//! * [`workloads`] builds the worst-case scenarios of §5.4 — adversarial
+//!   capability spaces requiring one lookup per address bit (Fig. 7),
+//!   full-length IPC with capability grants (§6.1), endpoints with long
+//!   badge-carrying queues (§3.4), large retypes (§3.5) — plus the
+//!   cache-polluting preamble ("our test programs pollute both the
+//!   instruction and data caches with dirty cache lines");
+//! * [`observe`] measures observed worst cases on the simulated machine,
+//!   taking the maximum over repeated polluted runs as §6.2 does over
+//!   100 000 executions;
+//! * [`tables`] assembles Table 1, Table 2, Fig. 8 and Fig. 9 and formats
+//!   them like the paper.
+//!
+//! The `repro` binary prints any of them: `cargo run -p rt-bench --bin
+//! repro -- table2`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod observe;
+pub mod tables;
+pub mod workloads;

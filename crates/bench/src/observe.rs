@@ -1,0 +1,123 @@
+//! Observed worst-case measurement (§5.4, §6.2).
+//!
+//! "We measured the execution time of these paths using the cycle counters
+//! available on the ARM1136's performance monitoring unit ... The observed
+//! execution times were obtained by taking the maximum of 100,000
+//! executions of each path." Our paths are deterministic given the
+//! (polluted) starting cache state, so far fewer repetitions suffice; the
+//! repetition count is still configurable for parity.
+
+use rt_hw::{Cycles, HwConfig};
+use rt_kernel::kernel::{EntryPoint, KernelConfig};
+
+use crate::workloads::{WorstFault, WorstInterrupt, WorstSyscall};
+
+/// Number of repetitions per observed maximum (the paper used 100 000 on
+/// nondeterministic hardware; the model is deterministic per arming).
+pub const DEFAULT_REPS: u32 = 24;
+
+/// Observed worst case for `entry` on a machine with `hw`, running the
+/// `cfg` kernel: maximum over [`DEFAULT_REPS`] polluted runs.
+pub fn observe_entry(entry: EntryPoint, cfg: KernelConfig, hw: HwConfig) -> Cycles {
+    observe_entry_reps(entry, cfg, hw, DEFAULT_REPS)
+}
+
+/// As [`observe_entry`] with an explicit repetition count.
+pub fn observe_entry_reps(entry: EntryPoint, cfg: KernelConfig, hw: HwConfig, reps: u32) -> Cycles {
+    let mut max = 0;
+    match entry {
+        EntryPoint::Syscall => {
+            let mut w = WorstSyscall::new(cfg, hw);
+            for _ in 0..reps {
+                max = max.max(w.fire_polluted());
+            }
+        }
+        EntryPoint::Interrupt => {
+            let mut w = WorstInterrupt::new(cfg, hw);
+            for _ in 0..reps {
+                max = max.max(w.fire_polluted());
+            }
+        }
+        EntryPoint::PageFault => {
+            let mut w = WorstFault::new(cfg, hw);
+            for _ in 0..reps {
+                max = max.max(w.fire_page_fault_polluted());
+            }
+        }
+        EntryPoint::Undefined => {
+            let mut w = WorstFault::new(cfg, hw);
+            for _ in 0..reps {
+                max = max.max(w.fire_undefined_polluted());
+            }
+        }
+    }
+    max
+}
+
+/// Observed worst case with the whole kernel locked into the L2 (§4/§8
+/// extension): builds the workload on an L2-locking machine and applies
+/// [`rt_kernel::pinning::apply_l2_kernel_lock`] before measuring.
+pub fn observe_entry_l2locked(entry: EntryPoint, cfg: KernelConfig, reps: u32) -> Cycles {
+    let hw = HwConfig {
+        l2_enabled: true,
+        locked_l2_ways: 2,
+        ..HwConfig::default()
+    };
+    let mut max = 0;
+    match entry {
+        EntryPoint::Syscall => {
+            let mut w = WorstSyscall::new(cfg, hw);
+            let r = rt_kernel::pinning::apply_l2_kernel_lock(&mut w.kernel);
+            assert_eq!(r.rejected, 0);
+            for _ in 0..reps {
+                max = max.max(w.fire_polluted());
+            }
+        }
+        EntryPoint::Interrupt => {
+            let mut w = WorstInterrupt::new(cfg, hw);
+            let r = rt_kernel::pinning::apply_l2_kernel_lock(&mut w.kernel);
+            assert_eq!(r.rejected, 0);
+            for _ in 0..reps {
+                max = max.max(w.fire_polluted());
+            }
+        }
+        EntryPoint::PageFault => {
+            let mut w = WorstFault::new(cfg, hw);
+            let r = rt_kernel::pinning::apply_l2_kernel_lock(&mut w.kernel);
+            assert_eq!(r.rejected, 0);
+            for _ in 0..reps {
+                max = max.max(w.fire_page_fault_polluted());
+            }
+        }
+        EntryPoint::Undefined => {
+            let mut w = WorstFault::new(cfg, hw);
+            let r = rt_kernel::pinning::apply_l2_kernel_lock(&mut w.kernel);
+            assert_eq!(r.rejected, 0);
+            for _ in 0..reps {
+                max = max.max(w.fire_undefined_polluted());
+            }
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observed_orders_match_the_paper() {
+        // Table 2 (observed, L2 off): syscall >> undefined ~ page fault >
+        // interrupt.
+        let hw = HwConfig::default();
+        let cfg = KernelConfig::after();
+        let sys = observe_entry_reps(EntryPoint::Syscall, cfg, hw, 4);
+        let und = observe_entry_reps(EntryPoint::Undefined, cfg, hw, 4);
+        let pf = observe_entry_reps(EntryPoint::PageFault, cfg, hw, 4);
+        let irq = observe_entry_reps(EntryPoint::Interrupt, cfg, hw, 4);
+        assert!(sys > und, "syscall {sys} vs undefined {und}");
+        assert!(sys > pf, "syscall {sys} vs page fault {pf}");
+        assert!(und > irq, "undefined {und} vs interrupt {irq}");
+        assert!(pf > irq, "page fault {pf} vs interrupt {irq}");
+    }
+}

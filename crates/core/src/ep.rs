@@ -1,0 +1,289 @@
+//! Synchronous IPC endpoints.
+//!
+//! Threads "do not communicate directly with each other; they instead
+//! communicate via endpoints" (§3.3). Each endpoint queues, in FIFO order,
+//! either senders or receivers (never both — one side always drains the
+//! other). The queue is an intrusive doubly-linked list through the TCBs,
+//! so enqueue/dequeue are O(1); the length is bounded only by the number of
+//! threads in the system.
+//!
+//! Two operations must traverse the queue and are therefore where the
+//! paper's preemption points go:
+//!
+//! * **endpoint deletion** (§3.3) — dequeue every waiter; the endpoint is
+//!   *deactivated* first so no thread can re-queue, guaranteeing forward
+//!   progress across preemptions;
+//! * **badged abort** (§3.4) — remove only the waiters carrying a specific
+//!   badge; the four-field [`AbortState`] lives **in the endpoint object**
+//!   (not in a continuation) so that any thread can resume or complete the
+//!   operation — the incremental-consistency pattern.
+
+use crate::cap::Badge;
+use crate::obj::{ObjId, ObjStore};
+use crate::tcb::ThreadState;
+
+/// Which kind of threads the queue currently holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EpState {
+    /// Queue empty.
+    Idle,
+    /// Queue holds blocked senders.
+    Sending,
+    /// Queue holds blocked receivers.
+    Receiving,
+}
+
+/// Progress record for a preempted badged abort (§3.4). The paper lists
+/// exactly these four pieces of information.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AbortState {
+    /// (3) "the badge which is currently being removed from the list".
+    pub badge: Badge,
+    /// (1) "at what point within the list the operation was preempted" —
+    /// the next thread to examine.
+    pub cursor: Option<ObjId>,
+    /// (2) "a pointer to the last item in the list when the operation
+    /// commenced, so that new waiting clients do not affect the execution
+    /// time of the original operation".
+    pub end: ObjId,
+    /// (4) "a pointer to the thread that was performing the badge removal
+    /// operation when preempted".
+    pub initiator: ObjId,
+}
+
+/// A synchronous IPC endpoint.
+#[derive(Clone, Debug)]
+pub struct Endpoint {
+    /// Queue polarity.
+    pub state: EpState,
+    /// Queue head.
+    pub head: Option<ObjId>,
+    /// Queue tail.
+    pub tail: Option<ObjId>,
+    /// Cleared at the start of deletion so no new IPC can start (§3.3:
+    /// "forward progress is ensured by deactivating the endpoint at the
+    /// beginning of delete operations").
+    pub active: bool,
+    /// In-flight badged abort, if one was preempted (§3.4).
+    pub abort: Option<AbortState>,
+    /// Initiator of the most recently *completed* badged abort — §3.4's
+    /// field (4) in action: when another thread finishes a preempted
+    /// abort, it indicates here "to the original thread that its operation
+    /// has been completed", so the original's restart skips the work.
+    pub completed_for: Option<ObjId>,
+}
+
+impl Default for Endpoint {
+    fn default() -> Endpoint {
+        Endpoint::new()
+    }
+}
+
+impl Endpoint {
+    /// Endpoint object size in bits. 32 bytes: the base 16-byte seL4
+    /// endpoint plus the four-field badged-abort resume state the paper
+    /// adds to the endpoint object (§3.4).
+    pub const SIZE_BITS: u8 = 5;
+
+    /// Creates an idle, active endpoint.
+    pub fn new() -> Endpoint {
+        Endpoint {
+            state: EpState::Idle,
+            head: None,
+            tail: None,
+            active: true,
+            abort: None,
+            completed_for: None,
+        }
+    }
+
+    /// Returns `true` if the queue is empty.
+    pub fn is_idle(&self) -> bool {
+        self.head.is_none()
+    }
+}
+
+/// Appends `tcb` to `ep`'s queue, setting the queue polarity.
+///
+/// # Panics
+///
+/// Panics if the queue already holds threads of the opposite polarity (the
+/// IPC paths always drain the opposite side first) or the thread is already
+/// queued somewhere.
+pub fn ep_append(store: &mut ObjStore, ep: ObjId, tcb: ObjId, state: EpState) {
+    {
+        let t = store.tcb(tcb);
+        assert!(
+            t.queued_on.is_none(),
+            "thread {:?} already queued on {:?}",
+            t.name,
+            t.queued_on
+        );
+    }
+    store.tcb_mut(tcb).queued_on = Some(ep);
+    let old_tail = {
+        let e = store.ep_mut(ep);
+        assert!(
+            e.state == EpState::Idle || e.state == state,
+            "endpoint queue polarity violation"
+        );
+        e.state = state;
+        let t = e.tail;
+        e.tail = Some(tcb);
+        if e.head.is_none() {
+            e.head = Some(tcb);
+        }
+        t
+    };
+    if let Some(prev) = old_tail {
+        store.tcb_mut(prev).ep_next = Some(tcb);
+        store.tcb_mut(tcb).ep_prev = Some(prev);
+    }
+}
+
+/// Unlinks `tcb` from `ep`'s queue (middle removals are O(1) thanks to the
+/// doubly-linked list).
+pub fn ep_unlink(store: &mut ObjStore, ep: ObjId, tcb: ObjId) {
+    let (prev, next) = {
+        let t = store.tcb_mut(tcb);
+        t.queued_on = None;
+        (t.ep_prev.take(), t.ep_next.take())
+    };
+    match prev {
+        Some(p) => store.tcb_mut(p).ep_next = next,
+        None => store.ep_mut(ep).head = next,
+    }
+    match next {
+        Some(n) => store.tcb_mut(n).ep_prev = prev,
+        None => store.ep_mut(ep).tail = prev,
+    }
+    let e = store.ep_mut(ep);
+    if e.head.is_none() {
+        e.state = EpState::Idle;
+    }
+}
+
+/// Pops the queue head, if any.
+pub fn ep_pop(store: &mut ObjStore, ep: ObjId) -> Option<ObjId> {
+    let head = store.ep(ep).head?;
+    ep_unlink(store, ep, head);
+    Some(head)
+}
+
+/// Iterates the queue (head first) without modifying it.
+pub fn ep_iter<'a>(store: &'a ObjStore, ep: ObjId) -> impl Iterator<Item = ObjId> + 'a {
+    let mut cur = store.ep(ep).head;
+    std::iter::from_fn(move || {
+        let id = cur?;
+        cur = store.tcb(id).ep_next;
+        Some(id)
+    })
+}
+
+/// Queue length (tests / workload accounting).
+pub fn ep_len(store: &ObjStore, ep: ObjId) -> u32 {
+    ep_iter(store, ep).count() as u32
+}
+
+/// The badge a queued sender is waiting with (None for receivers).
+pub fn queued_badge(store: &ObjStore, tcb: ObjId) -> Option<Badge> {
+    match store.tcb(tcb).state {
+        ThreadState::BlockedOnSend { badge, .. } => Some(badge),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obj::ObjKind;
+    use crate::tcb::{Tcb, TCB_SIZE_BITS};
+
+    fn setup(n: u32) -> (ObjStore, ObjId, Vec<ObjId>) {
+        let mut s = ObjStore::new();
+        let ep = s.insert(
+            0x8100_0000,
+            Endpoint::SIZE_BITS,
+            ObjKind::Endpoint(Endpoint::new()),
+        );
+        let tcbs = (0..n)
+            .map(|i| {
+                s.insert(
+                    0x8000_0000 + i * 512,
+                    TCB_SIZE_BITS,
+                    ObjKind::Tcb(Tcb::new(&format!("t{i}"), 1)),
+                )
+            })
+            .collect();
+        (s, ep, tcbs)
+    }
+
+    #[test]
+    fn fifo_append_pop() {
+        let (mut s, ep, t) = setup(3);
+        for &tcb in &t {
+            ep_append(&mut s, ep, tcb, EpState::Sending);
+        }
+        assert_eq!(ep_len(&s, ep), 3);
+        assert_eq!(s.ep(ep).state, EpState::Sending);
+        assert_eq!(ep_pop(&mut s, ep), Some(t[0]));
+        assert_eq!(ep_pop(&mut s, ep), Some(t[1]));
+        assert_eq!(ep_pop(&mut s, ep), Some(t[2]));
+        assert_eq!(ep_pop(&mut s, ep), None);
+        assert_eq!(s.ep(ep).state, EpState::Idle);
+    }
+
+    #[test]
+    fn middle_unlink() {
+        let (mut s, ep, t) = setup(3);
+        for &tcb in &t {
+            ep_append(&mut s, ep, tcb, EpState::Receiving);
+        }
+        ep_unlink(&mut s, ep, t[1]);
+        let order: Vec<ObjId> = ep_iter(&s, ep).collect();
+        assert_eq!(order, vec![t[0], t[2]]);
+        // Unlinked thread's pointers are cleaned.
+        assert!(s.tcb(t[1]).ep_prev.is_none() && s.tcb(t[1]).ep_next.is_none());
+    }
+
+    #[test]
+    fn polarity_resets_when_empty() {
+        let (mut s, ep, t) = setup(1);
+        ep_append(&mut s, ep, t[0], EpState::Sending);
+        ep_unlink(&mut s, ep, t[0]);
+        // Now the other polarity is fine.
+        ep_append(&mut s, ep, t[0], EpState::Receiving);
+        assert_eq!(s.ep(ep).state, EpState::Receiving);
+    }
+
+    #[test]
+    #[should_panic(expected = "polarity violation")]
+    fn mixed_polarity_panics() {
+        let (mut s, ep, t) = setup(2);
+        ep_append(&mut s, ep, t[0], EpState::Sending);
+        ep_append(&mut s, ep, t[1], EpState::Receiving);
+    }
+
+    #[test]
+    #[should_panic(expected = "already queued")]
+    fn double_append_panics() {
+        let (mut s, ep, t) = setup(2);
+        ep_append(&mut s, ep, t[0], EpState::Sending);
+        ep_append(&mut s, ep, t[0], EpState::Sending);
+    }
+
+    #[test]
+    fn head_tail_consistency_under_churn() {
+        let (mut s, ep, t) = setup(5);
+        for &tcb in &t {
+            ep_append(&mut s, ep, tcb, EpState::Sending);
+        }
+        ep_unlink(&mut s, ep, t[0]); // head
+        ep_unlink(&mut s, ep, t[4]); // tail
+        ep_unlink(&mut s, ep, t[2]); // middle
+        let order: Vec<ObjId> = ep_iter(&s, ep).collect();
+        assert_eq!(order, vec![t[1], t[3]]);
+        assert_eq!(s.ep(ep).head, Some(t[1]));
+        assert_eq!(s.ep(ep).tail, Some(t[3]));
+    }
+}

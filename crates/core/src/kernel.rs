@@ -1,0 +1,944 @@
+//! The kernel proper: state, block executor, scheduling, entry/exit and
+//! interrupt delivery.
+//!
+//! System-call handling, IPC, object creation and the VM operations live in
+//! [`crate::syscall`] (they are `impl Kernel` blocks there); the IPC
+//! fastpath is in [`crate::fastpath`]. This module owns:
+//!
+//! * the kernel state ([`Kernel`]) and its configuration
+//!   ([`KernelConfig`]) selecting the paper's *before*/*after* designs;
+//! * the **block executor** ([`Kernel::blk`]) that charges every modelled
+//!   instruction of a [`crate::kprog::Block`] to the `rt_hw` machine;
+//! * **preemption points** ([`Kernel::preemption_point`]) — the §2.1
+//!   mechanism: check for a pending interrupt; if one is pending, save
+//!   restart state and unwind;
+//! * the **scheduler glue** implementing lazy, Benno and Benno+bitmap
+//!   `chooseThread` with per-step cost charging (§3.1–3.2);
+//! * the **interrupt path** — entry, AVIC read, table lookup, notification
+//!   signal, wake, schedule, exit — the path whose worst case the paper
+//!   reduces and pins (§4);
+//! * kernel **exit**, including the final pending-interrupt check.
+
+use std::collections::HashMap;
+
+use rt_hw::{Addr, Cycles, HwConfig, InstrClass, IrqLine, Machine};
+
+use crate::cap::{CapType, SlotRef};
+use crate::cnode::CNode;
+use crate::ep::Endpoint;
+use crate::irqk::IrqTable;
+use crate::kprog::{self, Block, Ik, Layout, D};
+use crate::ntfn::{self, Notification};
+use crate::obj::{BootAlloc, ObjId, ObjKind, ObjStore};
+use crate::preempt::{PreemptResult, Preempted};
+use crate::sched::RunQueues;
+use crate::tcb::{Tcb, ThreadState, TCB_SIZE_BITS};
+use crate::vspace::asid::AsidTable;
+
+/// Scheduler design (§3.1–3.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedKind {
+    /// Lazy scheduling (Fig. 2) — the original design.
+    Lazy,
+    /// Benno scheduling (Fig. 3) — run queue holds only runnable threads.
+    Benno,
+    /// Benno scheduling plus the two-level priority bitmap (§3.2).
+    BennoBitmap,
+}
+
+/// Virtual-memory design (§3.6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VmKind {
+    /// ASID lookup table (Fig. 4) — the original design.
+    Asid,
+    /// Shadow page tables (Fig. 5) — the revised design.
+    ShadowPt,
+}
+
+/// Which kernel the experiments run: the paper's *before* or *after*
+/// configuration, or any mix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KernelConfig {
+    /// Scheduler design.
+    pub sched: SchedKind,
+    /// VM design.
+    pub vm: VmKind,
+    /// Whether preemption points are compiled in (§3.3–3.5).
+    pub preemption_points: bool,
+    /// Whether the IPC fastpath is enabled (§6.1).
+    pub fastpath: bool,
+}
+
+impl KernelConfig {
+    /// The paper's *before* kernel: lazy scheduling, ASIDs, no preemption
+    /// points (Table 2, first column).
+    pub fn before() -> KernelConfig {
+        KernelConfig {
+            sched: SchedKind::Lazy,
+            vm: VmKind::Asid,
+            preemption_points: false,
+            fastpath: true,
+        }
+    }
+
+    /// The paper's *after* kernel: Benno + bitmap scheduling, shadow page
+    /// tables, preemption points (Table 2, "after changes").
+    pub fn after() -> KernelConfig {
+        KernelConfig {
+            sched: SchedKind::BennoBitmap,
+            vm: VmKind::ShadowPt,
+            preemption_points: true,
+            fastpath: true,
+        }
+    }
+}
+
+/// Interrupt line reserved for the timer tick: an unbound line 0 ends the
+/// current timeslice rather than signalling a notification.
+pub const TIMER_LINE: u8 = 0;
+
+/// The four kernel entry points the analysis bounds (§5.2: "these paths
+/// begin at one of the kernel's exception vectors").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EntryPoint {
+    /// System call (SWI).
+    Syscall,
+    /// Undefined instruction.
+    Undefined,
+    /// Page fault (prefetch/data abort).
+    PageFault,
+    /// Hardware interrupt.
+    Interrupt,
+}
+
+impl EntryPoint {
+    /// All entry points, in the paper's table order.
+    pub const ALL: [EntryPoint; 4] = [
+        EntryPoint::Syscall,
+        EntryPoint::Undefined,
+        EntryPoint::PageFault,
+        EntryPoint::Interrupt,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            EntryPoint::Syscall => "System call",
+            EntryPoint::Undefined => "Undefined instruction",
+            EntryPoint::PageFault => "Page fault",
+            EntryPoint::Interrupt => "Interrupt",
+        }
+    }
+}
+
+/// Pending scheduling decision (seL4's `ksSchedulerAction`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SchedAction {
+    /// Keep running the current thread.
+    #[default]
+    ResumeCurrent,
+    /// Direct-switch to a thread woken by IPC (§3.1 Benno scheduling:
+    /// "we switch directly to it and do not place it into the run queue").
+    SwitchTo(ObjId),
+    /// Run the full `chooseThread`.
+    ChooseNew,
+}
+
+/// Counters the experiments read out.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KernelStats {
+    /// Kernel entries by type.
+    pub syscall_entries: u64,
+    /// Fault entries.
+    pub fault_entries: u64,
+    /// Interrupt entries.
+    pub interrupt_entries: u64,
+    /// Preemption points taken (operation actually unwound).
+    pub preemptions: u64,
+    /// System calls restarted after preemption (§2.1).
+    pub restarts: u64,
+    /// IPC fastpath successes (§6.1).
+    pub fastpath_hits: u64,
+    /// Blocked threads the lazy scheduler dequeued (§3.1's pathological
+    /// work).
+    pub lazy_dequeues: u64,
+}
+
+/// One delivered interrupt, for response-time accounting.
+#[derive(Clone, Copy, Debug)]
+pub struct IrqResponse {
+    /// Interrupt line.
+    pub line: IrqLine,
+    /// Cycle the device raised the line.
+    pub raised: Cycles,
+    /// Cycle the kernel acknowledged it (end of the kernel's interrupt
+    /// path — the latency the paper's analysis bounds).
+    pub kernel_ack: Cycles,
+    /// Cycle the bound handler thread actually started running, if it did.
+    pub delivered: Option<Cycles>,
+}
+
+/// The microkernel.
+pub struct Kernel {
+    /// Design configuration (before/after).
+    pub config: KernelConfig,
+    /// The machine this kernel runs on.
+    pub machine: Machine,
+    /// All kernel objects.
+    pub objs: ObjStore,
+    /// Scheduler run queues + priority bitmap.
+    pub queues: RunQueues,
+    /// Global ASID table (legacy VM design; unused under shadow PTs).
+    pub asid_table: AsidTable,
+    /// IRQ dispatch table.
+    pub irq_table: IrqTable,
+    /// Code layout of the kernel "binary".
+    pub layout: Layout,
+    /// Statistics.
+    pub stats: KernelStats,
+    /// Interrupt response log.
+    pub irq_log: Vec<IrqResponse>,
+    /// When `Some`, every executed block is appended (CFG-correspondence
+    /// tests and path studies).
+    pub trace: Option<Vec<Block>>,
+    cur: ObjId,
+    idle: ObjId,
+    sched_action: SchedAction,
+    alloc: BootAlloc,
+    /// Objects whose teardown is on the (Rust) call stack right now; a
+    /// capability inside a CNode can reference an ancestor being destroyed
+    /// (even the CNode itself), and this set breaks the recursion exactly
+    /// as seL4's zombie caps do.
+    pub(crate) destroying: Vec<ObjId>,
+    /// Threads woken by an IRQ and not yet scheduled: tcb -> log index.
+    pending_delivery: HashMap<ObjId, usize>,
+}
+
+impl Kernel {
+    /// Boots a kernel on a fresh machine. The idle thread is created; all
+    /// other objects are made by the caller (standing in for the root
+    /// task) via the `boot_*` constructors or at runtime via retype.
+    pub fn new(config: KernelConfig, hw: HwConfig) -> Kernel {
+        let machine = Machine::new(hw);
+        let mut objs = ObjStore::new();
+        // Objects live in RAM above the kernel image's load region.
+        let mut alloc = BootAlloc::new(0x8010_0000, 0x0400_0000);
+        let idle_base = alloc.alloc(TCB_SIZE_BITS);
+        let idle = objs.insert(idle_base, TCB_SIZE_BITS, ObjKind::Tcb(Tcb::new("idle", 0)));
+        objs.tcb_mut(idle).state = ThreadState::Idle;
+        Kernel {
+            config,
+            machine,
+            objs,
+            queues: RunQueues::new(),
+            asid_table: AsidTable::new(),
+            irq_table: IrqTable::new(),
+            layout: Layout::new(),
+            stats: KernelStats::default(),
+            irq_log: Vec::new(),
+            trace: None,
+            cur: idle,
+            idle,
+            sched_action: SchedAction::ResumeCurrent,
+            alloc,
+            destroying: Vec::new(),
+            pending_delivery: HashMap::new(),
+        }
+    }
+
+    /// The currently running thread.
+    pub fn current(&self) -> ObjId {
+        self.cur
+    }
+
+    /// The idle thread.
+    pub fn idle_thread(&self) -> ObjId {
+        self.idle
+    }
+
+    /// Returns `true` when the idle thread is running.
+    pub fn is_idle(&self) -> bool {
+        self.cur == self.idle
+    }
+
+    /// Starts recording executed blocks.
+    pub fn start_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Stops recording and returns the trace.
+    pub fn take_trace(&mut self) -> Vec<Block> {
+        self.trace.take().unwrap_or_default()
+    }
+
+    // --- Boot-time object construction (root-task stand-in; no timing) ---
+
+    /// Creates a thread at boot.
+    pub fn boot_tcb(&mut self, name: &str, prio: u8) -> ObjId {
+        let base = self.alloc.alloc(TCB_SIZE_BITS);
+        self.objs
+            .insert(base, TCB_SIZE_BITS, ObjKind::Tcb(Tcb::new(name, prio)))
+    }
+
+    /// Creates an endpoint at boot.
+    pub fn boot_endpoint(&mut self) -> ObjId {
+        let base = self.alloc.alloc(Endpoint::SIZE_BITS);
+        self.objs.insert(
+            base,
+            Endpoint::SIZE_BITS,
+            ObjKind::Endpoint(Endpoint::new()),
+        )
+    }
+
+    /// Creates a notification at boot.
+    pub fn boot_ntfn(&mut self) -> ObjId {
+        let base = self.alloc.alloc(Notification::SIZE_BITS);
+        self.objs.insert(
+            base,
+            Notification::SIZE_BITS,
+            ObjKind::Notification(Notification::new()),
+        )
+    }
+
+    /// Creates a CNode at boot.
+    pub fn boot_cnode(&mut self, radix_bits: u8) -> ObjId {
+        let sb = CNode::size_bits(radix_bits);
+        let base = self.alloc.alloc(sb);
+        self.objs
+            .insert(base, sb, ObjKind::CNode(CNode::new(radix_bits)))
+    }
+
+    /// Creates an untyped object of `1 << size_bits` bytes at boot.
+    pub fn boot_untyped(&mut self, size_bits: u8) -> ObjId {
+        let base = self.alloc.alloc(size_bits);
+        self.objs.insert(
+            base,
+            size_bits,
+            ObjKind::Untyped(crate::untyped::Untyped::new()),
+        )
+    }
+
+    /// Access to the boot allocator (for builders that need raw placement,
+    /// e.g. the Fig. 7 deep capability space).
+    pub fn boot_alloc(&mut self) -> &mut BootAlloc {
+        &mut self.alloc
+    }
+
+    /// Makes `tcb` runnable and enqueues it (boot-time resume; charges
+    /// nothing). The highest-priority runnable thread becomes current, as
+    /// it would after a real scheduling pass.
+    pub fn boot_resume(&mut self, tcb: ObjId) {
+        let st = &mut self.objs.tcb_mut(tcb).state;
+        assert!(
+            matches!(st, ThreadState::Inactive),
+            "boot_resume on a live thread"
+        );
+        *st = ThreadState::Running;
+        self.queues.enqueue(&mut self.objs, tcb);
+        self.schedule_no_charge();
+    }
+
+    /// Boot-time scheduling without timing charges, used to pick the first
+    /// thread before measurement begins.
+    fn schedule_no_charge(&mut self) {
+        let cur_runnable = self.cur != self.idle && self.objs.tcb(self.cur).state.is_runnable();
+        let cur_prio = if cur_runnable {
+            Some(self.objs.tcb(self.cur).prio)
+        } else {
+            None
+        };
+        let Some(best) = self.queues.choose_bitmap() else {
+            return;
+        };
+        let best_prio = self.objs.tcb(best).prio;
+        if cur_prio.is_some_and(|p| p >= best_prio) {
+            return; // current keeps the CPU
+        }
+        if cur_runnable && !self.objs.tcb(self.cur).in_runqueue {
+            self.queues.enqueue(&mut self.objs, self.cur);
+        }
+        self.queues.dequeue(&mut self.objs, best);
+        self.cur = best;
+        self.sched_action = SchedAction::ResumeCurrent;
+    }
+
+    // --- The block executor ------------------------------------------------
+
+    /// Executes (charges) one kernel basic block. `objs` supplies the data
+    /// address for each object-class memory operand, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand count does not match the block's spec — a
+    /// drift between the kernel logic and the kernel "binary" model.
+    pub fn blk(&mut self, b: Block, objs: &[Addr]) {
+        if let Some(t) = &mut self.trace {
+            t.push(b);
+        }
+        let spec = b.spec();
+        assert_eq!(
+            objs.len() as u32,
+            spec.obj_ops(),
+            "{b:?}: expected {} object operands, got {}",
+            spec.obj_ops(),
+            objs.len()
+        );
+        let mut pc = self.layout.addr_of(b);
+        let mut oi = 0usize;
+        let mut auto_i = 0u32; // index for stack/global slot assignment
+        for ik in spec.instrs {
+            match *ik {
+                Ik::A(n) => {
+                    self.machine.exec_straight(pc, n as u32);
+                    pc += 4 * n as u32;
+                }
+                Ik::Z => {
+                    self.machine.exec(InstrClass::Clz, pc);
+                    pc += 4;
+                }
+                Ik::M => {
+                    self.machine.exec(InstrClass::Mul, pc);
+                    pc += 4;
+                }
+                Ik::L(d, n) => {
+                    for _ in 0..n {
+                        match d {
+                            D::Ob => {
+                                let a = objs[oi];
+                                oi += 1;
+                                self.machine.touch_read(pc, a);
+                            }
+                            D::St => {
+                                self.machine.touch_read(pc, kprog::stack_addr(auto_i));
+                                auto_i += 1;
+                            }
+                            D::Gl => {
+                                self.machine.touch_read(pc, kprog::global_addr(b, auto_i));
+                                auto_i += 1;
+                            }
+                            D::Dv => {
+                                // Uncached device register: fixed latency.
+                                self.machine.exec(InstrClass::Alu, pc);
+                                self.machine.advance(kprog::DEVICE_ACCESS_CYCLES - 1);
+                            }
+                        }
+                        pc += 4;
+                    }
+                }
+                Ik::S(d, n) => {
+                    for _ in 0..n {
+                        match d {
+                            D::Ob => {
+                                let a = objs[oi];
+                                oi += 1;
+                                self.machine.touch_write(pc, a);
+                            }
+                            D::St => {
+                                self.machine.touch_write(pc, kprog::stack_addr(auto_i));
+                                auto_i += 1;
+                            }
+                            D::Gl => {
+                                self.machine.touch_write(pc, kprog::global_addr(b, auto_i));
+                                auto_i += 1;
+                            }
+                            D::Dv => {
+                                self.machine.exec(InstrClass::Alu, pc);
+                                self.machine.advance(kprog::DEVICE_ACCESS_CYCLES - 1);
+                            }
+                        }
+                        pc += 4;
+                    }
+                }
+                Ik::B => {
+                    self.machine.exec_branch(pc, true);
+                    pc += 4;
+                }
+            }
+        }
+    }
+
+    /// Shorthand for blocks with no object operands.
+    pub fn blk0(&mut self, b: Block) {
+        self.blk(b, &[]);
+    }
+
+    /// Address of a TCB field (timing operand helper).
+    pub fn tcb_addr(&self, tcb: ObjId, off: u32) -> Addr {
+        self.objs.get(tcb).base + off
+    }
+
+    /// Address of an object's base (timing operand helper).
+    pub fn obj_addr(&self, obj: ObjId, off: u32) -> Addr {
+        self.objs.get(obj).base + off
+    }
+
+    // --- Preemption points --------------------------------------------------
+
+    /// A preemption point (§2.1): in the *after* kernel, check for a
+    /// pending interrupt; if one is pending, mark the current thread for
+    /// restart and unwind. The *before* kernel compiles to nothing.
+    pub fn preemption_point(&mut self) -> PreemptResult {
+        if !self.config.preemption_points {
+            return Ok(());
+        }
+        self.blk0(Block::PreemptCheck);
+        if self.machine.irq.has_pending() {
+            let st = self.tcb_addr(self.cur, crate::tcb::OFF_STATE);
+            let ctx = self.tcb_addr(self.cur, crate::tcb::OFF_CONTEXT);
+            self.blk(Block::PreemptSave, &[st, ctx]);
+            self.objs.tcb_mut(self.cur).state = ThreadState::Restart;
+            self.stats.preemptions += 1;
+            return Err(Preempted);
+        }
+        Ok(())
+    }
+
+    // --- Waking and scheduling ----------------------------------------------
+
+    /// Makes `t` runnable after an IPC delivered to it. `cur_yields` says
+    /// whether the current thread is about to stop running (blocked), in
+    /// which case an equal-priority wake switches directly.
+    pub(crate) fn wake_thread(&mut self, t: ObjId, cur_yields: bool) {
+        let st = self.tcb_addr(t, crate::tcb::OFF_STATE);
+        let pr = self.tcb_addr(t, crate::tcb::OFF_PRIO);
+        self.blk(Block::WakeThread, &[st, pr]);
+        self.objs.tcb_mut(t).state = ThreadState::Running;
+        let t_prio = self.objs.tcb(t).prio;
+        let cur_prio = self.objs.tcb(self.cur).prio;
+        let eligible = if cur_yields {
+            t_prio >= cur_prio
+        } else {
+            t_prio > cur_prio
+        };
+        match self.config.sched {
+            SchedKind::Lazy => {
+                // Lazy scheduling: a thread that blocked while queued is
+                // still queued; one that has never run must be entered.
+                if !self.objs.tcb(t).in_runqueue {
+                    self.charge_enqueue(t);
+                    self.queues.enqueue(&mut self.objs, t);
+                }
+                if eligible {
+                    self.blk0(Block::DirectSwitch);
+                    self.sched_action = SchedAction::SwitchTo(t);
+                }
+            }
+            SchedKind::Benno | SchedKind::BennoBitmap => {
+                if eligible {
+                    // §3.1: switch directly, do not enqueue the woken
+                    // thread.
+                    self.blk0(Block::DirectSwitch);
+                    self.sched_action = SchedAction::SwitchTo(t);
+                } else {
+                    self.charge_enqueue(t);
+                    self.queues.enqueue(&mut self.objs, t);
+                    if self.config.sched == SchedKind::BennoBitmap {
+                        self.blk0(Block::BitmapSet);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Makes a thread runnable outside IPC wake (cancelled IPC, resume):
+    /// always enqueued, never direct-switched.
+    pub(crate) fn make_runnable_enqueue(&mut self, t: ObjId) {
+        let st = self.tcb_addr(t, crate::tcb::OFF_STATE);
+        let pr = self.tcb_addr(t, crate::tcb::OFF_PRIO);
+        self.blk(Block::WakeThread, &[st, pr]);
+        if !self.objs.tcb(t).in_runqueue {
+            self.charge_enqueue(t);
+            self.queues.enqueue(&mut self.objs, t);
+            if self.config.sched == SchedKind::BennoBitmap {
+                self.blk0(Block::BitmapSet);
+            }
+        }
+        if self.sched_action == SchedAction::ResumeCurrent
+            && !self.objs.tcb(self.cur).state.is_runnable()
+        {
+            self.sched_action = SchedAction::ChooseNew;
+        }
+    }
+
+    fn charge_enqueue(&mut self, t: ObjId) {
+        let a = self.tcb_addr(t, crate::tcb::OFF_SCHED_PREV);
+        let b = self.tcb_addr(t, crate::tcb::OFF_SCHED_NEXT);
+        let st = self.tcb_addr(t, crate::tcb::OFF_STATE);
+        let pr = self.tcb_addr(t, crate::tcb::OFF_PRIO);
+        let tail = self.tcb_addr(t, 0x24);
+        self.blk(Block::EnqueueThread, &[pr, a, b, st, tail]);
+    }
+
+    fn charge_dequeue(&mut self, t: ObjId) {
+        let a = self.tcb_addr(t, crate::tcb::OFF_SCHED_PREV);
+        let b = self.tcb_addr(t, crate::tcb::OFF_SCHED_NEXT);
+        let st = self.tcb_addr(t, crate::tcb::OFF_STATE);
+        let pr = self.tcb_addr(t, crate::tcb::OFF_PRIO);
+        let c = self.tcb_addr(t, 0x24);
+        let d = self.tcb_addr(t, 0x28);
+        self.blk(Block::DequeueThread, &[pr, a, b, st, c, d]);
+    }
+
+    /// Resolves the pending scheduling decision — runs on every kernel
+    /// exit.
+    pub(crate) fn schedule(&mut self) {
+        let action = std::mem::take(&mut self.sched_action);
+        match action {
+            SchedAction::ResumeCurrent => {
+                if self.objs.tcb(self.cur).state.is_runnable()
+                    || self.objs.tcb(self.cur).state == ThreadState::Idle
+                {
+                    return;
+                }
+                // Current blocked with no explicit decision: choose.
+                self.choose_and_commit();
+            }
+            SchedAction::SwitchTo(t) => {
+                // The displaced thread is entered into the run queue if it
+                // is still runnable and not queued — §3.1: "the run queue's
+                // consistency can be re-established at preemption time".
+                let cur_runnable = self.objs.tcb(self.cur).state.is_runnable();
+                if cur_runnable && !self.objs.tcb(self.cur).in_runqueue && self.cur != self.idle {
+                    self.charge_enqueue(self.cur);
+                    self.queues.enqueue(&mut self.objs, self.cur);
+                    if self.config.sched == SchedKind::BennoBitmap {
+                        self.blk0(Block::BitmapSet);
+                    }
+                }
+                // Benno: the woken thread was never enqueued. Lazy: it may
+                // still be queued — leave it there (Fig. 2 tolerates this).
+                if self.config.sched != SchedKind::Lazy && self.objs.tcb(t).in_runqueue {
+                    self.charge_dequeue(t);
+                    self.queues.dequeue(&mut self.objs, t);
+                    if self.config.sched == SchedKind::BennoBitmap
+                        && self.queues.head(self.objs.tcb(t).prio).is_none()
+                    {
+                        self.blk0(Block::BitmapClear);
+                    }
+                }
+                self.commit(t);
+            }
+            SchedAction::ChooseNew => self.choose_and_commit(),
+        }
+    }
+
+    /// The three `chooseThread` implementations with per-step charging.
+    fn choose_and_commit(&mut self) {
+        // A preempted-but-runnable current thread must be queued before we
+        // choose (it may well be the winner).
+        let cur_runnable = self.objs.tcb(self.cur).state.is_runnable();
+        if cur_runnable && !self.objs.tcb(self.cur).in_runqueue && self.cur != self.idle {
+            self.charge_enqueue(self.cur);
+            self.queues.enqueue(&mut self.objs, self.cur);
+            if self.config.sched == SchedKind::BennoBitmap {
+                self.blk0(Block::BitmapSet);
+            }
+        }
+        let chosen = match self.config.sched {
+            SchedKind::Lazy => self.choose_lazy_charged(),
+            SchedKind::Benno => self.choose_benno_charged(),
+            SchedKind::BennoBitmap => self.choose_bitmap_charged(),
+        };
+        match chosen {
+            Some(t) => {
+                // Benno-family: the chosen thread leaves the queue; lazy
+                // leaves it at the head (Fig. 2).
+                if self.config.sched != SchedKind::Lazy {
+                    self.charge_dequeue(t);
+                    self.queues.dequeue(&mut self.objs, t);
+                    if self.config.sched == SchedKind::BennoBitmap
+                        && self.queues.head(self.objs.tcb(t).prio).is_none()
+                    {
+                        self.blk0(Block::BitmapClear);
+                    }
+                }
+                self.commit(t);
+            }
+            None => {
+                self.blk0(Block::SchedIdle);
+                self.commit(self.idle);
+            }
+        }
+    }
+
+    /// Fig. 2 with cost charging: scan priorities, dequeue blocked threads
+    /// found at queue heads.
+    fn choose_lazy_charged(&mut self) -> Option<ObjId> {
+        for prio in (0..crate::NUM_PRIOS as usize).rev() {
+            self.blk0(Block::SchedPrioScan);
+            while let Some(head) = self.queues.head(prio as u8) {
+                let st = self.tcb_addr(head, crate::tcb::OFF_STATE);
+                self.blk(Block::SchedLazyIter, &[st]);
+                if self.objs.tcb(head).state.is_runnable() {
+                    return Some(head);
+                }
+                let a = self.tcb_addr(head, crate::tcb::OFF_SCHED_PREV);
+                let b = self.tcb_addr(head, crate::tcb::OFF_SCHED_NEXT);
+                let c = self.tcb_addr(head, 0x24);
+                let d = self.tcb_addr(head, 0x28);
+                self.blk(
+                    Block::SchedLazyDequeue,
+                    &[st, a, b, c, d, self.tcb_addr(head, crate::tcb::OFF_PRIO)],
+                );
+                self.queues.dequeue(&mut self.objs, head);
+                self.stats.lazy_dequeues += 1;
+            }
+        }
+        None
+    }
+
+    /// Fig. 3 with cost charging: scan priorities for a non-empty queue.
+    fn choose_benno_charged(&mut self) -> Option<ObjId> {
+        for prio in (0..crate::NUM_PRIOS as usize).rev() {
+            self.blk0(Block::SchedPrioScan);
+            if let Some(h) = self.queues.head(prio as u8) {
+                debug_assert!(
+                    self.objs.tcb(h).state.is_runnable(),
+                    "Benno invariant: queued thread must be runnable"
+                );
+                return Some(h);
+            }
+        }
+        None
+    }
+
+    /// §3.2 with cost charging: two loads and two CLZ.
+    fn choose_bitmap_charged(&mut self) -> Option<ObjId> {
+        self.blk0(Block::SchedBitmap);
+        self.queues.choose_bitmap()
+    }
+
+    /// Installs `t` as the current thread, charging the commit and (if the
+    /// thread changes) the context switch.
+    fn commit(&mut self, t: ObjId) {
+        let st = self.tcb_addr(t, crate::tcb::OFF_STATE);
+        self.blk(Block::SchedCommit, &[st]);
+        if t != self.cur {
+            let ctx: Vec<Addr> = (0..8)
+                .map(|i| self.tcb_addr(t, crate::tcb::OFF_CONTEXT + 4 * i))
+                .collect();
+            self.blk(Block::CtxSwitch, &ctx);
+            self.cur = t;
+        }
+        // A scheduled Restart-state thread is about to re-execute its
+        // trapped system call; accounting only (the System harness drives
+        // the re-execution).
+        if self.objs.tcb(t).state == ThreadState::Restart {
+            self.stats.restarts += 1;
+        }
+        // IRQ delivery latency: the woken handler thread is now running.
+        if let Some(ix) = self.pending_delivery.remove(&t) {
+            let now = self.machine.now();
+            self.irq_log[ix].delivered = Some(now);
+        }
+    }
+
+    // --- Interrupt path -----------------------------------------------------
+
+    /// The kernel's interrupt handler body (no entry/exit): AVIC read,
+    /// table lookup, notification signal, wake, ack. Called from the IRQ
+    /// vector, from preemption points, and from the exit check.
+    pub(crate) fn interrupt_core(&mut self) {
+        self.blk0(Block::IrqGet);
+        let Some(line) = self.machine.irq.pending_unmasked() else {
+            self.blk0(Block::IrqSpurious);
+            return;
+        };
+        self.blk0(Block::IrqLookup);
+        let binding = self.irq_table.lookup(line.0);
+        let raised = self.machine.irq.ack(line).unwrap_or(0);
+        let kernel_ack = self.machine.now();
+        let log_ix = self.irq_log.len();
+        self.irq_log.push(IrqResponse {
+            line,
+            raised,
+            kernel_ack,
+            delivered: None,
+        });
+        self.blk0(Block::IrqAck);
+        if let Some(b) = binding {
+            // seL4's IRQ protocol: the line stays masked until the driver
+            // acknowledges with IrqAck, preventing interrupt storms from
+            // re-entering before the handler has run.
+            self.machine.irq.mask(line);
+            let w = self.obj_addr(b.ntfn, 0);
+            let wt = self.obj_addr(b.ntfn, 4);
+            self.blk(Block::IrqSignal, &[w, wt, w, wt]);
+            match ntfn::signal(&mut self.objs, b.ntfn, b.badge) {
+                ntfn::SignalOutcome::Wake { tcb, word } => {
+                    self.objs.tcb_mut(tcb).msg_info.label = word;
+                    self.pending_delivery.insert(tcb, log_ix);
+                    self.wake_thread(tcb, false);
+                    // An interrupt wake always reconsiders scheduling so a
+                    // higher-priority driver preempts the current thread.
+                    if self.sched_action == SchedAction::ResumeCurrent {
+                        self.sched_action = SchedAction::ChooseNew;
+                    }
+                }
+                ntfn::SignalOutcome::Accumulated => {}
+            }
+        } else if line.0 == TIMER_LINE {
+            // Timer tick: the current thread's timeslice ends. It is
+            // re-entered into the run queue (at the tail of its priority)
+            // by the scheduler — the §3.1 "re-established at preemption
+            // time" path — and `chooseThread` runs, giving round-robin
+            // among equal priorities.
+            if self.sched_action == SchedAction::ResumeCurrent {
+                self.sched_action = SchedAction::ChooseNew;
+            }
+        }
+    }
+
+    /// Full interrupt entry: the path Table 1 and Table 2 bound. Called by
+    /// the System harness when an IRQ arrives while userspace runs.
+    pub fn handle_interrupt(&mut self) {
+        self.stats.interrupt_entries += 1;
+        self.blk0(Block::IrqEntry);
+        self.interrupt_core();
+        self.exit_kernel();
+    }
+
+    // --- Kernel exit ----------------------------------------------------
+
+    /// Schedule, final interrupt check, restore, return to user (§2.1:
+    /// interrupts are "handled when encountering a preemption point or
+    /// upon returning to the user").
+    pub(crate) fn exit_kernel(&mut self) {
+        self.schedule();
+        self.blk0(Block::KExitCheck);
+        // Service anything that became pending while we were in the
+        // kernel; each service can wake threads, so re-schedule. Bounded
+        // by the number of interrupt lines.
+        let mut guard = 0;
+        while self.machine.irq.has_pending() && guard < 64 {
+            self.interrupt_core();
+            self.schedule();
+            self.blk0(Block::KExitCheck);
+            guard += 1;
+        }
+        let ctx: Vec<Addr> = (0..6)
+            .map(|i| self.tcb_addr(self.cur, crate::tcb::OFF_CONTEXT + 4 * i))
+            .collect();
+        self.blk(Block::ExitRestore, &ctx);
+    }
+
+    // --- Fault entries ----------------------------------------------------
+
+    /// Page-fault entry: builds a fault message and sends it to the
+    /// faulting thread's fault handler (decoded in *its* cspace — one
+    /// 32-level decode in the worst case, §6.1).
+    pub fn handle_page_fault(&mut self, fault_addr: Addr) {
+        self.stats.fault_entries += 1;
+        self.blk0(Block::PfEntry);
+        self.fault_common(fault_addr, 16);
+        self.exit_kernel();
+    }
+
+    /// Undefined-instruction entry.
+    pub fn handle_undefined(&mut self) {
+        self.stats.fault_entries += 1;
+        self.blk0(Block::UndefEntry);
+        self.fault_common(0, 14);
+        self.exit_kernel();
+    }
+
+    /// Common fault handling: decode handler cap, build message, send.
+    fn fault_common(&mut self, info: u32, msg_words: u32) {
+        let cur = self.cur;
+        let a = self.tcb_addr(cur, crate::tcb::OFF_CONTEXT);
+        let b = self.tcb_addr(cur, crate::tcb::OFF_MSGINFO);
+        self.blk(Block::FaultSetup, &[a, b]);
+        for i in 0..msg_words {
+            let m = crate::tcb::Tcb::msg_addr(&self.objs, cur, i);
+            self.blk(Block::FaultMsgWord, &[m]);
+        }
+        let _ = info;
+        let handler_cptr = self.objs.tcb(cur).fault_handler;
+        let root = self.objs.tcb(cur).cspace_root.clone();
+        match self.resolve_charged(&root, handler_cptr, crate::CSPACE_DEPTH_BITS) {
+            Ok(slot) => {
+                let cap = crate::cap::read_slot(&self.objs, slot).cap.clone();
+                if let CapType::Endpoint { obj, badge, rights } = cap {
+                    if rights.write {
+                        // The faulting thread performs, in effect, a Call on
+                        // its handler endpoint.
+                        self.objs.tcb_mut(cur).msg_info.length = msg_words;
+                        let _ = self.ipc_send(cur, obj, badge, false, true, true);
+                    }
+                } else {
+                    // No valid handler: suspend the thread.
+                    self.objs.tcb_mut(cur).state = ThreadState::Inactive;
+                    self.sched_action = SchedAction::ChooseNew;
+                }
+            }
+            Err(_) => {
+                self.objs.tcb_mut(cur).state = ThreadState::Inactive;
+                self.sched_action = SchedAction::ChooseNew;
+            }
+        }
+    }
+
+    // --- Capability decode with charging ------------------------------------
+
+    /// Resolves a capability address, charging one [`Block::ResolveLevel`]
+    /// per level — the Fig. 7 cost structure.
+    pub(crate) fn resolve_charged(
+        &mut self,
+        root: &CapType,
+        cptr: u32,
+        depth: u32,
+    ) -> Result<SlotRef, crate::cnode::DecodeError> {
+        let r1 = match root {
+            CapType::CNode { obj, .. } if self.objs.is_live(*obj) => self.obj_addr(*obj, 0),
+            _ => kprog::KERNEL_GLOBALS_BASE,
+        };
+        self.blk(Block::ResolveEntry, &[r1, r1 + 4]);
+        // Walk the levels, collecting the per-level charge addresses first
+        // (the store is borrowed immutably during the walk).
+        let mut level_addrs: Vec<[Addr; 3]> = Vec::new();
+        let result = crate::cnode::resolve_slot(&self.objs, root, cptr, depth, |step| {
+            let node_base = self.objs.get(step.node).base;
+            let slot_addr = step.slot.addr(&self.objs);
+            level_addrs.push([node_base, slot_addr, slot_addr + 8]);
+        });
+        for a in &level_addrs {
+            self.blk(Block::ResolveLevel, &[a[0], a[1], a[2]]);
+        }
+        self.blk0(Block::ResolveFinish);
+        result
+    }
+
+    /// Reads the cap at an already-resolved slot (no further charging; the
+    /// final ResolveLevel already touched the slot words).
+    pub(crate) fn cap_at(&self, slot: SlotRef) -> CapType {
+        crate::cap::read_slot(&self.objs, slot).cap.clone()
+    }
+
+    /// Overrides the pending scheduling decision (used by syscall paths
+    /// that must force a full `chooseThread`).
+    pub(crate) fn set_sched_action(&mut self, a: SchedAction) {
+        self.sched_action = a;
+    }
+
+    /// The pending scheduling decision (tests).
+    pub fn sched_action(&self) -> SchedAction {
+        self.sched_action
+    }
+
+    /// Fastpath commit: installs `t` as current without running the
+    /// scheduler (the fastpath blocks already charged the switch).
+    pub(crate) fn install_current_fast(&mut self, t: ObjId) {
+        self.cur = t;
+        self.sched_action = SchedAction::ResumeCurrent;
+        if let Some(ix) = self.pending_delivery.remove(&t) {
+            let now = self.machine.now();
+            self.irq_log[ix].delivered = Some(now);
+        }
+    }
+
+    /// Test/bench helper: forcibly set the current thread with no charges.
+    pub fn force_current_for_test(&mut self, t: ObjId) {
+        self.cur = t;
+        self.sched_action = SchedAction::ResumeCurrent;
+    }
+}

@@ -1,0 +1,226 @@
+//! Notification objects.
+//!
+//! A notification is a word of badge bits that senders OR into; waiting
+//! threads queue on it in FIFO order (the same intrusive TCB links the
+//! endpoint queues use — a thread blocks on at most one object at a time).
+//! A signal wakes the head waiter, delivering the accumulated word.
+//!
+//! The kernel's interrupt delivery uses notifications: an IRQ handler
+//! capability binds an interrupt line to a notification, and the kernel's
+//! interrupt path signals it — waking the (typically high-priority) driver
+//! thread. This is the user-visible end of the interrupt response path
+//! whose latency the whole paper is about.
+
+use crate::cap::Badge;
+use crate::obj::{ObjId, ObjStore};
+
+/// A notification object.
+#[derive(Clone, Debug, Default)]
+pub struct Notification {
+    /// Accumulated badge bits (zero = nothing pending).
+    pub word: u32,
+    /// Head of the waiter queue.
+    pub head: Option<ObjId>,
+    /// Tail of the waiter queue.
+    pub tail: Option<ObjId>,
+}
+
+impl Notification {
+    /// Notification object size in bits (16 bytes).
+    pub const SIZE_BITS: u8 = 4;
+
+    /// Creates an empty notification.
+    pub fn new() -> Notification {
+        Notification::default()
+    }
+
+    /// Returns `true` if no thread is waiting.
+    pub fn is_idle(&self) -> bool {
+        self.head.is_none()
+    }
+}
+
+/// Result of a signal: whether a waiter must be woken.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SignalOutcome {
+    /// The head waiter should be made runnable, receiving `word`.
+    Wake {
+        /// The waiter to wake.
+        tcb: ObjId,
+        /// The badge word it receives.
+        word: u32,
+    },
+    /// No waiter; the badge bits were accumulated in the word.
+    Accumulated,
+}
+
+/// Appends `tcb` to the notification's waiter queue (FIFO, intrusive
+/// through the TCB's endpoint-queue links).
+///
+/// # Panics
+///
+/// Panics if the thread is already queued somewhere.
+pub fn ntfn_append(store: &mut ObjStore, ntfn: ObjId, tcb: ObjId) {
+    {
+        let t = store.tcb(tcb);
+        assert!(
+            t.queued_on.is_none(),
+            "thread {:?} already queued on {:?}",
+            t.name,
+            t.queued_on
+        );
+    }
+    store.tcb_mut(tcb).queued_on = Some(ntfn);
+    let old_tail = {
+        let n = store.ntfn_mut(ntfn);
+        let t = n.tail;
+        n.tail = Some(tcb);
+        if n.head.is_none() {
+            n.head = Some(tcb);
+        }
+        t
+    };
+    if let Some(prev) = old_tail {
+        store.tcb_mut(prev).ep_next = Some(tcb);
+        store.tcb_mut(tcb).ep_prev = Some(prev);
+    }
+}
+
+/// Unlinks `tcb` from the waiter queue.
+pub fn ntfn_unlink(store: &mut ObjStore, ntfn: ObjId, tcb: ObjId) {
+    let (prev, next) = {
+        let t = store.tcb_mut(tcb);
+        t.queued_on = None;
+        (t.ep_prev.take(), t.ep_next.take())
+    };
+    match prev {
+        Some(p) => store.tcb_mut(p).ep_next = next,
+        None => store.ntfn_mut(ntfn).head = next,
+    }
+    match next {
+        Some(n) => store.tcb_mut(n).ep_prev = prev,
+        None => store.ntfn_mut(ntfn).tail = prev,
+    }
+}
+
+/// Pops the head waiter, if any.
+pub fn ntfn_pop(store: &mut ObjStore, ntfn: ObjId) -> Option<ObjId> {
+    let head = store.ntfn(ntfn).head?;
+    ntfn_unlink(store, ntfn, head);
+    Some(head)
+}
+
+/// Iterates the waiter queue (head first).
+pub fn ntfn_iter<'a>(store: &'a ObjStore, ntfn: ObjId) -> impl Iterator<Item = ObjId> + 'a {
+    let mut cur = store.ntfn(ntfn).head;
+    std::iter::from_fn(move || {
+        let id = cur?;
+        cur = store.tcb(id).ep_next;
+        Some(id)
+    })
+}
+
+/// Signals the notification with `badge`: wakes the head waiter if one is
+/// queued, otherwise accumulates the bits (pure state transition; the
+/// kernel charges timing and performs the wake).
+pub fn signal(store: &mut ObjStore, ntfn: ObjId, badge: Badge) -> SignalOutcome {
+    store.ntfn_mut(ntfn).word |= badge.0;
+    match ntfn_pop(store, ntfn) {
+        Some(tcb) => {
+            let word = std::mem::take(&mut store.ntfn_mut(ntfn).word);
+            SignalOutcome::Wake { tcb, word }
+        }
+        None => SignalOutcome::Accumulated,
+    }
+}
+
+/// A thread attempts to wait: returns `Some(word)` if bits were already
+/// pending (no block), otherwise queues the waiter and returns `None`.
+pub fn wait(store: &mut ObjStore, ntfn: ObjId, tcb: ObjId) -> Option<u32> {
+    {
+        let n = store.ntfn_mut(ntfn);
+        if n.word != 0 {
+            return Some(std::mem::take(&mut n.word));
+        }
+    }
+    ntfn_append(store, ntfn, tcb);
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obj::ObjKind;
+    use crate::tcb::{Tcb, TCB_SIZE_BITS};
+
+    fn setup(n_threads: u32) -> (ObjStore, ObjId, Vec<ObjId>) {
+        let mut s = ObjStore::new();
+        let n = s.insert(
+            0x8100_0000,
+            Notification::SIZE_BITS,
+            ObjKind::Notification(Notification::new()),
+        );
+        let ts = (0..n_threads)
+            .map(|i| {
+                s.insert(
+                    0x8000_0000 + i * 512,
+                    TCB_SIZE_BITS,
+                    ObjKind::Tcb(Tcb::new(&format!("w{i}"), 100)),
+                )
+            })
+            .collect();
+        (s, n, ts)
+    }
+
+    #[test]
+    fn signal_then_wait_returns_immediately() {
+        let (mut s, n, t) = setup(1);
+        assert_eq!(signal(&mut s, n, Badge(0b101)), SignalOutcome::Accumulated);
+        assert_eq!(signal(&mut s, n, Badge(0b010)), SignalOutcome::Accumulated);
+        assert_eq!(wait(&mut s, n, t[0]), Some(0b111));
+        // Word consumed; second wait blocks.
+        assert_eq!(wait(&mut s, n, t[0]), None);
+    }
+
+    #[test]
+    fn wait_then_signal_wakes() {
+        let (mut s, n, t) = setup(1);
+        assert_eq!(wait(&mut s, n, t[0]), None);
+        match signal(&mut s, n, Badge(0x8)) {
+            SignalOutcome::Wake { tcb, word } => {
+                assert_eq!(tcb, t[0]);
+                assert_eq!(word, 0x8);
+            }
+            other => panic!("expected wake, got {other:?}"),
+        }
+        assert_eq!(s.ntfn(n).word, 0, "word consumed by the wake");
+        assert!(s.ntfn(n).is_idle());
+    }
+
+    #[test]
+    fn multiple_waiters_wake_in_fifo_order() {
+        let (mut s, n, t) = setup(3);
+        for &w in &t {
+            assert_eq!(wait(&mut s, n, w), None);
+        }
+        for &expect in &t {
+            match signal(&mut s, n, Badge(1)) {
+                SignalOutcome::Wake { tcb, .. } => assert_eq!(tcb, expect),
+                other => panic!("expected wake, got {other:?}"),
+            }
+        }
+        assert_eq!(signal(&mut s, n, Badge(1)), SignalOutcome::Accumulated);
+    }
+
+    #[test]
+    fn middle_unlink_keeps_queue_well_formed() {
+        let (mut s, n, t) = setup(3);
+        for &w in &t {
+            wait(&mut s, n, w);
+        }
+        ntfn_unlink(&mut s, n, t[1]);
+        let order: Vec<ObjId> = ntfn_iter(&s, n).collect();
+        assert_eq!(order, vec![t[0], t[2]]);
+        assert_eq!(s.ntfn(n).tail, Some(t[2]));
+    }
+}

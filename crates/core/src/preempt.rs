@@ -1,0 +1,38 @@
+//! Preemption points.
+//!
+//! Interrupts are disabled in hardware throughout kernel execution (§2.1);
+//! the only places a pending interrupt can be noticed mid-operation are
+//! explicit preemption points. When one fires, the long-running operation
+//! returns [`Preempted`] up the (Rust) call stack — the analogue of seL4's
+//! C code returning `EXCEPTION_PREEMPTED` up its call stack — with all
+//! progress already saved *in the objects being operated on* (incremental
+//! consistency). The trapped thread is left in the `Restart` state so that
+//! re-executing the system call resumes the operation (§2.1).
+
+/// Marker that a kernel operation was cut short at a preemption point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Preempted;
+
+/// Result type threaded through every preemptible kernel operation.
+pub type PreemptResult = Result<(), Preempted>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn question_mark_propagates() {
+        fn inner(fire: bool) -> PreemptResult {
+            if fire {
+                return Err(Preempted);
+            }
+            Ok(())
+        }
+        fn outer(fire: bool) -> PreemptResult {
+            inner(fire)?;
+            Ok(())
+        }
+        assert_eq!(outer(false), Ok(()));
+        assert_eq!(outer(true), Err(Preempted));
+    }
+}

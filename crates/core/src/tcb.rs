@@ -1,0 +1,244 @@
+//! Thread control blocks.
+//!
+//! TCBs are 512-byte kernel objects holding thread state, priority, the
+//! thread's capability-space and address-space roots, its message
+//! registers, and the intrusive links used by the scheduler's run queues
+//! and the endpoints' wait queues. Keeping queue links *inside* the TCB
+//! means queue operations are O(1) — the property §3.3 relies on ("they can
+//! manipulate the list in constant time").
+
+use rt_hw::Addr;
+
+use crate::cap::{Badge, CapType};
+use crate::obj::{ObjId, ObjStore};
+use crate::syscall::Syscall;
+
+/// Message metadata transferred by IPC (a compressed `msgInfo` word).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MsgInfo {
+    /// Message length in words (`0..=`[`crate::MAX_MSG_WORDS`]).
+    pub length: u32,
+    /// Number of capabilities to transfer (`0..=`[`crate::MAX_XFER_CAPS`]).
+    pub extra_caps: u32,
+    /// Uninterpreted label.
+    pub label: u32,
+}
+
+impl MsgInfo {
+    /// An empty message.
+    pub const EMPTY: MsgInfo = MsgInfo {
+        length: 0,
+        extra_caps: 0,
+        label: 0,
+    };
+}
+
+/// Thread scheduling / blocking state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ThreadState {
+    /// Not schedulable (never started, or suspended).
+    Inactive,
+    /// Will re-execute its current system call when next scheduled — the
+    /// restartable-system-call mechanism of §2.1: "the system is left in a
+    /// state where simply re-executing the original system call will
+    /// continue the operation".
+    Restart,
+    /// Runnable (or currently running).
+    Running,
+    /// Queued on an endpoint's send queue.
+    BlockedOnSend {
+        /// The endpoint.
+        ep: ObjId,
+        /// Badge carried by the send.
+        badge: Badge,
+        /// Whether the send may grant caps.
+        can_grant: bool,
+        /// Whether this is the send phase of a Call (expects a reply).
+        is_call: bool,
+    },
+    /// Queued on an endpoint's receive queue.
+    BlockedOnRecv {
+        /// The endpoint.
+        ep: ObjId,
+    },
+    /// Waiting on a notification word.
+    BlockedOnNotification {
+        /// The notification object.
+        ntfn: ObjId,
+    },
+    /// Sent a Call and is waiting for the reply cap to be invoked.
+    BlockedOnReply,
+    /// The idle thread's permanent state.
+    Idle,
+}
+
+impl ThreadState {
+    /// Whether a thread in this state may be chosen by the scheduler.
+    pub fn is_runnable(&self) -> bool {
+        matches!(self, ThreadState::Running | ThreadState::Restart)
+    }
+
+    /// Whether the thread is queued on the endpoint identified by `ep`.
+    pub fn blocked_on_ep(&self, ep: ObjId) -> bool {
+        matches!(
+            self,
+            ThreadState::BlockedOnSend { ep: e, .. } | ThreadState::BlockedOnRecv { ep: e }
+            if *e == ep
+        )
+    }
+}
+
+/// A thread control block.
+#[derive(Clone, Debug)]
+pub struct Tcb {
+    /// Debug name.
+    pub name: String,
+    /// Fixed priority, 0 (lowest) to 255 (highest).
+    pub prio: u8,
+    /// Scheduling / blocking state.
+    pub state: ThreadState,
+    /// Root of the thread's capability space (a CNode cap).
+    pub cspace_root: CapType,
+    /// The thread's address space (a page-directory cap).
+    pub vspace: CapType,
+    /// Capability pointer to the thread's fault handler endpoint, decoded
+    /// in this thread's cspace when the thread faults.
+    pub fault_handler: u32,
+    /// Message registers (model of registers + IPC buffer).
+    pub msg: Vec<u32>,
+    /// Message metadata for the in-flight IPC.
+    pub msg_info: MsgInfo,
+    /// Capability pointers of caps to transfer with the next send.
+    pub xfer_caps: Vec<u32>,
+    /// Where received capabilities land: `(croot_cptr, node_cptr)`, both
+    /// decoded in this thread's cspace when a cap arrives — two more of
+    /// the worst case's eleven decodes (§6.1).
+    pub recv_slot_spec: Option<(u32, u32)>,
+    /// Badge delivered by the last receive.
+    pub recv_badge: Badge,
+    /// Run-queue links (intrusive doubly-linked list).
+    pub sched_next: Option<ObjId>,
+    /// Run-queue links.
+    pub sched_prev: Option<ObjId>,
+    /// Whether the thread is currently linked into a run queue.
+    pub in_runqueue: bool,
+    /// Endpoint/notification wait-queue links.
+    pub ep_next: Option<ObjId>,
+    /// Endpoint/notification wait-queue links.
+    pub ep_prev: Option<ObjId>,
+    /// The endpoint or notification whose wait queue this thread is linked
+    /// into, if any — makes double-queueing detectable locally.
+    pub queued_on: Option<ObjId>,
+    /// Thread blocked waiting for *this* thread's reply (the caller of a
+    /// `Call` this thread received).
+    pub caller: Option<ObjId>,
+    /// System call being executed or restarted (§2.1). `Some` while the
+    /// thread is inside (or preempted inside) a kernel operation.
+    pub current_syscall: Option<Syscall>,
+    /// Cycle at which the thread last started waiting (for response-time
+    /// accounting in experiments).
+    pub wait_since: u64,
+}
+
+/// TCB object size in bits (512 bytes).
+pub const TCB_SIZE_BITS: u8 = 9;
+
+// Field offsets (bytes from TCB base) used for data-access timing charges.
+// They mirror a plausible C layout; what matters is that distinct fields
+// fall on distinct, stable addresses so cache behaviour is realistic.
+/// Offset of the thread state word.
+pub const OFF_STATE: u32 = 0x00;
+/// Offset of the priority byte.
+pub const OFF_PRIO: u32 = 0x04;
+/// Offset of the run-queue next link.
+pub const OFF_SCHED_NEXT: u32 = 0x08;
+/// Offset of the run-queue prev link.
+pub const OFF_SCHED_PREV: u32 = 0x0c;
+/// Offset of the endpoint-queue next link.
+pub const OFF_EP_NEXT: u32 = 0x10;
+/// Offset of the endpoint-queue prev link.
+pub const OFF_EP_PREV: u32 = 0x14;
+/// Offset of the IPC badge word.
+pub const OFF_BADGE: u32 = 0x18;
+/// Offset of the message-info word.
+pub const OFF_MSGINFO: u32 = 0x1c;
+/// Offset of the saved context (registers).
+pub const OFF_CONTEXT: u32 = 0x20;
+/// Offset of the message registers / IPC buffer within the TCB.
+pub const OFF_MSG: u32 = 0x80;
+
+impl Tcb {
+    /// Creates an inactive thread.
+    pub fn new(name: &str, prio: u8) -> Tcb {
+        Tcb {
+            name: name.to_owned(),
+            prio,
+            state: ThreadState::Inactive,
+            cspace_root: CapType::Null,
+            vspace: CapType::Null,
+            fault_handler: 0,
+            msg: Vec::new(),
+            msg_info: MsgInfo::EMPTY,
+            xfer_caps: Vec::new(),
+            recv_slot_spec: None,
+            recv_badge: Badge::NONE,
+            sched_next: None,
+            sched_prev: None,
+            in_runqueue: false,
+            ep_next: None,
+            ep_prev: None,
+            queued_on: None,
+            caller: None,
+            current_syscall: None,
+            wait_since: 0,
+        }
+    }
+
+    /// Address of a field for timing charges.
+    pub fn field_addr(store: &ObjStore, tcb: ObjId, off: u32) -> Addr {
+        store.get(tcb).base + off
+    }
+
+    /// Address of message register `i`.
+    pub fn msg_addr(store: &ObjStore, tcb: ObjId, i: u32) -> Addr {
+        store.get(tcb).base + OFF_MSG + 4 * i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obj::ObjKind;
+
+    #[test]
+    fn runnability() {
+        assert!(ThreadState::Running.is_runnable());
+        assert!(ThreadState::Restart.is_runnable());
+        assert!(!ThreadState::Inactive.is_runnable());
+        assert!(!ThreadState::BlockedOnReply.is_runnable());
+        assert!(!ThreadState::Idle.is_runnable());
+    }
+
+    #[test]
+    fn blocked_on_ep_matches_only_that_ep() {
+        let st = ThreadState::BlockedOnSend {
+            ep: ObjId(7),
+            badge: Badge(1),
+            can_grant: false,
+            is_call: false,
+        };
+        assert!(st.blocked_on_ep(ObjId(7)));
+        assert!(!st.blocked_on_ep(ObjId(8)));
+        assert!(ThreadState::BlockedOnRecv { ep: ObjId(3) }.blocked_on_ep(ObjId(3)));
+        assert!(!ThreadState::Running.blocked_on_ep(ObjId(3)));
+    }
+
+    #[test]
+    fn field_addresses_stable() {
+        let mut s = ObjStore::new();
+        let id = s.insert(0x8000_0200, TCB_SIZE_BITS, ObjKind::Tcb(Tcb::new("t", 10)));
+        assert_eq!(Tcb::field_addr(&s, id, OFF_STATE), 0x8000_0200);
+        assert_eq!(Tcb::field_addr(&s, id, OFF_PRIO), 0x8000_0204);
+        assert_eq!(Tcb::msg_addr(&s, id, 2), 0x8000_0200 + 0x80 + 8);
+    }
+}

@@ -1,0 +1,58 @@
+//! Boot-scenario builders shared by unit tests, integration tests,
+//! examples and benches.
+//!
+//! These construct small running systems the way a root task would, so
+//! every experiment starts from the same well-formed state.
+
+use rt_hw::HwConfig;
+
+use crate::cap::{insert_cap, Badge, CapType, Rights, SlotRef};
+use crate::kernel::{Kernel, KernelConfig};
+use crate::obj::ObjId;
+
+/// Builds a kernel with a client (prio 10) and a server (prio 11) sharing
+/// a 256-slot root CNode that holds an endpoint cap at cptr 1.
+///
+/// Returns `(kernel, client, server, ep_cptr)`. The client is resumed and
+/// current; the server is left `Inactive` for the test to position.
+pub fn boot_two_threads_one_ep() -> (Kernel, ObjId, ObjId, u32) {
+    boot_two_threads_one_ep_cfg(KernelConfig::after(), HwConfig::default())
+}
+
+/// As [`boot_two_threads_one_ep`] with explicit configurations.
+pub fn boot_two_threads_one_ep_cfg(cfg: KernelConfig, hw: HwConfig) -> (Kernel, ObjId, ObjId, u32) {
+    let mut k = Kernel::new(cfg, hw);
+    let cnode = k.boot_cnode(8);
+    let root = CapType::CNode {
+        obj: cnode,
+        guard_bits: 24,
+        guard: 0,
+    };
+    let client = k.boot_tcb("client", 10);
+    let server = k.boot_tcb("server", 11);
+    let ep = k.boot_endpoint();
+    insert_cap(
+        &mut k.objs,
+        SlotRef::new(cnode, 1),
+        CapType::Endpoint {
+            obj: ep,
+            badge: Badge::NONE,
+            rights: Rights::ALL,
+        },
+        None,
+    );
+    k.objs.tcb_mut(client).cspace_root = root.clone();
+    k.objs.tcb_mut(server).cspace_root = root;
+    k.boot_resume(client);
+    (k, client, server, 1)
+}
+
+/// The endpoint object behind a cptr in `tcb`'s cspace (test convenience).
+pub fn ep_object(k: &Kernel, tcb: ObjId, cptr: u32) -> ObjId {
+    let root = k.objs.tcb(tcb).cspace_root.clone();
+    let slot = crate::cnode::resolve_slot(&k.objs, &root, cptr, 32, |_| {}).expect("decode");
+    match crate::cap::read_slot(&k.objs, slot).cap {
+        CapType::Endpoint { obj, .. } => obj,
+        ref c => panic!("cptr {cptr} is not an endpoint: {c:?}"),
+    }
+}

@@ -1,0 +1,207 @@
+//! Untyped memory and object creation (§3.5).
+//!
+//! seL4 has no in-kernel allocator: userspace holds *untyped* capabilities
+//! to regions of physical memory and *retypes* them into kernel objects.
+//! The kernel's job is to check (sizes, alignment, non-overlap — the §2.2
+//! invariants) and to **clear** the memory so no information leaks.
+//!
+//! Clearing is the long-running part: "some kernel objects are megabytes in
+//! size (e.g. large memory frames on ARM can be up to 16 MiB; capability
+//! tables ... can be of arbitrary size)". The paper's restructuring (§3.5):
+//!
+//! 1. clear **all** object contents *before* any other kernel state is
+//!    modified, preempting at 1 KiB multiples, with the progress watermark
+//!    stored **in the untyped object itself**;
+//! 2. then create the objects and their capabilities in "one short, atomic
+//!    pass".
+//!
+//! The *before* design clears inside the creation path, non-preemptibly —
+//! selected by `KernelConfig::preemption_points = false`.
+
+use rt_hw::Addr;
+
+use crate::obj::ObjId;
+
+/// The type a region of untyped memory can be retyped into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RetypeKind {
+    /// Thread control block (512 B).
+    Tcb,
+    /// Endpoint (16 B).
+    Endpoint,
+    /// Notification (16 B).
+    Notification,
+    /// CNode with the given radix (16-byte slots).
+    CNode {
+        /// Radix in bits.
+        radix_bits: u8,
+    },
+    /// Memory frame of the given size (4 KiB small page up to 16 MiB
+    /// supersection).
+    Frame {
+        /// Frame size in bits (12, 16, 20 or 24 on ARMv6).
+        size_bits: u8,
+    },
+    /// Second-level page table.
+    PageTable,
+    /// Top-level page directory.
+    PageDirectory,
+    /// ASID pool (legacy VM design only).
+    AsidPool,
+}
+
+impl RetypeKind {
+    /// Object size in bits, including the shadow for paging structures when
+    /// `shadow` (the §3.6 shadow-page-table design doubles them).
+    pub fn size_bits(self, shadow: bool) -> u8 {
+        match self {
+            RetypeKind::Tcb => crate::tcb::TCB_SIZE_BITS,
+            RetypeKind::Endpoint => crate::ep::Endpoint::SIZE_BITS,
+            RetypeKind::Notification => crate::ntfn::Notification::SIZE_BITS,
+            RetypeKind::CNode { radix_bits } => crate::cnode::CNode::size_bits(radix_bits),
+            RetypeKind::Frame { size_bits } => {
+                assert!(
+                    matches!(size_bits, 12 | 16 | 20 | 24),
+                    "ARMv6 frame sizes are 4 KiB, 64 KiB, 1 MiB, 16 MiB"
+                );
+                size_bits
+            }
+            // ARMv6: PT = 1 KiB, doubled to 2 KiB by its shadow (§3.6).
+            RetypeKind::PageTable => {
+                if shadow {
+                    11
+                } else {
+                    10
+                }
+            }
+            // ARMv6: PD = 16 KiB, doubled to 32 KiB by its shadow (§3.6).
+            RetypeKind::PageDirectory => {
+                if shadow {
+                    15
+                } else {
+                    14
+                }
+            }
+            RetypeKind::AsidPool => 12,
+        }
+    }
+}
+
+/// An untyped-memory object: a physical range plus a watermark of how much
+/// has been consumed by retypes, and the clearing progress of an in-flight
+/// (possibly preempted) retype.
+#[derive(Clone, Debug)]
+pub struct Untyped {
+    /// Bytes already handed out to earlier retypes.
+    pub watermark: u32,
+    /// Clearing progress of the current retype operation: bytes of the
+    /// target region already zeroed. This *is* the "progress of this
+    /// clearing ... stored within the object itself" (§3.5).
+    pub clear_progress: u32,
+    /// The region being cleared by the current retype (start set when the
+    /// operation first runs; `None` when no retype is in flight).
+    pub pending: Option<PendingRetype>,
+    /// Objects created from this untyped (for revoke-driven reset).
+    pub children: Vec<ObjId>,
+}
+
+/// Maximum objects created by a single retype invocation. seL4 bounds its
+/// retype fan-out similarly; the bound keeps the *atomic* object-creation
+/// pass (§3.5 phase 2) short, as only the clearing phase is preemptible.
+pub const MAX_RETYPE_COUNT: u32 = 16;
+
+/// Parameters of an in-flight retype, fixed when the operation starts so a
+/// restarted system call continues rather than beginning anew.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PendingRetype {
+    /// What is being created.
+    pub kind: RetypeKind,
+    /// How many objects.
+    pub count: u32,
+    /// First address of the region being cleared.
+    pub region_start: Addr,
+    /// Total bytes to clear.
+    pub region_len: u32,
+}
+
+impl Untyped {
+    /// Creates a fresh untyped object.
+    pub fn new() -> Untyped {
+        Untyped {
+            watermark: 0,
+            clear_progress: 0,
+            pending: None,
+            children: Vec::new(),
+        }
+    }
+
+    /// Returns the aligned start offset for allocating `count` objects of
+    /// `1 << size_bits` bytes, or `None` if the untyped is too small.
+    pub fn plan(
+        &self,
+        untyped_base: Addr,
+        untyped_size: u32,
+        size_bits: u8,
+        count: u32,
+    ) -> Option<(Addr, u32)> {
+        let obj_size = 1u32 << size_bits;
+        let free = untyped_base + self.watermark;
+        let start = (free + obj_size - 1) & !(obj_size - 1);
+        let len = obj_size.checked_mul(count)?;
+        let end = start.checked_add(len)?;
+        if end > untyped_base + untyped_size {
+            return None;
+        }
+        Some((start, len))
+    }
+}
+
+impl Default for Untyped {
+    fn default() -> Untyped {
+        Untyped::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_armv6() {
+        assert_eq!(RetypeKind::Tcb.size_bits(true), 9);
+        // 32 bytes: 16-byte seL4 endpoint + the §3.4 abort resume state.
+        assert_eq!(RetypeKind::Endpoint.size_bits(true), 5);
+        assert_eq!(RetypeKind::CNode { radix_bits: 8 }.size_bits(true), 12);
+        assert_eq!(RetypeKind::Frame { size_bits: 12 }.size_bits(true), 12);
+        // Shadow doubling (§3.6).
+        assert_eq!(RetypeKind::PageTable.size_bits(false), 10);
+        assert_eq!(RetypeKind::PageTable.size_bits(true), 11);
+        assert_eq!(RetypeKind::PageDirectory.size_bits(false), 14);
+        assert_eq!(RetypeKind::PageDirectory.size_bits(true), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "ARMv6 frame sizes")]
+    fn bad_frame_size_panics() {
+        let _ = RetypeKind::Frame { size_bits: 13 }.size_bits(false);
+    }
+
+    #[test]
+    fn plan_aligns_and_bounds() {
+        let u = Untyped::new();
+        // 64 KiB untyped at an odd-ish base inside its own alignment.
+        let (start, len) = u.plan(0x8001_0000, 0x1_0000, 9, 4).expect("fits");
+        assert_eq!(start, 0x8001_0000);
+        assert_eq!(len, 4 * 512);
+        // Too big: 32 frames of 4 KiB = 128 KiB > 64 KiB.
+        assert!(u.plan(0x8001_0000, 0x1_0000, 12, 32).is_none());
+    }
+
+    #[test]
+    fn plan_respects_watermark() {
+        let mut u = Untyped::new();
+        u.watermark = 100; // unaligned consumption
+        let (start, _) = u.plan(0x8001_0000, 0x1_0000, 9, 1).expect("fits");
+        assert_eq!(start, 0x8001_0200, "rounded up to 512-byte alignment");
+    }
+}

@@ -1,0 +1,156 @@
+//! The legacy ASID-table design (§3.6, Fig. 4).
+//!
+//! An 18-bit address-space identifier indexes a sparse two-level table: the
+//! top level has 256 entries, each pointing to an ASID pool of 1024 slots.
+//! Frame caps store the ASID instead of a page-directory pointer, which
+//! lets dangling references exist *safely*: a stale ASID simply fails the
+//! agreement check.
+//!
+//! The cost: **allocating** an ASID scans up to 1024 slots for a free one,
+//! and **deleting a pool** iterates up to 1024 address spaces — both
+//! "inherently difficult to preempt" (§3.6), which is why the paper's
+//! *after* design removes ASIDs entirely.
+
+use crate::obj::{ObjId, ObjStore};
+use crate::vspace::ASID_POOL_ENTRIES;
+
+/// Top-level ASID table entries (18-bit ASIDs, 1024 per pool).
+pub const ASID_TOP_ENTRIES: u32 = 256;
+
+/// The global two-level ASID lookup table.
+#[derive(Clone, Debug)]
+pub struct AsidTable {
+    /// Top level: pool object per 1024-ASID block.
+    pub pools: Vec<Option<ObjId>>,
+}
+
+impl AsidTable {
+    /// Creates an empty table.
+    pub fn new() -> AsidTable {
+        AsidTable {
+            pools: vec![None; ASID_TOP_ENTRIES as usize],
+        }
+    }
+
+    /// Installs `pool` at the first free top-level slot, returning the ASID
+    /// base it covers.
+    pub fn install_pool(&mut self, pool: ObjId) -> Option<u32> {
+        let idx = self.pools.iter().position(|p| p.is_none())?;
+        self.pools[idx] = Some(pool);
+        Some(idx as u32 * ASID_POOL_ENTRIES)
+    }
+
+    /// The pool covering `asid`, if installed.
+    pub fn pool_of(&self, asid: u32) -> Option<ObjId> {
+        self.pools
+            .get((asid / ASID_POOL_ENTRIES) as usize)
+            .copied()
+            .flatten()
+    }
+
+    /// Resolves an ASID to its page directory (Fig. 4's arrows). Returns
+    /// `None` for stale/unassigned ASIDs — the harmless-dangling-reference
+    /// property.
+    pub fn resolve(&self, store: &ObjStore, asid: u32) -> Option<ObjId> {
+        let pool = self.pool_of(asid)?;
+        store.asid_pool(pool).entries[(asid % ASID_POOL_ENTRIES) as usize]
+    }
+}
+
+impl Default for AsidTable {
+    fn default() -> AsidTable {
+        AsidTable::new()
+    }
+}
+
+/// Scans `pool` for a free slot — the unpreemptible up-to-1024-iteration
+/// search of §3.6. Returns `(slot index, slots scanned)`.
+pub fn find_free_slot(store: &ObjStore, pool: ObjId) -> (Option<u32>, u32) {
+    let p = store.asid_pool(pool);
+    let mut scanned = 0;
+    for (i, e) in p.entries.iter().enumerate() {
+        scanned += 1;
+        if e.is_none() {
+            return (Some(i as u32), scanned);
+        }
+    }
+    (None, scanned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obj::ObjKind;
+    use crate::vspace::{AsidPool, PageDirectory};
+
+    fn setup() -> (ObjStore, AsidTable, ObjId) {
+        let mut s = ObjStore::new();
+        let pool = s.insert(0x8200_0000, 12, ObjKind::AsidPool(AsidPool::new()));
+        let t = AsidTable::new();
+        (s, t, pool)
+    }
+
+    #[test]
+    fn install_and_resolve() {
+        let (mut s, mut t, pool) = setup();
+        let base = t.install_pool(pool).expect("room");
+        assert_eq!(base, 0);
+        let pd = s.insert(
+            0x8300_0000,
+            14,
+            ObjKind::PageDirectory(PageDirectory::new(false)),
+        );
+        s.asid_pool_mut(pool).entries[5] = Some(pd);
+        assert_eq!(t.resolve(&s, base + 5), Some(pd));
+        assert_eq!(t.resolve(&s, base + 6), None, "unassigned ASID");
+        assert_eq!(t.resolve(&s, 5 * 1024 + 5), None, "no pool there");
+    }
+
+    #[test]
+    fn stale_asid_is_harmless() {
+        let (mut s, mut t, pool) = setup();
+        t.install_pool(pool).expect("room");
+        let pd = s.insert(
+            0x8300_0000,
+            14,
+            ObjKind::PageDirectory(PageDirectory::new(false)),
+        );
+        s.asid_pool_mut(pool).entries[9] = Some(pd);
+        // Lazy deletion: drop the entry; a frame cap still storing ASID 9
+        // now resolves to None instead of dangling.
+        s.asid_pool_mut(pool).entries[9] = None;
+        assert_eq!(t.resolve(&s, 9), None);
+    }
+
+    #[test]
+    fn free_slot_scan_counts_iterations() {
+        let (mut s, _t, pool) = setup();
+        // Fill the first 1000 slots.
+        for i in 0..1000 {
+            s.asid_pool_mut(pool).entries[i] = Some(ObjId(0));
+        }
+        let (slot, scanned) = find_free_slot(&s, pool);
+        assert_eq!(slot, Some(1000));
+        assert_eq!(scanned, 1001, "the pathological scan the paper removes");
+    }
+
+    #[test]
+    fn full_pool_scans_everything() {
+        let (mut s, _t, pool) = setup();
+        for i in 0..ASID_POOL_ENTRIES as usize {
+            s.asid_pool_mut(pool).entries[i] = Some(ObjId(0));
+        }
+        let (slot, scanned) = find_free_slot(&s, pool);
+        assert_eq!(slot, None);
+        assert_eq!(scanned, ASID_POOL_ENTRIES);
+    }
+
+    #[test]
+    fn top_level_fills_in_order() {
+        let (mut s, mut t, _pool) = setup();
+        let p2 = s.insert(0x8201_0000, 12, ObjKind::AsidPool(AsidPool::new()));
+        let p3 = s.insert(0x8202_0000, 12, ObjKind::AsidPool(AsidPool::new()));
+        assert_eq!(t.install_pool(p2), Some(0));
+        assert_eq!(t.install_pool(p3), Some(1024));
+    }
+}

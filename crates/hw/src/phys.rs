@@ -1,0 +1,213 @@
+//! Simulated physical memory contents.
+//!
+//! The KZM board carries 128 MiB of RAM at physical `0x8000_0000`. The
+//! timing of accesses is handled by [`crate::mem::MemSystem`]; this module
+//! stores the actual *bytes*, which the kernel needs for operations whose
+//! semantics the paper studies — most importantly object clearing during
+//! retype (§3.5), where the kernel must genuinely zero megabytes of memory
+//! in preemptible 1 KiB chunks.
+//!
+//! Storage is a sparse map of 4 KiB chunks so that creating a machine with
+//! 128 MiB of RAM does not actually allocate 128 MiB up front.
+
+use std::collections::HashMap;
+
+use crate::Addr;
+
+/// Base physical address of RAM on the modelled board.
+pub const RAM_BASE: Addr = 0x8000_0000;
+/// Default RAM size (128 MiB, as on the KZM board).
+pub const RAM_SIZE: u32 = 128 * 1024 * 1024;
+
+const CHUNK: u32 = 4096;
+
+/// Sparse byte-addressable physical memory.
+#[derive(Clone, Debug)]
+pub struct PhysMem {
+    base: Addr,
+    size: u32,
+    chunks: HashMap<u32, Box<[u8; CHUNK as usize]>>,
+}
+
+impl PhysMem {
+    /// Creates RAM covering `base..base+size`; contents read as zero until
+    /// written.
+    pub fn new(base: Addr, size: u32) -> PhysMem {
+        assert!(size.is_multiple_of(CHUNK), "RAM size must be chunk-aligned");
+        PhysMem {
+            base,
+            size,
+            chunks: HashMap::new(),
+        }
+    }
+
+    /// The default KZM configuration: 128 MiB at `0x8000_0000`.
+    pub fn kzm() -> PhysMem {
+        PhysMem::new(RAM_BASE, RAM_SIZE)
+    }
+
+    /// First valid address.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Size in bytes.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Returns `true` if `addr..addr+len` lies within RAM.
+    pub fn contains(&self, addr: Addr, len: u32) -> bool {
+        addr >= self.base
+            && len <= self.size
+            && addr
+                .checked_sub(self.base)
+                .is_some_and(|off| off.checked_add(len).is_some_and(|end| end <= self.size))
+    }
+
+    fn index(&self, addr: Addr) -> (u32, usize) {
+        let off = addr - self.base;
+        (off / CHUNK, (off % CHUNK) as usize)
+    }
+
+    /// Reads one 32-bit little-endian word.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range or unaligned access (a kernel bug in the
+    /// simulated system — loud failure is the point).
+    pub fn read_word(&self, addr: Addr) -> u32 {
+        assert!(addr.is_multiple_of(4), "unaligned word read at {addr:#x}");
+        assert!(self.contains(addr, 4), "word read outside RAM at {addr:#x}");
+        let (c, o) = self.index(addr);
+        match self.chunks.get(&c) {
+            None => 0,
+            Some(ch) => u32::from_le_bytes([ch[o], ch[o + 1], ch[o + 2], ch[o + 3]]),
+        }
+    }
+
+    /// Writes one 32-bit little-endian word.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range or unaligned access.
+    pub fn write_word(&mut self, addr: Addr, value: u32) {
+        assert!(addr.is_multiple_of(4), "unaligned word write at {addr:#x}");
+        assert!(
+            self.contains(addr, 4),
+            "word write outside RAM at {addr:#x}"
+        );
+        let (c, o) = self.index(addr);
+        let ch = self
+            .chunks
+            .entry(c)
+            .or_insert_with(|| Box::new([0u8; CHUNK as usize]));
+        ch[o..o + 4].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Zeroes `len` bytes starting at `addr` (word-aligned).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range or unaligned ranges.
+    pub fn zero_range(&mut self, addr: Addr, len: u32) {
+        assert!(
+            addr.is_multiple_of(4) && len.is_multiple_of(4),
+            "unaligned zero range"
+        );
+        assert!(self.contains(addr, len), "zero range outside RAM");
+        let mut a = addr;
+        let end = addr + len;
+        while a < end {
+            let (c, o) = self.index(a);
+            let span = ((CHUNK as usize - o) as u32).min(end - a) as usize;
+            if let Some(ch) = self.chunks.get_mut(&c) {
+                ch[o..o + span].fill(0);
+            }
+            // Absent chunks already read as zero.
+            a += span as u32;
+        }
+    }
+
+    /// Returns `true` if every byte of `addr..addr+len` is zero.
+    pub fn is_zero_range(&self, addr: Addr, len: u32) -> bool {
+        assert!(self.contains(addr, len), "range outside RAM");
+        let mut a = addr;
+        let end = addr + len;
+        while a < end {
+            let (c, o) = self.index(a);
+            let span = ((CHUNK as usize - o) as u32).min(end - a) as usize;
+            if let Some(ch) = self.chunks.get(&c) {
+                if ch[o..o + span].iter().any(|&b| b != 0) {
+                    return false;
+                }
+            }
+            a += span as u32;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_until_written() {
+        let m = PhysMem::kzm();
+        assert_eq!(m.read_word(RAM_BASE), 0);
+        assert_eq!(m.read_word(RAM_BASE + RAM_SIZE - 4), 0);
+    }
+
+    #[test]
+    fn read_back_written_word() {
+        let mut m = PhysMem::kzm();
+        m.write_word(RAM_BASE + 0x1234 * 4, 0xdead_beef);
+        assert_eq!(m.read_word(RAM_BASE + 0x1234 * 4), 0xdead_beef);
+        // Neighbours untouched.
+        assert_eq!(m.read_word(RAM_BASE + 0x1233 * 4), 0);
+        assert_eq!(m.read_word(RAM_BASE + 0x1235 * 4), 0);
+    }
+
+    #[test]
+    fn zero_range_crosses_chunks() {
+        let mut m = PhysMem::kzm();
+        let base = RAM_BASE + 4096 - 16;
+        for i in 0..8 {
+            m.write_word(base + i * 4, 0xffff_ffff);
+        }
+        m.zero_range(base, 32);
+        assert!(m.is_zero_range(base, 32));
+    }
+
+    #[test]
+    fn is_zero_detects_dirt() {
+        let mut m = PhysMem::kzm();
+        assert!(m.is_zero_range(RAM_BASE, 4096));
+        m.write_word(RAM_BASE + 2048, 1);
+        assert!(!m.is_zero_range(RAM_BASE, 4096));
+        assert!(m.is_zero_range(RAM_BASE, 2048));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside RAM")]
+    fn out_of_range_read_panics() {
+        let m = PhysMem::kzm();
+        let _ = m.read_word(0x1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_read_panics() {
+        let m = PhysMem::kzm();
+        let _ = m.read_word(RAM_BASE + 2);
+    }
+
+    #[test]
+    fn contains_rejects_overflowing_ranges() {
+        let m = PhysMem::kzm();
+        assert!(m.contains(RAM_BASE, RAM_SIZE));
+        assert!(!m.contains(RAM_BASE + 4, RAM_SIZE));
+        assert!(!m.contains(0xffff_fffc, 8));
+    }
+}

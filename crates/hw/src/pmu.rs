@@ -1,0 +1,65 @@
+//! Performance monitoring unit.
+//!
+//! The paper measures observed execution times "using the cycle counters
+//! available on the ARM1136's performance monitoring unit" (§5.4). This is
+//! the equivalent: a free-running cycle counter plus event counters, with a
+//! snapshot facility for measuring deltas around a code region.
+
+use crate::Cycles;
+
+/// PMU state: a cycle counter and the event counts software most often
+/// wants to read back.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Pmu {
+    /// Free-running cycle counter.
+    pub cycles: Cycles,
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Branches resolved.
+    pub branches: u64,
+    /// Data memory accesses.
+    pub data_accesses: u64,
+}
+
+/// A snapshot of the PMU taken at some instant; subtract two to get deltas.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PmuSnapshot(Pmu);
+
+impl Pmu {
+    /// Creates a zeroed PMU.
+    pub fn new() -> Pmu {
+        Pmu::default()
+    }
+
+    /// Takes a snapshot of the current counters.
+    pub fn snapshot(&self) -> PmuSnapshot {
+        PmuSnapshot(*self)
+    }
+
+    /// Cycles elapsed since `snap`.
+    pub fn cycles_since(&self, snap: PmuSnapshot) -> Cycles {
+        self.cycles - snap.0.cycles
+    }
+
+    /// Instructions retired since `snap`.
+    pub fn instructions_since(&self, snap: PmuSnapshot) -> u64 {
+        self.instructions - snap.0.instructions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_deltas() {
+        let mut p = Pmu::new();
+        p.cycles = 100;
+        p.instructions = 40;
+        let s = p.snapshot();
+        p.cycles = 350;
+        p.instructions = 90;
+        assert_eq!(p.cycles_since(s), 250);
+        assert_eq!(p.instructions_since(s), 50);
+    }
+}

@@ -1,0 +1,155 @@
+//! Depth-first branch and bound over the simplex LP relaxation.
+//!
+//! Nodes are explored most-recent-first with the incumbent used to prune:
+//! any node whose LP relaxation bound is `<=` the incumbent objective cannot
+//! improve it (all our objectives are integral when all objective
+//! coefficients and integer variables are integral, so `<=` with a floor
+//! strengthening is applied when possible).
+
+use crate::model::SolveError;
+use crate::rational::Rat;
+use crate::simplex::{self, LpResult, Rel, Row};
+
+/// Result of a successful branch-and-bound run.
+#[derive(Debug)]
+pub struct IlpOut {
+    pub objective: Rat,
+    pub values: Vec<Rat>,
+}
+
+struct Node {
+    /// Extra bound rows accumulated along the branching path.
+    cuts: Vec<Row>,
+}
+
+/// Solves `max objective . x` s.t. `rows`, `x >= 0`, and `x_i` integral for
+/// every `i` in `integers`.
+pub fn solve(
+    n_vars: usize,
+    objective: &[(usize, Rat)],
+    rows: &[Row],
+    integers: &[usize],
+    node_limit: usize,
+) -> Result<IlpOut, SolveError> {
+    // All-integral objective coefficients let us floor fractional LP bounds.
+    let integral_obj = objective.iter().all(|(_, c)| c.is_integer()) && integers.len() == n_vars;
+
+    let mut stack = vec![Node { cuts: Vec::new() }];
+    let mut incumbent: Option<IlpOut> = None;
+    let mut root_unbounded = false;
+    let mut nodes = 0usize;
+
+    while let Some(node) = stack.pop() {
+        nodes += 1;
+        if nodes > node_limit {
+            return Err(SolveError::NodeLimit);
+        }
+        let mut all_rows = rows.to_vec();
+        all_rows.extend(node.cuts.iter().cloned());
+        let (bound, values) = match simplex::maximize(n_vars, objective, &all_rows) {
+            LpResult::Optimal { objective, values } => (objective, values),
+            LpResult::Infeasible => continue,
+            LpResult::Unbounded => {
+                // An unbounded relaxation at the root means the ILP is
+                // unbounded or infeasible; report unbounded if the root LP is
+                // feasible (it is, or we'd have gotten Infeasible). Deeper
+                // nodes only ever add constraints, so unboundedness can only
+                // be detected at the root.
+                if node.cuts.is_empty() {
+                    root_unbounded = true;
+                    break;
+                }
+                // With cuts the region is a subset of the root's; treat as
+                // unbounded too (objective ray survives the cuts).
+                root_unbounded = true;
+                break;
+            }
+        };
+
+        // Prune against the incumbent.
+        let effective_bound = if integral_obj {
+            Rat::int(bound.floor())
+        } else {
+            bound
+        };
+        if let Some(inc) = &incumbent {
+            if effective_bound <= inc.objective {
+                continue;
+            }
+        }
+
+        // Find a fractional integer variable to branch on.
+        let frac = integers.iter().copied().find(|&i| !values[i].is_integer());
+        match frac {
+            None => {
+                // Integral solution; candidate incumbent.
+                let better = incumbent.as_ref().is_none_or(|inc| bound > inc.objective);
+                if better {
+                    incumbent = Some(IlpOut {
+                        objective: bound,
+                        values,
+                    });
+                }
+            }
+            Some(i) => {
+                let v = values[i];
+                let down = Rat::int(v.floor());
+                let up = Rat::int(v.ceil());
+                // Explore the "up" branch first (IPET maximisation tends to
+                // push counts to their upper bounds).
+                let mut down_cuts = node.cuts.clone();
+                down_cuts.push(Row {
+                    coeffs: vec![(i, Rat::ONE)],
+                    rel: Rel::Le,
+                    rhs: down,
+                });
+                let mut up_cuts = node.cuts;
+                up_cuts.push(Row {
+                    coeffs: vec![(i, Rat::ONE)],
+                    rel: Rel::Ge,
+                    rhs: up,
+                });
+                stack.push(Node { cuts: down_cuts });
+                stack.push(Node { cuts: up_cuts });
+            }
+        }
+    }
+
+    if root_unbounded {
+        return Err(SolveError::Unbounded);
+    }
+    incumbent.ok_or(SolveError::Infeasible)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128) -> Rat {
+        Rat::int(n)
+    }
+
+    #[test]
+    fn branching_needed() {
+        // max x + y s.t. 2x + 2y <= 5 (LP: 5/2, ILP: 2)
+        let rows = vec![Row {
+            coeffs: vec![(0, r(2)), (1, r(2))],
+            rel: Rel::Le,
+            rhs: r(5),
+        }];
+        let out = solve(2, &[(0, r(1)), (1, r(1))], &rows, &[0, 1], 1000).expect("feasible");
+        assert_eq!(out.objective, r(2));
+    }
+
+    #[test]
+    fn node_limit_enforced() {
+        // A problem requiring at least one branch, with a node budget of 1.
+        let rows = vec![Row {
+            coeffs: vec![(0, r(2))],
+            rel: Rel::Le,
+            rhs: r(5),
+        }];
+        let err = solve(1, &[(0, r(1))], &rows, &[0], 1).unwrap_err();
+        assert_eq!(err, SolveError::NodeLimit);
+    }
+}

@@ -1,0 +1,392 @@
+//! User-facing model builder.
+//!
+//! A [`Model`] collects variables (continuous or integer, with lower/upper
+//! bounds), linear constraints and a linear objective, then solves with the
+//! branch-and-bound driver in [`crate::branch`].
+
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Add;
+
+use crate::branch;
+use crate::rational::Rat;
+use crate::simplex::{Rel, Row};
+
+/// Optimisation direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Sense {
+    /// Maximise the objective (the only direction IPET needs; minimisation
+    /// is provided for completeness by negating).
+    Maximize,
+    /// Minimise the objective.
+    Minimize,
+}
+
+/// Handle to a model variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) usize);
+
+/// A sparse linear expression `sum_i c_i * x_i`.
+#[derive(Clone, Debug, Default)]
+pub struct LinExpr {
+    pub(crate) terms: Vec<(VarId, Rat)>,
+}
+
+impl LinExpr {
+    /// The empty expression (zero).
+    pub fn new() -> LinExpr {
+        LinExpr::default()
+    }
+
+    /// Adds `coeff * var` to the expression (builder style).
+    pub fn plus<C: Into<Rat>>(mut self, coeff: C, var: VarId) -> LinExpr {
+        self.terms.push((var, coeff.into()));
+        self
+    }
+
+    /// Single-term expression `1 * var`.
+    pub fn var(v: VarId) -> LinExpr {
+        LinExpr::new().plus(1i64, v)
+    }
+
+    /// Sums coefficients of duplicate variables and drops zeros.
+    fn normalised(&self) -> Vec<(usize, Rat)> {
+        let mut acc: HashMap<usize, Rat> = HashMap::new();
+        for &(VarId(i), c) in &self.terms {
+            *acc.entry(i).or_insert(Rat::ZERO) += c;
+        }
+        let mut v: Vec<(usize, Rat)> = acc.into_iter().filter(|(_, c)| !c.is_zero()).collect();
+        v.sort_by_key(|&(i, _)| i);
+        v
+    }
+}
+
+impl<C: Into<Rat>> Add<(C, VarId)> for LinExpr {
+    type Output = LinExpr;
+    fn add(self, (c, v): (C, VarId)) -> LinExpr {
+        self.plus(c, v)
+    }
+}
+
+struct VarInfo {
+    name: String,
+    integer: bool,
+    lb: Rat,
+    ub: Option<Rat>,
+}
+
+/// Error returned when a model has no usable optimum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolveError {
+    /// No assignment satisfies the constraints.
+    Infeasible,
+    /// The objective is unbounded in the optimisation direction.
+    Unbounded,
+    /// Branch-and-bound node budget was exhausted before proving optimality.
+    NodeLimit,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Infeasible => write!(f, "model is infeasible"),
+            SolveError::Unbounded => write!(f, "model is unbounded"),
+            SolveError::NodeLimit => write!(f, "branch-and-bound node limit exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Solver status of a returned [`Solution`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// Proved optimal.
+    Optimal,
+}
+
+/// An optimal solution.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// Solver status.
+    pub status: Status,
+    /// Objective value (exact).
+    pub objective: Rat,
+    values: Vec<Rat>,
+}
+
+impl Solution {
+    /// Value of `var` in the optimal assignment.
+    pub fn value(&self, var: VarId) -> Rat {
+        self.values[var.0]
+    }
+
+    /// Value of `var` as an `i64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not integral (only possible for continuous
+    /// variables).
+    pub fn value_i64(&self, var: VarId) -> i64 {
+        self.values[var.0].to_i64()
+    }
+
+    /// Objective value as `i64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the objective is not integral.
+    pub fn objective_i64(&self) -> i64 {
+        self.objective.to_i64()
+    }
+}
+
+/// An ILP/MILP model under construction.
+pub struct Model {
+    sense: Sense,
+    vars: Vec<VarInfo>,
+    rows: Vec<Row>,
+    objective: LinExpr,
+    node_limit: usize,
+}
+
+impl Model {
+    /// Creates an empty maximisation model.
+    pub fn maximize() -> Model {
+        Model::new(Sense::Maximize)
+    }
+
+    /// Creates an empty model with the given optimisation direction.
+    pub fn new(sense: Sense) -> Model {
+        Model {
+            sense,
+            vars: Vec::new(),
+            rows: Vec::new(),
+            objective: LinExpr::new(),
+            node_limit: 200_000,
+        }
+    }
+
+    /// Sets the branch-and-bound node budget (default 200 000).
+    pub fn set_node_limit(&mut self, limit: usize) {
+        self.node_limit = limit;
+    }
+
+    /// Adds an integer variable with bounds `lb..=ub` (`ub = None` means
+    /// unbounded above).
+    pub fn int_var(&mut self, name: &str, lb: i64, ub: Option<i64>) -> VarId {
+        self.push_var(name, true, Rat::from(lb), ub.map(Rat::from))
+    }
+
+    /// Adds a continuous variable with bounds `lb..=ub`.
+    pub fn cont_var(&mut self, name: &str, lb: i64, ub: Option<i64>) -> VarId {
+        self.push_var(name, false, Rat::from(lb), ub.map(Rat::from))
+    }
+
+    fn push_var(&mut self, name: &str, integer: bool, lb: Rat, ub: Option<Rat>) -> VarId {
+        assert!(
+            !lb.is_negative(),
+            "rt-ilp: negative lower bounds are not supported (IPET counts are nonnegative)"
+        );
+        if let Some(u) = ub {
+            assert!(u >= lb, "rt-ilp: variable {name} has ub < lb");
+        }
+        let id = VarId(self.vars.len());
+        self.vars.push(VarInfo {
+            name: name.to_owned(),
+            integer,
+            lb,
+            ub,
+        });
+        id
+    }
+
+    /// Name of a variable (diagnostics).
+    pub fn var_name(&self, var: VarId) -> &str {
+        &self.vars[var.0].name
+    }
+
+    /// Number of variables in the model.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints in the model (excluding variable bounds).
+    pub fn num_constraints(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Sets the objective expression.
+    pub fn set_objective(&mut self, expr: LinExpr) {
+        self.objective = expr;
+    }
+
+    /// Adds the constraint `expr <= rhs`.
+    pub fn add_le<R: Into<Rat>>(&mut self, expr: LinExpr, rhs: R) {
+        self.add_row(expr, Rel::Le, rhs.into());
+    }
+
+    /// Adds the constraint `expr >= rhs`.
+    pub fn add_ge<R: Into<Rat>>(&mut self, expr: LinExpr, rhs: R) {
+        self.add_row(expr, Rel::Ge, rhs.into());
+    }
+
+    /// Adds the constraint `expr == rhs`.
+    pub fn add_eq<R: Into<Rat>>(&mut self, expr: LinExpr, rhs: R) {
+        self.add_row(expr, Rel::Eq, rhs.into());
+    }
+
+    fn add_row(&mut self, expr: LinExpr, rel: Rel, rhs: Rat) {
+        self.rows.push(Row {
+            coeffs: expr.normalised(),
+            rel,
+            rhs,
+        });
+    }
+
+    /// Solves the model to proven optimality.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Infeasible`], [`SolveError::Unbounded`], or
+    /// [`SolveError::NodeLimit`] if the node budget runs out first.
+    pub fn solve(&self) -> Result<Solution, SolveError> {
+        let n = self.vars.len();
+        // Assemble base rows: user constraints plus variable bounds.
+        let mut rows = self.rows.clone();
+        for (i, v) in self.vars.iter().enumerate() {
+            if !v.lb.is_zero() {
+                rows.push(Row {
+                    coeffs: vec![(i, Rat::ONE)],
+                    rel: Rel::Ge,
+                    rhs: v.lb,
+                });
+            }
+            if let Some(ub) = v.ub {
+                rows.push(Row {
+                    coeffs: vec![(i, Rat::ONE)],
+                    rel: Rel::Le,
+                    rhs: ub,
+                });
+            }
+        }
+        let mut objective: Vec<(usize, Rat)> = self.objective.normalised();
+        let negate = self.sense == Sense::Minimize;
+        if negate {
+            for t in &mut objective {
+                t.1 = -t.1;
+            }
+        }
+        let integers: Vec<usize> = self
+            .vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.integer)
+            .map(|(i, _)| i)
+            .collect();
+        let out = branch::solve(n, &objective, &rows, &integers, self.node_limit)?;
+        Ok(Solution {
+            status: Status::Optimal,
+            objective: if negate {
+                -out.objective
+            } else {
+                out.objective
+            },
+            values: out.values,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_knapsack() {
+        // max 10a + 6b + 4c  s.t.  a+b+c <= 2, integer 0/1
+        let mut m = Model::maximize();
+        let a = m.int_var("a", 0, Some(1));
+        let b = m.int_var("b", 0, Some(1));
+        let c = m.int_var("c", 0, Some(1));
+        m.set_objective(LinExpr::new() + (10, a) + (6, b) + (4, c));
+        m.add_le(LinExpr::new() + (1, a) + (1, b) + (1, c), 2);
+        let s = m.solve().expect("feasible");
+        assert_eq!(s.objective_i64(), 16);
+        assert_eq!(s.value_i64(a), 1);
+        assert_eq!(s.value_i64(b), 1);
+        assert_eq!(s.value_i64(c), 0);
+    }
+
+    #[test]
+    fn integrality_matters() {
+        // LP relaxation of: max x s.t. 2x <= 5 gives 5/2; ILP gives 2.
+        let mut m = Model::maximize();
+        let x = m.int_var("x", 0, None);
+        m.set_objective(LinExpr::var(x));
+        m.add_le(LinExpr::new() + (2, x), 5);
+        let s = m.solve().expect("feasible");
+        assert_eq!(s.objective_i64(), 2);
+    }
+
+    #[test]
+    fn minimize_direction() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.int_var("x", 0, Some(100));
+        m.set_objective(LinExpr::var(x));
+        m.add_ge(LinExpr::new() + (3, x), 10);
+        let s = m.solve().expect("feasible");
+        assert_eq!(s.objective_i64(), 4); // ceil(10/3)
+    }
+
+    #[test]
+    fn infeasible_reported() {
+        let mut m = Model::maximize();
+        let x = m.int_var("x", 0, Some(1));
+        m.set_objective(LinExpr::var(x));
+        m.add_ge(LinExpr::var(x), 2);
+        assert_eq!(m.solve().unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_reported() {
+        let mut m = Model::maximize();
+        let x = m.int_var("x", 0, None);
+        m.set_objective(LinExpr::var(x));
+        assert_eq!(m.solve().unwrap_err(), SolveError::Unbounded);
+    }
+
+    #[test]
+    fn lower_bounds_respected() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.int_var("x", 3, Some(10));
+        m.set_objective(LinExpr::var(x));
+        let s = m.solve().expect("feasible");
+        assert_eq!(s.objective_i64(), 3);
+    }
+
+    #[test]
+    fn duplicate_terms_summed() {
+        // max (x + x) s.t. 2x <= 6 -> x = 3, obj 6
+        let mut m = Model::maximize();
+        let x = m.int_var("x", 0, None);
+        m.set_objective(LinExpr::new() + (1, x) + (1, x));
+        m.add_le(LinExpr::new() + (2, x), 6);
+        let s = m.solve().expect("feasible");
+        assert_eq!(s.objective_i64(), 6);
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // max x + y, x integer <= 5/2 constraint, y continuous <= 1/2.
+        let mut m = Model::maximize();
+        let x = m.int_var("x", 0, None);
+        let y = m.cont_var("y", 0, None);
+        m.set_objective(LinExpr::new() + (1, x) + (1, y));
+        m.add_le(LinExpr::new() + (2, x), 5);
+        m.add_le(LinExpr::new() + (2, y), 1);
+        let s = m.solve().expect("feasible");
+        assert_eq!(s.value(x), Rat::int(2));
+        assert_eq!(s.value(y), Rat::new(1, 2));
+        assert_eq!(s.objective, Rat::new(5, 2));
+    }
+}

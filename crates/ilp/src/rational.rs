@@ -1,0 +1,308 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! IPET coefficients are small integers (cycle counts, loop bounds), but
+//! simplex pivoting produces intermediate fractions. `i128` with aggressive
+//! GCD normalisation gives ample headroom for the problem sizes the WCET
+//! analysis generates; arithmetic is checked and panics loudly on overflow
+//! rather than silently wrapping (an overflowed WCET bound would be
+//! unsound).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// An exact rational number `num / den` with `den > 0` and
+/// `gcd(|num|, den) == 1`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: i128,
+    den: i128,
+}
+
+const OVERFLOW_MSG: &str = "rt-ilp: rational arithmetic overflow (i128)";
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.abs()
+}
+
+impl Rat {
+    /// The rational zero.
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    /// The rational one.
+    pub const ONE: Rat = Rat { num: 1, den: 1 };
+
+    /// Creates `num / den`, normalising sign and common factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Rat {
+        assert!(den != 0, "rt-ilp: rational with zero denominator");
+        let g = gcd(num, den);
+        let (mut num, mut den) = (num / g, den / g);
+        if den < 0 {
+            num = -num;
+            den = -den;
+        }
+        Rat { num, den }
+    }
+
+    /// Creates the integer rational `n / 1`.
+    pub const fn int(n: i128) -> Rat {
+        Rat { num: n, den: 1 }
+    }
+
+    /// The numerator (sign-carrying).
+    pub fn numer(self) -> i128 {
+        self.num
+    }
+
+    /// The denominator (always positive).
+    pub fn denom(self) -> i128 {
+        self.den
+    }
+
+    /// Returns `true` if this rational is an integer.
+    pub fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// Returns `true` if this rational is zero.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// Returns `true` if strictly positive.
+    pub fn is_positive(self) -> bool {
+        self.num > 0
+    }
+
+    /// Returns `true` if strictly negative.
+    pub fn is_negative(self) -> bool {
+        self.num < 0
+    }
+
+    /// Largest integer `<= self`.
+    pub fn floor(self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Smallest integer `>= self`.
+    pub fn ceil(self) -> i128 {
+        -((-self.num).div_euclid(self.den))
+    }
+
+    /// Converts to `i64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not an integer or does not fit in `i64`.
+    pub fn to_i64(self) -> i64 {
+        assert!(self.is_integer(), "rt-ilp: {self} is not an integer");
+        i64::try_from(self.num).expect("rt-ilp: rational exceeds i64 range")
+    }
+
+    /// Approximate `f64` value (for diagnostics only; never used in solving).
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero.
+    pub fn recip(self) -> Rat {
+        assert!(self.num != 0, "rt-ilp: reciprocal of zero");
+        Rat::new(self.den, self.num)
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Rat {
+        Rat {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    fn checked_add(self, rhs: Rat) -> Option<Rat> {
+        // Cross-multiply with pre-division by gcd of denominators to keep
+        // magnitudes small.
+        let g = gcd(self.den, rhs.den);
+        let (da, db) = (self.den / g, rhs.den / g);
+        let lhs = self.num.checked_mul(db)?;
+        let rhs_n = rhs.num.checked_mul(da)?;
+        let num = lhs.checked_add(rhs_n)?;
+        let den = self.den.checked_mul(db)?;
+        Some(Rat::new(num, den))
+    }
+
+    fn checked_mul(self, rhs: Rat) -> Option<Rat> {
+        // Cross-reduce before multiplying.
+        let g1 = gcd(self.num, rhs.den);
+        let g2 = gcd(rhs.num, self.den);
+        let num = (self.num / g1).checked_mul(rhs.num / g2)?;
+        let den = (self.den / g2).checked_mul(rhs.den / g1)?;
+        Some(Rat::new(num, den))
+    }
+}
+
+impl Add for Rat {
+    type Output = Rat;
+    fn add(self, rhs: Rat) -> Rat {
+        self.checked_add(rhs).expect(OVERFLOW_MSG)
+    }
+}
+
+impl AddAssign for Rat {
+    fn add_assign(&mut self, rhs: Rat) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Rat {
+    type Output = Rat;
+    fn sub(self, rhs: Rat) -> Rat {
+        self + (-rhs)
+    }
+}
+
+impl SubAssign for Rat {
+    fn sub_assign(&mut self, rhs: Rat) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Rat {
+    type Output = Rat;
+    fn mul(self, rhs: Rat) -> Rat {
+        self.checked_mul(rhs).expect(OVERFLOW_MSG)
+    }
+}
+
+#[allow(clippy::suspicious_arithmetic_impl)] // a / b == a * (1/b) by definition
+impl Div for Rat {
+    type Output = Rat;
+    fn div(self, rhs: Rat) -> Rat {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Rat) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Rat) -> Ordering {
+        // num_a/den_a ? num_b/den_b  <=>  num_a*den_b ? num_b*den_a
+        // (denominators are positive).
+        let lhs = self.num.checked_mul(other.den).expect(OVERFLOW_MSG);
+        let rhs = other.num.checked_mul(self.den).expect(OVERFLOW_MSG);
+        lhs.cmp(&rhs)
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(n: i64) -> Rat {
+        Rat::int(n as i128)
+    }
+}
+
+impl From<i32> for Rat {
+    fn from(n: i32) -> Rat {
+        Rat::int(n as i128)
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalisation() {
+        assert_eq!(Rat::new(2, 4), Rat::new(1, 2));
+        assert_eq!(Rat::new(-2, -4), Rat::new(1, 2));
+        assert_eq!(Rat::new(2, -4), Rat::new(-1, 2));
+        assert_eq!(Rat::new(0, -7), Rat::ZERO);
+        assert_eq!(Rat::new(1, -2).denom(), 2);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rat::new(1, 3);
+        let b = Rat::new(1, 6);
+        assert_eq!(a + b, Rat::new(1, 2));
+        assert_eq!(a - b, Rat::new(1, 6));
+        assert_eq!(a * b, Rat::new(1, 18));
+        assert_eq!(a / b, Rat::int(2));
+        assert_eq!(-a, Rat::new(-1, 3));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rat::new(1, 3) < Rat::new(1, 2));
+        assert!(Rat::new(-1, 2) < Rat::ZERO);
+        assert!(Rat::int(5) > Rat::new(9, 2));
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(Rat::new(7, 2).floor(), 3);
+        assert_eq!(Rat::new(7, 2).ceil(), 4);
+        assert_eq!(Rat::new(-7, 2).floor(), -4);
+        assert_eq!(Rat::new(-7, 2).ceil(), -3);
+        assert_eq!(Rat::int(5).floor(), 5);
+        assert_eq!(Rat::int(5).ceil(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rat::new(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reciprocal of zero")]
+    fn recip_zero_panics() {
+        let _ = Rat::ZERO.recip();
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rat::new(3, 1).to_string(), "3");
+        assert_eq!(Rat::new(-3, 6).to_string(), "-1/2");
+    }
+}

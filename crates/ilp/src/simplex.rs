@@ -1,0 +1,465 @@
+//! Dense two-phase primal simplex over exact rationals.
+//!
+//! The solver accepts problems of the form
+//!
+//! ```text
+//! maximize  c . x
+//! s.t.      a_i . x  (<= | >= | =)  b_i     for each row i
+//!           x >= 0
+//! ```
+//!
+//! Variable upper bounds and branch-and-bound cuts are expressed as ordinary
+//! rows by the caller ([`crate::branch`]). Bland's rule is used for both the
+//! entering and leaving variable, which guarantees termination (no cycling)
+//! at the cost of a few extra pivots — irrelevant at IPET problem sizes.
+
+use crate::rational::Rat;
+
+/// Relational operator of a constraint row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rel {
+    /// `a . x <= b`
+    Le,
+    /// `a . x >= b`
+    Ge,
+    /// `a . x == b`
+    Eq,
+}
+
+/// One constraint row: sparse coefficients over the structural variables.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// `(variable index, coefficient)` pairs; indices are unique.
+    pub coeffs: Vec<(usize, Rat)>,
+    /// Relational operator.
+    pub rel: Rel,
+    /// Right-hand side.
+    pub rhs: Rat,
+}
+
+/// Outcome of an LP solve.
+#[derive(Clone, Debug)]
+pub enum LpResult {
+    /// Optimal solution found: objective value and one optimal assignment of
+    /// the structural variables.
+    Optimal { objective: Rat, values: Vec<Rat> },
+    /// The constraint system has no feasible point.
+    Infeasible,
+    /// The objective is unbounded above on the feasible region.
+    Unbounded,
+}
+
+/// Maximises `objective . x` subject to `rows` and `x >= 0`.
+///
+/// `n_vars` is the number of structural variables; every coefficient index in
+/// `rows` and `objective` must be `< n_vars`.
+pub fn maximize(n_vars: usize, objective: &[(usize, Rat)], rows: &[Row]) -> LpResult {
+    let mut t = Tableau::build(n_vars, rows);
+    if t.needs_phase1() {
+        match t.phase1() {
+            Phase1::Feasible => {}
+            Phase1::Infeasible => return LpResult::Infeasible,
+        }
+    }
+    t.load_objective(objective);
+    match t.optimize() {
+        Opt::Optimal => {}
+        Opt::Unbounded => return LpResult::Unbounded,
+    }
+    let values = t.extract(n_vars);
+    LpResult::Optimal {
+        objective: t.objective_value(),
+        values,
+    }
+}
+
+enum Phase1 {
+    Feasible,
+    Infeasible,
+}
+
+enum Opt {
+    Optimal,
+    Unbounded,
+}
+
+/// Dense simplex tableau.
+///
+/// Layout: `m` constraint rows over `total` columns (structural variables,
+/// then slack/surplus, then artificial), one `rhs` column, and an objective
+/// row `z` (stored as reduced costs, to be *minimised* at zero; we maximise
+/// by negating). `basis[i]` is the column basic in row `i`.
+struct Tableau {
+    m: usize,
+    total: usize,
+    /// `a[i][j]`, row-major, plus rhs in `rhs[i]`.
+    a: Vec<Vec<Rat>>,
+    rhs: Vec<Rat>,
+    /// Objective row: reduced cost per column (we keep `z_j - c_j` form such
+    /// that a column with negative entry improves the maximisation).
+    obj: Vec<Rat>,
+    obj_rhs: Rat,
+    basis: Vec<usize>,
+    /// Index of the first artificial column (columns `>= art_start` are
+    /// artificial), `== total` if there are none.
+    art_start: usize,
+}
+
+impl Tableau {
+    fn build(n_vars: usize, rows: &[Row]) -> Tableau {
+        let m = rows.len();
+        // Count auxiliary columns.
+        let mut n_slack = 0;
+        let mut n_art = 0;
+        for r in rows {
+            // Normalise rhs sign first to decide whether a slack can serve as
+            // the initial basic variable.
+            let (rel, rhs_neg) = (r.rel, r.rhs.is_negative());
+            let eff_rel = match (rel, rhs_neg) {
+                (Rel::Le, true) => Rel::Ge,
+                (Rel::Ge, true) => Rel::Le,
+                (rel, _) => rel,
+            };
+            match eff_rel {
+                Rel::Le => n_slack += 1,
+                Rel::Ge => {
+                    n_slack += 1;
+                    n_art += 1;
+                }
+                Rel::Eq => n_art += 1,
+            }
+        }
+        let total = n_vars + n_slack + n_art;
+        let art_start = n_vars + n_slack;
+        let mut a = vec![vec![Rat::ZERO; total]; m];
+        let mut rhs = vec![Rat::ZERO; m];
+        let mut basis = vec![0usize; m];
+        let mut next_slack = n_vars;
+        let mut next_art = art_start;
+
+        for (i, r) in rows.iter().enumerate() {
+            let neg = r.rhs.is_negative();
+            let sign = if neg { -Rat::ONE } else { Rat::ONE };
+            for &(j, c) in &r.coeffs {
+                debug_assert!(j < n_vars, "rt-ilp: coefficient index out of range");
+                a[i][j] += c * sign;
+            }
+            rhs[i] = r.rhs * sign;
+            let eff_rel = match (r.rel, neg) {
+                (Rel::Le, true) => Rel::Ge,
+                (Rel::Ge, true) => Rel::Le,
+                (rel, _) => rel,
+            };
+            match eff_rel {
+                Rel::Le => {
+                    a[i][next_slack] = Rat::ONE;
+                    basis[i] = next_slack;
+                    next_slack += 1;
+                }
+                Rel::Ge => {
+                    a[i][next_slack] = -Rat::ONE;
+                    next_slack += 1;
+                    a[i][next_art] = Rat::ONE;
+                    basis[i] = next_art;
+                    next_art += 1;
+                }
+                Rel::Eq => {
+                    a[i][next_art] = Rat::ONE;
+                    basis[i] = next_art;
+                    next_art += 1;
+                }
+            }
+        }
+        Tableau {
+            m,
+            total,
+            a,
+            rhs,
+            obj: vec![Rat::ZERO; total],
+            obj_rhs: Rat::ZERO,
+            basis,
+            art_start,
+        }
+    }
+
+    fn needs_phase1(&self) -> bool {
+        self.art_start < self.total
+    }
+
+    /// Phase 1: minimise the sum of artificial variables.
+    fn phase1(&mut self) -> Phase1 {
+        // Maximise -(sum of artificials): obj row = sum of artificial rows
+        // projected out of the basis.
+        self.obj = vec![Rat::ZERO; self.total];
+        self.obj_rhs = Rat::ZERO;
+        for j in self.art_start..self.total {
+            self.obj[j] = Rat::ONE;
+        }
+        // Price out basic artificials.
+        for i in 0..self.m {
+            if self.basis[i] >= self.art_start {
+                let row = self.a[i].clone();
+                let r = self.rhs[i];
+                for (j, rj) in row.iter().enumerate() {
+                    self.obj[j] -= *rj;
+                }
+                self.obj_rhs -= r;
+            }
+        }
+        match self.optimize() {
+            Opt::Optimal => {}
+            Opt::Unbounded => unreachable!("phase-1 objective is bounded above by zero"),
+        }
+        // Optimal phase-1 value is -obj_rhs... we track obj_rhs as the
+        // negated accumulated objective; feasible iff the artificial sum is 0.
+        if !self.obj_rhs.is_zero() {
+            return Phase1::Infeasible;
+        }
+        // Drive any artificial variables remaining in the basis out (they
+        // must have value zero). If a row is all-zero over non-artificial
+        // columns it is redundant and can keep its zero artificial.
+        for i in 0..self.m {
+            if self.basis[i] >= self.art_start {
+                if let Some(j) = (0..self.art_start).find(|&j| !self.a[i][j].is_zero()) {
+                    self.pivot(i, j);
+                }
+            }
+        }
+        Phase1::Feasible
+    }
+
+    /// Installs the phase-2 objective (maximise `c . x`), pricing out basic
+    /// columns, and forbids artificial columns from re-entering.
+    fn load_objective(&mut self, objective: &[(usize, Rat)]) {
+        self.obj = vec![Rat::ZERO; self.total];
+        self.obj_rhs = Rat::ZERO;
+        for &(j, c) in objective {
+            self.obj[j] -= c; // reduced-cost convention: negative => improving
+        }
+        for i in 0..self.m {
+            let b = self.basis[i];
+            let coeff = self.obj[b];
+            if !coeff.is_zero() {
+                let row = self.a[i].clone();
+                let r = self.rhs[i];
+                for (j, rj) in row.iter().enumerate() {
+                    let delta = coeff * *rj;
+                    self.obj[j] -= delta;
+                }
+                self.obj_rhs -= coeff * r;
+            }
+        }
+    }
+
+    /// Runs primal simplex iterations until optimal or unbounded.
+    fn optimize(&mut self) -> Opt {
+        loop {
+            // Bland: smallest-index improving column. Artificial columns are
+            // never eligible to enter: they start basic and only leave
+            // (the standard "drop artificials once nonbasic" rule); letting
+            // one re-enter in phase 2 would move to an infeasible point.
+            let Some(enter) = (0..self.art_start).find(|&j| self.obj[j].is_negative()) else {
+                return Opt::Optimal;
+            };
+            // Ratio test, Bland tie-break on basis index.
+            let mut leave: Option<(usize, Rat)> = None;
+            for i in 0..self.m {
+                let aij = self.a[i][enter];
+                if aij.is_positive() {
+                    let ratio = self.rhs[i] / aij;
+                    let better = match &leave {
+                        None => true,
+                        Some((li, lr)) => {
+                            ratio < *lr || (ratio == *lr && self.basis[i] < self.basis[*li])
+                        }
+                    };
+                    if better {
+                        leave = Some((i, ratio));
+                    }
+                }
+            }
+            let Some((row, _)) = leave else {
+                return Opt::Unbounded;
+            };
+            self.pivot(row, enter);
+        }
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let p = self.a[row][col];
+        debug_assert!(!p.is_zero(), "rt-ilp: pivot on zero element");
+        let inv = p.recip();
+        for j in 0..self.total {
+            if !self.a[row][j].is_zero() {
+                self.a[row][j] = self.a[row][j] * inv;
+            }
+        }
+        self.rhs[row] = self.rhs[row] * inv;
+        // Flow matrices are sparse; collecting the pivot row's support and
+        // updating only those columns is the difference between minutes
+        // and milliseconds on IPET instances.
+        let support: Vec<usize> = (0..self.total)
+            .filter(|&j| !self.a[row][j].is_zero())
+            .collect();
+        for i in 0..self.m {
+            if i != row {
+                let f = self.a[i][col];
+                if !f.is_zero() {
+                    for &j in &support {
+                        let delta = f * self.a[row][j];
+                        self.a[i][j] -= delta;
+                    }
+                    let delta = f * self.rhs[row];
+                    self.rhs[i] -= delta;
+                }
+            }
+        }
+        let f = self.obj[col];
+        if !f.is_zero() {
+            for &j in &support {
+                let delta = f * self.a[row][j];
+                self.obj[j] -= delta;
+            }
+            let delta = f * self.rhs[row];
+            self.obj_rhs -= delta;
+        }
+        self.basis[row] = col;
+    }
+
+    fn objective_value(&self) -> Rat {
+        // Invariant maintained by all row operations: for every feasible x,
+        // obj . x = obj_rhs - z. At a basic solution the basic columns of
+        // `obj` are zero and nonbasic variables are zero, so z = obj_rhs.
+        self.obj_rhs
+    }
+
+    fn extract(&self, n_vars: usize) -> Vec<Rat> {
+        let mut x = vec![Rat::ZERO; n_vars];
+        for i in 0..self.m {
+            let b = self.basis[i];
+            if b < n_vars {
+                x[b] = self.rhs[i];
+            }
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128) -> Rat {
+        Rat::int(n)
+    }
+
+    fn row(coeffs: &[(usize, i128)], rel: Rel, rhs: i128) -> Row {
+        Row {
+            coeffs: coeffs.iter().map(|&(j, c)| (j, r(c))).collect(),
+            rel,
+            rhs: r(rhs),
+        }
+    }
+
+    #[test]
+    fn textbook_maximum() {
+        // max 3x + 2y  s.t.  x + y <= 7, 2x + y <= 10
+        let rows = vec![
+            row(&[(0, 1), (1, 1)], Rel::Le, 7),
+            row(&[(0, 2), (1, 1)], Rel::Le, 10),
+        ];
+        match maximize(2, &[(0, r(3)), (1, r(2))], &rows) {
+            LpResult::Optimal { objective, values } => {
+                assert_eq!(objective, r(17));
+                assert_eq!(values, vec![r(3), r(4)]);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_and_ge() {
+        // max x + y  s.t.  x + y = 4, x >= 1, y >= 2  -> 4
+        let rows = vec![
+            row(&[(0, 1), (1, 1)], Rel::Eq, 4),
+            row(&[(0, 1)], Rel::Ge, 1),
+            row(&[(1, 1)], Rel::Ge, 2),
+        ];
+        match maximize(2, &[(0, r(1)), (1, r(1))], &rows) {
+            LpResult::Optimal { objective, .. } => assert_eq!(objective, r(4)),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible() {
+        let rows = vec![row(&[(0, 1)], Rel::Le, 1), row(&[(0, 1)], Rel::Ge, 2)];
+        assert!(matches!(
+            maximize(1, &[(0, r(1))], &rows),
+            LpResult::Infeasible
+        ));
+    }
+
+    #[test]
+    fn unbounded() {
+        let rows = vec![row(&[(0, 1)], Rel::Ge, 1)];
+        assert!(matches!(
+            maximize(1, &[(0, r(1))], &rows),
+            LpResult::Unbounded
+        ));
+    }
+
+    #[test]
+    fn negative_rhs_normalised() {
+        // x - y <= -2 with x,y >= 0: equivalent to y >= x + 2.
+        // max x s.t. x - y <= -2, y <= 5  => x = 3.
+        let rows = vec![
+            row(&[(0, 1), (1, -1)], Rel::Le, -2),
+            row(&[(1, 1)], Rel::Le, 5),
+        ];
+        match maximize(2, &[(0, r(1))], &rows) {
+            LpResult::Optimal { objective, .. } => assert_eq!(objective, r(3)),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fractional_optimum() {
+        // max y s.t. 2y <= 5 => y = 5/2
+        let rows = vec![row(&[(0, 2)], Rel::Le, 5)];
+        match maximize(1, &[(0, r(1))], &rows) {
+            LpResult::Optimal { objective, values } => {
+                assert_eq!(objective, Rat::new(5, 2));
+                assert_eq!(values[0], Rat::new(5, 2));
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_no_cycle() {
+        // A classic degenerate instance; Bland's rule must terminate.
+        let rows = vec![
+            row(&[(0, 1), (1, 1), (2, 1)], Rel::Le, 0),
+            row(&[(0, 1), (1, -1)], Rel::Le, 0),
+            row(&[(0, -1), (1, 1)], Rel::Le, 0),
+        ];
+        match maximize(3, &[(0, r(1)), (1, r(1)), (2, r(1))], &rows) {
+            LpResult::Optimal { objective, .. } => assert_eq!(objective, r(0)),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn redundant_equalities() {
+        // x + y = 2 stated twice; still feasible and solvable.
+        let rows = vec![
+            row(&[(0, 1), (1, 1)], Rel::Eq, 2),
+            row(&[(0, 1), (1, 1)], Rel::Eq, 2),
+        ];
+        match maximize(2, &[(0, r(1))], &rows) {
+            LpResult::Optimal { objective, .. } => assert_eq!(objective, r(2)),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+}

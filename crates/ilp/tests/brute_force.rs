@@ -1,0 +1,144 @@
+//! Property test: the branch-and-bound ILP solver agrees with exhaustive
+//! enumeration on small random bounded integer programs.
+
+use proptest::prelude::*;
+use rt_ilp::{LinExpr, Model, Rat, SolveError};
+
+/// A small random ILP instance: `n` integer variables in `0..=ub`,
+/// `m` `<=` constraints with coefficients in `-3..=3`.
+#[derive(Debug, Clone)]
+struct Instance {
+    ub: i64,
+    obj: Vec<i64>,
+    rows: Vec<(Vec<i64>, i64)>,
+}
+
+fn instance() -> impl Strategy<Value = Instance> {
+    (1usize..=3, 0usize..=3, 1i64..=4).prop_flat_map(|(n, m, ub)| {
+        (
+            proptest::collection::vec(-5i64..=5, n),
+            proptest::collection::vec((proptest::collection::vec(-3i64..=3, n), -4i64..=12), m),
+        )
+            .prop_map(move |(obj, rows)| Instance { ub, obj, rows })
+    })
+}
+
+/// Exhaustively enumerates all assignments; returns the max objective if any
+/// assignment is feasible.
+fn brute_force(inst: &Instance) -> Option<i64> {
+    let n = inst.obj.len();
+    let ub = inst.ub;
+    let mut best: Option<i64> = None;
+    let mut x = vec![0i64; n];
+    loop {
+        let feasible = inst
+            .rows
+            .iter()
+            .all(|(a, b)| a.iter().zip(&x).map(|(c, v)| c * v).sum::<i64>() <= *b);
+        if feasible {
+            let obj: i64 = inst.obj.iter().zip(&x).map(|(c, v)| c * v).sum();
+            best = Some(best.map_or(obj, |b: i64| b.max(obj)));
+        }
+        // Odometer increment.
+        let mut i = 0;
+        loop {
+            if i == n {
+                return best;
+            }
+            x[i] += 1;
+            if x[i] <= ub {
+                break;
+            }
+            x[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn solver_matches_brute_force(inst in instance()) {
+        let mut m = Model::maximize();
+        let vars: Vec<_> = (0..inst.obj.len())
+            .map(|i| m.int_var(&format!("x{i}"), 0, Some(inst.ub)))
+            .collect();
+        let mut obj = LinExpr::new();
+        for (i, &c) in inst.obj.iter().enumerate() {
+            obj = obj + (c, vars[i]);
+        }
+        m.set_objective(obj);
+        for (a, b) in &inst.rows {
+            let mut e = LinExpr::new();
+            for (i, &c) in a.iter().enumerate() {
+                e = e + (c, vars[i]);
+            }
+            m.add_le(e, *b);
+        }
+        let expected = brute_force(&inst);
+        match (m.solve(), expected) {
+            (Ok(sol), Some(best)) => {
+                prop_assert_eq!(sol.objective, Rat::int(best as i128));
+                // The returned assignment must itself be feasible and achieve
+                // the objective.
+                let xs: Vec<i64> = vars.iter().map(|&v| sol.value_i64(v)).collect();
+                for (a, b) in &inst.rows {
+                    let lhs: i64 = a.iter().zip(&xs).map(|(c, v)| c * v).sum();
+                    prop_assert!(lhs <= *b);
+                }
+                let got: i64 = inst.obj.iter().zip(&xs).map(|(c, v)| c * v).sum();
+                prop_assert_eq!(got, best);
+            }
+            (Err(SolveError::Infeasible), None) => {}
+            (got, want) => {
+                return Err(TestCaseError::fail(format!(
+                    "solver disagrees with brute force: got {got:?}, want {want:?}"
+                )));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Minimisation agrees with brute force too (the solver negates the
+    /// objective internally; this covers that path).
+    #[test]
+    fn minimize_matches_brute_force(inst in instance()) {
+        use rt_ilp::Sense;
+        let mut m = Model::new(Sense::Minimize);
+        let vars: Vec<_> = (0..inst.obj.len())
+            .map(|i| m.int_var(&format!("x{i}"), 0, Some(inst.ub)))
+            .collect();
+        let mut obj = LinExpr::new();
+        for (i, &c) in inst.obj.iter().enumerate() {
+            obj = obj + (c, vars[i]);
+        }
+        m.set_objective(obj);
+        for (a, b) in &inst.rows {
+            let mut e = LinExpr::new();
+            for (i, &c) in a.iter().enumerate() {
+                e = e + (c, vars[i]);
+            }
+            m.add_le(e, *b);
+        }
+        // Brute force the minimum by negating the objective.
+        let neg = Instance {
+            ub: inst.ub,
+            obj: inst.obj.iter().map(|c| -c).collect(),
+            rows: inst.rows.clone(),
+        };
+        let expected = brute_force(&neg).map(|v| -v);
+        match (m.solve(), expected) {
+            (Ok(sol), Some(best)) => prop_assert_eq!(sol.objective, Rat::int(best as i128)),
+            (Err(SolveError::Infeasible), None) => {}
+            (got, want) => {
+                return Err(TestCaseError::fail(format!(
+                    "minimize disagrees: got {got:?}, want {want:?}"
+                )));
+            }
+        }
+    }
+}

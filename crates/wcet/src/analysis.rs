@@ -1,0 +1,433 @@
+//! Top-level analysis driver.
+//!
+//! [`analyze`] takes an entry point and an [`AnalysisConfig`] (which
+//! kernel, which cache configuration, pinning on or off, manual
+//! constraints applied or not) and produces a [`WcetReport`]: the computed
+//! bound plus the worst path's per-node execution counts — the material
+//! from which the benches regenerate Table 1, Table 2 and Fig. 8.
+
+use std::collections::HashSet;
+
+use rt_hw::{cycles_to_us, Addr, Cycles};
+use rt_kernel::kernel::{EntryPoint, KernelConfig};
+use rt_kernel::kprog::{Block, Layout};
+use rt_kernel::pinning;
+
+use crate::cfg::{Cfg, UserConstraint};
+use crate::cost::{i_lines_of, loop_lines_persistent, CostModel};
+use crate::ipet;
+use crate::kmodel;
+
+/// Configuration of one analysis run.
+#[derive(Clone, Copy, Debug)]
+pub struct AnalysisConfig {
+    /// Which kernel (before/after designs).
+    pub kernel: KernelConfig,
+    /// L2 cache enabled (§5.1: also raises memory latency to 96 cycles).
+    pub l2: bool,
+    /// Cache pinning applied (§4).
+    pub pinning: bool,
+    /// The §4/§8 extension: the whole kernel locked into the L2 (implies
+    /// the L2 being on).
+    pub l2_kernel_locked: bool,
+    /// Apply the manual infeasible-path constraints (§5.2/§6); disabling
+    /// them shows the raw-CFG overestimate the paper starts from.
+    pub manual_constraints: bool,
+}
+
+impl AnalysisConfig {
+    /// The paper's headline configuration: after-kernel, L2 off, no
+    /// pinning, constraints applied.
+    pub fn after_l2_off() -> AnalysisConfig {
+        AnalysisConfig {
+            kernel: KernelConfig::after(),
+            l2: false,
+            pinning: false,
+            l2_kernel_locked: false,
+            manual_constraints: true,
+        }
+    }
+}
+
+/// Result of one analysis run.
+#[derive(Clone, Debug)]
+pub struct WcetReport {
+    /// The computed worst-case bound in cycles.
+    pub cycles: Cycles,
+    /// The bound in microseconds at 532 MHz.
+    pub us: f64,
+    /// Worst-path node counts: `(block, ctx, count, unit cost)` for every
+    /// node executed on the worst path, heaviest contribution first.
+    pub worst_path: Vec<(Block, u16, u64, u64)>,
+    /// The concrete worst-case execution trace (§6: "we converted the
+    /// solution to a concrete execution trace"), as the block sequence
+    /// from entry vector to path end.
+    pub trace: Vec<(Block, u16)>,
+    /// ILP variable count (§6.3 reports analysis effort).
+    pub ilp_vars: usize,
+    /// ILP constraint count.
+    pub ilp_constraints: usize,
+    /// Host-time breakdown of the analysis phases — the §6.3 accounting
+    /// ("over half the execution time of Chronos was spent in the address
+    /// and cache analysis phases"; ours is ILP-dominated instead).
+    pub phases: PhaseTimes,
+}
+
+/// Host-time spent per analysis phase.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimes {
+    /// Control-flow-graph construction (incl. virtual inlining).
+    pub build: std::time::Duration,
+    /// Cache analysis and per-node costing.
+    pub costs: std::time::Duration,
+    /// IPET ILP solving.
+    pub ilp: std::time::Duration,
+}
+
+impl WcetReport {
+    /// Total contribution of `block` (all contexts) to the bound.
+    pub fn contribution(&self, block: Block) -> u64 {
+        self.worst_path
+            .iter()
+            .filter(|(b, _, _, _)| *b == block)
+            .map(|(_, _, n, c)| n * c)
+            .sum()
+    }
+}
+
+/// Per-node and per-edge costs of a graph.
+#[derive(Clone, Debug)]
+pub struct Costs {
+    /// Cost of each node execution.
+    pub node: Vec<u64>,
+    /// Cost of each edge traversal (loop-persistence cold misses land on
+    /// the edges *entering* a loop, so they are paid once per loop entry
+    /// no matter how often the preheader itself runs).
+    pub edge: Vec<u64>,
+}
+
+/// Computes costs for `cfg` under `model`, applying loop persistence:
+/// conflict-free loop lines hit inside the loop and their cold misses are
+/// charged on the loop's entry edges.
+pub fn node_costs(cfg: &Cfg, layout: &Layout, model: &CostModel) -> Costs {
+    let mut persistent: Vec<HashSet<Addr>> = vec![HashSet::new(); cfg.nodes.len()];
+    let mut edge: Vec<u64> = vec![0; cfg.edges.len()];
+    for l in &cfg.loops {
+        let blocks: Vec<Block> = l.nodes.iter().map(|&n| cfg.nodes[n.0].block).collect();
+        let lines = i_lines_of(layout, &blocks);
+        if loop_lines_persistent(&lines) {
+            for &n in &l.nodes {
+                persistent[n.0].extend(lines.iter().copied());
+            }
+            let entry_cost = model.persistence_entry_cost(&lines);
+            let members: HashSet<usize> = l.nodes.iter().map(|n| n.0).collect();
+            for (i, (a, b)) in cfg.edges.iter().enumerate() {
+                if !members.contains(&a.0) && members.contains(&b.0) {
+                    edge[i] += entry_cost;
+                }
+            }
+        }
+    }
+    let node = cfg
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| model.block_cost(layout, n.block, &persistent[i]))
+        .collect();
+    Costs { node, edge }
+}
+
+/// Runs the full analysis for one entry point.
+///
+/// # Panics
+///
+/// Panics if the IPET ILP fails to solve — the graphs are constructed to
+/// be feasible and bounded, so failure is a construction bug.
+pub fn analyze(entry: EntryPoint, cfg: &AnalysisConfig) -> WcetReport {
+    analyze_with_bounds(entry, cfg, &kmodel::BoundParams::default())
+}
+
+/// As [`analyze`] with explicit loop-bound parameters — how the §6.1
+/// open-vs-closed-system comparison is produced.
+pub fn analyze_with_bounds(
+    entry: EntryPoint,
+    cfg: &AnalysisConfig,
+    bounds: &kmodel::BoundParams,
+) -> WcetReport {
+    let layout = Layout::new();
+    let t0 = std::time::Instant::now();
+    let graph = kmodel::build_cfg_with(entry, cfg.kernel, bounds);
+    let t_build = t0.elapsed();
+    let model = CostModel {
+        l2: cfg.l2 || cfg.l2_kernel_locked,
+        l2_kernel_locked: cfg.l2_kernel_locked,
+        pinned_i: if cfg.pinning {
+            pinning::pinned_icache_lines(&layout).into_iter().collect()
+        } else {
+            HashSet::new()
+        },
+        pinned_d: if cfg.pinning {
+            pinning::pinned_dcache_lines().into_iter().collect()
+        } else {
+            HashSet::new()
+        },
+    };
+    let t0 = std::time::Instant::now();
+    let costs = node_costs(&graph, &layout, &model);
+    let t_costs = t0.elapsed();
+    let t0 = std::time::Instant::now();
+    let sol = ipet::solve(&graph, &costs.node, &costs.edge, cfg.manual_constraints)
+        .expect("IPET ILP must be solvable");
+    let t_ilp = t0.elapsed();
+    let trace: Vec<(Block, u16)> = sol
+        .trace(&graph)
+        .into_iter()
+        .map(|n| (graph.nodes[n.0].block, graph.nodes[n.0].ctx))
+        .collect();
+    let mut worst_path: Vec<(Block, u16, u64, u64)> = sol
+        .counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(i, &c)| (graph.nodes[i].block, graph.nodes[i].ctx, c, costs.node[i]))
+        .collect();
+    worst_path.sort_by_key(|&(_, _, n, c)| std::cmp::Reverse(n * c));
+    WcetReport {
+        cycles: sol.wcet,
+        us: cycles_to_us(sol.wcet),
+        worst_path,
+        trace,
+        ilp_vars: sol.num_vars,
+        ilp_constraints: sol.num_constraints,
+        phases: PhaseTimes {
+            build: t_build,
+            costs: t_costs,
+            ilp: t_ilp,
+        },
+    }
+}
+
+/// Forces the analysis onto a specific path by adding `ExecutesAtMost(n,
+/// 0)` for every node whose block is not in `allowed` — how Fig. 8
+/// computes the model's prediction *for the path actually measured*
+/// ("adding extra constraints to the ILP problem to force analysis of the
+/// desired path", §6.2).
+pub fn analyze_forced(entry: EntryPoint, cfg: &AnalysisConfig, allowed: &[Block]) -> WcetReport {
+    let layout = Layout::new();
+    let mut graph = kmodel::build_cfg(entry, cfg.kernel);
+    let allowed: HashSet<Block> = allowed.iter().copied().collect();
+    for (i, n) in graph.nodes.iter().enumerate() {
+        if !allowed.contains(&n.block) {
+            graph
+                .constraints
+                .push(UserConstraint::ExecutesAtMost(crate::cfg::NodeId(i), 0));
+        }
+    }
+    let model = CostModel {
+        l2: cfg.l2 || cfg.l2_kernel_locked,
+        l2_kernel_locked: cfg.l2_kernel_locked,
+        pinned_i: if cfg.pinning {
+            pinning::pinned_icache_lines(&layout).into_iter().collect()
+        } else {
+            HashSet::new()
+        },
+        pinned_d: if cfg.pinning {
+            pinning::pinned_dcache_lines().into_iter().collect()
+        } else {
+            HashSet::new()
+        },
+    };
+    let costs = node_costs(&graph, &layout, &model);
+    let sol =
+        ipet::solve(&graph, &costs.node, &costs.edge, true).expect("forced IPET must be solvable");
+    let trace: Vec<(Block, u16)> = sol
+        .trace(&graph)
+        .into_iter()
+        .map(|n| (graph.nodes[n.0].block, graph.nodes[n.0].ctx))
+        .collect();
+    let mut worst_path: Vec<(Block, u16, u64, u64)> = sol
+        .counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(i, &c)| (graph.nodes[i].block, graph.nodes[i].ctx, c, costs.node[i]))
+        .collect();
+    worst_path.sort_by_key(|&(_, _, n, c)| std::cmp::Reverse(n * c));
+    WcetReport {
+        cycles: sol.wcet,
+        us: cycles_to_us(sol.wcet),
+        worst_path,
+        trace,
+        ilp_vars: sol.num_vars,
+        ilp_constraints: sol.num_constraints,
+        phases: PhaseTimes::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(kernel: KernelConfig, l2: bool, pinning: bool) -> AnalysisConfig {
+        AnalysisConfig {
+            kernel,
+            l2,
+            pinning,
+            l2_kernel_locked: false,
+            manual_constraints: true,
+        }
+    }
+
+    #[test]
+    fn interrupt_path_analyzes_quickly_and_sanely() {
+        let r = analyze(
+            EntryPoint::Interrupt,
+            &cfg(KernelConfig::after(), false, false),
+        );
+        // Order of magnitude: thousands to tens of thousands of cycles
+        // (the paper's Table 2 interrupt figure is 12.3k).
+        assert!(r.cycles > 1_000, "{}", r.cycles);
+        assert!(r.cycles < 60_000, "{}", r.cycles);
+    }
+
+    #[test]
+    fn after_changes_improve_every_entry_point() {
+        for e in EntryPoint::ALL {
+            let before = analyze(e, &cfg(KernelConfig::before(), false, false));
+            let after = analyze(e, &cfg(KernelConfig::after(), false, false));
+            assert!(
+                after.cycles < before.cycles,
+                "{e:?}: after {} !< before {}",
+                after.cycles,
+                before.cycles
+            );
+        }
+    }
+
+    #[test]
+    fn syscall_improvement_is_an_order_of_magnitude() {
+        // Table 2: 3851 us -> 332.4 us is a factor of 11.6.
+        let before = analyze(
+            EntryPoint::Syscall,
+            &cfg(KernelConfig::before(), false, false),
+        );
+        let after = analyze(
+            EntryPoint::Syscall,
+            &cfg(KernelConfig::after(), false, false),
+        );
+        let factor = before.cycles as f64 / after.cycles as f64;
+        assert!(
+            (5.0..40.0).contains(&factor),
+            "improvement factor {factor:.1} (before {}, after {})",
+            before.cycles,
+            after.cycles
+        );
+    }
+
+    #[test]
+    fn pinning_helps_interrupt_most() {
+        // Table 1: pinning gains 46% on the interrupt path, 10% on the
+        // system-call path.
+        let gain = |e| {
+            let unpinned = analyze(e, &cfg(KernelConfig::after(), false, false));
+            let pinned = analyze(e, &cfg(KernelConfig::after(), false, true));
+            assert!(pinned.cycles < unpinned.cycles, "{e:?}");
+            1.0 - pinned.cycles as f64 / unpinned.cycles as f64
+        };
+        let g_irq = gain(EntryPoint::Interrupt);
+        let g_sys = gain(EntryPoint::Syscall);
+        assert!(
+            g_irq > g_sys,
+            "interrupt gain {g_irq:.2} should exceed syscall gain {g_sys:.2}"
+        );
+    }
+
+    #[test]
+    fn l2_on_raises_the_computed_bound() {
+        // Table 2: 332.4 us (L2 off) vs 436.3 us (L2 on) — the model's
+        // pessimism grows with the L2.
+        let off = analyze(
+            EntryPoint::Syscall,
+            &cfg(KernelConfig::after(), false, false),
+        );
+        let on = analyze(
+            EntryPoint::Syscall,
+            &cfg(KernelConfig::after(), true, false),
+        );
+        assert!(on.cycles > off.cycles);
+    }
+
+    #[test]
+    fn decode_dominates_the_after_syscall_bound() {
+        // §6.1: "the largest contributing factor to the run-time of this
+        // case was address decoding for caps".
+        let r = analyze(
+            EntryPoint::Syscall,
+            &cfg(KernelConfig::after(), false, false),
+        );
+        let decode = r.contribution(Block::ResolveLevel);
+        assert!(
+            decode * 2 > r.cycles,
+            "decode contributes {} of {}",
+            decode,
+            r.cycles
+        );
+    }
+
+    #[test]
+    fn worst_trace_is_a_concrete_entry_to_exit_path() {
+        let r = analyze(
+            EntryPoint::Syscall,
+            &cfg(KernelConfig::after(), false, false),
+        );
+        assert_eq!(r.trace.first().map(|t| t.0), Some(Block::SwiEntry));
+        let last = r.trace.last().expect("nonempty").0;
+        assert!(
+            matches!(last, Block::ExitRestore | Block::PreemptSave),
+            "trace ends at {last:?}"
+        );
+        // The trace's per-block totals match the counted worst path.
+        for (b, ctx, n, _) in &r.worst_path {
+            let seen = r
+                .trace
+                .iter()
+                .filter(|(tb, tc)| tb == b && tc == ctx)
+                .count() as u64;
+            assert_eq!(seen, *n, "{b:?} ctx {ctx}");
+        }
+        // §6.1's anatomy: 11 decodes x 32 levels on the worst trace.
+        let levels = r
+            .trace
+            .iter()
+            .filter(|(b, _)| *b == Block::ResolveLevel)
+            .count();
+        assert_eq!(levels, 352);
+    }
+
+    #[test]
+    fn forced_path_is_cheaper_than_free_maximum() {
+        let free = analyze(
+            EntryPoint::Interrupt,
+            &cfg(KernelConfig::after(), false, false),
+        );
+        let forced = analyze_forced(
+            EntryPoint::Interrupt,
+            &cfg(KernelConfig::after(), false, false),
+            &[
+                Block::IrqEntry,
+                Block::IrqGet,
+                Block::IrqSpurious,
+                Block::SchedCommit,
+                Block::CtxSwitch,
+                Block::KExitCheck,
+                Block::ExitRestore,
+                Block::SchedBitmap,
+                Block::SchedIdle,
+                Block::DequeueThread,
+                Block::BitmapClear,
+            ],
+        );
+        assert!(forced.cycles <= free.cycles);
+        assert!(forced.cycles > 0);
+    }
+}

@@ -1,0 +1,423 @@
+//! Implicit path enumeration (IPET, §5.2).
+//!
+//! "As Chronos is based on the implicit path enumeration technique, the
+//! output ... is an integer linear programming problem: a set of integer
+//! linear equations that represent constraints, and an objective function
+//! to be maximised." Execution counts of nodes and edges become ILP
+//! variables, flow conservation and loop bounds become constraints, the
+//! three manual constraint forms of §5.2 are added on top, and the exact
+//! solver in `rt-ilp` maximises total cost.
+
+use std::collections::HashMap;
+
+use rt_ilp::{LinExpr, Model, SolveError, VarId};
+
+use crate::cfg::{Cfg, NodeId, UserConstraint};
+
+/// Solved IPET instance.
+#[derive(Clone, Debug)]
+pub struct IpetSolution {
+    /// The worst-case cost (objective value).
+    pub wcet: u64,
+    /// Execution count per node in the worst path.
+    pub counts: Vec<u64>,
+    /// Traversal count per edge in the worst path.
+    pub edge_counts: Vec<u64>,
+    /// ILP size, for reporting (§6.3 discusses analysis cost).
+    pub num_vars: usize,
+    /// ILP constraint count.
+    pub num_constraints: usize,
+}
+
+impl IpetSolution {
+    /// Reconstructs a concrete execution trace from the flow solution —
+    /// §6: "We converted the solution to a concrete execution trace" (it
+    /// was reading such traces that exposed the infeasible paths the
+    /// manual constraints then removed). An Euler walk over the edge
+    /// counts: flow conservation plus the relative loop bounds guarantee
+    /// the counted edges form one entry-to-exit path.
+    pub fn trace(&self, cfg: &Cfg) -> Vec<NodeId> {
+        let mut remaining = self.edge_counts.clone();
+        let mut out: Vec<Vec<usize>> = vec![Vec::new(); cfg.nodes.len()];
+        for (i, (a, _)) in cfg.edges.iter().enumerate() {
+            out[a.0].push(i);
+        }
+        // Hierholzer: walk greedily, splicing in detours.
+        let mut path = vec![cfg.entry];
+        let mut pos = 0usize;
+        while pos < path.len() {
+            let mut cur = path[pos];
+            let mut detour = Vec::new();
+            while let Some(&e) = out[cur.0].iter().find(|&&e| remaining[e] > 0) {
+                remaining[e] -= 1;
+                cur = cfg.edges[e].1;
+                detour.push(cur);
+            }
+            if detour.is_empty() {
+                pos += 1;
+            } else {
+                let insert_at = pos + 1;
+                path.splice(insert_at..insert_at, detour);
+            }
+        }
+        path
+    }
+}
+
+/// Builds and solves the IPET ILP for `cfg` with the given per-node and
+/// per-edge costs (edge costs carry loop-entry cold misses).
+///
+/// # Errors
+///
+/// Returns the solver error if the instance is infeasible/unbounded (a bug
+/// in the graph construction) or exceeds the node budget.
+pub fn solve(
+    cfg: &Cfg,
+    costs: &[u64],
+    edge_costs: &[u64],
+    with_user_constraints: bool,
+) -> Result<IpetSolution, SolveError> {
+    assert_eq!(costs.len(), cfg.nodes.len());
+    assert_eq!(edge_costs.len(), cfg.edges.len());
+    let mut m = Model::maximize();
+
+    // Node count variables.
+    let x: Vec<VarId> = cfg
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| m.int_var(&format!("x{i}"), 0, Some(n.max_count as i64)))
+        .collect();
+    // Edge count variables.
+    let y: Vec<VarId> = cfg
+        .edges
+        .iter()
+        .enumerate()
+        .map(|(i, (a, b))| {
+            let ub = cfg.nodes[a.0].max_count.min(cfg.nodes[b.0].max_count);
+            m.int_var(&format!("y{i}_{}_{}", a.0, b.0), 0, Some(ub as i64))
+        })
+        .collect();
+    // Sink variables for exits (the path leaves the graph exactly once).
+    let sink: HashMap<NodeId, VarId> = cfg
+        .exits
+        .iter()
+        .map(|&e| (e, m.int_var(&format!("sink{}", e.0), 0, Some(1))))
+        .collect();
+
+    // Flow conservation.
+    let mut in_edges: Vec<Vec<usize>> = vec![Vec::new(); cfg.nodes.len()];
+    let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); cfg.nodes.len()];
+    for (i, (a, b)) in cfg.edges.iter().enumerate() {
+        out_edges[a.0].push(i);
+        in_edges[b.0].push(i);
+    }
+    for (i, _) in cfg.nodes.iter().enumerate() {
+        let node = NodeId(i);
+        // Inflow (+1 virtual source edge for the entry).
+        let mut inflow = LinExpr::new();
+        for &e in &in_edges[i] {
+            inflow = inflow + (1, y[e]);
+        }
+        if node == cfg.entry {
+            // x_entry = 1 + inflow; the entry of a kernel path runs once.
+            let mut expr = LinExpr::new() + (1, x[i]);
+            for &e in &in_edges[i] {
+                expr = expr + (-1, y[e]);
+            }
+            m.add_eq(expr, 1);
+        } else {
+            let mut expr = LinExpr::new() + (1, x[i]);
+            for &e in &in_edges[i] {
+                expr = expr + (-1, y[e]);
+            }
+            m.add_eq(expr, 0);
+        }
+        // Outflow (+ sink for exits).
+        let mut expr = LinExpr::new() + (1, x[i]);
+        for &e in &out_edges[i] {
+            expr = expr + (-1, y[e]);
+        }
+        if let Some(&s) = sink.get(&node) {
+            expr = expr + (-1, s);
+        }
+        m.add_eq(expr, 0);
+    }
+    // Exactly one sink.
+    let mut total_sink = LinExpr::new();
+    for &s in sink.values() {
+        total_sink = total_sink + (1, s);
+    }
+    m.add_eq(total_sink, 1);
+
+    // Relative loop bounds: flow conservation alone admits free-floating
+    // circulations around cycles; tie every loop node's count to the flow
+    // actually *entering* the loop from outside (the classical IPET loop
+    // constraint, §5.2).
+    for l in &cfg.loops {
+        let members: std::collections::HashSet<usize> = l.nodes.iter().map(|n| n.0).collect();
+        let entering: Vec<usize> = cfg
+            .edges
+            .iter()
+            .enumerate()
+            .filter(|(_, (a, b))| !members.contains(&a.0) && members.contains(&b.0))
+            .map(|(i, _)| i)
+            .collect();
+        for &n in &l.nodes {
+            let mut expr = LinExpr::new() + (1, x[n.0]);
+            for &e in &entering {
+                expr = expr + (-(cfg.nodes[n.0].max_count as i64), y[e]);
+            }
+            m.add_le(expr, 0);
+        }
+    }
+
+    // SCC-level circulation control: registered loops can share cycles
+    // (one loop's entry edges come from another), letting flow feed
+    // itself. For every strongly-connected component, every member's
+    // count is additionally tied to the flow entering the *component*
+    // from outside, which no mutual feeding can fake.
+    for scc in sccs(cfg) {
+        let members: std::collections::HashSet<usize> = scc.iter().copied().collect();
+        // Only components that actually contain a cycle need the rule.
+        let cyclic = scc.len() > 1
+            || cfg
+                .edges
+                .iter()
+                .any(|(a, b)| a.0 == scc[0] && b.0 == scc[0]);
+        if !cyclic {
+            continue;
+        }
+        let entering: Vec<usize> = cfg
+            .edges
+            .iter()
+            .enumerate()
+            .filter(|(_, (a, b))| !members.contains(&a.0) && members.contains(&b.0))
+            .map(|(i, _)| i)
+            .collect();
+        let entry_inside = members.contains(&cfg.entry.0);
+        for &n in &scc {
+            let mut expr = LinExpr::new() + (1, x[n]);
+            for &e in &entering {
+                expr = expr + (-(cfg.nodes[n].max_count as i64), y[e]);
+            }
+            // The graph entry contributes one virtual entering unit.
+            let rhs = if entry_inside {
+                cfg.nodes[n].max_count as i64
+            } else {
+                0
+            };
+            m.add_le(expr, rhs);
+        }
+    }
+
+    // Manual constraints (§5.2).
+    if with_user_constraints {
+        for c in &cfg.constraints {
+            match *c {
+                UserConstraint::Conflicts(a, b) => {
+                    // Both bounded; when both bounds are 1 a linear sum
+                    // suffices, otherwise scale through a binary selector.
+                    let (ba, bb) = (cfg.nodes[a.0].max_count, cfg.nodes[b.0].max_count);
+                    if ba <= 1 && bb <= 1 {
+                        m.add_le(LinExpr::new() + (1, x[a.0]) + (1, x[b.0]), 1);
+                    } else {
+                        let z = m.int_var(&format!("z_conflict_{}_{}", a.0, b.0), 0, Some(1));
+                        m.add_le(LinExpr::new() + (1, x[a.0]) + (-(ba as i64), z), 0);
+                        m.add_le(LinExpr::new() + (1, x[b.0]) + (bb as i64, z), bb as i64);
+                    }
+                }
+                UserConstraint::Consistent(a, b) => {
+                    m.add_eq(LinExpr::new() + (1, x[a.0]) + (-1, x[b.0]), 0);
+                }
+                UserConstraint::ExecutesAtMost(a, n) => {
+                    m.add_le(LinExpr::var(x[a.0]), n as i64);
+                }
+            }
+        }
+    }
+
+    // Objective.
+    let mut obj = LinExpr::new();
+    for (i, &c) in costs.iter().enumerate() {
+        obj = obj + (c as i64, x[i]);
+    }
+    for (i, &c) in edge_costs.iter().enumerate() {
+        if c > 0 {
+            obj = obj + (c as i64, y[i]);
+        }
+    }
+    m.set_objective(obj);
+
+    let num_vars = m.num_vars();
+    let num_constraints = m.num_constraints();
+    let sol = m.solve()?;
+    Ok(IpetSolution {
+        wcet: sol.objective_i64() as u64,
+        counts: x.iter().map(|&v| sol.value_i64(v) as u64).collect(),
+        edge_counts: y.iter().map(|&v| sol.value_i64(v) as u64).collect(),
+        num_vars,
+        num_constraints,
+    })
+}
+
+/// Iterative Tarjan SCC over the CFG; returns each component's node
+/// indices.
+fn sccs(cfg: &Cfg) -> Vec<Vec<usize>> {
+    let n = cfg.nodes.len();
+    let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (a, b) in &cfg.edges {
+        out_edges[a.0].push(b.0);
+    }
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut result = Vec::new();
+    // Explicit DFS stack: (node, next-child-cursor).
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut dfs: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&mut (v, ref mut cursor)) = dfs.last_mut() {
+            if *cursor == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = out_edges[v].get(*cursor) {
+                *cursor += 1;
+                if index[w] == usize::MAX {
+                    dfs.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                dfs.pop();
+                if let Some(&(parent, _)) = dfs.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    result.push(comp);
+                }
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::CfgBuilder;
+    use rt_kernel::kprog::Block;
+
+    /// entry(c=10) -> loop(c=7, bound 5) -> exitA(c=3) | exitB(c=100)
+    fn diamond() -> (Cfg, Vec<u64>) {
+        let mut b = CfgBuilder::new();
+        let e = b.node(Block::SwiEntry, 0);
+        let l = b.self_loop(e, Block::ResolveLevel, 0, 5, None);
+        let xa = b.chain(l, Block::ExitRestore, 0);
+        let xb = b.chain(l, Block::PreemptSave, 0);
+        b.exit(xa);
+        b.exit(xb);
+        let g = b.build(e);
+        let mut costs = vec![0; g.nodes.len()];
+        costs[e.0] = 10;
+        costs[l.0] = 7;
+        costs[xa.0] = 3;
+        costs[xb.0] = 100;
+        (g, costs)
+    }
+
+    #[test]
+    fn maximises_over_paths_and_loops() {
+        let (g, costs) = diamond();
+        let sol = solve(&g, &costs, &vec![0; g.edges.len()], true).expect("solvable");
+        // 10 + 5*7 + 100 (the expensive exit).
+        assert_eq!(sol.wcet, 10 + 35 + 100);
+        assert_eq!(sol.counts[1], 5, "loop taken to its bound");
+    }
+
+    #[test]
+    fn conflict_constraint_excludes_combination() {
+        let mut b = CfgBuilder::new();
+        let e = b.node(Block::SwiEntry, 0);
+        let a = b.chain(e, Block::CaseEp, 0);
+        let c = b.chain(a, Block::CaseUntyped, 0);
+        let x = b.chain(c, Block::ExitRestore, 0);
+        // Also a direct skip around each.
+        b.edge(e, c);
+        b.edge(a, x);
+        b.exit(x);
+        b.constraint(UserConstraint::Conflicts(a, c));
+        let g = b.build(e);
+        let costs = vec![1, 50, 60, 1];
+        let raw = solve(&g, &costs, &vec![0; g.edges.len()], false).expect("raw");
+        assert_eq!(raw.wcet, 1 + 50 + 60 + 1, "raw takes both");
+        let constrained = solve(&g, &costs, &vec![0; g.edges.len()], true).expect("constrained");
+        assert_eq!(constrained.wcet, 1 + 60 + 1, "conflict removes the pair");
+    }
+
+    #[test]
+    fn consistent_constraint_ties_counts() {
+        let mut b = CfgBuilder::new();
+        let e = b.node(Block::SwiEntry, 0);
+        let l1 = b.self_loop(e, Block::TransferWord, 0, 10, None);
+        let l2 = b.self_loop(l1, Block::FaultMsgWord, 0, 10, None);
+        let x = b.chain(l2, Block::ExitRestore, 0);
+        b.exit(x);
+        b.constraint(UserConstraint::Consistent(l1, l2));
+        b.constraint(UserConstraint::ExecutesAtMost(l1, 4));
+        let g = b.build(e);
+        let costs = vec![0, 5, 3, 0];
+        let sol = solve(&g, &costs, &vec![0; g.edges.len()], true).expect("solvable");
+        // Both loops capped at 4 by the pair of constraints.
+        assert_eq!(sol.wcet, 4 * 5 + 4 * 3);
+        let raw = solve(&g, &costs, &vec![0; g.edges.len()], false).expect("raw");
+        assert_eq!(raw.wcet, 10 * 5 + 10 * 3);
+    }
+
+    #[test]
+    fn trace_reconstruction_matches_counts() {
+        let (g, costs) = diamond();
+        let sol = solve(&g, &costs, &vec![0; g.edges.len()], true).expect("solvable");
+        let trace = sol.trace(&g);
+        // The trace visits each node exactly its counted number of times.
+        for (i, &c) in sol.counts.iter().enumerate() {
+            let seen = trace.iter().filter(|n| n.0 == i).count() as u64;
+            assert_eq!(seen, c, "node {i}");
+        }
+        // And is a connected path (consecutive nodes joined by edges).
+        for w in trace.windows(2) {
+            assert!(
+                g.edges.contains(&(w[0], w[1])),
+                "missing edge {:?} -> {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        assert_eq!(trace[0], g.entry);
+        assert!(g.exits.contains(trace.last().expect("nonempty")));
+    }
+
+    #[test]
+    fn entry_runs_exactly_once() {
+        let (g, costs) = diamond();
+        let sol = solve(&g, &costs, &vec![0; g.edges.len()], true).expect("solvable");
+        assert_eq!(sol.counts[0], 1);
+    }
+}

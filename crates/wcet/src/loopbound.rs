@@ -1,0 +1,405 @@
+//! Automatic loop-bound computation (§5.3).
+//!
+//! The paper derives loop bounds from the binary by (1) taking instruction
+//! semantics, (2) converting to SSA, (3) **program slicing** to isolate the
+//! instructions the loop guard depends on, and (4) **model checking** the
+//! slice, binary-searching over the iteration count. We reproduce the
+//! pipeline over a small loop-semantics IR attached to the graphs' loops:
+//!
+//! * [`slice()`] computes the backward dependency closure of the guard —
+//!   statements that cannot affect termination are dropped (Weiser-style
+//!   slicing on a straight-line loop body);
+//! * [`max_iterations`] binary-searches the largest `k` such that the
+//!   bounded checker ([`can_reach_iterations`]) admits `k` iterations,
+//!   evaluating the sliced program over intervals so havoc'd inputs (the
+//!   analogue of unknown memory) are handled conservatively.
+//!
+//! The graphs in [`crate::kmodel`] declare both the semantics and the
+//! engineering bound; the analysis cross-checks them (a mismatch is a bug
+//! in one of the two, exactly the class of human error §5.3 is about).
+
+use std::collections::{HashMap, HashSet};
+
+/// A variable in the loop slice (register or sliced memory cell).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u8);
+
+/// Expressions over loop variables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// Constant.
+    Const(i64),
+    /// Variable read.
+    Var(Var),
+    /// Addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Logical shift right.
+    Shr(Box<Expr>, u8),
+}
+
+impl Expr {
+    /// Variables read by this expression.
+    pub fn reads(&self, out: &mut HashSet<Var>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Var(v) => {
+                out.insert(*v);
+            }
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+                a.reads(out);
+                b.reads(out);
+            }
+            Expr::Shr(a, _) => a.reads(out),
+        }
+    }
+}
+
+/// One statement of the loop body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// Deterministic assignment.
+    Assign(Var, Expr),
+    /// Unknown input in `lo..=hi` (memory the slicer cannot resolve —
+    /// §5.3's caveat about loads from memory, made conservative).
+    Havoc(Var, i64, i64),
+}
+
+impl Stmt {
+    fn writes(&self) -> Var {
+        match self {
+            Stmt::Assign(v, _) | Stmt::Havoc(v, _, _) => *v,
+        }
+    }
+
+    fn reads(&self) -> HashSet<Var> {
+        let mut s = HashSet::new();
+        if let Stmt::Assign(_, e) = self {
+            e.reads(&mut s);
+        }
+        s
+    }
+}
+
+/// Loop guard: the loop body runs while the relation holds (checked at the
+/// head, before each iteration).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Guard {
+    /// `lhs < rhs`.
+    Lt(Expr, Expr),
+    /// `lhs > rhs`.
+    Gt(Expr, Expr),
+    /// `lhs != rhs`.
+    Ne(Expr, Expr),
+}
+
+impl Guard {
+    fn exprs(&self) -> (&Expr, &Expr) {
+        match self {
+            Guard::Lt(a, b) | Guard::Gt(a, b) | Guard::Ne(a, b) => (a, b),
+        }
+    }
+}
+
+/// Semantics of one loop: initialisation, per-iteration body, guard.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoopSemantics {
+    /// Statements establishing the initial state.
+    pub init: Vec<Stmt>,
+    /// Straight-line loop body (may include guard-irrelevant statements;
+    /// slicing removes them).
+    pub body: Vec<Stmt>,
+    /// Continue-condition.
+    pub guard: Guard,
+}
+
+/// Computes the guard-relevant slice of a statement list: the backward
+/// dependency closure of the guard's variables through the body (a loop
+/// body executes repeatedly, so the closure is iterated to fixpoint).
+pub fn slice(sem: &LoopSemantics) -> LoopSemantics {
+    let mut relevant: HashSet<Var> = HashSet::new();
+    let (a, b) = sem.guard.exprs();
+    a.reads(&mut relevant);
+    b.reads(&mut relevant);
+    // Fixpoint: a statement writing a relevant var makes its reads
+    // relevant (across iterations).
+    loop {
+        let before = relevant.len();
+        for s in sem.body.iter().chain(sem.init.iter()) {
+            if relevant.contains(&s.writes()) {
+                relevant.extend(s.reads());
+            }
+        }
+        if relevant.len() == before {
+            break;
+        }
+    }
+    let keep = |s: &Stmt| relevant.contains(&s.writes());
+    LoopSemantics {
+        init: sem.init.iter().filter(|s| keep(s)).cloned().collect(),
+        body: sem.body.iter().filter(|s| keep(s)).cloned().collect(),
+        guard: sem.guard.clone(),
+    }
+}
+
+/// Interval abstract value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Iv(i64, i64);
+
+impl Iv {
+    fn exact(n: i64) -> Iv {
+        Iv(n, n)
+    }
+}
+
+type State = HashMap<Var, Iv>;
+
+fn eval(e: &Expr, st: &State) -> Iv {
+    match e {
+        Expr::Const(n) => Iv::exact(*n),
+        Expr::Var(v) => *st.get(v).unwrap_or(&Iv(i64::MIN / 4, i64::MAX / 4)),
+        Expr::Add(a, b) => {
+            let (x, y) = (eval(a, st), eval(b, st));
+            Iv(x.0.saturating_add(y.0), x.1.saturating_add(y.1))
+        }
+        Expr::Sub(a, b) => {
+            let (x, y) = (eval(a, st), eval(b, st));
+            Iv(x.0.saturating_sub(y.1), x.1.saturating_sub(y.0))
+        }
+        Expr::Mul(a, b) => {
+            let (x, y) = (eval(a, st), eval(b, st));
+            let c = [
+                x.0.saturating_mul(y.0),
+                x.0.saturating_mul(y.1),
+                x.1.saturating_mul(y.0),
+                x.1.saturating_mul(y.1),
+            ];
+            Iv(
+                *c.iter().min().expect("nonempty"),
+                *c.iter().max().expect("nonempty"),
+            )
+        }
+        Expr::Shr(a, k) => {
+            let x = eval(a, st);
+            // Sound only for nonnegative ranges; clamp.
+            Iv((x.0.max(0)) >> k, (x.1.max(0)) >> k)
+        }
+    }
+}
+
+fn exec(stmts: &[Stmt], st: &mut State) {
+    for s in stmts {
+        match s {
+            Stmt::Assign(v, e) => {
+                let val = eval(e, st);
+                st.insert(*v, val);
+            }
+            Stmt::Havoc(v, lo, hi) => {
+                st.insert(*v, Iv(*lo, *hi));
+            }
+        }
+    }
+}
+
+fn guard_may_hold(g: &Guard, st: &State) -> bool {
+    let (a, b) = g.exprs();
+    let (x, y) = (eval(a, st), eval(b, st));
+    match g {
+        Guard::Lt(_, _) => x.0 < y.1,
+        Guard::Gt(_, _) => x.1 > y.0,
+        Guard::Ne(_, _) => !(x.0 == x.1 && y.0 == y.1 && x.0 == y.0),
+    }
+}
+
+/// Bounded check: can the loop head be reached at least `k` times? (The
+/// "model checker" of §5.3, instantiated as bounded interval execution.)
+pub fn can_reach_iterations(sem: &LoopSemantics, k: u64) -> bool {
+    let mut st = State::new();
+    exec(&sem.init, &mut st);
+    for _ in 0..k {
+        if !guard_may_hold(&sem.guard, &st) {
+            return false;
+        }
+        exec(&sem.body, &mut st);
+    }
+    true
+}
+
+/// Maximum iteration count, found by binary search over
+/// [`can_reach_iterations`] on the guard-relevant slice. Returns `None`
+/// if the loop may exceed `cap` (treated as unbounded at this cap).
+pub fn max_iterations(sem: &LoopSemantics, cap: u64) -> Option<u64> {
+    let sliced = slice(sem);
+    if can_reach_iterations(&sliced, cap + 1) {
+        return None;
+    }
+    // Binary search the largest reachable k in [0, cap].
+    let (mut lo, mut hi) = (0u64, cap);
+    while lo < hi {
+        let mid = lo + (hi - lo).div_ceil(2);
+        if can_reach_iterations(&sliced, mid) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    Some(lo)
+}
+
+/// Convenience constructors for the loop shapes the kernel graphs use.
+pub mod shapes {
+    use super::*;
+
+    const I: Var = Var(0);
+
+    /// `for i in 0..n` counting-up loop.
+    pub fn count_up(n: i64) -> LoopSemantics {
+        LoopSemantics {
+            init: vec![Stmt::Assign(I, Expr::Const(0))],
+            body: vec![Stmt::Assign(
+                I,
+                Expr::Add(Box::new(Expr::Var(I)), Box::new(Expr::Const(1))),
+            )],
+            guard: Guard::Lt(Expr::Var(I), Expr::Const(n)),
+        }
+    }
+
+    /// The capability-decode loop: `bits := 32; while bits > 0 { bits -=
+    /// level_bits }` with `level_bits >= min_bits` unknown (radix+guard of
+    /// each CNode — memory the slicer havocs). Worst case: one bit per
+    /// level (Fig. 7).
+    pub fn decode(total_bits: i64, min_level_bits: i64) -> LoopSemantics {
+        let bits = Var(0);
+        let level = Var(1);
+        LoopSemantics {
+            init: vec![Stmt::Assign(bits, Expr::Const(total_bits))],
+            body: vec![
+                Stmt::Havoc(level, min_level_bits, total_bits),
+                Stmt::Assign(
+                    bits,
+                    Expr::Sub(Box::new(Expr::Var(bits)), Box::new(Expr::Var(level))),
+                ),
+            ],
+            guard: Guard::Gt(Expr::Var(bits), Expr::Const(0)),
+        }
+    }
+
+    /// The chunked-clear loop: `off := start; while off < len { off +=
+    /// chunk }`.
+    pub fn stride(start: i64, len: i64, step: i64) -> LoopSemantics {
+        let off = Var(0);
+        LoopSemantics {
+            init: vec![Stmt::Assign(off, Expr::Const(start))],
+            body: vec![Stmt::Assign(
+                off,
+                Expr::Add(Box::new(Expr::Var(off)), Box::new(Expr::Const(step))),
+            )],
+            guard: Guard::Lt(Expr::Var(off), Expr::Const(len)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::shapes::*;
+    use super::*;
+
+    #[test]
+    fn count_up_bound() {
+        assert_eq!(max_iterations(&count_up(120), 1 << 16), Some(120));
+        assert_eq!(max_iterations(&count_up(0), 16), Some(0));
+        assert_eq!(max_iterations(&count_up(1024), 4096), Some(1024));
+    }
+
+    #[test]
+    fn decode_bound_is_one_per_bit() {
+        // Fig. 7: a 32-bit capability space decodes in at most 32 levels.
+        assert_eq!(max_iterations(&decode(32, 1), 64), Some(32));
+        // Larger minimum level width shrinks the bound.
+        assert_eq!(max_iterations(&decode(32, 4), 64), Some(8));
+    }
+
+    #[test]
+    fn stride_bound() {
+        // 512 KiB cleared in 32-byte lines.
+        assert_eq!(
+            max_iterations(&stride(0, 512 * 1024, 32), 1 << 20),
+            Some(512 * 1024 / 32)
+        );
+        // 1 KiB chunk of 32-byte lines.
+        assert_eq!(max_iterations(&stride(0, 1024, 32), 256), Some(32));
+    }
+
+    #[test]
+    fn unbounded_at_cap_reported() {
+        // Havoc'd step that may be zero -> possibly unbounded.
+        let bits = Var(0);
+        let step = Var(1);
+        let sem = LoopSemantics {
+            init: vec![Stmt::Assign(bits, Expr::Const(32))],
+            body: vec![
+                Stmt::Havoc(step, 0, 32),
+                Stmt::Assign(
+                    bits,
+                    Expr::Sub(Box::new(Expr::Var(bits)), Box::new(Expr::Var(step))),
+                ),
+            ],
+            guard: Guard::Gt(Expr::Var(bits), Expr::Const(0)),
+        };
+        assert_eq!(max_iterations(&sem, 1000), None);
+    }
+
+    #[test]
+    fn slicing_removes_irrelevant_statements() {
+        // A loop body decorated with guard-irrelevant work.
+        let i = Var(0);
+        let junk = Var(5);
+        let sem = LoopSemantics {
+            init: vec![
+                Stmt::Assign(i, Expr::Const(0)),
+                Stmt::Assign(junk, Expr::Const(99)),
+            ],
+            body: vec![
+                Stmt::Assign(
+                    junk,
+                    Expr::Mul(Box::new(Expr::Var(junk)), Box::new(Expr::Const(3))),
+                ),
+                Stmt::Assign(
+                    i,
+                    Expr::Add(Box::new(Expr::Var(i)), Box::new(Expr::Const(1))),
+                ),
+            ],
+            guard: Guard::Lt(Expr::Var(i), Expr::Const(7)),
+        };
+        let s = slice(&sem);
+        assert_eq!(s.body.len(), 1, "junk statement sliced away: {s:?}");
+        assert_eq!(s.init.len(), 1);
+        assert_eq!(max_iterations(&sem, 100), Some(7));
+    }
+
+    #[test]
+    fn transitive_dependencies_kept_by_slice() {
+        // i += d; d depends on e; both must survive slicing.
+        let i = Var(0);
+        let d = Var(1);
+        let e = Var(2);
+        let sem = LoopSemantics {
+            init: vec![
+                Stmt::Assign(i, Expr::Const(0)),
+                Stmt::Assign(e, Expr::Const(1)),
+                Stmt::Assign(d, Expr::Var(e)),
+            ],
+            body: vec![
+                Stmt::Assign(d, Expr::Var(e)),
+                Stmt::Assign(i, Expr::Add(Box::new(Expr::Var(i)), Box::new(Expr::Var(d)))),
+            ],
+            guard: Guard::Lt(Expr::Var(i), Expr::Const(5)),
+        };
+        let s = slice(&sem);
+        assert_eq!(s.body.len(), 2);
+        assert_eq!(max_iterations(&sem, 100), Some(5));
+    }
+}

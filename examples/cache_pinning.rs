@@ -1,0 +1,83 @@
+//! Cache pinning demo (§4): lock the interrupt delivery path, the first
+//! 256 bytes of stack and the key globals into one L1 way, and watch the
+//! worst-case interrupt delivery shrink — on both the measured machine and
+//! the computed bound.
+//!
+//! ```text
+//! cargo run --release -p rt-examples --bin cache_pinning
+//! ```
+
+use rt_bench::workloads::WorstInterrupt;
+use rt_examples::{banner, cyc};
+use rt_hw::HwConfig;
+use rt_kernel::kernel::{EntryPoint, KernelConfig};
+use rt_kernel::pinning::{apply_pinning, pinned_dcache_lines, pinned_icache_lines};
+use rt_wcet::{analyze, AnalysisConfig};
+
+fn observed(pinned: bool) -> u64 {
+    let hw = HwConfig {
+        locked_l1_ways: if pinned { 1 } else { 0 },
+        ..HwConfig::default()
+    };
+    let mut w = WorstInterrupt::new(KernelConfig::after(), hw);
+    if pinned {
+        let report = apply_pinning(&mut w.kernel);
+        assert_eq!(report.rejected, 0);
+    }
+    (0..8).map(|_| w.fire_polluted()).max().expect("runs")
+}
+
+fn computed(pinned: bool) -> u64 {
+    analyze(
+        EntryPoint::Interrupt,
+        &AnalysisConfig {
+            kernel: KernelConfig::after(),
+            l2: false,
+            pinning: pinned,
+            l2_kernel_locked: false,
+            manual_constraints: true,
+        },
+    )
+    .cycles
+}
+
+fn main() {
+    banner("The pinned working set (§4)");
+    let layout = rt_kernel::kprog::Layout::new();
+    let ilines = pinned_icache_lines(&layout);
+    let dlines = pinned_dcache_lines();
+    println!(
+        "instruction lines: {} (paper pinned 118); data lines: {} (256 B stack + 1 KiB globals)",
+        ilines.len(),
+        dlines.len()
+    );
+    println!(
+        "one locked way holds 128 lines; everything fits: {}",
+        ilines.len() <= 128 && dlines.len() <= 128
+    );
+
+    banner("Worst-case interrupt delivery, unpinned vs pinned");
+    let (ou, op) = (observed(false), observed(true));
+    let (cu, cp) = (computed(false), computed(true));
+    println!(
+        "observed: {}  ->  {}   ({:.0}% gain)",
+        cyc(ou),
+        cyc(op),
+        100.0 * (1.0 - op as f64 / ou as f64)
+    );
+    println!(
+        "computed: {}  ->  {}   ({:.0}% gain)",
+        cyc(cu),
+        cyc(cp),
+        100.0 * (1.0 - cp as f64 / cu as f64)
+    );
+    println!("paper (computed): 36.2 us -> 19.5 us (46% gain)");
+    assert!(op < ou && cp < cu, "pinning must help the interrupt path");
+
+    banner("The price: less cache for everyone else");
+    println!(
+        "1 of 4 L1 ways is locked; the rest of the system runs with a \
+         12 KiB effective L1,\nwhich is why §4 calls out that \"these \
+         benefits do not come for free\"."
+    );
+}

@@ -1,0 +1,17 @@
+//! Cross-crate integration tests live in `tests/tests/`; this library
+//! holds shared scenario helpers.
+
+#![forbid(unsafe_code)]
+
+use rt_hw::HwConfig;
+use rt_kernel::kernel::{Kernel, KernelConfig};
+
+/// Both paper configurations, for tests that sweep them.
+pub fn both_kernels() -> [KernelConfig; 2] {
+    [KernelConfig::before(), KernelConfig::after()]
+}
+
+/// A fresh kernel on default hardware.
+pub fn fresh(cfg: KernelConfig) -> Kernel {
+    Kernel::new(cfg, HwConfig::default())
+}

@@ -1,0 +1,98 @@
+//! Properties of the static analysis itself: bounds must respond
+//! *monotonically* to the model's knobs — more permissive system bounds,
+//! a disabled pinning set, or a slower memory configuration can never
+//! yield a smaller worst case. A violation would mean the analysis is
+//! unsound somewhere.
+
+use proptest::prelude::*;
+use rt_kernel::kernel::{EntryPoint, KernelConfig};
+use rt_wcet::analysis::analyze_with_bounds;
+use rt_wcet::kmodel::BoundParams;
+use rt_wcet::{analyze, AnalysisConfig};
+
+fn acfg(l2: bool, pinning: bool) -> AnalysisConfig {
+    AnalysisConfig {
+        kernel: KernelConfig::after(),
+        l2,
+        pinning,
+        l2_kernel_locked: false,
+        manual_constraints: true,
+    }
+}
+
+#[test]
+fn pinning_never_raises_a_bound() {
+    for e in EntryPoint::ALL {
+        let unpinned = analyze(e, &acfg(false, false)).cycles;
+        let pinned = analyze(e, &acfg(false, true)).cycles;
+        assert!(pinned <= unpinned, "{e:?}: {pinned} > {unpinned}");
+    }
+}
+
+#[test]
+fn l2_lock_never_raises_a_bound() {
+    for e in EntryPoint::ALL {
+        let plain = analyze(e, &acfg(true, false)).cycles;
+        let mut locked_cfg = acfg(true, false);
+        locked_cfg.l2_kernel_locked = true;
+        let locked = analyze(e, &locked_cfg).cycles;
+        assert!(locked <= plain, "{e:?}: {locked} > {plain}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Componentwise-larger bound parameters give componentwise-larger (or
+    /// equal) WCET bounds, checked on the fault entry point (the cheapest
+    /// graph that uses the IPC parameters).
+    #[test]
+    fn bounds_are_monotone_in_parameters(
+        decode_a in 1u64..16,
+        decode_delta in 0u64..17,
+        msg_a in 1u64..60,
+        msg_delta in 0u64..61,
+    ) {
+        let small = BoundParams {
+            decode_levels: decode_a,
+            msg_words: msg_a,
+            ..BoundParams::default()
+        };
+        let large = BoundParams {
+            decode_levels: decode_a + decode_delta,
+            msg_words: msg_a + msg_delta,
+            ..BoundParams::default()
+        };
+        let cfg = acfg(false, false);
+        let lo = analyze_with_bounds(EntryPoint::PageFault, &cfg, &small).cycles;
+        let hi = analyze_with_bounds(EntryPoint::PageFault, &cfg, &large).cycles;
+        prop_assert!(lo <= hi, "bounds not monotone: {lo} > {hi}");
+    }
+}
+
+#[test]
+fn closed_bounds_never_exceed_open_bounds() {
+    let cfg = acfg(false, false);
+    for kernel in [KernelConfig::before(), KernelConfig::after()] {
+        let cfg = AnalysisConfig { kernel, ..cfg };
+        for e in EntryPoint::ALL {
+            let closed = analyze_with_bounds(e, &cfg, &BoundParams::closed()).cycles;
+            let open = analyze_with_bounds(e, &cfg, &BoundParams::open()).cycles;
+            assert!(closed <= open, "{e:?}/{kernel:?}: {closed} > {open}");
+        }
+    }
+}
+
+#[test]
+fn manual_constraints_never_raise_the_bound() {
+    // Constraints only *exclude* paths (§5.2); the constrained optimum
+    // cannot exceed the raw one.
+    for e in EntryPoint::ALL {
+        let mut cfg = acfg(false, false);
+        cfg.manual_constraints = false;
+        let raw = analyze(e, &cfg).cycles;
+        cfg.manual_constraints = true;
+        let constrained = analyze(e, &cfg).cycles;
+        assert!(constrained <= raw, "{e:?}: {constrained} > {raw}");
+    }
+}

@@ -1,0 +1,199 @@
+//! CNode destruction: deleting the final cap to a CNode deletes every
+//! contained capability first (recursively destroying objects whose final
+//! caps live inside), one slot per preemption segment, with cycles broken
+//! the way seL4's zombie caps break them.
+
+use rt_hw::{HwConfig, IrqLine};
+use rt_kernel::cap::{insert_cap, Badge, CapType, Rights, SlotRef};
+use rt_kernel::invariants;
+use rt_kernel::kernel::{Kernel, KernelConfig};
+use rt_kernel::syscall::{Syscall, SyscallOutcome};
+use rt_kernel::tcb::ThreadState;
+
+/// Boots a kernel whose task (prio 100) has a root CNode holding, at
+/// cptr 8, the final cap to a scratch CNode populated with `n` endpoint
+/// caps (each the final cap to its endpoint).
+fn boot(n: u32) -> (Kernel, rt_kernel::obj::ObjId, Vec<rt_kernel::obj::ObjId>) {
+    let mut k = Kernel::new(KernelConfig::after(), HwConfig::default());
+    let root_cn = k.boot_cnode(8);
+    let root = CapType::CNode {
+        obj: root_cn,
+        guard_bits: 24,
+        guard: 0,
+    };
+    let task = k.boot_tcb("task", 100);
+    k.objs.tcb_mut(task).cspace_root = root;
+    let scratch = k.boot_cnode(6);
+    insert_cap(
+        &mut k.objs,
+        SlotRef::new(root_cn, 8),
+        CapType::CNode {
+            obj: scratch,
+            guard_bits: 0,
+            guard: 0,
+        },
+        None,
+    );
+    let mut eps = Vec::new();
+    for i in 0..n {
+        let ep = k.boot_endpoint();
+        insert_cap(
+            &mut k.objs,
+            SlotRef::new(scratch, i),
+            CapType::Endpoint {
+                obj: ep,
+                badge: Badge(i),
+                rights: Rights::ALL,
+            },
+            None,
+        );
+        eps.push(ep);
+    }
+    k.objs.tcb_mut(task).state = ThreadState::Running;
+    k.force_current_for_test(task);
+    (k, scratch, eps)
+}
+
+#[test]
+fn destroying_a_cnode_destroys_contained_finals() {
+    let (mut k, scratch, eps) = boot(12);
+    let out = k.handle_syscall(Syscall::Delete { cptr: 8 });
+    assert_eq!(out, SyscallOutcome::Completed(Ok(())));
+    assert!(!k.objs.is_live(scratch), "CNode object destroyed");
+    for ep in eps {
+        assert!(!k.objs.is_live(ep), "contained final caps destroy objects");
+    }
+    invariants::assert_all(&k);
+}
+
+#[test]
+fn shared_objects_survive_cnode_teardown() {
+    let (mut k, scratch, eps) = boot(4);
+    // Give ep[0] a second cap in the root CNode: it is no longer final in
+    // the scratch node.
+    let root_cn = match k.objs.tcb(k.current()).cspace_root {
+        CapType::CNode { obj, .. } => obj,
+        _ => unreachable!(),
+    };
+    insert_cap(
+        &mut k.objs,
+        SlotRef::new(root_cn, 9),
+        CapType::Endpoint {
+            obj: eps[0],
+            badge: Badge(0),
+            rights: Rights::ALL,
+        },
+        Some(SlotRef::new(scratch, 0)),
+    );
+    let out = k.handle_syscall(Syscall::Delete { cptr: 8 });
+    assert_eq!(out, SyscallOutcome::Completed(Ok(())));
+    assert!(k.objs.is_live(eps[0]), "shared endpoint survives");
+    assert!(!k.objs.is_live(eps[1]), "exclusive endpoints do not");
+    invariants::assert_all(&k);
+}
+
+#[test]
+fn self_referential_cnode_destroys_cleanly() {
+    let (mut k, scratch, _eps) = boot(2);
+    // The scratch CNode holds a cap to itself — the cyclic case zombie
+    // caps exist for.
+    insert_cap(
+        &mut k.objs,
+        SlotRef::new(scratch, 5),
+        CapType::CNode {
+            obj: scratch,
+            guard_bits: 0,
+            guard: 0,
+        },
+        None,
+    );
+    let out = k.handle_syscall(Syscall::Delete { cptr: 8 });
+    assert_eq!(out, SyscallOutcome::Completed(Ok(())));
+    assert!(!k.objs.is_live(scratch));
+    invariants::assert_all(&k);
+}
+
+#[test]
+fn teardown_preempts_per_slot_and_resumes() {
+    let (mut k, scratch, _eps) = boot(16);
+    // An interrupt pending at every entry forces one slot per segment.
+    let mut entries = 0;
+    loop {
+        entries += 1;
+        assert!(entries < 100, "no forward progress");
+        let now = k.machine.now();
+        k.machine.irq.raise(IrqLine(9), now);
+        match k.handle_syscall(Syscall::Delete { cptr: 8 }) {
+            SyscallOutcome::Completed(r) => {
+                r.expect("delete succeeds");
+                break;
+            }
+            SyscallOutcome::Preempted => {
+                invariants::assert_all(&k);
+                continue;
+            }
+        }
+    }
+    assert!(entries > 8, "expected many preemptions, got {entries}");
+    assert!(!k.objs.is_live(scratch));
+    invariants::assert_all(&k);
+}
+
+#[test]
+fn nested_cnodes_torn_down_recursively() {
+    let (mut k, scratch, _eps) = boot(2);
+    // scratch contains an inner CNode which itself contains an endpoint.
+    let inner = k.boot_cnode(4);
+    let ep = k.boot_endpoint();
+    insert_cap(
+        &mut k.objs,
+        SlotRef::new(inner, 3),
+        CapType::Endpoint {
+            obj: ep,
+            badge: Badge::NONE,
+            rights: Rights::ALL,
+        },
+        None,
+    );
+    insert_cap(
+        &mut k.objs,
+        SlotRef::new(scratch, 7),
+        CapType::CNode {
+            obj: inner,
+            guard_bits: 0,
+            guard: 0,
+        },
+        None,
+    );
+    let out = k.handle_syscall(Syscall::Delete { cptr: 8 });
+    assert_eq!(out, SyscallOutcome::Completed(Ok(())));
+    for o in [scratch, inner, ep] {
+        assert!(!k.objs.is_live(o));
+    }
+    invariants::assert_all(&k);
+}
+
+#[test]
+fn decode_through_destroyed_root_fails_cleanly() {
+    // A thread whose cspace root was destroyed must get a decode error,
+    // not a panic (roots are held by value in this model).
+    let (mut k, scratch, _eps) = boot(1);
+    let victim = k.boot_tcb("victim", 5);
+    k.objs.tcb_mut(victim).cspace_root = CapType::CNode {
+        obj: scratch,
+        guard_bits: 26,
+        guard: 0,
+    };
+    let out = k.handle_syscall(Syscall::Delete { cptr: 8 });
+    assert_eq!(out, SyscallOutcome::Completed(Ok(())));
+    // The victim now decodes through a dead root.
+    k.objs.tcb_mut(victim).state = ThreadState::Running;
+    k.force_current_for_test(victim);
+    let out = k.handle_syscall(Syscall::Signal { cptr: 0 });
+    assert_eq!(
+        out,
+        SyscallOutcome::Completed(Err(rt_kernel::syscall::SysError::Decode(
+            rt_kernel::cnode::DecodeError::InvalidRoot
+        )))
+    );
+}

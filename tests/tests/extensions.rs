@@ -1,0 +1,86 @@
+//! Integration tests for the paper-flagged extension experiments:
+//! open-vs-closed systems (§6.1), L2 kernel locking (§4/§8), and the
+//! restartable-system-call overhead (§2.1).
+
+use rt_bench::tables;
+use rt_kernel::kernel::EntryPoint;
+
+#[test]
+fn after_kernel_eliminates_the_open_closed_distinction() {
+    // §6.1: "Our work now eliminates the need for this distinction, as
+    // the latencies for the open-system scenarios are no more than that
+    // of the closed system."
+    let rows = tables::open_closed();
+    let sys = rows
+        .iter()
+        .find(|r| r.entry == EntryPoint::Syscall)
+        .expect("syscall row");
+    // Before: the open system is catastrophically worse than the closed.
+    assert!(
+        sys.before_open > 5 * sys.before_closed,
+        "before-kernel open {} vs closed {}",
+        sys.before_open,
+        sys.before_closed
+    );
+    // After: even the fully open system beats the before-kernel's closed
+    // bound.
+    assert!(
+        sys.after_open <= sys.before_closed,
+        "after-open {} should not exceed before-closed {}",
+        sys.after_open,
+        sys.before_closed
+    );
+    // And within the after kernel, closed <= open trivially.
+    for r in &rows {
+        assert!(r.after_closed <= r.after_open, "{:?}", r.entry);
+    }
+}
+
+#[test]
+fn l2_kernel_lock_tightens_every_bound() {
+    // §4: locking the kernel into the L2 "would drastically reduce
+    // execution time even further ... resulting in a tighter upper bound".
+    let rows = tables::l2lock(4);
+    for r in &rows {
+        assert!(
+            r.computed_locked < r.computed_unlocked,
+            "{:?}: locked bound {} !< unlocked {}",
+            r.entry,
+            r.computed_locked,
+            r.computed_unlocked
+        );
+        // Soundness holds in the locked configuration too.
+        assert!(
+            r.observed_locked <= r.computed_locked,
+            "{:?}: observed {} exceeds locked bound {}",
+            r.entry,
+            r.observed_locked,
+            r.computed_locked
+        );
+    }
+    // The interrupt path gains the most (its bound was fetch-dominated).
+    let gain = |r: &tables::L2LockRow| 1.0 - r.computed_locked as f64 / r.computed_unlocked as f64;
+    let irq = rows
+        .iter()
+        .find(|r| r.entry == EntryPoint::Interrupt)
+        .expect("row");
+    let sys = rows
+        .iter()
+        .find(|r| r.entry == EntryPoint::Syscall)
+        .expect("row");
+    assert!(gain(irq) > gain(sys));
+}
+
+#[test]
+fn restart_overhead_is_within_the_fluke_bound() {
+    // §2.1 cites Fluke: restart overheads are "at most 8% of the cost of
+    // the operations themselves". Allow a small margin over 8% for model
+    // differences, but it must stay the same order.
+    let r = tables::restart_overhead();
+    assert!(r.restarts > 32, "expected ~63 restarts, got {}", r.restarts);
+    let pct = r.percent();
+    assert!(
+        (0.0..12.0).contains(&pct),
+        "restart overhead {pct:.1}% out of the Fluke ballpark"
+    );
+}

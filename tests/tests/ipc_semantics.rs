@@ -1,0 +1,281 @@
+//! IPC semantics: message delivery, badge delivery, rights enforcement,
+//! capability transfer through receive slots, call/reply pairing, and the
+//! blocking/non-blocking variants — the user-visible contract of the
+//! endpoint machinery whose worst case the paper bounds.
+
+use rt_hw::HwConfig;
+use rt_kernel::cap::{insert_cap, Badge, CapType, Rights, SlotRef};
+use rt_kernel::ep::{ep_append, EpState};
+use rt_kernel::invariants;
+use rt_kernel::kernel::{Kernel, KernelConfig};
+use rt_kernel::syscall::{SysError, Syscall, SyscallOutcome};
+use rt_kernel::tcb::ThreadState;
+use rt_kernel::testutil::{boot_two_threads_one_ep_cfg, ep_object};
+
+fn park_recv(k: &mut Kernel, t: rt_kernel::obj::ObjId, ep: rt_kernel::obj::ObjId) {
+    k.objs.tcb_mut(t).state = ThreadState::BlockedOnRecv { ep };
+    ep_append(&mut k.objs, ep, t, EpState::Receiving);
+}
+
+fn boot() -> (Kernel, rt_kernel::obj::ObjId, rt_kernel::obj::ObjId, u32) {
+    // Disable the fastpath so the slowpath semantics are what is tested.
+    let mut cfg = KernelConfig::after();
+    cfg.fastpath = false;
+    boot_two_threads_one_ep_cfg(cfg, HwConfig::default())
+}
+
+#[test]
+fn message_words_and_badge_are_delivered() {
+    let (mut k, client, server, ep_cptr) = boot();
+    let ep = ep_object(&k, client, ep_cptr);
+    park_recv(&mut k, server, ep);
+    // Mint a badged derivative of the endpoint cap at cptr 3.
+    let out = k.handle_syscall(Syscall::Mint {
+        src: ep_cptr,
+        dest: 3,
+        badge: Badge(0x55),
+        rights: Rights::ALL,
+    });
+    assert_eq!(out, SyscallOutcome::Completed(Ok(())));
+    k.objs.tcb_mut(client).msg = vec![10, 20, 30];
+    let out = k.handle_syscall(Syscall::Send {
+        cptr: 3,
+        len: 3,
+        caps: vec![],
+        block: true,
+    });
+    assert_eq!(out, SyscallOutcome::Completed(Ok(())));
+    let s = k.objs.tcb(server);
+    assert_eq!(&s.msg[..3], &[10, 20, 30]);
+    assert_eq!(s.recv_badge, Badge(0x55), "minted badge delivered");
+    assert_eq!(s.msg_info.length, 3);
+    invariants::assert_all(&k);
+}
+
+#[test]
+fn send_requires_write_recv_requires_read() {
+    let (mut k, client, _server, ep_cptr) = boot();
+    // A read-only derivative cannot send; a write-only one cannot receive.
+    for (slot, rights) in [(4u32, Rights::RECV), (5u32, Rights::SEND)] {
+        let out = k.handle_syscall(Syscall::Mint {
+            src: ep_cptr,
+            dest: slot,
+            badge: Badge::NONE,
+            rights,
+        });
+        assert_eq!(out, SyscallOutcome::Completed(Ok(())));
+    }
+    let out = k.handle_syscall(Syscall::Send {
+        cptr: 4,
+        len: 1,
+        caps: vec![],
+        block: false,
+    });
+    assert_eq!(out, SyscallOutcome::Completed(Err(SysError::Rights)));
+    let out = k.handle_syscall(Syscall::Recv { cptr: 5 });
+    assert_eq!(out, SyscallOutcome::Completed(Err(SysError::Rights)));
+    assert_eq!(k.current(), client, "nothing blocked");
+    invariants::assert_all(&k);
+}
+
+#[test]
+fn nonblocking_send_fails_fast_when_no_receiver() {
+    let (mut k, client, _server, ep_cptr) = boot();
+    let out = k.handle_syscall(Syscall::Send {
+        cptr: ep_cptr,
+        len: 1,
+        caps: vec![],
+        block: false,
+    });
+    assert_eq!(out, SyscallOutcome::Completed(Err(SysError::WouldBlock)));
+    assert!(k.objs.tcb(client).state.is_runnable());
+}
+
+#[test]
+fn blocking_send_queues_until_receiver_arrives() {
+    let (mut k, client, server, ep_cptr) = boot();
+    let ep = ep_object(&k, client, ep_cptr);
+    k.objs.tcb_mut(client).msg = vec![7];
+    let out = k.handle_syscall(Syscall::Send {
+        cptr: ep_cptr,
+        len: 1,
+        caps: vec![],
+        block: true,
+    });
+    assert_eq!(out, SyscallOutcome::Completed(Ok(())));
+    assert!(matches!(
+        k.objs.tcb(client).state,
+        ThreadState::BlockedOnSend { .. }
+    ));
+    assert_eq!(rt_kernel::ep::ep_len(&k.objs, ep), 1);
+    // The server receives: the queued sender's message arrives and the
+    // sender becomes runnable again.
+    k.objs.tcb_mut(server).state = ThreadState::Running;
+    k.force_current_for_test(server);
+    let out = k.handle_syscall(Syscall::Recv { cptr: ep_cptr });
+    assert_eq!(out, SyscallOutcome::Completed(Ok(())));
+    assert_eq!(k.objs.tcb(server).msg[0], 7);
+    assert!(k.objs.tcb(client).state.is_runnable());
+    invariants::assert_all(&k);
+}
+
+#[test]
+fn call_reply_pairs_threads() {
+    let (mut k, client, server, ep_cptr) = boot();
+    let ep = ep_object(&k, client, ep_cptr);
+    park_recv(&mut k, server, ep);
+    k.objs.tcb_mut(client).msg = vec![1, 2];
+    let out = k.handle_syscall(Syscall::Call {
+        cptr: ep_cptr,
+        len: 2,
+        caps: vec![],
+    });
+    assert_eq!(out, SyscallOutcome::Completed(Ok(())));
+    assert_eq!(k.current(), server, "direct switch to the server");
+    assert_eq!(k.objs.tcb(client).state, ThreadState::BlockedOnReply);
+    assert_eq!(k.objs.tcb(server).caller, Some(client));
+    // Server replies; client resumes with the reply message.
+    k.objs.tcb_mut(server).msg = vec![99];
+    let out = k.handle_syscall(Syscall::Reply {
+        len: 1,
+        caps: vec![],
+    });
+    assert_eq!(out, SyscallOutcome::Completed(Ok(())));
+    assert!(k.objs.tcb(client).state.is_runnable());
+    assert_eq!(k.objs.tcb(client).msg[0], 99);
+    assert_eq!(k.objs.tcb(server).caller, None);
+    invariants::assert_all(&k);
+}
+
+#[test]
+fn reply_to_nobody_is_a_noop() {
+    let (mut k, _client, _server, _) = boot();
+    let out = k.handle_syscall(Syscall::Reply {
+        len: 0,
+        caps: vec![],
+    });
+    assert_eq!(out, SyscallOutcome::Completed(Ok(())));
+}
+
+#[test]
+fn caps_transfer_into_the_receive_slot() {
+    let (mut k, client, server, ep_cptr) = boot();
+    let ep = ep_object(&k, client, ep_cptr);
+    // Receive-slot plumbing for the server: croot at cptr 6 (a cap to its
+    // own root CNode), destination at cptr 7 (empty slot).
+    let cnode = match k.objs.tcb(server).cspace_root {
+        CapType::CNode { obj, .. } => obj,
+        _ => unreachable!(),
+    };
+    insert_cap(
+        &mut k.objs,
+        SlotRef::new(cnode, 6),
+        CapType::CNode {
+            obj: cnode,
+            guard_bits: 24,
+            guard: 0,
+        },
+        None,
+    );
+    k.objs.tcb_mut(server).recv_slot_spec = Some((6, 7));
+    park_recv(&mut k, server, ep);
+    // The client grants a minted badge cap over the endpoint.
+    let out = k.handle_syscall(Syscall::Mint {
+        src: ep_cptr,
+        dest: 8,
+        badge: Badge(0xAB),
+        rights: Rights::ALL,
+    });
+    assert_eq!(out, SyscallOutcome::Completed(Ok(())));
+    let out = k.handle_syscall(Syscall::Send {
+        cptr: ep_cptr,
+        len: 1,
+        caps: vec![8],
+        block: true,
+    });
+    assert_eq!(out, SyscallOutcome::Completed(Ok(())));
+    // The granted cap landed in slot 7 of the shared root CNode.
+    match &k.objs.cnode(cnode).slot(7).cap {
+        CapType::Endpoint { badge, .. } => assert_eq!(*badge, Badge(0xAB)),
+        other => panic!("receive slot holds {other:?}"),
+    }
+    invariants::assert_all(&k);
+}
+
+#[test]
+fn caps_dropped_without_grant_rights() {
+    let (mut k, client, server, ep_cptr) = boot();
+    let ep = ep_object(&k, client, ep_cptr);
+    let cnode = match k.objs.tcb(server).cspace_root {
+        CapType::CNode { obj, .. } => obj,
+        _ => unreachable!(),
+    };
+    insert_cap(
+        &mut k.objs,
+        SlotRef::new(cnode, 6),
+        CapType::CNode {
+            obj: cnode,
+            guard_bits: 24,
+            guard: 0,
+        },
+        None,
+    );
+    k.objs.tcb_mut(server).recv_slot_spec = Some((6, 7));
+    park_recv(&mut k, server, ep);
+    // A no-grant derivative of the endpoint cap.
+    let out = k.handle_syscall(Syscall::Mint {
+        src: ep_cptr,
+        dest: 9,
+        badge: Badge(1),
+        rights: Rights {
+            read: true,
+            write: true,
+            grant: false,
+        },
+    });
+    assert_eq!(out, SyscallOutcome::Completed(Ok(())));
+    let out = k.handle_syscall(Syscall::Send {
+        cptr: 9,
+        len: 1,
+        caps: vec![ep_cptr],
+        block: true,
+    });
+    assert_eq!(out, SyscallOutcome::Completed(Ok(())));
+    assert!(
+        k.objs.cnode(cnode).slot(7).cap.is_null(),
+        "no grant right: no cap transferred"
+    );
+    let _ = client;
+    invariants::assert_all(&k);
+}
+
+#[test]
+fn send_to_deactivated_endpoint_fails() {
+    let (mut k, client, _server, ep_cptr) = boot();
+    let ep = ep_object(&k, client, ep_cptr);
+    k.objs.ep_mut(ep).active = false;
+    let out = k.handle_syscall(Syscall::Send {
+        cptr: ep_cptr,
+        len: 1,
+        caps: vec![],
+        block: true,
+    });
+    assert_eq!(out, SyscallOutcome::Completed(Err(SysError::Deactivated)));
+}
+
+#[test]
+fn message_length_clamped_to_max() {
+    let (mut k, client, server, ep_cptr) = boot();
+    let ep = ep_object(&k, client, ep_cptr);
+    park_recv(&mut k, server, ep);
+    k.objs.tcb_mut(client).msg = (0..200).collect();
+    let out = k.handle_syscall(Syscall::Send {
+        cptr: ep_cptr,
+        len: 500, // beyond MAX_MSG_WORDS
+        caps: vec![],
+        block: true,
+    });
+    assert_eq!(out, SyscallOutcome::Completed(Ok(())));
+    assert_eq!(k.objs.tcb(server).msg_info.length, rt_kernel::MAX_MSG_WORDS);
+    invariants::assert_all(&k);
+}

@@ -1,0 +1,152 @@
+//! Property tests: preemption points preserve the kernel invariants and
+//! operations make forward progress under arbitrary interrupt timing —
+//! the executable analogue of the paper's proof obligation that "for each
+//! preemption point that we add to seL4, we must correspondingly update
+//! the proof in order to maintain these invariants" (§2.2).
+
+use proptest::prelude::*;
+use rt_hw::{HwConfig, IrqLine};
+use rt_kernel::invariants;
+use rt_kernel::kernel::KernelConfig;
+use rt_kernel::syscall::{Syscall, SyscallOutcome};
+use rt_kernel::untyped::RetypeKind;
+
+/// Drives a (possibly repeatedly preempted) system call to completion,
+/// checking every invariant after every kernel entry, re-raising an IRQ
+/// at each step per the schedule.
+fn drive_to_completion(
+    k: &mut rt_kernel::kernel::Kernel,
+    sys: Syscall,
+    irq_at_steps: &[bool],
+    max_entries: u32,
+) -> u32 {
+    let mut entries = 0;
+    loop {
+        entries += 1;
+        assert!(
+            entries <= max_entries,
+            "no forward progress after {max_entries} entries"
+        );
+        if irq_at_steps
+            .get(entries as usize % irq_at_steps.len().max(1))
+            .copied()
+            .unwrap_or(false)
+        {
+            let now = k.machine.now();
+            k.machine.irq.raise(IrqLine(7), now);
+        }
+        let out = k.handle_syscall(sys.clone());
+        invariants::assert_all(k);
+        match out {
+            SyscallOutcome::Completed(_) => return entries,
+            SyscallOutcome::Preempted => continue,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn badged_abort_survives_arbitrary_preemption(
+        n in 1u32..48,
+        every in 1u32..6,
+        irqs in proptest::collection::vec(any::<bool>(), 1..12),
+    ) {
+        let (mut k, _server, cptr) = rt_bench::workloads::badged_queue_kernel(
+            KernelConfig::after(),
+            HwConfig::default(),
+            n,
+            every,
+        );
+        let ep = {
+            let root = k.objs.tcb(k.current()).cspace_root.clone();
+            let slot = rt_kernel::cnode::resolve_slot(&k.objs, &root, 1, 32, |_| {}).expect("ep");
+            match rt_kernel::cap::read_slot(&k.objs, slot).cap {
+                rt_kernel::cap::CapType::Endpoint { obj, .. } => obj,
+                _ => unreachable!(),
+            }
+        };
+        let before = rt_kernel::ep::ep_len(&k.objs, ep);
+        drive_to_completion(&mut k, Syscall::Revoke { cptr }, &irqs, 8 * n + 32);
+        // Every badge-42 sender was aborted, every other sender remains.
+        let expected_aborted = n.div_ceil(every);
+        prop_assert_eq!(rt_kernel::ep::ep_len(&k.objs, ep), before - expected_aborted);
+        // Aborted threads are runnable again (Restart) and queued.
+        prop_assert!(k.objs.ep(ep).abort.is_none(), "abort state cleared");
+    }
+
+    #[test]
+    fn retype_survives_arbitrary_preemption(
+        size_bits in 12u8..17,
+        irqs in proptest::collection::vec(any::<bool>(), 1..12),
+    ) {
+        let (mut k, _task, ut, dest) = rt_bench::workloads::retype_kernel(
+            KernelConfig::after(),
+            HwConfig::default(),
+            20,
+        );
+        let sys = Syscall::Retype {
+            untyped: ut,
+            kind: RetypeKind::Frame { size_bits: if size_bits >= 16 { 16 } else { 12 } },
+            count: 2,
+            dest_cnode: dest,
+            dest_offset: 8,
+        };
+        let objs_before = k.objs.len();
+        drive_to_completion(&mut k, sys, &irqs, 4096);
+        // Both frames exist and their memory is zeroed.
+        prop_assert_eq!(k.objs.len(), objs_before + 2);
+        for (_, o) in k.objs.iter() {
+            if matches!(o.kind, rt_kernel::obj::ObjKind::Frame(_)) {
+                prop_assert!(k.machine.phys.is_zero_range(o.base, o.size()));
+            }
+        }
+    }
+
+    #[test]
+    fn endpoint_delete_survives_arbitrary_preemption(
+        n in 1u32..40,
+        irqs in proptest::collection::vec(any::<bool>(), 1..12),
+    ) {
+        let (mut k, _server, _) = rt_bench::workloads::badged_queue_kernel(
+            KernelConfig::after(),
+            HwConfig::default(),
+            n,
+            1,
+        );
+        // Delete the badged child first (cptr 2), then the final cap
+        // (cptr 1) which destroys the endpoint and drains the queue.
+        drive_to_completion(&mut k, Syscall::Delete { cptr: 2 }, &irqs, 8 * n + 32);
+        drive_to_completion(&mut k, Syscall::Delete { cptr: 1 }, &irqs, 8 * n + 32);
+        // All former waiters are runnable again.
+        let mut waiters = 0;
+        for (_, o) in k.objs.iter() {
+            if let rt_kernel::obj::ObjKind::Tcb(t) = &o.kind {
+                prop_assert!(
+                    !matches!(t.state, rt_kernel::tcb::ThreadState::BlockedOnSend { .. }),
+                    "{:?} still blocked on a deleted endpoint",
+                    t.name
+                );
+                waiters += 1;
+            }
+        }
+        prop_assert!(waiters >= n as usize);
+    }
+}
+
+#[test]
+fn before_kernel_never_preempts() {
+    let (mut k, _server, cptr) = rt_bench::workloads::badged_queue_kernel(
+        KernelConfig::before(),
+        HwConfig::default(),
+        64,
+        2,
+    );
+    let now = k.machine.now();
+    k.machine.irq.raise(IrqLine(7), now);
+    let out = k.handle_syscall(Syscall::Revoke { cptr });
+    assert_eq!(out, SyscallOutcome::Completed(Ok(())));
+    assert_eq!(k.stats.preemptions, 0);
+    invariants::assert_all(&k);
+}

@@ -1,0 +1,141 @@
+//! Edge cases of the §3.1 wake/direct-switch rules: who runs after an IPC
+//! wake depends on priorities and on whether the waker is about to block,
+//! and the run queue must end up exactly right in every combination.
+
+use rt_hw::HwConfig;
+use rt_kernel::ep::{ep_append, EpState};
+use rt_kernel::invariants;
+use rt_kernel::kernel::{Kernel, KernelConfig, SchedKind};
+use rt_kernel::syscall::{Syscall, SyscallOutcome};
+use rt_kernel::tcb::ThreadState;
+use rt_kernel::testutil::{boot_two_threads_one_ep_cfg, ep_object};
+
+fn boot_with(
+    sched: SchedKind,
+    client_prio: u8,
+    server_prio: u8,
+) -> (Kernel, rt_kernel::obj::ObjId, rt_kernel::obj::ObjId, u32) {
+    let cfg = KernelConfig {
+        sched,
+        fastpath: false,
+        ..KernelConfig::after()
+    };
+    let (mut k, client, server, ep) = boot_two_threads_one_ep_cfg(cfg, HwConfig::default());
+    k.objs.tcb_mut(client).prio = client_prio;
+    k.objs.tcb_mut(server).prio = server_prio;
+    (k, client, server, ep)
+}
+
+fn park_recv(k: &mut Kernel, t: rt_kernel::obj::ObjId, ep: rt_kernel::obj::ObjId) {
+    k.objs.tcb_mut(t).state = ThreadState::BlockedOnRecv { ep };
+    ep_append(&mut k.objs, ep, t, EpState::Receiving);
+}
+
+#[test]
+fn call_direct_switches_to_equal_priority_receiver() {
+    for sched in [SchedKind::Benno, SchedKind::BennoBitmap, SchedKind::Lazy] {
+        let (mut k, client, server, epc) = boot_with(sched, 50, 50);
+        let ep = ep_object(&k, client, epc);
+        park_recv(&mut k, server, ep);
+        let out = k.handle_syscall(Syscall::Call {
+            cptr: epc,
+            len: 1,
+            caps: vec![],
+        });
+        assert_eq!(out, SyscallOutcome::Completed(Ok(())));
+        assert_eq!(k.current(), server, "{sched:?}: caller yields, so >= wins");
+        if sched != SchedKind::Lazy {
+            assert!(
+                !k.objs.tcb(server).in_runqueue,
+                "{sched:?}: §3.1 — the directly-switched thread is never enqueued"
+            );
+        }
+        invariants::assert_all(&k);
+    }
+}
+
+#[test]
+fn plain_send_does_not_yield_to_equal_priority() {
+    for sched in [SchedKind::Benno, SchedKind::BennoBitmap] {
+        let (mut k, client, server, epc) = boot_with(sched, 50, 50);
+        let ep = ep_object(&k, client, epc);
+        park_recv(&mut k, server, ep);
+        let out = k.handle_syscall(Syscall::Send {
+            cptr: epc,
+            len: 1,
+            caps: vec![],
+            block: false,
+        });
+        assert_eq!(out, SyscallOutcome::Completed(Ok(())));
+        // The sender keeps running (it did not block), the equal-priority
+        // receiver is queued.
+        assert_eq!(k.current(), client, "{sched:?}");
+        assert!(k.objs.tcb(server).in_runqueue, "{sched:?}");
+        invariants::assert_all(&k);
+    }
+}
+
+#[test]
+fn send_yields_to_higher_priority_receiver() {
+    for sched in [SchedKind::Benno, SchedKind::BennoBitmap, SchedKind::Lazy] {
+        let (mut k, client, server, epc) = boot_with(sched, 50, 60);
+        let ep = ep_object(&k, client, epc);
+        park_recv(&mut k, server, ep);
+        let out = k.handle_syscall(Syscall::Send {
+            cptr: epc,
+            len: 1,
+            caps: vec![],
+            block: false,
+        });
+        assert_eq!(out, SyscallOutcome::Completed(Ok(())));
+        assert_eq!(k.current(), server, "{sched:?}: higher priority preempts");
+        // The displaced, still-runnable sender is re-entered in the run
+        // queue (§3.1: "the preempted thread must be entered in the run
+        // queue if it is not already there").
+        assert!(k.objs.tcb(client).in_runqueue, "{sched:?}");
+        invariants::assert_all(&k);
+    }
+}
+
+#[test]
+fn wake_of_lower_priority_receiver_just_enqueues() {
+    for sched in [SchedKind::Benno, SchedKind::BennoBitmap] {
+        let (mut k, client, server, epc) = boot_with(sched, 50, 40);
+        let ep = ep_object(&k, client, epc);
+        park_recv(&mut k, server, ep);
+        let out = k.handle_syscall(Syscall::Call {
+            cptr: epc,
+            len: 1,
+            caps: vec![],
+        });
+        assert_eq!(out, SyscallOutcome::Completed(Ok(())));
+        // The caller blocked on the reply, so the scheduler runs and the
+        // (only runnable) lower-priority server is chosen from the queue.
+        assert_eq!(k.current(), server, "{sched:?}");
+        assert_eq!(k.objs.tcb(client).state, ThreadState::BlockedOnReply);
+        invariants::assert_all(&k);
+    }
+}
+
+#[test]
+fn benno_bitmap_and_benno_agree_on_current_after_ipc() {
+    // The bitmap is an optimisation, not a policy change: the same wake
+    // sequence must leave the same thread running under both.
+    for (cp, sp) in [(10, 20), (20, 10), (15, 15)] {
+        let mut currents = Vec::new();
+        for sched in [SchedKind::Benno, SchedKind::BennoBitmap] {
+            let (mut k, client, server, epc) = boot_with(sched, cp, sp);
+            let ep = ep_object(&k, client, epc);
+            park_recv(&mut k, server, ep);
+            let _ = k.handle_syscall(Syscall::Call {
+                cptr: epc,
+                len: 1,
+                caps: vec![],
+            });
+            let name = k.objs.tcb(k.current()).name.clone();
+            currents.push(name);
+            invariants::assert_all(&k);
+        }
+        assert_eq!(currents[0], currents[1], "prio pair ({cp},{sp})");
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests on the scheduler designs (§3.1–3.2): under random
+//! operation sequences, the bitmap exactly mirrors the queues, the three
+//! `chooseThread` implementations agree where their semantics overlap, and
+//! Benno scheduling maintains its invariant.
+
+use proptest::prelude::*;
+use rt_kernel::obj::{ObjId, ObjKind, ObjStore};
+use rt_kernel::sched::RunQueues;
+use rt_kernel::tcb::{Tcb, ThreadState, TCB_SIZE_BITS};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Enqueue(u8, u8), // thread index, priority
+    Dequeue(u8),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u8..16, any::<u8>()).prop_map(|(t, p)| Op::Enqueue(t, p)),
+            (0u8..16).prop_map(Op::Dequeue),
+        ],
+        1..120,
+    )
+}
+
+fn setup(n: u8) -> (ObjStore, Vec<ObjId>) {
+    let mut s = ObjStore::new();
+    let tcbs = (0..n)
+        .map(|i| {
+            let id = s.insert(
+                0x8000_0000 + i as u32 * 512,
+                TCB_SIZE_BITS,
+                ObjKind::Tcb(Tcb::new(&format!("t{i}"), 0)),
+            );
+            s.tcb_mut(id).state = ThreadState::Running;
+            id
+        })
+        .collect();
+    (s, tcbs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn bitmap_reflects_queues_under_churn(ops in ops()) {
+        let (mut s, tcbs) = setup(16);
+        let mut q = RunQueues::new();
+        for op in ops {
+            match op {
+                Op::Enqueue(t, p) => {
+                    let id = tcbs[t as usize];
+                    if !s.tcb(id).in_runqueue {
+                        s.tcb_mut(id).prio = p;
+                        q.enqueue(&mut s, id);
+                    }
+                }
+                Op::Dequeue(t) => {
+                    let id = tcbs[t as usize];
+                    if s.tcb(id).in_runqueue {
+                        q.dequeue(&mut s, id);
+                    }
+                }
+            }
+            // §3.2's invariant, at every step.
+            for prio in 0..=255u8 {
+                prop_assert_eq!(
+                    q.bitmap.is_set(prio),
+                    q.head(prio).is_some(),
+                    "bitmap disagrees at prio {}",
+                    prio
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bitmap_and_scan_choose_the_same_thread(ops in ops()) {
+        let (mut s, tcbs) = setup(16);
+        let mut q = RunQueues::new();
+        for op in ops {
+            match op {
+                Op::Enqueue(t, p) => {
+                    let id = tcbs[t as usize];
+                    if !s.tcb(id).in_runqueue {
+                        s.tcb_mut(id).prio = p;
+                        q.enqueue(&mut s, id);
+                    }
+                }
+                Op::Dequeue(t) => {
+                    let id = tcbs[t as usize];
+                    if s.tcb(id).in_runqueue {
+                        q.dequeue(&mut s, id);
+                    }
+                }
+            }
+            // Fig. 3's scan and §3.2's bitmap agree on every state (queue
+            // contains only runnable threads here, so lazy agrees too).
+            let (scan, _) = q.choose_benno();
+            prop_assert_eq!(q.choose_bitmap(), scan);
+            let mut s2 = s.clone();
+            let mut q2 = q.clone();
+            let lazy = q2.choose_lazy(&mut s2);
+            prop_assert_eq!(lazy.thread, scan);
+            prop_assert_eq!(lazy.dequeued_blocked, 0);
+        }
+    }
+
+    #[test]
+    fn lazy_dequeues_exactly_the_blocked_prefix(
+        blocked_mask in proptest::collection::vec(any::<bool>(), 8),
+    ) {
+        // Queue 8 threads at one priority, block per mask, then choose:
+        // lazy must dequeue exactly the blocked prefix up to the first
+        // runnable thread.
+        let (mut s, tcbs) = setup(8);
+        let mut q = RunQueues::new();
+        for id in tcbs.iter().take(8) {
+            s.tcb_mut(*id).prio = 7;
+            q.enqueue(&mut s, *id);
+        }
+        for (i, &b) in blocked_mask.iter().enumerate() {
+            if b {
+                s.tcb_mut(tcbs[i]).state = ThreadState::BlockedOnReply;
+            }
+        }
+        let expected_prefix = blocked_mask.iter().take_while(|&&b| b).count();
+        let choice = q.choose_lazy(&mut s);
+        prop_assert_eq!(choice.dequeued_blocked as usize, expected_prefix);
+        match choice.thread {
+            Some(t) => {
+                prop_assert_eq!(t, tcbs[expected_prefix]);
+                prop_assert!(s.tcb(t).state.is_runnable());
+            }
+            None => prop_assert_eq!(expected_prefix, 8),
+        }
+    }
+}

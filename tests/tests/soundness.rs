@@ -1,0 +1,110 @@
+//! The headline soundness property: for every entry point, kernel
+//! configuration, and cache configuration, the **computed bound dominates
+//! the observed worst case** — the paper's Table 2 relation, checked
+//! mechanically. (The computed number uses the pessimistic §5.1 model;
+//! the observed number runs the same kernel blocks on the real 4-way
+//! caches with the §5.4 dirty-pollution preamble.)
+
+use rt_bench::observe::observe_entry_reps;
+use rt_hw::HwConfig;
+use rt_kernel::kernel::{EntryPoint, KernelConfig};
+use rt_wcet::{analyze, AnalysisConfig};
+
+fn check(entry: EntryPoint, l2: bool) {
+    let kernel = KernelConfig::after();
+    let computed = analyze(
+        entry,
+        &AnalysisConfig {
+            kernel,
+            l2,
+            pinning: false,
+            l2_kernel_locked: false,
+            manual_constraints: true,
+        },
+    )
+    .cycles;
+    let hw = HwConfig {
+        l2_enabled: l2,
+        ..HwConfig::default()
+    };
+    let observed = observe_entry_reps(entry, kernel, hw, 6);
+    assert!(
+        observed <= computed,
+        "{entry:?} l2={l2}: observed {observed} exceeds computed {computed}"
+    );
+    // And the bound is not absurdly loose either (the paper's worst ratio
+    // is 5.42; allow an order of magnitude before alarm).
+    assert!(
+        computed < observed.saturating_mul(20),
+        "{entry:?} l2={l2}: computed {computed} is >20x observed {observed}"
+    );
+}
+
+#[test]
+fn syscall_l2_off_sound() {
+    check(EntryPoint::Syscall, false);
+}
+
+#[test]
+fn syscall_l2_on_sound() {
+    check(EntryPoint::Syscall, true);
+}
+
+#[test]
+fn undefined_l2_off_sound() {
+    check(EntryPoint::Undefined, false);
+}
+
+#[test]
+fn undefined_l2_on_sound() {
+    check(EntryPoint::Undefined, true);
+}
+
+#[test]
+fn page_fault_l2_off_sound() {
+    check(EntryPoint::PageFault, false);
+}
+
+#[test]
+fn page_fault_l2_on_sound() {
+    check(EntryPoint::PageFault, true);
+}
+
+#[test]
+fn interrupt_l2_off_sound() {
+    check(EntryPoint::Interrupt, false);
+}
+
+#[test]
+fn interrupt_l2_on_sound() {
+    check(EntryPoint::Interrupt, true);
+}
+
+#[test]
+fn pinned_bound_dominates_pinned_observation() {
+    // Table 1's configuration: pinning on, L2 off.
+    let kernel = KernelConfig::after();
+    let computed = analyze(
+        EntryPoint::Interrupt,
+        &AnalysisConfig {
+            kernel,
+            l2: false,
+            pinning: true,
+            l2_kernel_locked: false,
+            manual_constraints: true,
+        },
+    )
+    .cycles;
+    let hw = HwConfig {
+        locked_l1_ways: 1,
+        ..HwConfig::default()
+    };
+    let mut w = rt_bench::workloads::WorstInterrupt::new(kernel, hw);
+    let report = rt_kernel::pinning::apply_pinning(&mut w.kernel);
+    assert_eq!(report.rejected, 0);
+    let observed = (0..6).map(|_| w.fire_polluted()).max().expect("runs");
+    assert!(
+        observed <= computed,
+        "pinned: observed {observed} exceeds computed {computed}"
+    );
+}

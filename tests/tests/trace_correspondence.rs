@@ -1,0 +1,169 @@
+//! CFG-correspondence: every block trace the kernel actually executes must
+//! be admitted by the analysis control-flow graph for that entry point —
+//! i.e. the analysed program over-approximates the executed one, which is
+//! what makes the computed bounds meaningful for this kernel (the paper
+//! analyses the very binary it runs, §5).
+
+use rt_hw::HwConfig;
+use rt_kernel::kernel::{EntryPoint, KernelConfig};
+use rt_kernel::kprog::Block;
+use rt_kernel::syscall::Syscall;
+use rt_wcet::kmodel::build_cfg;
+
+/// Cuts a trace at exit-time interrupt service: once the kernel's exit
+/// check finds a pending IRQ, the syscall *path* (in the paper's §5.2
+/// sense) has ended and the interrupt path begins.
+fn slice_at_exit_service(trace: &[Block]) -> &[Block] {
+    for (i, w) in trace.windows(2).enumerate() {
+        if w[0] == Block::KExitCheck && w[1] == Block::IrqGet {
+            return &trace[..=i];
+        }
+    }
+    trace
+}
+
+fn check(entry: EntryPoint, cfgk: KernelConfig, trace: &[Block]) {
+    let sliced = slice_at_exit_service(trace);
+    let g = build_cfg(entry, cfgk);
+    if let Err(e) = g.admits_trace(sliced) {
+        panic!("{entry:?}/{cfgk:?}: trace not admitted: {e}\ntrace: {sliced:?}");
+    }
+}
+
+#[test]
+fn worst_syscall_trace_admitted() {
+    for cfgk in [KernelConfig::before(), KernelConfig::after()] {
+        let mut w = rt_bench::workloads::WorstSyscall::new(cfgk, HwConfig::default());
+        w.kernel.start_trace();
+        let _ = w.kernel.handle_syscall(w.syscall());
+        let trace = w.kernel.take_trace();
+        assert!(
+            trace.len() > 100,
+            "expected a long trace, got {}",
+            trace.len()
+        );
+        check(EntryPoint::Syscall, cfgk, &trace);
+    }
+}
+
+#[test]
+fn interrupt_trace_admitted() {
+    for cfgk in [KernelConfig::before(), KernelConfig::after()] {
+        let mut w = rt_bench::workloads::WorstInterrupt::new(cfgk, HwConfig::default());
+        let now = w.kernel.machine.now();
+        w.kernel.machine.irq.raise(rt_hw::IrqLine(4), now);
+        w.kernel.start_trace();
+        w.kernel.handle_interrupt();
+        let trace = w.kernel.take_trace();
+        check(EntryPoint::Interrupt, cfgk, &trace);
+    }
+}
+
+#[test]
+fn fault_traces_admitted() {
+    for cfgk in [KernelConfig::before(), KernelConfig::after()] {
+        let mut w = rt_bench::workloads::WorstFault::new(cfgk, HwConfig::default());
+        w.kernel.start_trace();
+        w.kernel.handle_page_fault(0x0040_0000);
+        let trace = w.kernel.take_trace();
+        check(EntryPoint::PageFault, cfgk, &trace);
+
+        let mut w = rt_bench::workloads::WorstFault::new(cfgk, HwConfig::default());
+        w.kernel.start_trace();
+        w.kernel.handle_undefined();
+        let trace = w.kernel.take_trace();
+        check(EntryPoint::Undefined, cfgk, &trace);
+    }
+}
+
+#[test]
+fn fastpath_trace_admitted() {
+    let (mut k, client, server, ep) = rt_kernel::testutil::boot_two_threads_one_ep();
+    let epobj = rt_kernel::testutil::ep_object(&k, client, ep);
+    k.objs.tcb_mut(server).state = rt_kernel::tcb::ThreadState::BlockedOnRecv { ep: epobj };
+    rt_kernel::ep::ep_append(
+        &mut k.objs,
+        epobj,
+        server,
+        rt_kernel::ep::EpState::Receiving,
+    );
+    k.start_trace();
+    let _ = k.handle_syscall(Syscall::Call {
+        cptr: ep,
+        len: 2,
+        caps: vec![],
+    });
+    let trace = k.take_trace();
+    assert!(trace.contains(&Block::FastpathCommit), "{trace:?}");
+    check(EntryPoint::Syscall, KernelConfig::after(), &trace);
+}
+
+#[test]
+fn retype_trace_admitted() {
+    for cfgk in [KernelConfig::before(), KernelConfig::after()] {
+        let (mut k, _task, ut, dest) =
+            rt_bench::workloads::retype_kernel(cfgk, HwConfig::default(), 18);
+        k.start_trace();
+        let _ = k.handle_syscall(Syscall::Retype {
+            untyped: ut,
+            kind: rt_kernel::untyped::RetypeKind::Frame { size_bits: 12 },
+            count: 4,
+            dest_cnode: dest,
+            dest_offset: 16,
+        });
+        let trace = k.take_trace();
+        assert!(trace.contains(&Block::ClearLine));
+        check(EntryPoint::Syscall, cfgk, &trace);
+    }
+}
+
+#[test]
+fn badged_abort_trace_admitted() {
+    for cfgk in [KernelConfig::before(), KernelConfig::after()] {
+        let (mut k, _server, cptr) =
+            rt_bench::workloads::badged_queue_kernel(cfgk, HwConfig::default(), 24, 3);
+        k.start_trace();
+        let _ = k.handle_syscall(Syscall::Revoke { cptr });
+        let trace = k.take_trace();
+        assert!(trace.contains(&Block::AbortIter), "{trace:?}");
+        check(EntryPoint::Syscall, cfgk, &trace);
+    }
+}
+
+#[test]
+fn preempted_retype_trace_ends_at_preemption_point() {
+    // With an IRQ pending, the after-kernel's clear loop must unwind at
+    // its first preemption point; the trace ends in the interrupt
+    // handler, matching the §5.2 path definition.
+    let (mut k, _task, ut, dest) =
+        rt_bench::workloads::retype_kernel(KernelConfig::after(), HwConfig::default(), 20);
+    let now = k.machine.now();
+    k.machine.irq.raise(rt_hw::IrqLine(3), now);
+    k.start_trace();
+    let out = k.handle_syscall(Syscall::Retype {
+        untyped: ut,
+        kind: rt_kernel::untyped::RetypeKind::Frame { size_bits: 16 },
+        count: 1,
+        dest_cnode: dest,
+        dest_offset: 16,
+    });
+    assert_eq!(out, rt_kernel::syscall::SyscallOutcome::Preempted);
+    let trace = k.take_trace();
+    let save_pos = trace
+        .iter()
+        .position(|&b| b == Block::PreemptSave)
+        .expect("preemption point taken");
+    // The syscall-path segment (up to and including PreemptSave) is a
+    // path of the syscall CFG.
+    check(
+        EntryPoint::Syscall,
+        KernelConfig::after(),
+        &trace[..=save_pos],
+    );
+    // Work before the preemption point: exactly one 1 KiB chunk.
+    let lines = trace[..save_pos]
+        .iter()
+        .filter(|&&b| b == Block::ClearLine)
+        .count();
+    assert_eq!(lines, 32, "one chunk per inter-preemption segment");
+}

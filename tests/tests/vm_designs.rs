@@ -1,0 +1,300 @@
+//! Integration tests of the two address-space designs (§3.6): mapping,
+//! unmapping, stale-reference safety under the ASID design, eager
+//! back-pointer maintenance under the shadow design, and preemptible
+//! address-space teardown.
+
+use rt_hw::HwConfig;
+use rt_kernel::cap::{insert_cap, CapType, SlotRef};
+use rt_kernel::invariants;
+use rt_kernel::kernel::{Kernel, KernelConfig, SchedKind, VmKind};
+use rt_kernel::syscall::{Syscall, SyscallOutcome};
+use rt_kernel::tcb::ThreadState;
+use rt_kernel::untyped::RetypeKind;
+use rt_kernel::vspace::{PdEntry, PtEntry};
+
+/// Boots a kernel with an allocator task, an untyped region and the given
+/// VM design; returns `(kernel, untyped cptr, cnode cptr)`.
+fn boot(vm: VmKind) -> (Kernel, u32, u32) {
+    let cfg = KernelConfig {
+        sched: SchedKind::BennoBitmap,
+        vm,
+        preemption_points: true,
+        fastpath: true,
+    };
+    let (mut k, _task, ut, dest) = rt_bench::workloads::retype_kernel(cfg, HwConfig::default(), 22);
+    // The ASID design needs an ASID pool and the control cap plumbing;
+    // install a pool directly.
+    if vm == VmKind::Asid {
+        let pool = k.boot_alloc().alloc(12);
+        let pool_id = k.objs.insert(
+            pool,
+            12,
+            rt_kernel::obj::ObjKind::AsidPool(rt_kernel::vspace::AsidPool::new()),
+        );
+        k.asid_table.install_pool(pool_id).expect("room");
+        let cnode = match k.objs.tcb(k.current()).cspace_root {
+            CapType::CNode { obj, .. } => obj,
+            _ => unreachable!(),
+        };
+        insert_cap(
+            &mut k.objs,
+            SlotRef::new(cnode, 9),
+            CapType::AsidPool(pool_id),
+            None,
+        );
+    }
+    (k, ut, dest)
+}
+
+fn run(k: &mut Kernel, sys: Syscall) -> SyscallOutcome {
+    let mut out;
+    loop {
+        out = k.handle_syscall(sys.clone());
+        if out != SyscallOutcome::Preempted {
+            return out;
+        }
+    }
+}
+
+fn ok(k: &mut Kernel, sys: Syscall) {
+    let out = run(k, sys.clone());
+    assert_eq!(out, SyscallOutcome::Completed(Ok(())), "{sys:?}");
+}
+
+/// Creates PD (slot 16), PT (slot 17), frame (slot 18) and maps the frame
+/// at `vaddr`.
+fn build_mapping(k: &mut Kernel, ut: u32, dest: u32, vaddr: u32, asid: bool) {
+    ok(
+        k,
+        Syscall::Retype {
+            untyped: ut,
+            kind: RetypeKind::PageDirectory,
+            count: 1,
+            dest_cnode: dest,
+            dest_offset: 16,
+        },
+    );
+    ok(
+        k,
+        Syscall::Retype {
+            untyped: ut,
+            kind: RetypeKind::PageTable,
+            count: 1,
+            dest_cnode: dest,
+            dest_offset: 17,
+        },
+    );
+    ok(
+        k,
+        Syscall::Retype {
+            untyped: ut,
+            kind: RetypeKind::Frame { size_bits: 12 },
+            count: 1,
+            dest_cnode: dest,
+            dest_offset: 18,
+        },
+    );
+    if asid {
+        ok(k, Syscall::AssignAsid { pool: 9, pd: 16 });
+    }
+    ok(
+        k,
+        Syscall::MapPageTable {
+            pt: 17,
+            pd: 16,
+            vaddr,
+        },
+    );
+    ok(
+        k,
+        Syscall::MapFrame {
+            frame: 18,
+            pd: 16,
+            vaddr,
+        },
+    );
+}
+
+fn frame_mapped(k: &Kernel, vaddr: u32) -> bool {
+    // Walk all PDs looking for a translation of vaddr.
+    for (_, o) in k.objs.iter() {
+        if let rt_kernel::obj::ObjKind::PageDirectory(pd) = &o.kind {
+            match pd.entries[rt_kernel::vspace::pd_index(vaddr) as usize] {
+                PdEntry::Table { pt } => {
+                    if matches!(
+                        k.objs.pt(pt).entries[rt_kernel::vspace::pt_index(vaddr) as usize],
+                        PtEntry::Page { .. }
+                    ) {
+                        return true;
+                    }
+                }
+                PdEntry::Section { .. } => return true,
+                _ => {}
+            }
+        }
+    }
+    false
+}
+
+#[test]
+fn map_unmap_round_trip_both_designs() {
+    for vm in [VmKind::Asid, VmKind::ShadowPt] {
+        let (mut k, ut, dest) = boot(vm);
+        build_mapping(&mut k, ut, dest, 0x0040_0000, vm == VmKind::Asid);
+        assert!(frame_mapped(&k, 0x0040_0000), "{vm:?}");
+        invariants::assert_all(&k);
+        ok(&mut k, Syscall::UnmapFrame { frame: 18 });
+        assert!(!frame_mapped(&k, 0x0040_0000), "{vm:?}");
+        invariants::assert_all(&k);
+    }
+}
+
+#[test]
+fn double_map_rejected() {
+    for vm in [VmKind::Asid, VmKind::ShadowPt] {
+        let (mut k, ut, dest) = boot(vm);
+        build_mapping(&mut k, ut, dest, 0x0040_0000, vm == VmKind::Asid);
+        let out = run(
+            &mut k,
+            Syscall::MapFrame {
+                frame: 18,
+                pd: 16,
+                vaddr: 0x0050_0000,
+            },
+        );
+        assert_eq!(
+            out,
+            SyscallOutcome::Completed(Err(rt_kernel::syscall::SysError::AlreadyMapped)),
+            "{vm:?}"
+        );
+    }
+}
+
+#[test]
+fn asid_design_tolerates_stale_frame_caps() {
+    // §3.6: "by instead indirecting through the ASID table, the references
+    // from each frame cap, whilst stale, are harmless."
+    let (mut k, ut, dest) = boot(VmKind::Asid);
+    build_mapping(&mut k, ut, dest, 0x0040_0000, true);
+    // Delete the PD (lazy: drops the ASID entry + TLB flush). The frame
+    // cap still carries the stale ASID.
+    ok(&mut k, Syscall::Delete { cptr: 16 });
+    // Unmapping through the stale ASID must be a harmless no-op.
+    let out = run(&mut k, Syscall::UnmapFrame { frame: 18 });
+    assert_eq!(out, SyscallOutcome::Completed(Ok(())));
+    invariants::assert_all(&k);
+}
+
+#[test]
+fn shadow_design_purges_frame_caps_eagerly() {
+    // §3.6: "all mapping and unmapping operations, along with address
+    // space deletion must eagerly update all back-pointers to avoid any
+    // dangling references."
+    let (mut k, ut, dest) = boot(VmKind::ShadowPt);
+    build_mapping(&mut k, ut, dest, 0x0040_0000, false);
+    // Deleting the page table must clear the frame cap's mapping.
+    ok(&mut k, Syscall::Delete { cptr: 17 });
+    let cnode = match k.objs.tcb(k.current()).cspace_root {
+        CapType::CNode { obj, .. } => obj,
+        _ => unreachable!(),
+    };
+    match &k.objs.cnode(cnode).slot(18).cap {
+        CapType::Frame { mapping, .. } => {
+            assert!(mapping.is_none(), "frame cap mapping must be purged");
+        }
+        other => panic!("slot 18 holds {other:?}"),
+    }
+    invariants::assert_all(&k);
+}
+
+#[test]
+fn shadow_pd_teardown_is_preemptible() {
+    let (mut k, ut, dest) = boot(VmKind::ShadowPt);
+    build_mapping(&mut k, ut, dest, 0x0040_0000, false);
+    // Map a few more sections to give the teardown several entries.
+    for (i, vaddr) in [0x0080_0000u32, 0x00c0_0000, 0x0100_0000]
+        .iter()
+        .enumerate()
+    {
+        ok(
+            &mut k,
+            Syscall::Retype {
+                untyped: ut,
+                kind: RetypeKind::Frame { size_bits: 20 },
+                count: 1,
+                dest_cnode: dest,
+                dest_offset: 20 + i as u32,
+            },
+        );
+        ok(
+            &mut k,
+            Syscall::MapFrame {
+                frame: 20 + i as u32,
+                pd: 16,
+                vaddr: *vaddr,
+            },
+        );
+    }
+    // Raise an IRQ so the teardown preempts at least once.
+    let now = k.machine.now();
+    k.machine.irq.raise(rt_hw::IrqLine(6), now);
+    let first = k.handle_syscall(Syscall::Delete { cptr: 16 });
+    assert_eq!(first, SyscallOutcome::Preempted, "teardown must preempt");
+    // Drive to completion.
+    ok(&mut k, Syscall::Delete { cptr: 16 });
+    // Every frame cap's mapping is gone (no dangling Pd references).
+    let cnode = match k.objs.tcb(k.current()).cspace_root {
+        CapType::CNode { obj, .. } => obj,
+        _ => unreachable!(),
+    };
+    for slot in [18u32, 20, 21, 22] {
+        if let CapType::Frame { mapping, .. } = &k.objs.cnode(cnode).slot(slot).cap {
+            assert!(mapping.is_none(), "slot {slot} still mapped");
+        }
+    }
+    invariants::assert_all(&k);
+}
+
+#[test]
+fn asid_assignment_scans_the_pool() {
+    let (mut k, ut, dest) = boot(VmKind::Asid);
+    ok(
+        &mut k,
+        Syscall::Retype {
+            untyped: ut,
+            kind: RetypeKind::PageDirectory,
+            count: 1,
+            dest_cnode: dest,
+            dest_offset: 16,
+        },
+    );
+    // Fill the first 100 pool slots so the scan has work to do.
+    let pool = k.asid_table.pools[0].expect("pool installed");
+    for i in 0..100 {
+        k.objs.asid_pool_mut(pool).entries[i] = Some(rt_kernel::obj::ObjId(0));
+    }
+    let t0 = k.machine.now();
+    ok(&mut k, Syscall::AssignAsid { pool: 9, pd: 16 });
+    let dt = k.machine.now() - t0;
+    // The PD got ASID 100.
+    let cnode = match k.objs.tcb(k.current()).cspace_root {
+        CapType::CNode { obj, .. } => obj,
+        _ => unreachable!(),
+    };
+    match k.objs.cnode(cnode).slot(16).cap {
+        CapType::PageDirectory { asid, .. } => assert_eq!(asid, Some(100)),
+        ref other => panic!("slot 16 holds {other:?}"),
+    }
+    // The scan cost grows with occupancy (the §3.6 pathology).
+    assert!(dt > 1000, "scan suspiciously cheap: {dt}");
+}
+
+#[test]
+fn wrong_vm_design_rejected() {
+    let (mut k, _ut, _dest) = boot(VmKind::ShadowPt);
+    let out = run(&mut k, Syscall::AssignAsid { pool: 9, pd: 16 });
+    assert_eq!(
+        out,
+        SyscallOutcome::Completed(Err(rt_kernel::syscall::SysError::WrongVmDesign))
+    );
+}
