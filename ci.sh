@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus lints. Run from the repo root.
+set -euo pipefail
+
+cargo build --release
+cargo test -q
+cargo fmt --check
+cargo clippy --all-targets -- -D warnings

@@ -5,15 +5,19 @@
 //! * the IPC fastpath (§6.1);
 //! * capability decode depth (Fig. 7): cycles grow linearly with depth;
 //! * the 1 KiB clear/copy chunk (§3.5: ~20 µs at 532 MHz on the target —
-//!   our model's figure is printed for comparison).
+//!   our model's figure is printed for comparison);
+//! * the IPET ILP solver: warm-started branch and bound vs the cold
+//!   (from-scratch per node) baseline on the real after-config system-call
+//!   instance.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rt_bench::workloads::{badged_queue_kernel, DeepCspace};
 use rt_hw::HwConfig;
 use rt_kernel::cap::{Badge, CapType, Rights};
-use rt_kernel::kernel::{Kernel, KernelConfig, SchedKind};
+use rt_kernel::kernel::{EntryPoint, Kernel, KernelConfig, SchedKind};
 use rt_kernel::syscall::Syscall;
 use rt_kernel::tcb::ThreadState;
+use rt_wcet::AnalysisConfig;
 
 /// Simulated-cycle cost of one `chooseThread` under each design, with
 /// `blocked` stale entries in the lazy queue.
@@ -101,6 +105,19 @@ fn bench(c: &mut Criterion) {
     }
     g.finish();
 
+    // The real IPET instance the headline bound comes from: system call,
+    // after-kernel, L2 off, manual constraints on.
+    let ilp = rt_wcet::ipet_ilp(EntryPoint::Syscall, &AnalysisConfig::after_l2_off());
+    let mut g = c.benchmark_group("ilp_solver");
+    g.sample_size(10);
+    g.bench_function("syscall_after_cold", |b| {
+        b.iter(|| ilp.model.solve_cold().expect("solvable").objective_i64())
+    });
+    g.bench_function("syscall_after_warm", |b| {
+        b.iter(|| ilp.model.solve().expect("solvable").objective_i64())
+    });
+    g.finish();
+
     // Print the simulated-cycle summary (the quantities the paper is
     // about; the criterion timings above measure the simulator itself).
     println!("\nSimulated-cycle summary:");
@@ -121,6 +138,31 @@ fn bench(c: &mut Criterion) {
             decode_cycles(depth)
         );
     }
+    // Solver work counters (machine-independent, unlike the wall times
+    // above): the warm-started solver must pivot far less than the cold
+    // baseline on the same instance.
+    let cold = ilp.model.solve_cold().expect("solvable").stats;
+    let warm = ilp.model.solve().expect("solvable").stats;
+    println!(
+        "  ILP cold: {} nodes, {} pivots, {:.1} ms",
+        cold.nodes,
+        cold.pivots(),
+        cold.wall.as_secs_f64() * 1e3
+    );
+    println!(
+        "  ILP warm: {} nodes, {} pivots ({} primal + {} dual), \
+         warm-start rate {:.0}%, {:.1} ms",
+        warm.nodes,
+        warm.pivots(),
+        warm.primal_pivots,
+        warm.dual_pivots,
+        warm.warm_hit_rate() * 100.0,
+        warm.wall.as_secs_f64() * 1e3
+    );
+    println!(
+        "  pivot reduction: {:.1}x",
+        cold.pivots() as f64 / warm.pivots() as f64
+    );
 }
 
 criterion_group!(benches, bench);

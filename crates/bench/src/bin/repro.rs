@@ -69,6 +69,21 @@ fn latency_bound() -> String {
             n * c
         ));
     }
+    s.push_str("\nILP solver effort (warm-started branch and bound):\n");
+    for (name, r) in [("system call", &sys), ("interrupt", &irq)] {
+        let st = r.phases.ilp_stats;
+        s.push_str(&format!(
+            "  {name:<11}: {} nodes, {} pivots ({} primal + {} dual), \
+             warm-start rate {:.0}%, {} presolved, {:.1} ms\n",
+            st.nodes,
+            st.pivots(),
+            st.primal_pivots,
+            st.dual_pivots,
+            st.warm_hit_rate() * 100.0,
+            st.presolve_eliminated,
+            st.wall.as_secs_f64() * 1e3
+        ));
+    }
     s
 }
 

@@ -755,12 +755,14 @@ mod tests {
     fn stack_and_global_addresses_stay_in_pinned_regions() {
         for i in 0..256 {
             let s = stack_addr(i);
-            assert!(s >= KERNEL_STACK_TOP - KERNEL_STACK_SPAN && s < KERNEL_STACK_TOP);
+            assert!((KERNEL_STACK_TOP - KERNEL_STACK_SPAN..KERNEL_STACK_TOP).contains(&s));
         }
         for &b in Block::ALL {
             for i in 0..8 {
                 let g = global_addr(b, i);
-                assert!(g >= KERNEL_GLOBALS_BASE && g < KERNEL_GLOBALS_BASE + KERNEL_GLOBALS_SPAN);
+                assert!(
+                    (KERNEL_GLOBALS_BASE..KERNEL_GLOBALS_BASE + KERNEL_GLOBALS_SPAN).contains(&g)
+                );
             }
         }
     }

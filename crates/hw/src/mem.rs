@@ -198,7 +198,7 @@ mod tests {
             .map(|i| m.access(AccessKind::Read, 0x8000_0000 + i * stride))
             .collect();
         assert!(
-            costs.iter().any(|&c| c == L2_HIT_CYCLES),
+            costs.contains(&L2_HIT_CYCLES),
             "expected an L2 hit, got {costs:?}"
         );
         assert!(costs.iter().all(|&c| c == 0 || c == L2_HIT_CYCLES));

@@ -1,29 +1,96 @@
-//! Depth-first branch and bound over the simplex LP relaxation.
+//! Best-bound-first branch and bound with warm-started LP re-solves.
 //!
-//! Nodes are explored most-recent-first with the incumbent used to prune:
-//! any node whose LP relaxation bound is `<=` the incumbent objective cannot
-//! improve it (all our objectives are integral when all objective
-//! coefficients and integer variables are integral, so `<=` with a floor
-//! strengthening is applied when possible).
+//! The root LP relaxation is solved cold once. Each branch node then
+//! *reuses* its parent's optimal tableau: the branching cut is appended as
+//! one extra row ([`Tableau::add_cut`]) and primal feasibility is restored
+//! with a handful of dual-simplex pivots, instead of rebuilding the
+//! constraint system and running two-phase simplex from scratch. When a
+//! warm start stalls (dual degeneracy) or the parent snapshot was dropped
+//! to bound memory, the node falls back to a cold solve of the base rows
+//! plus its branching path — correctness never depends on the warm path.
+//!
+//! Nodes are explored best-bound-first (largest LP relaxation bound first),
+//! so a strong incumbent is found early and prunes aggressively: any node
+//! whose bound is `<=` the incumbent objective cannot improve it (with a
+//! floor strengthening when objective and variables are all integral).
+//! Ties prefer deeper nodes and then the most recently pushed child (the
+//! "up" branch — IPET maximisation tends to push counts to their upper
+//! bounds), so on bound ties the search dives like the old DFS did.
+//!
+//! The branching path is stored persistently: an arena of cuts, each
+//! holding a parent link plus the one bound added at that node. Pushing a
+//! child is O(1) instead of cloning the whole cut list.
 
-use crate::model::SolveError;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::rc::Rc;
+
+use crate::model::{SolveError, SolveStats};
+use crate::presolve;
 use crate::rational::Rat;
-use crate::simplex::{self, LpResult, Rel, Row};
+use crate::simplex::{self, ColdOutcome, CutRel, PivotRule, Rel, Reopt, Row, Tableau};
 
 /// Result of a successful branch-and-bound run.
 #[derive(Debug)]
 pub struct IlpOut {
     pub objective: Rat,
     pub values: Vec<Rat>,
+    pub stats: SolveStats,
+}
+
+/// One node of the branching-path arena: the bound added at this node plus
+/// a link to the cut inherited from the parent.
+struct Cut {
+    parent: Option<usize>,
+    var: usize,
+    rel: CutRel,
+    bound: Rat,
 }
 
 struct Node {
-    /// Extra bound rows accumulated along the branching path.
-    cuts: Vec<Row>,
+    /// LP bound inherited from the parent (a valid upper bound for this
+    /// node's subtree).
+    bound: Rat,
+    depth: u32,
+    /// Monotone push counter; on bound/depth ties the larger (more recent)
+    /// sequence number pops first.
+    seq: u64,
+    /// Arena index of this node's newest cut.
+    cut: usize,
+    /// Parent's optimal tableau, shared with the sibling. `None` when the
+    /// snapshot budget was exhausted at push time (cold solve on pop).
+    warm: Option<Rc<Tableau>>,
 }
 
+impl PartialEq for Node {
+    fn eq(&self, other: &Node) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Node) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Node) -> Ordering {
+        self.bound
+            .cmp(&other.bound)
+            .then(self.depth.cmp(&other.depth))
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// Maximum number of frontier nodes holding a live tableau snapshot.
+///
+/// IPET tableaus run to a few megabytes; bounding the snapshot count keeps
+/// peak memory flat. Nodes pushed beyond the cap simply cold-solve when
+/// popped (counted as warm misses in the stats).
+const WARM_SNAPSHOT_CAP: usize = 16;
+
 /// Solves `max objective . x` s.t. `rows`, `x >= 0`, and `x_i` integral for
-/// every `i` in `integers`.
+/// every `i` in `integers`, warm-starting child LPs from parent bases.
 pub fn solve(
     n_vars: usize,
     objective: &[(usize, Rat)],
@@ -31,94 +98,285 @@ pub fn solve(
     integers: &[usize],
     node_limit: usize,
 ) -> Result<IlpOut, SolveError> {
+    run(n_vars, objective, rows, integers, node_limit, true)
+}
+
+/// Reference driver replicating the seed solver: every node is solved cold
+/// from the base rows plus its branching path, with Bland's rule
+/// throughout (no warm starts, no Dantzig pricing). Kept as the baseline
+/// for differential tests and the `ilp_solver` benchmark; not used by
+/// production callers.
+pub fn solve_cold(
+    n_vars: usize,
+    objective: &[(usize, Rat)],
+    rows: &[Row],
+    integers: &[usize],
+    node_limit: usize,
+) -> Result<IlpOut, SolveError> {
+    run(n_vars, objective, rows, integers, node_limit, false)
+}
+
+fn run(
+    n_vars: usize,
+    objective: &[(usize, Rat)],
+    rows: &[Row],
+    integers: &[usize],
+    node_limit: usize,
+    warm: bool,
+) -> Result<IlpOut, SolveError> {
+    if !warm {
+        // Seed-replica baseline: no presolve, Bland's rule, cold nodes.
+        return run_core(n_vars, objective, rows, integers, node_limit, false, 0);
+    }
+    // Production path: substitute away equality rows first — on IPET
+    // systems this removes nearly every artificial variable phase 1 would
+    // otherwise pivot out one by one.
+    match presolve::reduce(n_vars, objective, rows, integers) {
+        presolve::Outcome::Infeasible => Err(SolveError::Infeasible),
+        presolve::Outcome::Reduced(p) => {
+            let mut out = run_core(
+                p.n_vars,
+                &p.objective,
+                &p.rows,
+                &p.integers,
+                node_limit,
+                true,
+                p.eliminated,
+            )?;
+            out.objective += p.obj_const;
+            out.values = p.expand(&out.values);
+            Ok(out)
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_core(
+    n_vars: usize,
+    objective: &[(usize, Rat)],
+    rows: &[Row],
+    integers: &[usize],
+    node_limit: usize,
+    warm: bool,
+    presolve_eliminated: u64,
+) -> Result<IlpOut, SolveError> {
     // All-integral objective coefficients let us floor fractional LP bounds.
     let integral_obj = objective.iter().all(|(_, c)| c.is_integer()) && integers.len() == n_vars;
 
-    let mut stack = vec![Node { cuts: Vec::new() }];
-    let mut incumbent: Option<IlpOut> = None;
-    let mut root_unbounded = false;
-    let mut nodes = 0usize;
+    let mut ctx = Ctx {
+        n_vars,
+        integers,
+        integral_obj,
+        warm,
+        arena: Vec::new(),
+        heap: BinaryHeap::new(),
+        incumbent: None,
+        stats: SolveStats {
+            presolve_eliminated,
+            ..SolveStats::default()
+        },
+        seq: 0,
+        live_snapshots: 0,
+    };
 
-    while let Some(node) = stack.pop() {
-        nodes += 1;
-        if nodes > node_limit {
+    let rule = if warm {
+        PivotRule::Dantzig
+    } else {
+        PivotRule::Bland
+    };
+
+    // Root: always a cold two-phase solve.
+    ctx.stats.nodes += 1;
+    ctx.stats.warm_misses += 1;
+    let root =
+        match simplex::solve_cold(n_vars, objective, rows, &mut ctx.stats.primal_pivots, rule) {
+            ColdOutcome::Optimal(t) => t,
+            ColdOutcome::Infeasible => return Err(SolveError::Infeasible),
+            ColdOutcome::Unbounded => return Err(SolveError::Unbounded),
+        };
+    ctx.offer(root, None, 0);
+
+    while let Some(node) = ctx.heap.pop() {
+        ctx.stats.nodes += 1;
+        if ctx.stats.nodes > node_limit as u64 {
             return Err(SolveError::NodeLimit);
         }
-        let mut all_rows = rows.to_vec();
-        all_rows.extend(node.cuts.iter().cloned());
-        let (bound, values) = match simplex::maximize(n_vars, objective, &all_rows) {
-            LpResult::Optimal { objective, values } => (objective, values),
-            LpResult::Infeasible => continue,
-            LpResult::Unbounded => {
-                // An unbounded relaxation at the root means the ILP is
-                // unbounded or infeasible; report unbounded if the root LP is
-                // feasible (it is, or we'd have gotten Infeasible). Deeper
-                // nodes only ever add constraints, so unboundedness can only
-                // be detected at the root.
-                if node.cuts.is_empty() {
-                    root_unbounded = true;
-                    break;
+        let warm_snapshot = node.warm;
+        if warm_snapshot.is_some() {
+            ctx.live_snapshots -= 1;
+        }
+        // Best-bound order makes this prune final for equal bounds, but the
+        // incumbent may have improved since this node was pushed.
+        if ctx.prunable(node.bound) {
+            continue;
+        }
+        let Cut {
+            var, rel, bound, ..
+        } = ctx.arena[node.cut];
+
+        // Warm path: take (or clone) the parent snapshot, append the cut,
+        // restore feasibility with dual simplex.
+        let mut solved: Option<Tableau> = None;
+        if let Some(rc) = warm_snapshot {
+            let mut t = Rc::try_unwrap(rc).unwrap_or_else(|rc| (*rc).clone());
+            t.add_cut(var, rel, bound);
+            match t.dual_reoptimize(&mut ctx.stats.dual_pivots) {
+                Reopt::Optimal => {
+                    ctx.stats.warm_hits += 1;
+                    solved = Some(t);
                 }
-                // With cuts the region is a subset of the root's; treat as
-                // unbounded too (objective ray survives the cuts).
-                root_unbounded = true;
-                break;
+                Reopt::Infeasible => {
+                    ctx.stats.warm_hits += 1;
+                    continue;
+                }
+                Reopt::Stalled => {} // fall through to the cold path
+            }
+        }
+        let t = match solved {
+            Some(t) => t,
+            None => {
+                ctx.stats.warm_misses += 1;
+                let mut all = rows.to_vec();
+                all.extend(ctx.path_rows(node.cut));
+                match simplex::solve_cold(
+                    n_vars,
+                    objective,
+                    &all,
+                    &mut ctx.stats.primal_pivots,
+                    rule,
+                ) {
+                    ColdOutcome::Optimal(t) => t,
+                    ColdOutcome::Infeasible => continue,
+                    // Cuts only restrict the root region, which was bounded.
+                    ColdOutcome::Unbounded => unreachable!("child of a bounded root is bounded"),
+                }
             }
         };
+        ctx.offer(t, Some(node.cut), node.depth);
+    }
 
-        // Prune against the incumbent.
-        let effective_bound = if integral_obj {
+    let stats = ctx.stats;
+    match ctx.incumbent {
+        Some((objective, values)) => Ok(IlpOut {
+            objective,
+            values,
+            stats,
+        }),
+        None => Err(SolveError::Infeasible),
+    }
+}
+
+struct Ctx<'a> {
+    n_vars: usize,
+    integers: &'a [usize],
+    integral_obj: bool,
+    warm: bool,
+    arena: Vec<Cut>,
+    heap: BinaryHeap<Node>,
+    incumbent: Option<(Rat, Vec<Rat>)>,
+    stats: SolveStats,
+    seq: u64,
+    live_snapshots: usize,
+}
+
+impl Ctx<'_> {
+    /// Tightest valid bound implied by an LP bound (floor strengthening).
+    fn effective(&self, bound: Rat) -> Rat {
+        if self.integral_obj {
             Rat::int(bound.floor())
         } else {
             bound
+        }
+    }
+
+    fn prunable(&self, bound: Rat) -> bool {
+        self.incumbent
+            .as_ref()
+            .is_some_and(|(obj, _)| self.effective(bound) <= *obj)
+    }
+
+    /// Reconstructs the branching path's rows by walking parent links
+    /// (cold-solve fallback only).
+    fn path_rows(&self, mut cut: usize) -> Vec<Row> {
+        let mut v = Vec::new();
+        loop {
+            let c = &self.arena[cut];
+            v.push(Row {
+                coeffs: vec![(c.var, Rat::ONE)],
+                rel: match c.rel {
+                    CutRel::Le => Rel::Le,
+                    CutRel::Ge => Rel::Ge,
+                },
+                rhs: c.bound,
+            });
+            match c.parent {
+                Some(p) => cut = p,
+                None => return v,
+            }
+        }
+    }
+
+    /// Handles a node solved to LP optimality: record an incumbent, prune,
+    /// or branch (pushing both children onto the heap).
+    fn offer(&mut self, t: Tableau, path: Option<usize>, depth: u32) {
+        let bound = t.objective_value();
+        if self.prunable(bound) {
+            return;
+        }
+        let values = t.extract(self.n_vars);
+        let frac = self
+            .integers
+            .iter()
+            .copied()
+            .find(|&i| !values[i].is_integer());
+        let Some(i) = frac else {
+            // Integral: candidate incumbent.
+            if self.incumbent.as_ref().is_none_or(|(obj, _)| bound > *obj) {
+                self.incumbent = Some((bound, values));
+            }
+            return;
         };
-        if let Some(inc) = &incumbent {
-            if effective_bound <= inc.objective {
-                continue;
-            }
+        let v = values[i];
+        let warm = if self.warm && self.live_snapshots + 2 <= WARM_SNAPSHOT_CAP {
+            Some(Rc::new(t))
+        } else {
+            None
+        };
+        if warm.is_some() {
+            self.live_snapshots += 2;
         }
-
-        // Find a fractional integer variable to branch on.
-        let frac = integers.iter().copied().find(|&i| !values[i].is_integer());
-        match frac {
-            None => {
-                // Integral solution; candidate incumbent.
-                let better = incumbent.as_ref().is_none_or(|inc| bound > inc.objective);
-                if better {
-                    incumbent = Some(IlpOut {
-                        objective: bound,
-                        values,
-                    });
-                }
-            }
-            Some(i) => {
-                let v = values[i];
-                let down = Rat::int(v.floor());
-                let up = Rat::int(v.ceil());
-                // Explore the "up" branch first (IPET maximisation tends to
-                // push counts to their upper bounds).
-                let mut down_cuts = node.cuts.clone();
-                down_cuts.push(Row {
-                    coeffs: vec![(i, Rat::ONE)],
-                    rel: Rel::Le,
-                    rhs: down,
-                });
-                let mut up_cuts = node.cuts;
-                up_cuts.push(Row {
-                    coeffs: vec![(i, Rat::ONE)],
-                    rel: Rel::Ge,
-                    rhs: up,
-                });
-                stack.push(Node { cuts: down_cuts });
-                stack.push(Node { cuts: up_cuts });
-            }
-        }
+        let down = self.arena.len();
+        self.arena.push(Cut {
+            parent: path,
+            var: i,
+            rel: CutRel::Le,
+            bound: Rat::int(v.floor()),
+        });
+        let up = self.arena.len();
+        self.arena.push(Cut {
+            parent: path,
+            var: i,
+            rel: CutRel::Ge,
+            bound: Rat::int(v.ceil()),
+        });
+        // Up pushed second: its larger `seq` wins bound/depth ties.
+        self.seq += 1;
+        self.heap.push(Node {
+            bound,
+            depth: depth + 1,
+            seq: self.seq,
+            cut: down,
+            warm: warm.clone(),
+        });
+        self.seq += 1;
+        self.heap.push(Node {
+            bound,
+            depth: depth + 1,
+            seq: self.seq,
+            cut: up,
+            warm,
+        });
     }
-
-    if root_unbounded {
-        return Err(SolveError::Unbounded);
-    }
-    incumbent.ok_or(SolveError::Infeasible)
 }
 
 #[cfg(test)]
@@ -139,6 +397,7 @@ mod tests {
         }];
         let out = solve(2, &[(0, r(1)), (1, r(1))], &rows, &[0, 1], 1000).expect("feasible");
         assert_eq!(out.objective, r(2));
+        assert!(out.stats.nodes >= 1);
     }
 
     #[test]
@@ -151,5 +410,42 @@ mod tests {
         }];
         let err = solve(1, &[(0, r(1))], &rows, &[0], 1).unwrap_err();
         assert_eq!(err, SolveError::NodeLimit);
+    }
+
+    #[test]
+    fn warm_and_cold_agree() {
+        // max 7x + 2y s.t. 3x + y <= 10, x + 2y <= 9, integers.
+        let rows = vec![
+            Row {
+                coeffs: vec![(0, r(3)), (1, r(1))],
+                rel: Rel::Le,
+                rhs: r(10),
+            },
+            Row {
+                coeffs: vec![(0, r(1)), (1, r(2))],
+                rel: Rel::Le,
+                rhs: r(9),
+            },
+        ];
+        let obj = [(0, r(7)), (1, r(2))];
+        let w = solve(2, &obj, &rows, &[0, 1], 1000).expect("feasible");
+        let c = solve_cold(2, &obj, &rows, &[0, 1], 1000).expect("feasible");
+        assert_eq!(w.objective, c.objective);
+        assert!(w.stats.warm_hits > 0, "warm path never exercised");
+        assert_eq!(c.stats.warm_hits, 0, "cold driver must not warm-start");
+    }
+
+    #[test]
+    fn stats_accounting_consistent() {
+        let rows = vec![Row {
+            coeffs: vec![(0, r(2)), (1, r(2))],
+            rel: Rel::Le,
+            rhs: r(5),
+        }];
+        let out = solve(2, &[(0, r(1)), (1, r(1))], &rows, &[0, 1], 1000).expect("feasible");
+        // Every node is either warm-hit, warm-missed (cold-solved), or
+        // pruned/infeasible before any solve; solves never exceed nodes.
+        assert!(out.stats.warm_hits + out.stats.warm_misses <= out.stats.nodes);
+        assert!(out.stats.warm_misses >= 1, "root is always a cold solve");
     }
 }

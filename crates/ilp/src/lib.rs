@@ -10,15 +10,23 @@
 //!   ([`Rat`], `i128` numerator/denominator with aggressive normalisation),
 //!   so there is no floating-point tolerance tuning and no unsoundness from
 //!   rounding — a WCET bound produced here is exact for the given model;
-//! * the LP relaxation is solved with a dense two-phase primal simplex using
-//!   Bland's rule (no cycling);
-//! * integrality is enforced by depth-first branch and bound with incumbent
-//!   pruning.
+//! * the LP relaxation is solved with a dense two-phase primal simplex
+//!   using largest-coefficient (Dantzig) pivoting, falling back to Bland's
+//!   rule after a run of degenerate pivots so termination stays guaranteed;
+//! * integrality is enforced by best-bound-first branch and bound with
+//!   incumbent pruning, where each child node *warm-starts* from its
+//!   parent's optimal basis: the branching cut is appended as one tableau
+//!   row and feasibility is restored by a short dual-simplex iteration
+//!   instead of a from-scratch two-phase solve (stalls fall back to a cold
+//!   solve, so exactness never depends on the warm path).
 //!
 //! IPET problems are small (hundreds of variables, mostly network-matrix
 //! flow constraints which are naturally integral), so this is fast in
 //! practice; the handful of "conflict" constraints that introduce genuine
-//! branching are handled by the branch-and-bound layer.
+//! branching are handled by the branch-and-bound layer. Solves report
+//! their work counters in [`SolveStats`] (nodes, primal/dual pivots,
+//! warm-start hit rate, wall time); [`Model::solve_cold`] keeps the
+//! no-warm-start baseline available for differential tests and benchmarks.
 //!
 //! ## Example
 //!
@@ -41,8 +49,9 @@
 
 mod branch;
 mod model;
+mod presolve;
 mod rational;
 mod simplex;
 
-pub use model::{LinExpr, Model, Sense, Solution, SolveError, Status, VarId};
+pub use model::{LinExpr, Model, Sense, Solution, SolveError, SolveStats, Status, VarId};
 pub use rational::Rat;

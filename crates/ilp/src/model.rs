@@ -7,6 +7,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::ops::Add;
+use std::time::{Duration, Instant};
 
 use crate::branch;
 use crate::rational::Rat;
@@ -98,6 +99,62 @@ impl fmt::Display for SolveError {
 
 impl std::error::Error for SolveError {}
 
+/// Work counters from one branch-and-bound solve.
+///
+/// Exact-arithmetic simplex pivots dominate solve time, so pivot counts are
+/// the machine-independent cost metric; `wall` is host time for the whole
+/// solve (branching, pruning and bookkeeping included).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Branch-and-bound nodes processed (including the root and nodes
+    /// pruned or found infeasible).
+    pub nodes: u64,
+    /// Primal simplex pivots (phase 1 + phase 2 of cold solves).
+    pub primal_pivots: u64,
+    /// Dual simplex pivots (warm-started node re-solves).
+    pub dual_pivots: u64,
+    /// Nodes re-solved from the parent basis (including cuts proven
+    /// infeasible by the dual iteration).
+    pub warm_hits: u64,
+    /// Nodes solved cold: the root, nodes whose parent snapshot was dropped
+    /// to bound memory, and stalled warm starts.
+    pub warm_misses: u64,
+    /// Variables (and equality rows) removed by the substitution presolve
+    /// before the root LP was built. Always 0 on the cold reference path.
+    pub presolve_eliminated: u64,
+    /// Host wall-clock time of the whole solve.
+    pub wall: Duration,
+}
+
+impl SolveStats {
+    /// Total simplex pivots, primal and dual.
+    pub fn pivots(&self) -> u64 {
+        self.primal_pivots + self.dual_pivots
+    }
+
+    /// Fraction of LP solves served from a parent basis (0 when nothing
+    /// was solved).
+    pub fn warm_hit_rate(&self) -> f64 {
+        let total = self.warm_hits + self.warm_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.warm_hits as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another solve's counters into `self` (summing `wall`).
+    pub fn absorb(&mut self, other: &SolveStats) {
+        self.nodes += other.nodes;
+        self.primal_pivots += other.primal_pivots;
+        self.dual_pivots += other.dual_pivots;
+        self.warm_hits += other.warm_hits;
+        self.warm_misses += other.warm_misses;
+        self.presolve_eliminated += other.presolve_eliminated;
+        self.wall += other.wall;
+    }
+}
+
 /// Solver status of a returned [`Solution`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Status {
@@ -112,6 +169,8 @@ pub struct Solution {
     pub status: Status,
     /// Objective value (exact).
     pub objective: Rat,
+    /// Work counters of the solve that produced this solution.
+    pub stats: SolveStats,
     values: Vec<Rat>,
 }
 
@@ -251,6 +310,25 @@ impl Model {
     /// Returns [`SolveError::Infeasible`], [`SolveError::Unbounded`], or
     /// [`SolveError::NodeLimit`] if the node budget runs out first.
     pub fn solve(&self) -> Result<Solution, SolveError> {
+        self.solve_inner(true)
+    }
+
+    /// Solves with the seed solver's strategy: every branch-and-bound node
+    /// LP rebuilt and solved from scratch with Bland's rule (no warm
+    /// starts, no Dantzig pricing).
+    ///
+    /// This is the reference baseline the differential tests and the
+    /// `ilp_solver` benchmark compare [`Model::solve`] against; production
+    /// callers should use [`Model::solve`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Model::solve`].
+    pub fn solve_cold(&self) -> Result<Solution, SolveError> {
+        self.solve_inner(false)
+    }
+
+    fn solve_inner(&self, warm: bool) -> Result<Solution, SolveError> {
         let n = self.vars.len();
         // Assemble base rows: user constraints plus variable bounds.
         let mut rows = self.rows.clone();
@@ -284,7 +362,13 @@ impl Model {
             .filter(|(_, v)| v.integer)
             .map(|(i, _)| i)
             .collect();
-        let out = branch::solve(n, &objective, &rows, &integers, self.node_limit)?;
+        let start = Instant::now();
+        let mut out = if warm {
+            branch::solve(n, &objective, &rows, &integers, self.node_limit)?
+        } else {
+            branch::solve_cold(n, &objective, &rows, &integers, self.node_limit)?
+        };
+        out.stats.wall = start.elapsed();
         Ok(Solution {
             status: Status::Optimal,
             objective: if negate {
@@ -292,6 +376,7 @@ impl Model {
             } else {
                 out.objective
             },
+            stats: out.stats,
             values: out.values,
         })
     }

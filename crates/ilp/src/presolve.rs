@@ -1,0 +1,426 @@
+//! Equality-substitution presolve for the warm-started solver.
+//!
+//! IPET systems are dominated by flow-conservation equalities with zero
+//! right-hand sides (`x_v - sum y_in = 0`, `sum y_in - sum y_out = 0`).
+//! Fed to two-phase simplex directly, every one of those rows gets an
+//! artificial basic variable that phase 1 must pivot out again — on the
+//! kernel instances that is one (degenerate) pivot per equality row, which
+//! dwarfs the pivots doing actual optimisation. This pass eliminates
+//! equality rows *before* the tableau is built: a row `a . x = b` with a
+//! `±1` pivot coefficient defines one variable as an affine combination of
+//! the others, which is substituted into every remaining row and the
+//! objective. Each elimination removes one row and one column, and — the
+//! real win — one artificial variable that phase 1 would otherwise have to
+//! chase.
+//!
+//! Pivot choice is Markowitz-style: minimise `(row_nnz - 1) * (occurrences
+//! - 1)`, the fill-in bound, with a hard cap so pathological instances stop
+//! eliminating instead of densifying. Integrality is preserved by
+//! construction: an integer variable is only eliminated when its defining
+//! row has `±1` pivot, integer coefficients, an integer right-hand side and
+//!   only integer variables — the eliminated value is then an integer
+//!   combination of variables that branch-and-bound keeps integral.
+//!
+//! The eliminated variable's implicit `x >= 0` bound is re-added as an
+//! inequality over the surviving variables unless it is vacuous (constant
+//! and all coefficients nonnegative); explicit bound rows were part of the
+//! input and are substituted like any other row.
+
+use crate::rational::Rat;
+use crate::simplex::{Rel, Row};
+
+/// Fill-in cap for pivot selection: candidates whose Markowitz score
+/// `(row_nnz - 1) * (occurrences - 1)` exceeds this are not eliminated.
+const FILL_CAP: usize = 1024;
+
+/// One eliminated variable: `var = constant + sum terms`.
+///
+/// `terms` reference *original* variable indices; records are appended in
+/// elimination order, so back-substitution walks them in reverse (a record
+/// may reference variables eliminated later).
+struct Elim {
+    var: usize,
+    constant: Rat,
+    terms: Vec<(usize, Rat)>,
+}
+
+/// A reduced problem plus the recipe to map its solutions back.
+pub(crate) struct Presolved {
+    /// Number of surviving variables.
+    pub n_vars: usize,
+    /// Objective over surviving variables (reduced indices).
+    pub objective: Vec<(usize, Rat)>,
+    /// Constant absorbed into the objective by substitutions.
+    pub obj_const: Rat,
+    /// Rows over surviving variables (reduced indices).
+    pub rows: Vec<Row>,
+    /// Integer variables of the reduced problem (reduced indices).
+    pub integers: Vec<usize>,
+    /// Variables eliminated (for the stats counter).
+    pub eliminated: u64,
+    elims: Vec<Elim>,
+    /// `keep[r]` is the original index of reduced variable `r`.
+    keep: Vec<usize>,
+}
+
+pub(crate) enum Outcome {
+    Reduced(Presolved),
+    /// A substitution produced a trivially false row.
+    Infeasible,
+}
+
+impl Presolved {
+    /// Back-substitutes a reduced solution into the original variable
+    /// space.
+    pub fn expand(&self, reduced: &[Rat]) -> Vec<Rat> {
+        let n = self.keep.len() + self.elims.len();
+        let mut full = vec![Rat::ZERO; n];
+        for (r, &orig) in self.keep.iter().enumerate() {
+            full[orig] = reduced[r];
+        }
+        for e in self.elims.iter().rev() {
+            let mut v = e.constant;
+            for &(j, c) in &e.terms {
+                v += c * full[j];
+            }
+            full[e.var] = v;
+        }
+        full
+    }
+}
+
+/// `coeffs := coeffs + scale * terms`, both sorted by index; zero results
+/// are dropped.
+fn add_scaled(coeffs: &[(usize, Rat)], scale: Rat, terms: &[(usize, Rat)]) -> Vec<(usize, Rat)> {
+    let mut out = Vec::with_capacity(coeffs.len() + terms.len());
+    let (mut i, mut j) = (0, 0);
+    while i < coeffs.len() || j < terms.len() {
+        let take_left = j == terms.len() || (i < coeffs.len() && coeffs[i].0 < terms[j].0);
+        let (idx, c) = if take_left {
+            let t = coeffs[i];
+            i += 1;
+            t
+        } else if i == coeffs.len() || terms[j].0 < coeffs[i].0 {
+            let (idx, t) = terms[j];
+            j += 1;
+            (idx, scale * t)
+        } else {
+            let c = coeffs[i].1 + scale * terms[j].1;
+            let idx = coeffs[i].0;
+            i += 1;
+            j += 1;
+            (idx, c)
+        };
+        if !c.is_zero() {
+            out.push((idx, c));
+        }
+    }
+    out
+}
+
+/// Replaces `var` in `row` by `constant + terms`, if present.
+fn substitute_row(row: &mut Row, var: usize, constant: Rat, terms: &[(usize, Rat)]) {
+    let Ok(pos) = row.coeffs.binary_search_by_key(&var, |&(j, _)| j) else {
+        return;
+    };
+    let cv = row.coeffs[pos].1;
+    row.coeffs.remove(pos);
+    row.coeffs = add_scaled(&row.coeffs, cv, terms);
+    row.rhs -= cv * constant;
+}
+
+/// An empty-lhs row is either vacuous or a proof of infeasibility.
+fn empty_row_feasible(rel: Rel, rhs: Rat) -> bool {
+    match rel {
+        Rel::Le => !rhs.is_negative(),
+        Rel::Ge => !rhs.is_positive(),
+        Rel::Eq => rhs.is_zero(),
+    }
+}
+
+/// Eliminates equality rows from `rows` by substitution.
+///
+/// The reduced problem is equivalent: it is feasible iff the original is,
+/// optima coincide after adding `obj_const`, and [`Presolved::expand`]
+/// turns any reduced feasible point into an original feasible point with
+/// the same objective value.
+pub(crate) fn reduce(
+    n_vars: usize,
+    objective: &[(usize, Rat)],
+    rows: &[Row],
+    integers: &[usize],
+) -> Outcome {
+    let mut is_int = vec![false; n_vars];
+    for &i in integers {
+        is_int[i] = true;
+    }
+
+    let mut rows: Vec<Option<Row>> = rows
+        .iter()
+        .map(|r| {
+            let mut r = r.clone();
+            r.coeffs.sort_by_key(|&(j, _)| j);
+            Some(r)
+        })
+        .collect();
+    let mut obj: Vec<(usize, Rat)> = objective.to_vec();
+    obj.sort_by_key(|&(j, _)| j);
+    let mut obj_const = Rat::ZERO;
+    let mut eliminated = vec![false; n_vars];
+    let mut elims: Vec<Elim> = Vec::new();
+
+    loop {
+        // Occurrence counts over live rows, for the Markowitz score.
+        let mut occ = vec![0usize; n_vars];
+        for r in rows.iter().flatten() {
+            for &(j, _) in &r.coeffs {
+                occ[j] += 1;
+            }
+        }
+
+        let mut best: Option<(usize, usize, usize)> = None; // (score, row, var)
+        for (ri, r) in rows.iter().enumerate() {
+            let Some(r) = r else { continue };
+            if r.rel != Rel::Eq || r.coeffs.is_empty() {
+                continue;
+            }
+            let row_integral = r.rhs.is_integer() && r.coeffs.iter().all(|&(_, c)| c.is_integer());
+            let all_int_vars = r.coeffs.iter().all(|&(j, _)| is_int[j]);
+            for &(j, c) in &r.coeffs {
+                let unit = c.abs() == Rat::ONE;
+                // An integer variable may only be defined as an integer
+                // combination of integer variables.
+                if is_int[j] && !(unit && row_integral && all_int_vars) {
+                    continue;
+                }
+                if !is_int[j] && !unit {
+                    // Allowed mathematically, but non-unit pivots inflate
+                    // denominators; IPET systems always offer unit pivots.
+                    continue;
+                }
+                let score = (r.coeffs.len() - 1) * (occ[j] - 1);
+                if score > FILL_CAP {
+                    continue;
+                }
+                if best.is_none_or(|(s, _, _)| score < s) {
+                    best = Some((score, ri, j));
+                }
+            }
+        }
+        let Some((_, ri, var)) = best else { break };
+
+        // Build `var = constant + terms` from the pivot row.
+        let row = rows[ri].take().expect("candidate row is live");
+        let a = row
+            .coeffs
+            .iter()
+            .find(|&&(j, _)| j == var)
+            .expect("pivot var is in the row")
+            .1;
+        let constant = row.rhs / a;
+        let terms: Vec<(usize, Rat)> = row
+            .coeffs
+            .iter()
+            .filter(|&&(j, _)| j != var)
+            .map(|&(j, c)| (j, -(c / a)))
+            .collect();
+
+        for r in rows.iter_mut().flatten() {
+            substitute_row(r, var, constant, &terms);
+        }
+        if let Ok(pos) = obj.binary_search_by_key(&var, |&(j, _)| j) {
+            let cv = obj[pos].1;
+            obj.remove(pos);
+            obj = add_scaled(&obj, cv, &terms);
+            obj_const += cv * constant;
+        }
+
+        // Re-impose the eliminated variable's implicit `>= 0` bound unless
+        // it holds for every nonnegative assignment of the survivors.
+        let vacuous = !constant.is_negative() && terms.iter().all(|&(_, c)| !c.is_negative());
+        if !vacuous {
+            if terms.is_empty() {
+                if constant.is_negative() {
+                    return Outcome::Infeasible;
+                }
+            } else {
+                rows.push(Some(Row {
+                    coeffs: terms.clone(),
+                    rel: Rel::Ge,
+                    rhs: -constant,
+                }));
+            }
+        }
+
+        eliminated[var] = true;
+        elims.push(Elim {
+            var,
+            constant,
+            terms,
+        });
+    }
+
+    // Drop emptied rows (checking they are not proofs of infeasibility)
+    // and compress the surviving variable indices.
+    let mut kept_rows = Vec::with_capacity(rows.len());
+    for r in rows.into_iter().flatten() {
+        if r.coeffs.is_empty() {
+            if !empty_row_feasible(r.rel, r.rhs) {
+                return Outcome::Infeasible;
+            }
+        } else {
+            kept_rows.push(r);
+        }
+    }
+
+    let keep: Vec<usize> = (0..n_vars).filter(|&i| !eliminated[i]).collect();
+    let mut reduced_idx = vec![usize::MAX; n_vars];
+    for (r, &orig) in keep.iter().enumerate() {
+        reduced_idx[orig] = r;
+    }
+    for r in &mut kept_rows {
+        for t in &mut r.coeffs {
+            t.0 = reduced_idx[t.0];
+        }
+    }
+    let objective: Vec<(usize, Rat)> = obj.into_iter().map(|(j, c)| (reduced_idx[j], c)).collect();
+    let reduced_integers: Vec<usize> = keep
+        .iter()
+        .enumerate()
+        .filter(|&(_, &orig)| is_int[orig])
+        .map(|(r, _)| r)
+        .collect();
+
+    Outcome::Reduced(Presolved {
+        n_vars: keep.len(),
+        objective,
+        obj_const,
+        rows: kept_rows,
+        integers: reduced_integers,
+        eliminated: elims.len() as u64,
+        elims,
+        keep,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128) -> Rat {
+        Rat::int(n)
+    }
+
+    fn row(coeffs: &[(usize, i128)], rel: Rel, rhs: i128) -> Row {
+        Row {
+            coeffs: coeffs.iter().map(|&(j, c)| (j, r(c))).collect(),
+            rel,
+            rhs: r(rhs),
+        }
+    }
+
+    fn reduced(o: Outcome) -> Presolved {
+        match o {
+            Outcome::Reduced(p) => p,
+            Outcome::Infeasible => panic!("expected a reduced problem"),
+        }
+    }
+
+    #[test]
+    fn eliminates_flow_equality() {
+        // x0 = x1 + x2 (flow conservation): Markowitz picks the variable
+        // occurring only in this row (x1, score 0, over x0 which also sits
+        // in the bound row), leaving x1 = x0 - x2 plus its nonneg guard.
+        let rows = vec![
+            row(&[(0, 1), (1, -1), (2, -1)], Rel::Eq, 0),
+            row(&[(0, 1)], Rel::Le, 7),
+        ];
+        let p = reduced(reduce(3, &[(0, r(1)), (1, r(1))], &rows, &[0, 1, 2]));
+        assert_eq!(p.n_vars, 2);
+        assert_eq!(p.eliminated, 1);
+        assert_eq!(p.keep, vec![0, 2]);
+        // Surviving rows: the untouched bound row and the re-added
+        // x1 >= 0 guard (x0 - x2 >= 0) — the guard is needed because the
+        // definition has a negative coefficient.
+        assert_eq!(p.rows.len(), 2);
+        // Objective x0 + x1 became 2*x0 - x2, absorbing x1's definition.
+        assert_eq!(p.objective, vec![(0, r(2)), (1, r(-1))]);
+        // Back-substitution restores x1 = x0 - x2.
+        let full = p.expand(&[r(7), r(3)]);
+        assert_eq!(full, vec![r(7), r(4), r(3)]);
+    }
+
+    #[test]
+    fn pinned_variable_becomes_constant() {
+        // x0 = 1 pins the entry count; it vanishes from the reduced
+        // problem and the objective absorbs the constant.
+        let rows = vec![
+            row(&[(0, 1)], Rel::Eq, 1),
+            row(&[(0, 2), (1, 1)], Rel::Le, 10),
+        ];
+        let p = reduced(reduce(2, &[(0, r(5)), (1, r(1))], &rows, &[0, 1]));
+        assert_eq!(p.n_vars, 1);
+        assert_eq!(p.obj_const, r(5));
+        assert_eq!(p.rows.len(), 1);
+        assert_eq!(p.rows[0].rhs, r(8)); // 10 - 2*1
+        assert_eq!(p.expand(&[r(8)]), vec![r(1), r(8)]);
+    }
+
+    #[test]
+    fn nonneg_bound_readded_when_not_vacuous() {
+        // x0 = 3 - x1: x0 >= 0 forces x1 <= 3, which must survive.
+        let rows = vec![row(&[(0, 1), (1, 1)], Rel::Eq, 3)];
+        let p = reduced(reduce(2, &[(1, r(1))], &rows, &[0, 1]));
+        assert_eq!(p.n_vars, 1);
+        assert_eq!(p.rows.len(), 1);
+        assert_eq!(p.rows[0].rel, Rel::Ge);
+        assert_eq!(p.rows[0].rhs, r(-3)); // -x1 >= -3
+    }
+
+    #[test]
+    fn contradictory_equalities_detected() {
+        // x0 = 2 and x0 = 3.
+        let rows = vec![row(&[(0, 1)], Rel::Eq, 2), row(&[(0, 1)], Rel::Eq, 3)];
+        assert!(matches!(
+            reduce(1, &[(0, r(1))], &rows, &[0]),
+            Outcome::Infeasible
+        ));
+    }
+
+    #[test]
+    fn negative_pin_is_infeasible() {
+        // x0 = -1 contradicts x0 >= 0.
+        let rows = vec![row(&[(0, 1)], Rel::Eq, -1)];
+        assert!(matches!(
+            reduce(1, &[(0, r(1))], &rows, &[0]),
+            Outcome::Infeasible
+        ));
+    }
+
+    #[test]
+    fn integer_var_not_eliminated_by_fractional_row() {
+        // 2*x0 + x1 = 3 offers no ±1 pivot on x0; x1 has one, so x1 goes.
+        let rows = vec![row(&[(0, 2), (1, 1)], Rel::Eq, 3)];
+        let p = reduced(reduce(2, &[(0, r(1)), (1, r(1))], &rows, &[0, 1]));
+        assert_eq!(p.n_vars, 1);
+        assert_eq!(p.keep, vec![0]);
+        // x1 = 3 - 2*x0 picks up a nonneg row 2*x0 <= 3.
+        assert_eq!(p.rows.len(), 1);
+        let full = p.expand(&[r(1)]);
+        assert_eq!(full, vec![r(1), r(1)]);
+    }
+
+    #[test]
+    fn chained_eliminations_back_substitute_in_order() {
+        // x0 = x1 + 1, x1 = x2 + 1: both eliminated, x2 survives.
+        let rows = vec![
+            row(&[(0, 1), (1, -1)], Rel::Eq, 1),
+            row(&[(1, 1), (2, -1)], Rel::Eq, 1),
+        ];
+        let p = reduced(reduce(3, &[(2, r(1))], &rows, &[0, 1, 2]));
+        assert_eq!(p.n_vars, 1);
+        assert_eq!(p.eliminated, 2);
+        let full = p.expand(&[r(4)]);
+        assert_eq!(full, vec![r(6), r(5), r(4)]);
+    }
+}

@@ -131,6 +131,14 @@ impl Rat {
     }
 
     fn checked_add(self, rhs: Rat) -> Option<Rat> {
+        // Integer fast path: den 1 + den 1 needs no gcd work, and IPET
+        // tableaus are mostly integral, so this is the common case.
+        if self.den == 1 && rhs.den == 1 {
+            return Some(Rat {
+                num: self.num.checked_add(rhs.num)?,
+                den: 1,
+            });
+        }
         // Cross-multiply with pre-division by gcd of denominators to keep
         // magnitudes small.
         let g = gcd(self.den, rhs.den);
@@ -143,7 +151,15 @@ impl Rat {
     }
 
     fn checked_mul(self, rhs: Rat) -> Option<Rat> {
-        // Cross-reduce before multiplying.
+        // Integer fast path (see `checked_add`).
+        if self.den == 1 && rhs.den == 1 {
+            return Some(Rat {
+                num: self.num.checked_mul(rhs.num)?,
+                den: 1,
+            });
+        }
+        // Cross-cancel before multiplying: num/den of the product are then
+        // already coprime, so `Rat::new`'s gcd pass runs on small values.
         let g1 = gcd(self.num, rhs.den);
         let g2 = gcd(rhs.num, self.den);
         let num = (self.num / g1).checked_mul(rhs.num / g2)?;
@@ -211,6 +227,11 @@ impl PartialOrd for Rat {
 
 impl Ord for Rat {
     fn cmp(&self, other: &Rat) -> Ordering {
+        // Integer fast path: no cross-multiplication (and no overflow risk)
+        // when both denominators are 1.
+        if self.den == 1 && other.den == 1 {
+            return self.num.cmp(&other.num);
+        }
         // num_a/den_a ? num_b/den_b  <=>  num_a*den_b ? num_b*den_a
         // (denominators are positive).
         let lhs = self.num.checked_mul(other.den).expect(OVERFLOW_MSG);
@@ -304,5 +325,85 @@ mod tests {
     fn display() {
         assert_eq!(Rat::new(3, 1).to_string(), "3");
         assert_eq!(Rat::new(-3, 6).to_string(), "-1/2");
+    }
+
+    // --- integer fast-path coverage -------------------------------------
+    //
+    // The den == 1 fast paths in add/mul/cmp skip gcd normalisation; these
+    // tests pin that they agree with the general (cross-multiplying) path
+    // and that overflow still panics loudly instead of wrapping.
+
+    #[test]
+    fn integer_fast_paths_agree_with_general_path() {
+        // `Rat::new` normalises, so an integer-valued rational is always
+        // stored with den == 1 and the only way to exercise the general
+        // (cross-multiplying) code on the same *mathematical* inputs is to
+        // detour through genuinely fractional intermediates.
+        let ints = [
+            -1_000_000_000_000_000_007i128,
+            -1_000_000_007,
+            -17,
+            -1,
+            0,
+            1,
+            2,
+            3,
+            1_000_000_007,
+            1_000_000_000_000_000_007,
+        ];
+        for &a in &ints {
+            for &b in &ints {
+                // add: (a + 1/2) + (b - 1/2) runs the general path twice
+                // and must land exactly on the fast path's a + b.
+                let fast = Rat::int(a) + Rat::int(b);
+                let slow = (Rat::int(a) + Rat::new(1, 2)) + (Rat::int(b) + Rat::new(-1, 2));
+                assert_eq!(fast, slow, "add {a} {b}");
+                // mul: (a/3) * 3b cross-cancels through the general path.
+                let fast = Rat::int(a) * Rat::int(b);
+                let slow = Rat::new(a, 3) * Rat::int(3 * b);
+                assert_eq!(fast, slow, "mul {a} {b}");
+                // cmp: order is preserved under the shift x -> x + 1/3,
+                // which forces den == 3 operands into the general compare.
+                assert_eq!(
+                    Rat::int(a).cmp(&Rat::int(b)),
+                    (Rat::int(a) + Rat::new(1, 3)).cmp(&(Rat::int(b) + Rat::new(1, 3))),
+                    "cmp {a} {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn integer_fast_path_boundaries() {
+        // i128::MIN itself is unrepresentable headroom-wise (|MIN| has no
+        // positive counterpart for gcd/abs); MIN+1 must round-trip.
+        let lo = Rat::int(i128::MIN + 1);
+        assert_eq!(lo + Rat::ZERO, lo);
+        assert_eq!(lo * Rat::ONE, lo);
+        assert!(lo < Rat::int(i128::MIN + 2));
+        let hi = Rat::int(i128::MAX);
+        assert_eq!(hi + Rat::ZERO, hi);
+        assert!(hi > Rat::int(i128::MAX - 1));
+        // Sum landing exactly on the boundary is fine...
+        assert_eq!(Rat::int(i128::MAX - 1) + Rat::ONE, Rat::int(i128::MAX),);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn integer_add_overflow_panics() {
+        let _ = Rat::int(i128::MAX) + Rat::ONE;
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn integer_mul_overflow_panics() {
+        let _ = Rat::int(i128::MAX / 2 + 1) * Rat::int(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn fractional_add_overflow_panics() {
+        // General path: denominators force cross-multiplication overflow.
+        let _ = Rat::new(i128::MAX, 2) + Rat::new(i128::MAX, 3);
     }
 }

@@ -1,4 +1,5 @@
-//! Dense two-phase primal simplex over exact rationals.
+//! Dense simplex over exact rationals: two-phase primal solves plus
+//! incremental re-solves for branch and bound.
 //!
 //! The solver accepts problems of the form
 //!
@@ -8,10 +9,24 @@
 //!           x >= 0
 //! ```
 //!
-//! Variable upper bounds and branch-and-bound cuts are expressed as ordinary
-//! rows by the caller ([`crate::branch`]). Bland's rule is used for both the
-//! entering and leaving variable, which guarantees termination (no cycling)
-//! at the cost of a few extra pivots — irrelevant at IPET problem sizes.
+//! Two ways in:
+//!
+//! * [`solve_cold`] builds a tableau from scratch and runs phase 1 (if any
+//!   `>=`/`=` rows need artificials) and phase 2 — the classical two-phase
+//!   primal simplex. This is the root solve of every branch-and-bound run
+//!   and the fallback for warm starts that stall.
+//! * An optimal [`Tableau`] can be *reused*: [`Tableau::add_cut`] appends
+//!   one variable-bound row (a branching cut) priced out against the
+//!   current basis, and [`Tableau::dual_reoptimize`] restores primal
+//!   feasibility with dual-simplex pivots. Because the parent's optimal
+//!   basis stays dual-feasible when rows are added, a child node typically
+//!   needs a handful of pivots instead of a full cold solve.
+//!
+//! Pivoting uses the largest-coefficient (Dantzig) rule on the common
+//! path; after a run of consecutive degenerate pivots it falls back to
+//! Bland's smallest-index rule, which provably cannot cycle, until the
+//! objective strictly improves again. This keeps the termination guarantee
+//! of the original Bland-only implementation while pivoting far less.
 
 use crate::rational::Rat;
 
@@ -37,7 +52,18 @@ pub struct Row {
     pub rhs: Rat,
 }
 
-/// Outcome of an LP solve.
+/// Direction of a branching cut on a single variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CutRel {
+    /// `x_i <= bound` (the "down" branch).
+    Le,
+    /// `x_i >= bound` (the "up" branch).
+    Ge,
+}
+
+/// Outcome of an LP solve (convenience wrapper used by the unit tests;
+/// production callers go through [`solve_cold`] to keep the tableau).
+#[cfg(test)]
 #[derive(Clone, Debug)]
 pub enum LpResult {
     /// Optimal solution found: objective value and one optimal assignment of
@@ -49,27 +75,74 @@ pub enum LpResult {
     Unbounded,
 }
 
+/// Outcome of a cold (from-scratch) solve, keeping the tableau for reuse.
+pub enum ColdOutcome {
+    /// Optimal; the tableau is positioned at the optimum.
+    Optimal(Tableau),
+    /// No feasible point.
+    Infeasible,
+    /// Unbounded above.
+    Unbounded,
+}
+
+/// Entering-column selection rule for the primal simplex.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PivotRule {
+    /// Largest-coefficient selection, with an automatic switch to Bland's
+    /// rule after a run of degenerate pivots (the production rule).
+    Dantzig,
+    /// Bland's smallest-index rule throughout — the seed solver's
+    /// behaviour, kept as the measurable baseline for the cold path.
+    Bland,
+}
+
+/// Outcome of a dual-simplex reoptimization after [`Tableau::add_cut`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Reopt {
+    /// Optimal again; the tableau is positioned at the new optimum.
+    Optimal,
+    /// The cut made the problem infeasible (prune the node).
+    Infeasible,
+    /// Iteration cap hit (extreme degeneracy); caller should solve cold.
+    Stalled,
+}
+
 /// Maximises `objective . x` subject to `rows` and `x >= 0`.
 ///
 /// `n_vars` is the number of structural variables; every coefficient index in
 /// `rows` and `objective` must be `< n_vars`.
+#[cfg(test)]
 pub fn maximize(n_vars: usize, objective: &[(usize, Rat)], rows: &[Row]) -> LpResult {
+    let mut pivots = 0u64;
+    match solve_cold(n_vars, objective, rows, &mut pivots, PivotRule::Dantzig) {
+        ColdOutcome::Optimal(t) => LpResult::Optimal {
+            objective: t.objective_value(),
+            values: t.extract(n_vars),
+        },
+        ColdOutcome::Infeasible => LpResult::Infeasible,
+        ColdOutcome::Unbounded => LpResult::Unbounded,
+    }
+}
+
+/// Two-phase primal solve from scratch, counting pivots into `pivots`.
+pub fn solve_cold(
+    n_vars: usize,
+    objective: &[(usize, Rat)],
+    rows: &[Row],
+    pivots: &mut u64,
+    rule: PivotRule,
+) -> ColdOutcome {
     let mut t = Tableau::build(n_vars, rows);
     if t.needs_phase1() {
-        match t.phase1() {
+        match t.phase1(pivots, rule) {
             Phase1::Feasible => {}
-            Phase1::Infeasible => return LpResult::Infeasible,
+            Phase1::Infeasible => return ColdOutcome::Infeasible,
         }
     }
     t.load_objective(objective);
-    match t.optimize() {
-        Opt::Optimal => {}
-        Opt::Unbounded => return LpResult::Unbounded,
-    }
-    let values = t.extract(n_vars);
-    LpResult::Optimal {
-        objective: t.objective_value(),
-        values,
+    match t.optimize(pivots, rule) {
+        Opt::Optimal => ColdOutcome::Optimal(t),
+        Opt::Unbounded => ColdOutcome::Unbounded,
     }
 }
 
@@ -85,48 +158,61 @@ enum Opt {
 
 /// Dense simplex tableau.
 ///
-/// Layout: `m` constraint rows over `total` columns (structural variables,
-/// then slack/surplus, then artificial), one `rhs` column, and an objective
-/// row `z` (stored as reduced costs, to be *minimised* at zero; we maximise
-/// by negating). `basis[i]` is the column basic in row `i`.
-struct Tableau {
+/// Layout: `m` constraint rows over `total` columns — structural variables,
+/// then slack/surplus, then artificial (`art_start..art_end`), then the
+/// slacks of rows appended by [`Tableau::add_cut`] — one `rhs` column, and
+/// an objective row `z` (stored as reduced costs; a column with negative
+/// entry improves the maximisation). `basis[i]` is the column basic in row
+/// `i`. Artificial columns are never eligible to (re-)enter the basis.
+#[derive(Clone)]
+pub struct Tableau {
     m: usize,
     total: usize,
     /// `a[i][j]`, row-major, plus rhs in `rhs[i]`.
     a: Vec<Vec<Rat>>,
     rhs: Vec<Rat>,
-    /// Objective row: reduced cost per column (we keep `z_j - c_j` form such
-    /// that a column with negative entry improves the maximisation).
     obj: Vec<Rat>,
     obj_rhs: Rat,
     basis: Vec<usize>,
-    /// Index of the first artificial column (columns `>= art_start` are
-    /// artificial), `== total` if there are none.
+    /// Artificial columns occupy `art_start..art_end`; columns appended by
+    /// `add_cut` land at `>= art_end` and are ordinary slacks.
     art_start: usize,
+    art_end: usize,
 }
 
 impl Tableau {
+    /// Row normalisation for the initial basis: the effective relation and
+    /// the sign the row is scaled by. The rhs must come out nonnegative so
+    /// a slack can start basic where possible. `>=` rows with a *zero* rhs
+    /// are negated into `<=` rows — their surplus then serves as the
+    /// (degenerate) initial basic variable, saving an artificial that
+    /// phase 1 would otherwise have to drive out again.
+    fn normalise(rel: Rel, rhs: Rat) -> (Rel, Rat) {
+        let flip = rhs.is_negative() || (rel == Rel::Ge && rhs.is_zero());
+        if !flip {
+            return (rel, Rat::ONE);
+        }
+        let eff = match rel {
+            Rel::Le => Rel::Ge,
+            Rel::Ge => Rel::Le,
+            Rel::Eq => Rel::Eq,
+        };
+        (eff, -Rat::ONE)
+    }
+
     fn build(n_vars: usize, rows: &[Row]) -> Tableau {
         let m = rows.len();
         // Count auxiliary columns.
         let mut n_slack = 0;
         let mut n_art = 0;
         for r in rows {
-            // Normalise rhs sign first to decide whether a slack can serve as
-            // the initial basic variable.
-            let (rel, rhs_neg) = (r.rel, r.rhs.is_negative());
-            let eff_rel = match (rel, rhs_neg) {
-                (Rel::Le, true) => Rel::Ge,
-                (Rel::Ge, true) => Rel::Le,
-                (rel, _) => rel,
-            };
-            match eff_rel {
-                Rel::Le => n_slack += 1,
-                Rel::Ge => {
+            match Tableau::normalise(r.rel, r.rhs) {
+                (Rel::Le, _) => n_slack += 1,
+                (Rel::Ge, _) => {
                     n_slack += 1;
                     n_art += 1;
                 }
-                Rel::Eq => n_art += 1,
+                (Rel::Eq, _) => n_art += 1,
             }
         }
         let total = n_vars + n_slack + n_art;
@@ -138,18 +224,12 @@ impl Tableau {
         let mut next_art = art_start;
 
         for (i, r) in rows.iter().enumerate() {
-            let neg = r.rhs.is_negative();
-            let sign = if neg { -Rat::ONE } else { Rat::ONE };
+            let (eff_rel, sign) = Tableau::normalise(r.rel, r.rhs);
             for &(j, c) in &r.coeffs {
                 debug_assert!(j < n_vars, "rt-ilp: coefficient index out of range");
                 a[i][j] += c * sign;
             }
             rhs[i] = r.rhs * sign;
-            let eff_rel = match (r.rel, neg) {
-                (Rel::Le, true) => Rel::Ge,
-                (Rel::Ge, true) => Rel::Le,
-                (rel, _) => rel,
-            };
             match eff_rel {
                 Rel::Le => {
                     a[i][next_slack] = Rat::ONE;
@@ -179,25 +259,31 @@ impl Tableau {
             obj_rhs: Rat::ZERO,
             basis,
             art_start,
+            art_end: total,
         }
     }
 
     fn needs_phase1(&self) -> bool {
-        self.art_start < self.total
+        self.art_start < self.art_end
+    }
+
+    /// Columns allowed to enter the basis: everything except artificials.
+    fn eligible_cols(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.art_start).chain(self.art_end..self.total)
     }
 
     /// Phase 1: minimise the sum of artificial variables.
-    fn phase1(&mut self) -> Phase1 {
+    fn phase1(&mut self, pivots: &mut u64, rule: PivotRule) -> Phase1 {
         // Maximise -(sum of artificials): obj row = sum of artificial rows
         // projected out of the basis.
         self.obj = vec![Rat::ZERO; self.total];
         self.obj_rhs = Rat::ZERO;
-        for j in self.art_start..self.total {
+        for j in self.art_start..self.art_end {
             self.obj[j] = Rat::ONE;
         }
         // Price out basic artificials.
         for i in 0..self.m {
-            if self.basis[i] >= self.art_start {
+            if self.is_artificial(self.basis[i]) {
                 let row = self.a[i].clone();
                 let r = self.rhs[i];
                 for (j, rj) in row.iter().enumerate() {
@@ -206,7 +292,7 @@ impl Tableau {
                 self.obj_rhs -= r;
             }
         }
-        match self.optimize() {
+        match self.optimize(pivots, rule) {
             Opt::Optimal => {}
             Opt::Unbounded => unreachable!("phase-1 objective is bounded above by zero"),
         }
@@ -219,17 +305,22 @@ impl Tableau {
         // must have value zero). If a row is all-zero over non-artificial
         // columns it is redundant and can keep its zero artificial.
         for i in 0..self.m {
-            if self.basis[i] >= self.art_start {
+            if self.is_artificial(self.basis[i]) {
                 if let Some(j) = (0..self.art_start).find(|&j| !self.a[i][j].is_zero()) {
                     self.pivot(i, j);
+                    *pivots += 1;
                 }
             }
         }
         Phase1::Feasible
     }
 
+    fn is_artificial(&self, col: usize) -> bool {
+        (self.art_start..self.art_end).contains(&col)
+    }
+
     /// Installs the phase-2 objective (maximise `c . x`), pricing out basic
-    /// columns, and forbids artificial columns from re-entering.
+    /// columns.
     fn load_objective(&mut self, objective: &[(usize, Rat)]) {
         self.obj = vec![Rat::ZERO; self.total];
         self.obj_rhs = Rat::ZERO;
@@ -251,38 +342,194 @@ impl Tableau {
         }
     }
 
+    /// Ratio test for entering column `col`: the blocking row with the
+    /// minimum `rhs/a` over positive entries, ties broken on the smallest
+    /// basis index (which is what Bland's anti-cycling argument needs).
+    /// `None` means no blocking row — the column is an unbounded ray.
+    fn ratio_row(&self, col: usize) -> Option<(usize, Rat)> {
+        let mut leave: Option<(usize, Rat)> = None;
+        for i in 0..self.m {
+            let aij = self.a[i][col];
+            if aij.is_positive() {
+                let ratio = self.rhs[i] / aij;
+                let better = match &leave {
+                    None => true,
+                    Some((li, lr)) => {
+                        ratio < *lr || (ratio == *lr && self.basis[i] < self.basis[*li])
+                    }
+                };
+                if better {
+                    leave = Some((i, ratio));
+                }
+            }
+        }
+        leave
+    }
+
     /// Runs primal simplex iterations until optimal or unbounded.
-    fn optimize(&mut self) -> Opt {
+    ///
+    /// Entering column under [`PivotRule::Dantzig`]: most negative reduced
+    /// cost. If that column's step would be degenerate (zero ratio), the
+    /// other improving columns are scanned for one that makes *strict*
+    /// progress — on highly degenerate bases (IPET flow systems, where
+    /// most equality rows have zero right-hand sides) this avoids long
+    /// stalls of bookkeeping pivots that largest-coefficient pricing alone
+    /// walks straight into. After `2m + 16` consecutive degenerate pivots
+    /// the rule switches to Bland (smallest index) until progress resumes —
+    /// termination stays guaranteed because Bland episodes cannot cycle and
+    /// strict objective increases are finite.
+    fn optimize(&mut self, pivots: &mut u64, rule: PivotRule) -> Opt {
+        let threshold = match rule {
+            PivotRule::Dantzig => 2 * self.m + 16,
+            PivotRule::Bland => 0,
+        };
+        let mut degenerate = 0usize;
         loop {
-            // Bland: smallest-index improving column. Artificial columns are
-            // never eligible to enter: they start basic and only leave
-            // (the standard "drop artificials once nonbasic" rule); letting
-            // one re-enter in phase 2 would move to an infeasible point.
-            let Some(enter) = (0..self.art_start).find(|&j| self.obj[j].is_negative()) else {
-                return Opt::Optimal;
+            let (enter, leave) = if degenerate < threshold {
+                let mut best: Option<(usize, Rat)> = None;
+                for j in self.eligible_cols() {
+                    let c = self.obj[j];
+                    if c.is_negative() && best.is_none_or(|(_, bc)| c < bc) {
+                        best = Some((j, c));
+                    }
+                }
+                let Some((j0, _)) = best else {
+                    return Opt::Optimal;
+                };
+                match self.ratio_row(j0) {
+                    None => return Opt::Unbounded,
+                    Some((row, ratio)) if !ratio.is_zero() => (j0, (row, ratio)),
+                    Some(blocked) => {
+                        // Degenerate under the standard pick: prefer the
+                        // best-priced improving column with a strictly
+                        // positive step, if any exists.
+                        let mut alt: Option<(usize, Rat, (usize, Rat))> = None;
+                        for j in self.eligible_cols() {
+                            let c = self.obj[j];
+                            if j == j0 || !c.is_negative() {
+                                continue;
+                            }
+                            if alt.as_ref().is_some_and(|&(_, ac, _)| ac <= c) {
+                                continue; // not better priced than current alt
+                            }
+                            match self.ratio_row(j) {
+                                None => return Opt::Unbounded,
+                                Some((r, ratio)) if !ratio.is_zero() => {
+                                    alt = Some((j, c, (r, ratio)));
+                                }
+                                Some(_) => {}
+                            }
+                        }
+                        match alt {
+                            Some((j, _, leave)) => (j, leave),
+                            None => (j0, blocked),
+                        }
+                    }
+                }
+            } else {
+                let Some(j) = self.eligible_cols().find(|&j| self.obj[j].is_negative()) else {
+                    return Opt::Optimal;
+                };
+                match self.ratio_row(j) {
+                    None => return Opt::Unbounded,
+                    Some(leave) => (j, leave),
+                }
             };
-            // Ratio test, Bland tie-break on basis index.
+            let (row, ratio) = leave;
+            self.pivot(row, enter);
+            *pivots += 1;
+            if ratio.is_zero() {
+                degenerate += 1;
+            } else {
+                degenerate = 0;
+            }
+        }
+    }
+
+    /// Appends the branching cut `x_var (<=|>=) bound` as a new row with its
+    /// own slack column, priced out against the current basis. The tableau
+    /// stays dual-feasible (the new slack enters the basis with objective
+    /// coefficient zero); call [`Tableau::dual_reoptimize`] to restore
+    /// primal feasibility.
+    pub fn add_cut(&mut self, var: usize, rel: CutRel, bound: Rat) {
+        debug_assert!(var < self.art_start, "cut on non-structural column");
+        let slack_col = self.total;
+        for row in &mut self.a {
+            row.push(Rat::ZERO);
+        }
+        self.obj.push(Rat::ZERO);
+        self.total += 1;
+
+        // Express the cut in `<=` form: Le is x + s = b, Ge is -x + s = -b.
+        let (coeff, mut rhs) = match rel {
+            CutRel::Le => (Rat::ONE, bound),
+            CutRel::Ge => (-Rat::ONE, -bound),
+        };
+        let mut row = vec![Rat::ZERO; self.total];
+        row[var] = coeff;
+        row[slack_col] = Rat::ONE;
+        // Price out: the only potentially-basic column in the new row is
+        // `var` itself; a basic column has a unit column elsewhere, so one
+        // row subtraction leaves every basic column at zero.
+        if let Some(r) = (0..self.m).find(|&i| self.basis[i] == var) {
+            let f = row[var];
+            for (rj, aj) in row.iter_mut().zip(&self.a[r]) {
+                *rj -= f * *aj;
+            }
+            rhs -= f * self.rhs[r];
+        }
+        self.a.push(row);
+        self.rhs.push(rhs);
+        self.basis.push(slack_col);
+        self.m += 1;
+    }
+
+    /// Dual-simplex pivots until primal feasibility returns (`Optimal`),
+    /// the region proves empty (`Infeasible`), or an iteration cap is hit
+    /// (`Stalled` — the caller falls back to a cold solve; the cap is the
+    /// anti-cycling guard for the dual iteration).
+    pub fn dual_reoptimize(&mut self, pivots: &mut u64) -> Reopt {
+        let cap = 4 * self.m + 64;
+        for _ in 0..cap {
+            // Leaving row: most negative rhs (row index breaks ties).
             let mut leave: Option<(usize, Rat)> = None;
             for i in 0..self.m {
-                let aij = self.a[i][enter];
-                if aij.is_positive() {
-                    let ratio = self.rhs[i] / aij;
-                    let better = match &leave {
-                        None => true,
-                        Some((li, lr)) => {
-                            ratio < *lr || (ratio == *lr && self.basis[i] < self.basis[*li])
-                        }
-                    };
-                    if better {
-                        leave = Some((i, ratio));
-                    }
+                let r = self.rhs[i];
+                if r.is_negative() && leave.is_none_or(|(_, lr)| r < lr) {
+                    leave = Some((i, r));
                 }
             }
             let Some((row, _)) = leave else {
-                return Opt::Unbounded;
+                return Reopt::Optimal;
             };
-            self.pivot(row, enter);
+            // Entering column: dual ratio test — minimise
+            // obj[j] / -a[row][j] over eligible columns with a[row][j] < 0
+            // (smallest column index breaks ties). Reduced costs are
+            // nonnegative at a dual-feasible point, so the minimum keeps
+            // them nonnegative after the pivot.
+            let mut enter: Option<(usize, Rat)> = None;
+            for j in self.eligible_cols() {
+                let arj = self.a[row][j];
+                if arj.is_negative() {
+                    let ratio = self.obj[j] / -arj;
+                    let better = match &enter {
+                        None => true,
+                        Some((ej, er)) => ratio < *er || (ratio == *er && j < *ej),
+                    };
+                    if better {
+                        enter = Some((j, ratio));
+                    }
+                }
+            }
+            let Some((col, _)) = enter else {
+                // The violated row has no negative entry: its equation has
+                // no feasible completion — the cut emptied the region.
+                return Reopt::Infeasible;
+            };
+            self.pivot(row, col);
+            *pivots += 1;
         }
+        Reopt::Stalled
     }
 
     fn pivot(&mut self, row: usize, col: usize) {
@@ -326,14 +573,16 @@ impl Tableau {
         self.basis[row] = col;
     }
 
-    fn objective_value(&self) -> Rat {
+    /// Objective value at the current (optimal) basic solution.
+    pub fn objective_value(&self) -> Rat {
         // Invariant maintained by all row operations: for every feasible x,
         // obj . x = obj_rhs - z. At a basic solution the basic columns of
         // `obj` are zero and nonbasic variables are zero, so z = obj_rhs.
         self.obj_rhs
     }
 
-    fn extract(&self, n_vars: usize) -> Vec<Rat> {
+    /// Values of the first `n_vars` (structural) variables.
+    pub fn extract(&self, n_vars: usize) -> Vec<Rat> {
         let mut x = vec![Rat::ZERO; n_vars];
         for i in 0..self.m {
             let b = self.basis[i];
@@ -438,7 +687,7 @@ mod tests {
 
     #[test]
     fn degenerate_no_cycle() {
-        // A classic degenerate instance; Bland's rule must terminate.
+        // A classic degenerate instance; the Bland fallback must terminate.
         let rows = vec![
             row(&[(0, 1), (1, 1), (2, 1)], Rel::Le, 0),
             row(&[(0, 1), (1, -1)], Rel::Le, 0),
@@ -461,5 +710,110 @@ mod tests {
             LpResult::Optimal { objective, .. } => assert_eq!(objective, r(2)),
             other => panic!("expected optimal, got {other:?}"),
         }
+    }
+
+    // --- warm-start machinery -------------------------------------------
+
+    /// Cold-solves, then applies `cuts` one at a time via the warm path and
+    /// checks the objective against a cold solve of the full system.
+    fn check_warm_matches_cold(
+        n_vars: usize,
+        objective: &[(usize, Rat)],
+        rows: &[Row],
+        cuts: &[(usize, CutRel, i128)],
+    ) {
+        let mut pivots = 0u64;
+        let ColdOutcome::Optimal(mut warm) =
+            solve_cold(n_vars, objective, rows, &mut pivots, PivotRule::Dantzig)
+        else {
+            panic!("base problem must be solvable");
+        };
+        let mut all_rows = rows.to_vec();
+        for &(var, rel, bound) in cuts {
+            warm.add_cut(var, rel, Rat::int(bound));
+            all_rows.push(Row {
+                coeffs: vec![(var, Rat::ONE)],
+                rel: match rel {
+                    CutRel::Le => Rel::Le,
+                    CutRel::Ge => Rel::Ge,
+                },
+                rhs: Rat::int(bound),
+            });
+            let reopt = warm.dual_reoptimize(&mut pivots);
+            match maximize(n_vars, objective, &all_rows) {
+                LpResult::Optimal { objective: o, .. } => {
+                    assert_eq!(reopt, Reopt::Optimal, "cuts {cuts:?}");
+                    assert_eq!(warm.objective_value(), o, "cuts {cuts:?}");
+                }
+                LpResult::Infeasible => {
+                    assert_eq!(reopt, Reopt::Infeasible, "cuts {cuts:?}");
+                    return;
+                }
+                LpResult::Unbounded => unreachable!("cuts only restrict"),
+            }
+        }
+    }
+
+    #[test]
+    fn warm_cut_le_matches_cold() {
+        let rows = vec![
+            row(&[(0, 1), (1, 1)], Rel::Le, 7),
+            row(&[(0, 2), (1, 1)], Rel::Le, 10),
+        ];
+        check_warm_matches_cold(
+            2,
+            &[(0, r(3)), (1, r(2))],
+            &rows,
+            &[(0, CutRel::Le, 2), (1, CutRel::Le, 3)],
+        );
+    }
+
+    #[test]
+    fn warm_cut_ge_matches_cold() {
+        let rows = vec![
+            row(&[(0, 1), (1, 1)], Rel::Le, 7),
+            row(&[(0, 2), (1, 1)], Rel::Le, 10),
+        ];
+        check_warm_matches_cold(
+            2,
+            &[(0, r(3)), (1, r(2))],
+            &rows,
+            &[(0, CutRel::Ge, 2), (1, CutRel::Ge, 4)],
+        );
+    }
+
+    #[test]
+    fn warm_cut_to_infeasible() {
+        // x <= 3 base; forcing x >= 5 kills it.
+        let rows = vec![row(&[(0, 1)], Rel::Le, 3)];
+        check_warm_matches_cold(1, &[(0, r(1))], &rows, &[(0, CutRel::Ge, 5)]);
+    }
+
+    #[test]
+    fn warm_cut_on_nonbasic_variable() {
+        // Optimum at y = 0 (nonbasic); cutting y >= 1 must re-solve right.
+        let rows = vec![row(&[(0, 1), (1, 2)], Rel::Le, 6)];
+        check_warm_matches_cold(
+            2,
+            &[(0, r(3)), (1, r(1))],
+            &rows,
+            &[(1, CutRel::Ge, 1), (1, CutRel::Le, 2)],
+        );
+    }
+
+    #[test]
+    fn warm_chain_of_cuts_with_equalities() {
+        // Phase-1-requiring base (equality + ge), then stacked cuts.
+        let rows = vec![
+            row(&[(0, 1), (1, 1), (2, 1)], Rel::Eq, 10),
+            row(&[(0, 1)], Rel::Ge, 1),
+            row(&[(1, 2), (2, 1)], Rel::Le, 12),
+        ];
+        check_warm_matches_cold(
+            3,
+            &[(0, r(2)), (1, r(5)), (2, r(3))],
+            &rows,
+            &[(1, CutRel::Le, 3), (2, CutRel::Ge, 2), (0, CutRel::Le, 4)],
+        );
     }
 }

@@ -1,0 +1,187 @@
+//! Differential tests for the warm-started solver: on random small integer
+//! programs — including `>=` and `=` rows, which exercise phase 1 and the
+//! dual-simplex cut machinery hardest — the warm-started production path
+//! ([`Model::solve`]), the cold reference path ([`Model::solve_cold`]) and
+//! exhaustive enumeration must agree bit-for-bit on the objective.
+
+use proptest::prelude::*;
+use rt_ilp::{LinExpr, Model, Rat, SolveError};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum R {
+    Le,
+    Ge,
+    Eq,
+}
+
+/// A small random ILP with mixed-relation rows: `n` integer variables in
+/// `0..=ub`, rows `a . x (<=|>=|=) b` with coefficients in `-3..=3`.
+#[derive(Debug, Clone)]
+struct Instance {
+    ub: i64,
+    obj: Vec<i64>,
+    rows: Vec<(Vec<i64>, R, i64)>,
+}
+
+fn rel() -> impl Strategy<Value = R> {
+    (0u8..3).prop_map(|r| match r {
+        0 => R::Le,
+        1 => R::Ge,
+        _ => R::Eq,
+    })
+}
+
+fn instance() -> impl Strategy<Value = Instance> {
+    (1usize..=3, 1usize..=3, 1i64..=4).prop_flat_map(|(n, m, ub)| {
+        (
+            proptest::collection::vec(-5i64..=5, n),
+            proptest::collection::vec(
+                (proptest::collection::vec(-3i64..=3, n), rel(), -4i64..=12),
+                m,
+            ),
+        )
+            .prop_map(move |(obj, rows)| Instance { ub, obj, rows })
+    })
+}
+
+/// Exhaustive enumeration over the `0..=ub` box.
+fn brute_force(inst: &Instance) -> Option<i64> {
+    let n = inst.obj.len();
+    let mut best: Option<i64> = None;
+    let mut x = vec![0i64; n];
+    loop {
+        let feasible = inst.rows.iter().all(|(a, r, b)| {
+            let lhs: i64 = a.iter().zip(&x).map(|(c, v)| c * v).sum();
+            match r {
+                R::Le => lhs <= *b,
+                R::Ge => lhs >= *b,
+                R::Eq => lhs == *b,
+            }
+        });
+        if feasible {
+            let obj: i64 = inst.obj.iter().zip(&x).map(|(c, v)| c * v).sum();
+            best = Some(best.map_or(obj, |b: i64| b.max(obj)));
+        }
+        let mut i = 0;
+        loop {
+            if i == n {
+                return best;
+            }
+            x[i] += 1;
+            if x[i] <= inst.ub {
+                break;
+            }
+            x[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+fn build(inst: &Instance) -> (Model, Vec<rt_ilp::VarId>) {
+    let mut m = Model::maximize();
+    let vars: Vec<_> = (0..inst.obj.len())
+        .map(|i| m.int_var(&format!("x{i}"), 0, Some(inst.ub)))
+        .collect();
+    let mut obj = LinExpr::new();
+    for (i, &c) in inst.obj.iter().enumerate() {
+        obj = obj + (c, vars[i]);
+    }
+    m.set_objective(obj);
+    for (a, r, b) in &inst.rows {
+        let mut e = LinExpr::new();
+        for (i, &c) in a.iter().enumerate() {
+            e = e + (c, vars[i]);
+        }
+        match r {
+            R::Le => m.add_le(e, *b),
+            R::Ge => m.add_ge(e, *b),
+            R::Eq => m.add_eq(e, *b),
+        }
+    }
+    (m, vars)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Warm, cold and brute force: all three agree (objective bit-for-bit,
+    /// and the warm solver's assignment is feasible and achieves it).
+    #[test]
+    fn warm_cold_and_brute_force_agree(inst in instance()) {
+        let (m, vars) = build(&inst);
+        let expected = brute_force(&inst);
+        let warm = m.solve();
+        let cold = m.solve_cold();
+        match (&warm, &cold) {
+            (Ok(w), Ok(c)) => prop_assert_eq!(w.objective, c.objective),
+            (Err(we), Err(ce)) => prop_assert_eq!(we, ce),
+            _ => {
+                return Err(TestCaseError::fail(format!(
+                    "warm/cold disagree: warm {warm:?}, cold {cold:?}"
+                )));
+            }
+        }
+        match (warm, expected) {
+            (Ok(sol), Some(best)) => {
+                prop_assert_eq!(sol.objective, Rat::int(best as i128));
+                for (a, r, b) in &inst.rows {
+                    let lhs: i64 = vars
+                        .iter()
+                        .zip(a)
+                        .map(|(&v, c)| c * sol.value_i64(v))
+                        .sum();
+                    match r {
+                        R::Le => prop_assert!(lhs <= *b),
+                        R::Ge => prop_assert!(lhs >= *b),
+                        R::Eq => prop_assert_eq!(lhs, *b),
+                    }
+                }
+            }
+            (Err(SolveError::Infeasible), None) => {}
+            (got, want) => {
+                return Err(TestCaseError::fail(format!(
+                    "solver disagrees with brute force: got {got:?}, want {want:?}"
+                )));
+            }
+        }
+    }
+}
+
+/// A handcrafted instance whose branching repeatedly cuts basic variables:
+/// enough depth that warm starts, snapshot drops and cold fallbacks all
+/// occur in one solve.
+#[test]
+fn deep_branching_exercises_warm_and_cold_paths() {
+    let mut m = Model::maximize();
+    let n = 8;
+    let vars: Vec<_> = (0..n)
+        .map(|i| m.int_var(&format!("x{i}"), 0, Some(7)))
+        .collect();
+    let mut obj = LinExpr::new();
+    for (i, &v) in vars.iter().enumerate() {
+        obj = obj + (2 * i as i64 + 3, v);
+    }
+    m.set_objective(obj);
+    // Odd-coefficient knapsack rows force fractional LP optima everywhere.
+    for k in 0..n {
+        let mut e = LinExpr::new();
+        for (i, &v) in vars.iter().enumerate() {
+            e = e + (if (i + k) % 3 == 0 { 3 } else { 2 }, v);
+        }
+        m.add_le(e, 19 + k as i64);
+    }
+    let warm = m.solve().expect("feasible");
+    let cold = m.solve_cold().expect("feasible");
+    assert_eq!(warm.objective, cold.objective);
+    assert!(
+        warm.stats.warm_hits > 0,
+        "expected warm starts, stats {:?}",
+        warm.stats
+    );
+    assert!(
+        warm.stats.pivots() < cold.stats.pivots(),
+        "warm {} pivots, cold {} pivots",
+        warm.stats.pivots(),
+        cold.stats.pivots()
+    );
+}

@@ -73,7 +73,8 @@ pub struct WcetReport {
     pub phases: PhaseTimes,
 }
 
-/// Host-time spent per analysis phase.
+/// Host-time spent per analysis phase, plus the ILP solver's own work
+/// counters.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct PhaseTimes {
     /// Control-flow-graph construction (incl. virtual inlining).
@@ -82,6 +83,9 @@ pub struct PhaseTimes {
     pub costs: std::time::Duration,
     /// IPET ILP solving.
     pub ilp: std::time::Duration,
+    /// Solver work counters (branch-and-bound nodes, simplex pivots,
+    /// warm-start hit rate) for the ILP phase.
+    pub ilp_stats: rt_ilp::SolveStats,
 }
 
 impl WcetReport {
@@ -203,8 +207,44 @@ pub fn analyze_with_bounds(
             build: t_build,
             costs: t_costs,
             ilp: t_ilp,
+            ilp_stats: sol.stats,
         },
     }
+}
+
+/// Builds the IPET ILP instance for one entry point without solving it.
+///
+/// The `ilp_solver` benchmark uses this to compare [`rt_ilp::Model::solve`]
+/// (warm-started) against [`rt_ilp::Model::solve_cold`] on the real
+/// instance; the differential tests use it to check both agree.
+pub fn ipet_ilp(entry: EntryPoint, cfg: &AnalysisConfig) -> ipet::IpetIlp {
+    ipet_ilp_with(entry, cfg, &kmodel::BoundParams::default())
+}
+
+/// As [`ipet_ilp`] with explicit loop-bound parameters.
+pub fn ipet_ilp_with(
+    entry: EntryPoint,
+    cfg: &AnalysisConfig,
+    bounds: &kmodel::BoundParams,
+) -> ipet::IpetIlp {
+    let layout = Layout::new();
+    let graph = kmodel::build_cfg_with(entry, cfg.kernel, bounds);
+    let model = CostModel {
+        l2: cfg.l2 || cfg.l2_kernel_locked,
+        l2_kernel_locked: cfg.l2_kernel_locked,
+        pinned_i: if cfg.pinning {
+            pinning::pinned_icache_lines(&layout).into_iter().collect()
+        } else {
+            HashSet::new()
+        },
+        pinned_d: if cfg.pinning {
+            pinning::pinned_dcache_lines().into_iter().collect()
+        } else {
+            HashSet::new()
+        },
+    };
+    let costs = node_costs(&graph, &layout, &model);
+    ipet::build_model(&graph, &costs.node, &costs.edge, cfg.manual_constraints)
 }
 
 /// Forces the analysis onto a specific path by adding `ExecutesAtMost(n,
@@ -260,7 +300,10 @@ pub fn analyze_forced(entry: EntryPoint, cfg: &AnalysisConfig, allowed: &[Block]
         trace,
         ilp_vars: sol.num_vars,
         ilp_constraints: sol.num_constraints,
-        phases: PhaseTimes::default(),
+        phases: PhaseTimes {
+            ilp_stats: sol.stats,
+            ..PhaseTimes::default()
+        },
     }
 }
 

@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use rt_ilp::{LinExpr, Model, SolveError, VarId};
+use rt_ilp::{LinExpr, Model, Solution, SolveError, SolveStats, VarId};
 
 use crate::cfg::{Cfg, NodeId, UserConstraint};
 
@@ -27,6 +27,8 @@ pub struct IpetSolution {
     pub num_vars: usize,
     /// ILP constraint count.
     pub num_constraints: usize,
+    /// Solver work counters (nodes, pivots, warm-start rate, wall time).
+    pub stats: SolveStats,
 }
 
 impl IpetSolution {
@@ -64,6 +66,34 @@ impl IpetSolution {
     }
 }
 
+/// An IPET ILP ready to solve: the assembled model plus the variable maps
+/// needed to interpret a solution.
+///
+/// Exposed (rather than building and solving in one shot) so benchmarks and
+/// differential tests can run [`rt_ilp::Model::solve`] and
+/// [`rt_ilp::Model::solve_cold`] against the *same* real instance.
+pub struct IpetIlp {
+    /// The assembled maximisation model.
+    pub model: Model,
+    x: Vec<VarId>,
+    y: Vec<VarId>,
+}
+
+impl IpetIlp {
+    /// Converts a solver [`Solution`] of [`IpetIlp::model`] back into node
+    /// and edge counts.
+    pub fn interpret(&self, sol: &Solution) -> IpetSolution {
+        IpetSolution {
+            wcet: sol.objective_i64() as u64,
+            counts: self.x.iter().map(|&v| sol.value_i64(v) as u64).collect(),
+            edge_counts: self.y.iter().map(|&v| sol.value_i64(v) as u64).collect(),
+            num_vars: self.model.num_vars(),
+            num_constraints: self.model.num_constraints(),
+            stats: sol.stats,
+        }
+    }
+}
+
 /// Builds and solves the IPET ILP for `cfg` with the given per-node and
 /// per-edge costs (edge costs carry loop-entry cold misses).
 ///
@@ -77,6 +107,18 @@ pub fn solve(
     edge_costs: &[u64],
     with_user_constraints: bool,
 ) -> Result<IpetSolution, SolveError> {
+    let ilp = build_model(cfg, costs, edge_costs, with_user_constraints);
+    let sol = ilp.model.solve()?;
+    Ok(ilp.interpret(&sol))
+}
+
+/// Assembles the IPET ILP for `cfg` without solving it.
+pub fn build_model(
+    cfg: &Cfg,
+    costs: &[u64],
+    edge_costs: &[u64],
+    with_user_constraints: bool,
+) -> IpetIlp {
     assert_eq!(costs.len(), cfg.nodes.len());
     assert_eq!(edge_costs.len(), cfg.edges.len());
     let mut m = Model::maximize();
@@ -249,16 +291,7 @@ pub fn solve(
     }
     m.set_objective(obj);
 
-    let num_vars = m.num_vars();
-    let num_constraints = m.num_constraints();
-    let sol = m.solve()?;
-    Ok(IpetSolution {
-        wcet: sol.objective_i64() as u64,
-        counts: x.iter().map(|&v| sol.value_i64(v) as u64).collect(),
-        edge_counts: y.iter().map(|&v| sol.value_i64(v) as u64).collect(),
-        num_vars,
-        num_constraints,
-    })
+    IpetIlp { model: m, x, y }
 }
 
 /// Iterative Tarjan SCC over the CFG; returns each component's node

@@ -46,5 +46,5 @@ pub mod ipet;
 pub mod kmodel;
 pub mod loopbound;
 
-pub use analysis::{analyze, AnalysisConfig, WcetReport};
+pub use analysis::{analyze, ipet_ilp, ipet_ilp_with, AnalysisConfig, WcetReport};
 pub use cfg::{Cfg, CfgBuilder, NodeId, UserConstraint};

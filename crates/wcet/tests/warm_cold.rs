@@ -1,0 +1,93 @@
+//! Differential tests on the *real* IPET instances: the warm-started
+//! production solver and the cold (from-scratch per node) reference path
+//! must produce bit-for-bit equal objectives on every entry point's ILP,
+//! for both kernel designs and across randomized loop-bound parameters.
+//!
+//! This is the safety net for the warm-start machinery — the instances here
+//! have the exact structure (flow-conservation equalities, loop-bound rows,
+//! conflict constraints) the kernel analysis produces, not synthetic toys.
+
+use proptest::prelude::*;
+use rt_kernel::kernel::{EntryPoint, KernelConfig};
+use rt_wcet::kmodel::BoundParams;
+use rt_wcet::{ipet_ilp, ipet_ilp_with, AnalysisConfig};
+
+fn cfg(kernel: KernelConfig) -> AnalysisConfig {
+    AnalysisConfig {
+        kernel,
+        l2: false,
+        pinning: false,
+        l2_kernel_locked: false,
+        manual_constraints: true,
+    }
+}
+
+#[test]
+fn warm_matches_cold_on_every_entry_point() {
+    for kernel in [KernelConfig::before(), KernelConfig::after()] {
+        for e in EntryPoint::ALL {
+            let ilp = ipet_ilp(e, &cfg(kernel));
+            let warm = ilp.model.solve().expect("IPET instance must solve");
+            let cold = ilp.model.solve_cold().expect("IPET instance must solve");
+            assert_eq!(
+                warm.objective, cold.objective,
+                "{e:?}: warm and cold objectives diverge"
+            );
+            // The warm solver's assignment must be a valid flow solution
+            // (interpret() would panic on fractional values).
+            let sol = ilp.interpret(&warm);
+            assert_eq!(sol.wcet, cold.objective_i64() as u64);
+        }
+    }
+}
+
+#[test]
+fn warm_start_actually_engages_on_branching_instances() {
+    // The before-kernel syscall instance branches (conflict constraints):
+    // the solve must serve most nodes from a parent basis and pivot less
+    // than the cold baseline.
+    let ilp = ipet_ilp(EntryPoint::Syscall, &cfg(KernelConfig::before()));
+    let warm = ilp.model.solve().expect("solvable").stats;
+    let cold = ilp.model.solve_cold().expect("solvable").stats;
+    assert_eq!(cold.warm_hits, 0, "cold driver must not warm-start");
+    if warm.nodes > 1 {
+        assert!(warm.warm_hits > 0, "no warm starts despite branching");
+        assert!(
+            warm.pivots() < cold.pivots(),
+            "warm {} pivots >= cold {}",
+            warm.pivots(),
+            cold.pivots()
+        );
+    }
+}
+
+proptest! {
+    // Few cases with a modest message-length range: every case pays for a
+    // cold Bland-rule baseline solve, which is what keeps the suite's
+    // wall time bounded (the warm path is cheap).
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Randomized loop-bound parameters reshape the instances (different
+    /// loop-bound rows, different optima); warm and cold must still agree.
+    #[test]
+    fn warm_matches_cold_across_bound_parameters(
+        decode_levels in 1u64..=32,
+        msg_words in 1u64..=16,
+        xfer_caps in 1u64..=3,
+        ipc_only in any::<bool>(),
+    ) {
+        let bounds = BoundParams {
+            decode_levels,
+            msg_words,
+            xfer_caps,
+            ipc_only,
+            ..BoundParams::default()
+        };
+        for e in [EntryPoint::Syscall, EntryPoint::Interrupt] {
+            let ilp = ipet_ilp_with(e, &cfg(KernelConfig::after()), &bounds);
+            let warm = ilp.model.solve().expect("IPET instance must solve");
+            let cold = ilp.model.solve_cold().expect("IPET instance must solve");
+            prop_assert_eq!(warm.objective, cold.objective);
+        }
+    }
+}

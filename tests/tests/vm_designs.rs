@@ -8,7 +8,6 @@ use rt_kernel::cap::{insert_cap, CapType, SlotRef};
 use rt_kernel::invariants;
 use rt_kernel::kernel::{Kernel, KernelConfig, SchedKind, VmKind};
 use rt_kernel::syscall::{Syscall, SyscallOutcome};
-use rt_kernel::tcb::ThreadState;
 use rt_kernel::untyped::RetypeKind;
 use rt_kernel::vspace::{PdEntry, PtEntry};
 
