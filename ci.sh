@@ -6,3 +6,4 @@ cargo build --release
 cargo test -q
 cargo fmt --check
 cargo clippy --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps

@@ -1,0 +1,314 @@
+//! Observed-vs-computed worst-case attribution (the §6-style accounting).
+//!
+//! [`observe_attribution`] reruns the worst-case workloads of
+//! [`crate::workloads`] with the machine's [`rt_hw::Trace`] sink and the
+//! kernel's block profile enabled, and keeps — for the worst repetition —
+//! the per-bucket cycle breakdown ([`rt_hw::CycleAccounts`]), the kernel's
+//! phase-marker counters (decode, fastpath, preemption-point checks,
+//! endpoint-deletion/abort resume steps) and the hottest blocks by total
+//! cycles. [`attribution`] pairs that with the static side: the ILP's
+//! chosen worst path folded over the split cost model
+//! (`WcetReport::breakdown`), in the same bucket vocabulary, so
+//! [`render_attribution`] can print observed vs computed side by side and
+//! the soundness tests can assert dominance per bucket.
+
+use std::collections::HashMap;
+
+use rt_hw::trace::TraceEvent;
+use rt_hw::{CycleAccounts, Cycles, HwConfig};
+use rt_kernel::kernel::{BlockStat, EntryPoint, Kernel, KernelConfig};
+use rt_kernel::kprog::Block;
+use rt_wcet::{analyze, AnalysisConfig};
+
+use crate::workloads::{WorstFault, WorstInterrupt, WorstSyscall};
+
+/// How many hottest blocks an attribution report keeps.
+pub const HOT_BLOCKS: usize = 5;
+
+/// Counts of the kernel's phase markers over one run (the trace-event
+/// vocabulary is documented in `docs/TRACING.md`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseCounts {
+    /// Capability-decode entries (`"decode"` markers — one per resolve,
+    /// i.e. the Fig. 7 lookups).
+    pub decodes: u64,
+    /// IPC fastpath commits (`"fastpath"`).
+    pub fastpaths: u64,
+    /// Preemption-point checks executed (`"preempt-check"`).
+    pub preempt_checks: u64,
+    /// Preemption points that actually fired (`"preempt-fire"`).
+    pub preempt_fires: u64,
+    /// Endpoint-deletion dequeue/resume steps (`"ep-del-step"`).
+    pub ep_del_steps: u64,
+    /// Badged-abort examine/resume steps (`"abort-step"`).
+    pub abort_steps: u64,
+}
+
+impl PhaseCounts {
+    fn from_events(events: &[TraceEvent]) -> PhaseCounts {
+        let mut p = PhaseCounts::default();
+        for e in events {
+            if let TraceEvent::Phase { label, .. } = e {
+                match *label {
+                    "decode" => p.decodes += 1,
+                    "fastpath" => p.fastpaths += 1,
+                    "preempt-check" => p.preempt_checks += 1,
+                    "preempt-fire" => p.preempt_fires += 1,
+                    "ep-del-step" => p.ep_del_steps += 1,
+                    "abort-step" => p.abort_steps += 1,
+                    _ => {}
+                }
+            }
+        }
+        p
+    }
+}
+
+/// Observed attribution of one entry point's worst repetition.
+#[derive(Clone, Debug)]
+pub struct ObservedAttribution {
+    /// Total cycles of the worst run (equals `breakdown.total()`).
+    pub cycles: Cycles,
+    /// The worst run's cycles split into attribution buckets.
+    pub breakdown: CycleAccounts,
+    /// Phase-marker counts on the worst run.
+    pub phases: PhaseCounts,
+    /// The [`HOT_BLOCKS`] most expensive blocks of the worst run, by total
+    /// cycles (the observed "hottest path").
+    pub hottest: Vec<(Block, BlockStat)>,
+}
+
+/// One measured repetition, generic over the workload's kernel accessor
+/// and fire method.
+fn measure_reps<W>(
+    w: &mut W,
+    kernel: fn(&mut W) -> &mut Kernel,
+    fire: fn(&mut W) -> Cycles,
+    reps: u32,
+) -> ObservedAttribution {
+    let mut best: Option<ObservedAttribution> = None;
+    for _ in 0..reps {
+        {
+            let k = kernel(w);
+            k.machine.trace.enable();
+            let _ = k.machine.trace.take(); // discard pre-run events
+            k.start_profile();
+        }
+        let acc0 = kernel(w).machine.accounts;
+        let cycles = fire(w);
+        let k = kernel(w);
+        let breakdown = k.machine.accounts.since(acc0);
+        let events = k.machine.trace.take();
+        k.machine.trace.disable();
+        let profile = k.take_profile();
+        assert_eq!(
+            breakdown.total(),
+            cycles,
+            "the bucket accounts must partition the measured window"
+        );
+        if best.as_ref().is_none_or(|b| cycles > b.cycles) {
+            best = Some(ObservedAttribution {
+                cycles,
+                breakdown,
+                phases: PhaseCounts::from_events(&events),
+                hottest: hottest_blocks(&profile),
+            });
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+fn hottest_blocks(profile: &HashMap<Block, BlockStat>) -> Vec<(Block, BlockStat)> {
+    let mut v: Vec<(Block, BlockStat)> = profile.iter().map(|(&b, &s)| (b, s)).collect();
+    // Cycles first, block order as the deterministic tie-break.
+    v.sort_by_key(|&(b, s)| (std::cmp::Reverse(s.cycles), b));
+    v.truncate(HOT_BLOCKS);
+    v
+}
+
+/// Observed worst-case attribution for `entry`: the maximum-cycles run out
+/// of `reps` polluted repetitions, with breakdown, phase counters and
+/// hottest blocks. The measured cycle counts are identical to
+/// [`crate::observe::observe_entry_reps`] — tracing does not perturb
+/// timing.
+pub fn observe_attribution(
+    entry: EntryPoint,
+    cfg: KernelConfig,
+    hw: HwConfig,
+    reps: u32,
+) -> ObservedAttribution {
+    match entry {
+        EntryPoint::Syscall => {
+            let mut w = WorstSyscall::new(cfg, hw);
+            measure_reps(&mut w, |w| &mut w.kernel, |w| w.fire_polluted(), reps)
+        }
+        EntryPoint::Interrupt => {
+            let mut w = WorstInterrupt::new(cfg, hw);
+            measure_reps(&mut w, |w| &mut w.kernel, |w| w.fire_polluted(), reps)
+        }
+        EntryPoint::PageFault => {
+            let mut w = WorstFault::new(cfg, hw);
+            measure_reps(
+                &mut w,
+                |w| &mut w.kernel,
+                |w| w.fire_page_fault_polluted(),
+                reps,
+            )
+        }
+        EntryPoint::Undefined => {
+            let mut w = WorstFault::new(cfg, hw);
+            measure_reps(
+                &mut w,
+                |w| &mut w.kernel,
+                |w| w.fire_undefined_polluted(),
+                reps,
+            )
+        }
+    }
+}
+
+/// Observed and computed breakdowns for one entry point, side by side.
+#[derive(Clone, Debug)]
+pub struct AttributionRow {
+    /// The entry point.
+    pub entry: EntryPoint,
+    /// Observed worst run.
+    pub observed: ObservedAttribution,
+    /// Computed bound (total cycles).
+    pub computed_cycles: Cycles,
+    /// Computed bound split into the same buckets.
+    pub computed: CycleAccounts,
+}
+
+/// Builds the full attribution comparison: every entry point of the
+/// after-kernel, observed (max over `reps` polluted runs) vs computed (the
+/// IPET worst path over the split cost model), under the given L2
+/// configuration.
+pub fn attribution(reps: u32, l2: bool) -> Vec<AttributionRow> {
+    let kernel = KernelConfig::after();
+    let acfg = AnalysisConfig {
+        kernel,
+        l2,
+        pinning: false,
+        l2_kernel_locked: false,
+        manual_constraints: true,
+    };
+    let hw = HwConfig {
+        l2_enabled: l2,
+        ..HwConfig::default()
+    };
+    EntryPoint::ALL
+        .iter()
+        .map(|&entry| {
+            let report = analyze(entry, &acfg);
+            AttributionRow {
+                entry,
+                observed: observe_attribution(entry, kernel, hw, reps),
+                computed_cycles: report.cycles,
+                computed: report.breakdown,
+            }
+        })
+        .collect()
+}
+
+/// Formats attribution rows the way `repro attribution` prints them: one
+/// per-bucket observed/computed table per entry point, then the phase
+/// counters and hottest blocks of the observed worst run.
+pub fn render_attribution(rows: &[AttributionRow], l2: bool) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "Worst-case cycle attribution, observed vs computed (after-kernel, L2 {})\n",
+        if l2 { "on" } else { "off" }
+    ));
+    s.push_str("cycles per bucket; 'x' is computed/observed pessimism\n");
+    for row in rows {
+        s.push_str(&format!("\n{:?}\n", row.entry));
+        s.push_str(&format!(
+            "  {:<14} {:>10} {:>10} {:>7}\n",
+            "bucket", "observed", "computed", "x"
+        ));
+        for b in rt_hw::Bucket::ALL {
+            let o = row.observed.breakdown.get(b);
+            let c = row.computed.get(b);
+            let ratio = if o == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.2}", c as f64 / o as f64)
+            };
+            s.push_str(&format!(
+                "  {:<14} {:>10} {:>10} {:>7}\n",
+                b.name(),
+                o,
+                c,
+                ratio
+            ));
+        }
+        s.push_str(&format!(
+            "  {:<14} {:>10} {:>10} {:>7.2}\n",
+            "total",
+            row.observed.cycles,
+            row.computed_cycles,
+            row.computed_cycles as f64 / row.observed.cycles as f64
+        ));
+        let p = row.observed.phases;
+        s.push_str(&format!(
+            "  phases: {} decodes, {} fastpaths, {} preempt checks ({} fired), \
+             {} ep-del steps, {} abort steps\n",
+            p.decodes,
+            p.fastpaths,
+            p.preempt_checks,
+            p.preempt_fires,
+            p.ep_del_steps,
+            p.abort_steps
+        ));
+        s.push_str("  hottest blocks (observed):\n");
+        for (b, st) in &row.observed.hottest {
+            s.push_str(&format!(
+                "    {:<16} x{:<5} {:>8} cycles\n",
+                format!("{b:?}"),
+                st.count,
+                st.cycles
+            ));
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn syscall_attribution_is_decode_dominated_and_consistent() {
+        let att = observe_attribution(
+            EntryPoint::Syscall,
+            KernelConfig::after(),
+            HwConfig::default(),
+            3,
+        );
+        assert_eq!(att.breakdown.total(), att.cycles);
+        // §6.1 anatomy: eleven 32-level decodes on the worst syscall.
+        assert_eq!(att.phases.decodes, 11);
+        assert_eq!(att.phases.fastpaths, 0, "worst case must avoid fastpath");
+        // ResolveLevel must be among the hottest blocks.
+        assert!(
+            att.hottest.iter().any(|(b, _)| *b == Block::ResolveLevel),
+            "hottest: {:?}",
+            att.hottest
+        );
+        // L2 off: nothing can land in the L2-writeback bucket.
+        assert_eq!(att.breakdown.l2, 0);
+    }
+
+    #[test]
+    fn attribution_matches_plain_observation() {
+        // Tracing and profiling must not perturb the measured cycles.
+        let cfg = KernelConfig::after();
+        let hw = HwConfig::default();
+        for entry in EntryPoint::ALL {
+            let plain = crate::observe::observe_entry_reps(entry, cfg, hw, 3);
+            let att = observe_attribution(entry, cfg, hw, 3);
+            assert_eq!(att.cycles, plain, "{entry:?}");
+        }
+    }
+}

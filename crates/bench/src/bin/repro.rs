@@ -5,13 +5,26 @@
 //! cargo run --release -p rt-bench --bin repro -- table2
 //! cargo run --release -p rt-bench --bin repro -- fig8
 //! cargo run --release -p rt-bench --bin repro -- fig9
+//! cargo run --release -p rt-bench --bin repro -- attribution
 //! cargo run --release -p rt-bench --bin repro -- overhead
 //! cargo run --release -p rt-bench --bin repro -- latency-bound
 //! cargo run --release -p rt-bench --bin repro -- all
 //! ```
 
-use rt_bench::tables;
+use rt_bench::{attribution, tables};
 use rt_kernel::vspace::overhead::{compute, OverheadParams};
+
+fn attribution_report(reps: u32) -> String {
+    let mut s = String::new();
+    for l2 in [false, true] {
+        let rows = attribution::attribution(reps, l2);
+        s.push_str(&attribution::render_attribution(&rows, l2));
+        if !l2 {
+            s.push('\n');
+        }
+    }
+    s
+}
 
 fn overhead() -> String {
     let o = compute(&OverheadParams::paper_example());
@@ -139,6 +152,7 @@ fn main() {
             tables::render_restart_overhead(&tables::restart_overhead())
         ),
         "fig9" => print!("{}", tables::render_fig9(&tables::fig9(reps))),
+        "attribution" => print!("{}", attribution_report(reps)),
         "overhead" => print!("{}", overhead()),
         "latency-bound" => print!("{}", latency_bound()),
         "constraints" => print!("{}", constraints_demo()),
@@ -165,10 +179,12 @@ fn main() {
             print!("{}", latency_bound());
             println!();
             print!("{}", constraints_demo());
+            println!();
+            print!("{}", attribution_report(reps));
         }
         other => {
             eprintln!(
-                "unknown target {other:?}; expected table1|table2|fig8|fig9|l2lock|open-closed|restart-overhead|overhead|latency-bound|constraints|all"
+                "unknown target {other:?}; expected table1|table2|fig8|fig9|l2lock|attribution|open-closed|restart-overhead|overhead|latency-bound|constraints|all"
             );
             std::process::exit(2);
         }

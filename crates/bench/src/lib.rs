@@ -13,14 +13,20 @@
 //!   taking the maximum over repeated polluted runs as §6.2 does over
 //!   100 000 executions;
 //! * [`tables`] assembles Table 1, Table 2, Fig. 8 and Fig. 9 and formats
-//!   them like the paper.
+//!   them like the paper;
+//! * [`attribution`] explains *where* the worst-case cycles go: it reruns
+//!   the workloads with the machine's trace sink enabled and prints
+//!   observed vs computed per-bucket breakdowns (ifetch-miss / dmiss / L2
+//!   / pipeline), phase counters and the hottest blocks — the §6-style
+//!   anatomy of each bound (see `docs/TRACING.md`).
 //!
 //! The `repro` binary prints any of them: `cargo run -p rt-bench --bin
-//! repro -- table2`.
+//! repro -- table2` (or `-- attribution`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attribution;
 pub mod observe;
 pub mod tables;
 pub mod workloads;

@@ -164,6 +164,16 @@ pub struct KernelStats {
     pub lazy_dequeues: u64,
 }
 
+/// Per-block profile entry: how often a block ran and what it cost in
+/// total (the observed "hottest path" material of an attribution report).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BlockStat {
+    /// Executions of the block.
+    pub count: u64,
+    /// Total cycles charged across those executions.
+    pub cycles: Cycles,
+}
+
 /// One delivered interrupt, for response-time accounting.
 #[derive(Clone, Copy, Debug)]
 pub struct IrqResponse {
@@ -201,6 +211,9 @@ pub struct Kernel {
     /// When `Some`, every executed block is appended (CFG-correspondence
     /// tests and path studies).
     pub trace: Option<Vec<Block>>,
+    /// When `Some`, per-block execution counts and cycles are accumulated
+    /// (the hottest-path side of an attribution report).
+    pub profile: Option<HashMap<Block, BlockStat>>,
     cur: ObjId,
     idle: ObjId,
     sched_action: SchedAction,
@@ -237,6 +250,7 @@ impl Kernel {
             stats: KernelStats::default(),
             irq_log: Vec::new(),
             trace: None,
+            profile: None,
             cur: idle,
             idle,
             sched_action: SchedAction::ResumeCurrent,
@@ -269,6 +283,16 @@ impl Kernel {
     /// Stops recording and returns the trace.
     pub fn take_trace(&mut self) -> Vec<Block> {
         self.trace.take().unwrap_or_default()
+    }
+
+    /// Starts accumulating a per-block execution profile.
+    pub fn start_profile(&mut self) {
+        self.profile = Some(HashMap::new());
+    }
+
+    /// Stops profiling and returns counts + cycles per executed block.
+    pub fn take_profile(&mut self) -> HashMap<Block, BlockStat> {
+        self.profile.take().unwrap_or_default()
     }
 
     // --- Boot-time object construction (root-task stand-in; no timing) ---
@@ -375,6 +399,7 @@ impl Kernel {
         if let Some(t) = &mut self.trace {
             t.push(b);
         }
+        let profile_t0 = self.profile.is_some().then(|| self.machine.now());
         let spec = b.spec();
         assert_eq!(
             objs.len() as u32,
@@ -455,6 +480,13 @@ impl Kernel {
                 }
             }
         }
+        if let Some(t0) = profile_t0 {
+            let dt = self.machine.now() - t0;
+            let p = self.profile.as_mut().expect("profiling was on at entry");
+            let e = p.entry(b).or_default();
+            e.count += 1;
+            e.cycles += dt;
+        }
     }
 
     /// Shorthand for blocks with no object operands.
@@ -481,8 +513,10 @@ impl Kernel {
         if !self.config.preemption_points {
             return Ok(());
         }
+        self.machine.trace_phase("preempt-check");
         self.blk0(Block::PreemptCheck);
         if self.machine.irq.has_pending() {
+            self.machine.trace_phase("preempt-fire");
             let st = self.tcb_addr(self.cur, crate::tcb::OFF_STATE);
             let ctx = self.tcb_addr(self.cur, crate::tcb::OFF_CONTEXT);
             self.blk(Block::PreemptSave, &[st, ctx]);
@@ -892,6 +926,7 @@ impl Kernel {
             CapType::CNode { obj, .. } if self.objs.is_live(*obj) => self.obj_addr(*obj, 0),
             _ => kprog::KERNEL_GLOBALS_BASE,
         };
+        self.machine.trace_phase("decode");
         self.blk(Block::ResolveEntry, &[r1, r1 + 4]);
         // Walk the levels, collecting the per-level charge addresses first
         // (the store is borrowed immutably during the walk).

@@ -39,6 +39,15 @@
 //! tables that double as the control-flow model consumed by the static WCET
 //! analysis in `rt-wcet` — the analogue of analysing the compiled binary
 //! that is actually executed (§5).
+//!
+//! For the §6-style cost attribution the kernel also *narrates* its
+//! execution: it emits phase markers into the machine's trace sink
+//! (capability decode, fastpath commit, preemption-point checks,
+//! endpoint-deletion and badged-abort resume steps — the vocabulary is in
+//! `docs/TRACING.md`) and can keep an optional per-block count/cycle
+//! profile ([`kernel::Kernel::start_profile`], [`kernel::BlockStat`]).
+//! Both are off by default and free when off, so Table 1/2 measurements
+//! are unaffected.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

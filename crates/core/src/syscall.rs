@@ -253,6 +253,7 @@ impl Kernel {
         }
         if self.config.fastpath {
             if let Some(res) = self.try_fastpath(&sys) {
+                self.machine.trace_phase("fastpath");
                 self.stats.fastpath_hits += 1;
                 self.objs.tcb_mut(cur).current_syscall = None;
                 self.exit_kernel();
@@ -1033,6 +1034,9 @@ impl Kernel {
             let Some(cursor) = st.cursor else {
                 break;
             };
+            // Each examined element is a §3.4 resume step (the four-field
+            // AbortState in the endpoint is the resume state).
+            self.machine.trace_phase("abort-step");
             let c0 = self.tcb_addr(cursor, OFF_STATE);
             self.blk(Block::AbortIter, &[c0, c0 + OFF_BADGE, c0 + OFF_EP_NEXT]);
             let next = self.objs.tcb(cursor).ep_next;
@@ -1137,6 +1141,9 @@ impl Kernel {
             self.objs.ep_mut(epobj).active = false;
         }
         while let Some(t) = self.objs.ep(epobj).head {
+            // Each dequeue step is where a preempted deletion resumes from:
+            // the endpoint's queue head *is* the §3.3 resume state.
+            self.machine.trace_phase("ep-del-step");
             let t0 = self.tcb_addr(t, OFF_STATE);
             self.blk(Block::EpDelIter, &[e0, t0 + OFF_EP_NEXT, t0, t0 + 4, e0]);
             ep::ep_unlink(&mut self.objs, epobj, t);

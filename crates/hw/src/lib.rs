@@ -27,6 +27,13 @@
 //! execution times emerge from path length and memory-hierarchy behaviour —
 //! the same two quantities the paper studies — rather than from wall-clock
 //! measurement of the host.
+//!
+//! For the §6-style cost attribution, every charged cycle is additionally
+//! filed into one of four buckets ([`trace::CycleAccounts`], always on)
+//! and an optional [`trace::Trace`] sink records per-access, per-branch
+//! and phase-marker events ([`trace::TraceEvent`]); see `docs/TRACING.md`
+//! for the event vocabulary and how the observed breakdown lines up with
+//! the analysis side in `rt-wcet`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +45,7 @@ pub mod mem;
 pub mod phys;
 pub mod pmu;
 pub mod predictor;
+pub mod trace;
 
 pub use cache::{Cache, CacheGeometry, Replacement};
 pub use irq::{IrqController, IrqLine};
@@ -46,6 +54,7 @@ pub use mem::{AccessKind, MemLevelStats, MemSystem};
 pub use phys::PhysMem;
 pub use pmu::Pmu;
 pub use predictor::BranchPredictor;
+pub use trace::{AccessReport, BranchOutcome, Bucket, CycleAccounts, Trace, TraceEvent};
 
 /// Cycle count type used throughout the workspace.
 pub type Cycles = u64;

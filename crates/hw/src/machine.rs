@@ -14,6 +14,7 @@ use crate::mem::{AccessKind, MemSystem};
 use crate::phys::PhysMem;
 use crate::pmu::Pmu;
 use crate::predictor::BranchPredictor;
+use crate::trace::{CycleAccounts, Trace, TraceEvent};
 use crate::{Addr, Cycles};
 
 /// Instruction classes with distinct base costs on the modelled ARM1136
@@ -95,6 +96,11 @@ pub struct Machine {
     pub irq: IrqController,
     /// Performance counters.
     pub pmu: Pmu,
+    /// Always-on per-bucket cycle attribution; invariant:
+    /// `accounts.total() == pmu.cycles`.
+    pub accounts: CycleAccounts,
+    /// Optional event sink (default off — a no-op).
+    pub trace: Trace,
 }
 
 impl Machine {
@@ -116,6 +122,8 @@ impl Machine {
             bpred: BranchPredictor::new(cfg.bpred_enabled),
             irq: IrqController::new(),
             pmu: Pmu::new(),
+            accounts: CycleAccounts::default(),
+            trace: Trace::new(),
         }
     }
 
@@ -137,11 +145,32 @@ impl Machine {
     /// Advances time without executing instructions (idle / unmodelled user
     /// computation).
     pub fn advance(&mut self, cycles: Cycles) {
+        self.accounts.pipeline += cycles;
         self.charge(cycles);
     }
 
+    /// One access through the hierarchy, attributed to the right bucket and
+    /// (when tracing) recorded.
+    fn mem_access(&mut self, kind: AccessKind, addr: Addr) -> Cycles {
+        let report = self.mem.access_report(kind, addr);
+        match kind {
+            AccessKind::IFetch => self.accounts.ifetch_miss += report.miss_cycles,
+            AccessKind::Read | AccessKind::Write => self.accounts.dmiss += report.miss_cycles,
+        }
+        self.accounts.l2 += report.l2_absorbed_cycles;
+        if self.trace.is_enabled() {
+            self.trace.push(TraceEvent::Access {
+                at: self.pmu.cycles,
+                kind,
+                addr,
+                report,
+            });
+        }
+        report.cost()
+    }
+
     fn ifetch(&mut self, pc: Addr) -> Cycles {
-        self.mem.access(AccessKind::IFetch, pc)
+        self.mem_access(AccessKind::IFetch, pc)
     }
 
     /// Executes one instruction of `class` at `pc`; loads/stores must use
@@ -155,6 +184,7 @@ impl Machine {
             "use exec_load/exec_store/exec_branch"
         );
         let c = self.ifetch(pc) + class.base_cost();
+        self.accounts.pipeline += class.base_cost();
         self.pmu.instructions += 1;
         self.charge(c);
     }
@@ -172,7 +202,8 @@ impl Machine {
     pub fn exec_load(&mut self, pc: Addr, addr: Addr) -> u32 {
         let c = self.ifetch(pc)
             + InstrClass::Load.base_cost()
-            + self.mem.access(AccessKind::Read, addr);
+            + self.mem_access(AccessKind::Read, addr);
+        self.accounts.pipeline += InstrClass::Load.base_cost();
         self.pmu.instructions += 1;
         self.pmu.data_accesses += 1;
         self.charge(c);
@@ -185,7 +216,8 @@ impl Machine {
     pub fn touch_read(&mut self, pc: Addr, addr: Addr) {
         let c = self.ifetch(pc)
             + InstrClass::Load.base_cost()
-            + self.mem.access(AccessKind::Read, addr);
+            + self.mem_access(AccessKind::Read, addr);
+        self.accounts.pipeline += InstrClass::Load.base_cost();
         self.pmu.instructions += 1;
         self.pmu.data_accesses += 1;
         self.charge(c);
@@ -195,7 +227,8 @@ impl Machine {
     pub fn exec_store(&mut self, pc: Addr, addr: Addr, value: u32) {
         let c = self.ifetch(pc)
             + InstrClass::Store.base_cost()
-            + self.mem.access(AccessKind::Write, addr);
+            + self.mem_access(AccessKind::Write, addr);
+        self.accounts.pipeline += InstrClass::Store.base_cost();
         self.pmu.instructions += 1;
         self.pmu.data_accesses += 1;
         self.charge(c);
@@ -206,7 +239,8 @@ impl Machine {
     pub fn touch_write(&mut self, pc: Addr, addr: Addr) {
         let c = self.ifetch(pc)
             + InstrClass::Store.base_cost()
-            + self.mem.access(AccessKind::Write, addr);
+            + self.mem_access(AccessKind::Write, addr);
+        self.accounts.pipeline += InstrClass::Store.base_cost();
         self.pmu.instructions += 1;
         self.pmu.data_accesses += 1;
         self.charge(c);
@@ -214,10 +248,33 @@ impl Machine {
 
     /// Executes a branch at `pc` with outcome `taken`.
     pub fn exec_branch(&mut self, pc: Addr, taken: bool) {
-        let c = self.ifetch(pc) + self.bpred.branch(pc, taken);
+        let at = self.pmu.cycles;
+        let fetch = self.ifetch(pc);
+        let (bcost, outcome) = self.bpred.branch_traced(pc, taken);
+        self.accounts.pipeline += bcost;
+        if self.trace.is_enabled() {
+            self.trace.push(TraceEvent::Branch {
+                at,
+                pc,
+                taken,
+                outcome,
+                cost: bcost,
+            });
+        }
         self.pmu.instructions += 1;
         self.pmu.branches += 1;
-        self.charge(c);
+        self.charge(fetch + bcost);
+    }
+
+    /// Records a software-declared phase marker (no cycles charged; a no-op
+    /// unless tracing is enabled).
+    pub fn trace_phase(&mut self, label: &'static str) {
+        if self.trace.is_enabled() {
+            self.trace.push(TraceEvent::Phase {
+                at: self.pmu.cycles,
+                label,
+            });
+        }
     }
 
     /// Pins an instruction-cache line (for the kernel's pinned interrupt
@@ -326,6 +383,60 @@ mod tests {
         let t0 = m.now();
         m.exec(InstrClass::Alu, 0xf000_0000);
         assert_eq!(m.now() - t0, 1, "pinned line must hit even after pollution");
+    }
+
+    #[test]
+    fn accounts_partition_every_cycle() {
+        // Mixed workload on both L2 configurations: the four buckets always
+        // sum to the PMU cycle counter, and tracing on/off cannot change it.
+        for l2 in [false, true] {
+            let mut m = Machine::new(HwConfig {
+                l2_enabled: l2,
+                ..HwConfig::default()
+            });
+            m.trace.enable();
+            m.pollute(0x4000_0000);
+            m.exec_straight(0xf000_0000, 12);
+            m.exec_load(0xf000_0030, 0x8000_0000);
+            m.exec_store(0xf000_0034, 0x8000_0040, 1);
+            m.exec_branch(0xf000_0038, true);
+            m.advance(17);
+            m.touch_read(0xf000_003c, 0x8000_0080);
+            m.touch_write(0xf000_0040, 0x8000_00c0);
+            assert_eq!(m.accounts.total(), m.pmu.cycles, "l2={l2}");
+            assert!(m.accounts.ifetch_miss > 0 && m.accounts.dmiss > 0);
+            assert_eq!(m.accounts.l2 > 0, l2, "L2 bucket only exists with L2");
+            assert!(!m.trace.events().is_empty());
+        }
+    }
+
+    #[test]
+    fn trace_records_accesses_branches_and_phases() {
+        use crate::trace::TraceEvent;
+        let mut m = Machine::new(HwConfig::default());
+        m.trace.enable();
+        m.exec(InstrClass::Alu, 0xf000_0000);
+        m.exec_branch(0xf000_0004, true);
+        m.trace_phase("decode");
+        let ev = m.trace.take();
+        assert!(matches!(ev[0], TraceEvent::Access { .. }));
+        // The branch's line was already fetched: second event is the hit,
+        // third the branch resolution, fourth the marker.
+        assert!(matches!(
+            ev[2],
+            TraceEvent::Branch {
+                pc: 0xf000_0004,
+                cost: 5,
+                ..
+            }
+        ));
+        assert!(matches!(
+            ev[3],
+            TraceEvent::Phase {
+                label: "decode",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //!   lines.
 
 use crate::cache::{Cache, CacheGeometry, Lookup, Replacement};
+use crate::trace::AccessReport;
 use crate::{Addr, Cycles};
 
 /// L1-miss-L2-hit latency (§5.1: "hit access latency of 26 cycles").
@@ -87,52 +88,72 @@ impl MemSystem {
     /// Performs one access and returns its cost in cycles *beyond* the
     /// instruction's base pipeline cost.
     pub fn access(&mut self, kind: AccessKind, addr: Addr) -> Cycles {
+        self.access_report(kind, addr).cost()
+    }
+
+    /// As [`MemSystem::access`], returning the full [`AccessReport`]: which
+    /// levels hit, which writebacks fired, and the latency split between
+    /// the fill path (`miss_cycles`) and L1-victim writebacks absorbed by
+    /// the L2 (`l2_absorbed_cycles`) — the raw material of the attribution
+    /// buckets (see `docs/TRACING.md`).
+    pub fn access_report(&mut self, kind: AccessKind, addr: Addr) -> AccessReport {
         let write = kind == AccessKind::Write;
         let (l1, stats) = match kind {
             AccessKind::IFetch => (&mut self.l1i, &mut self.l1i_stats),
             AccessKind::Read | AccessKind::Write => (&mut self.l1d, &mut self.l1d_stats),
         };
+        let pinned = l1.is_pinned(addr);
         match l1.access(addr, write) {
             Lookup::Hit => {
                 stats.hits += 1;
-                0
+                AccessReport {
+                    l1_hit: true,
+                    locked_hit: pinned,
+                    ..AccessReport::default()
+                }
             }
             Lookup::Miss { writeback } => {
                 stats.misses += 1;
                 if writeback {
                     stats.writebacks += 1;
                 }
-                let mut cost = 0;
+                let mut report = AccessReport {
+                    l1_writeback: writeback,
+                    ..AccessReport::default()
+                };
                 match &mut self.l2 {
                     Some(l2) => {
                         // Line fill from L2 (or memory through L2).
                         match l2.access(addr, write) {
                             Lookup::Hit => {
                                 self.l2_stats.hits += 1;
-                                cost += L2_HIT_CYCLES;
+                                report.l2_hit = Some(true);
+                                report.miss_cycles += L2_HIT_CYCLES;
                             }
                             Lookup::Miss { writeback: l2_wb } => {
                                 self.l2_stats.misses += 1;
-                                cost += DRAM_CYCLES_L2_ON;
+                                report.l2_hit = Some(false);
+                                report.miss_cycles += DRAM_CYCLES_L2_ON;
                                 if l2_wb {
                                     self.l2_stats.writebacks += 1;
-                                    cost += DRAM_CYCLES_L2_ON;
+                                    report.l2_writeback = true;
+                                    report.miss_cycles += DRAM_CYCLES_L2_ON;
                                 }
                             }
                         }
                         // The L1 victim writeback lands in the L2.
                         if writeback {
-                            cost += L2_HIT_CYCLES;
+                            report.l2_absorbed_cycles += L2_HIT_CYCLES;
                         }
                     }
                     None => {
-                        cost += DRAM_CYCLES_L2_OFF;
+                        report.miss_cycles += DRAM_CYCLES_L2_OFF;
                         if writeback {
-                            cost += DRAM_CYCLES_L2_OFF;
+                            report.miss_cycles += DRAM_CYCLES_L2_OFF;
                         }
                     }
                 }
-                cost
+                report
             }
         }
     }

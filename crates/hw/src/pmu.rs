@@ -9,6 +9,20 @@ use crate::Cycles;
 
 /// PMU state: a cycle counter and the event counts software most often
 /// wants to read back.
+///
+/// The snapshot facility is how the benchmarks measure one kernel path:
+///
+/// ```
+/// use rt_hw::{HwConfig, InstrClass, Machine};
+///
+/// let mut m = Machine::new(HwConfig::default());
+/// let snap = m.pmu.snapshot();
+/// // 8 ALU instructions in one cold 32-byte line: 60-cycle fill + 8 * 1.
+/// m.exec_straight(0xf000_0000, 8);
+/// assert_eq!(m.pmu.cycles_since(snap), 68);
+/// assert_eq!(m.pmu.instructions_since(snap), 8);
+/// # let _ = InstrClass::Alu;
+/// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Pmu {
     /// Free-running cycle counter.

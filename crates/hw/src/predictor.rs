@@ -13,6 +13,7 @@
 //! that on cold worst-case paths *"the benefit of the branch predictor
 //! barely makes up for the added costs of the initial mispredictions."*
 
+use crate::trace::BranchOutcome;
 use crate::{Addr, Cycles};
 
 /// Cost of a correctly predicted branch (best case of the 0–7 range).
@@ -60,8 +61,14 @@ impl BranchPredictor {
 
     /// Resolves a branch at `pc` with outcome `taken`; returns its cost.
     pub fn branch(&mut self, pc: Addr, taken: bool) -> Cycles {
+        self.branch_traced(pc, taken).0
+    }
+
+    /// As [`BranchPredictor::branch`], also reporting *how* the branch was
+    /// resolved (for [`crate::trace::TraceEvent::Branch`] records).
+    pub fn branch_traced(&mut self, pc: Addr, taken: bool) -> (Cycles, BranchOutcome) {
         if !self.enabled {
-            return UNPREDICTED_CYCLES;
+            return (UNPREDICTED_CYCLES, BranchOutcome::Unpredicted);
         }
         let idx = ((pc >> 2) as usize) % BTB_ENTRIES;
         let known = self.tags[idx] == Some(pc);
@@ -78,10 +85,10 @@ impl BranchPredictor {
         }
         if correct {
             self.predicts += 1;
-            PREDICTED_CYCLES
+            (PREDICTED_CYCLES, BranchOutcome::Predicted)
         } else {
             self.mispredicts += 1;
-            MISPREDICT_CYCLES
+            (MISPREDICT_CYCLES, BranchOutcome::Mispredicted)
         }
     }
 

@@ -1,0 +1,331 @@
+//! Execution tracing and cycle attribution.
+//!
+//! The paper's argument is not just that the worst-case bounds shrink but
+//! *why*: §6 attributes the dominant costs to cache misses on specific
+//! kernel paths ("the largest contributing factor ... was address decoding
+//! for caps"). To make the observed-vs-computed gap explainable the machine
+//! keeps two kinds of records:
+//!
+//! * **[`CycleAccounts`]** — always-on counters that attribute every charged
+//!   cycle to one of four [`Bucket`]s. They are plain additions on the
+//!   charge path (the same class of work as the [`crate::Pmu`] counters),
+//!   so they exist in every run and never perturb timing.
+//! * **[`Trace`]** — an optional event sink. When enabled, the machine
+//!   appends one [`TraceEvent`] per memory access, branch resolution, and
+//!   software-declared phase marker. Disabled (the default) it is a no-op:
+//!   a single boolean test guards every emission, and no event is stored.
+//!
+//! The bucket partition is chosen so that the static analysis in `rt-wcet`
+//! can produce a breakdown in the *same vocabulary* with per-bucket
+//! dominance (observed ≤ computed holding bucket by bucket, not just in
+//! total) — see `docs/TRACING.md` for the partition rules and the soundness
+//! argument.
+
+use crate::mem::AccessKind;
+use crate::{Addr, Cycles};
+
+/// The four attribution buckets every charged cycle falls into.
+///
+/// The partition rules (documented in full in `docs/TRACING.md`):
+///
+/// * [`Bucket::Pipeline`] — base instruction costs, branch-unit cycles and
+///   uncached device-register latency: everything the core would spend with
+///   perfect caches.
+/// * [`Bucket::IFetchMiss`] — all line-fill latency triggered by an
+///   instruction fetch, whether served by the L2 or by memory, plus any
+///   dirty L2-victim writeback that fill forces.
+/// * [`Bucket::DMiss`] — the same, for data accesses.
+/// * [`Bucket::L2`] — dirty L1-victim writebacks absorbed by the L2 (the
+///   26-cycle transfers that exist only because an L2 is present).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Bucket {
+    /// Core pipeline cycles (base costs, branches, device registers).
+    Pipeline,
+    /// Instruction-fetch miss latency (fills + their DRAM-level writebacks).
+    IFetchMiss,
+    /// Data-access miss latency (fills + their DRAM-level writebacks).
+    DMiss,
+    /// L1-victim writebacks absorbed by the L2.
+    L2,
+}
+
+impl Bucket {
+    /// All buckets, in report order.
+    pub const ALL: [Bucket; 4] = [
+        Bucket::Pipeline,
+        Bucket::IFetchMiss,
+        Bucket::DMiss,
+        Bucket::L2,
+    ];
+
+    /// Short human-readable name used by attribution reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Bucket::Pipeline => "pipeline",
+            Bucket::IFetchMiss => "ifetch-miss",
+            Bucket::DMiss => "dmiss",
+            Bucket::L2 => "l2-writeback",
+        }
+    }
+}
+
+/// Per-bucket cycle totals. On a [`crate::Machine`] these are free-running
+/// (like the PMU cycle counter); the WCET analysis produces values of the
+/// same type for the computed worst path, so observed and computed
+/// breakdowns compare field by field.
+///
+/// ```
+/// use rt_hw::{HwConfig, InstrClass, Machine};
+///
+/// let mut m = Machine::new(HwConfig::default());
+/// let before = m.accounts;
+/// // Cold machine, L2 off: one 60-cycle I-line fill + 1 base cycle.
+/// m.exec(InstrClass::Alu, 0xf000_0000);
+/// let d = m.accounts.since(before);
+/// assert_eq!(d.ifetch_miss, 60);
+/// assert_eq!(d.pipeline, 1);
+/// // Every charged cycle lands in exactly one bucket.
+/// assert_eq!(d.total(), m.now());
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CycleAccounts {
+    /// Cycles in [`Bucket::Pipeline`].
+    pub pipeline: Cycles,
+    /// Cycles in [`Bucket::IFetchMiss`].
+    pub ifetch_miss: Cycles,
+    /// Cycles in [`Bucket::DMiss`].
+    pub dmiss: Cycles,
+    /// Cycles in [`Bucket::L2`].
+    pub l2: Cycles,
+}
+
+impl CycleAccounts {
+    /// Sum over all buckets.
+    pub fn total(&self) -> Cycles {
+        self.pipeline + self.ifetch_miss + self.dmiss + self.l2
+    }
+
+    /// The value of one bucket.
+    pub fn get(&self, b: Bucket) -> Cycles {
+        match b {
+            Bucket::Pipeline => self.pipeline,
+            Bucket::IFetchMiss => self.ifetch_miss,
+            Bucket::DMiss => self.dmiss,
+            Bucket::L2 => self.l2,
+        }
+    }
+
+    /// Per-bucket delta against an earlier snapshot of the same counters.
+    pub fn since(&self, earlier: CycleAccounts) -> CycleAccounts {
+        CycleAccounts {
+            pipeline: self.pipeline - earlier.pipeline,
+            ifetch_miss: self.ifetch_miss - earlier.ifetch_miss,
+            dmiss: self.dmiss - earlier.dmiss,
+            l2: self.l2 - earlier.l2,
+        }
+    }
+
+    /// Per-bucket sum (used when folding per-node costs into a path total).
+    pub fn add(&self, other: CycleAccounts) -> CycleAccounts {
+        CycleAccounts {
+            pipeline: self.pipeline + other.pipeline,
+            ifetch_miss: self.ifetch_miss + other.ifetch_miss,
+            dmiss: self.dmiss + other.dmiss,
+            l2: self.l2 + other.l2,
+        }
+    }
+
+    /// Per-bucket scaling (a path node executed `n` times).
+    pub fn scaled(&self, n: u64) -> CycleAccounts {
+        CycleAccounts {
+            pipeline: self.pipeline * n,
+            ifetch_miss: self.ifetch_miss * n,
+            dmiss: self.dmiss * n,
+            l2: self.l2 * n,
+        }
+    }
+}
+
+/// How the branch unit resolved a branch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BranchOutcome {
+    /// Predictor enabled, BTB hit, direction correct (1 cycle).
+    Predicted,
+    /// Predictor enabled, BTB cold/aliased or direction wrong (7 cycles).
+    Mispredicted,
+    /// Predictor disabled: the constant 5-cycle branch.
+    Unpredicted,
+}
+
+/// Full account of one memory access, as returned by
+/// [`crate::mem::MemSystem::access_report`] and recorded in
+/// [`TraceEvent::Access`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AccessReport {
+    /// The access hit in its L1.
+    pub l1_hit: bool,
+    /// The L1 hit was in a pinned (way-locked) line — the §4 mechanism
+    /// doing its job.
+    pub locked_hit: bool,
+    /// The L1 miss evicted a dirty line (writeback to the next level).
+    pub l1_writeback: bool,
+    /// L2 lookup result: `None` when no L2 was consulted (L1 hit, or no
+    /// L2 present), otherwise whether the L2 hit.
+    pub l2_hit: Option<bool>,
+    /// The L2 fill evicted a dirty L2 line (writeback to memory).
+    pub l2_writeback: bool,
+    /// Latency charged to the miss itself: the line fill (from L2 or
+    /// memory) plus any DRAM-level writeback it forced. Attributed to
+    /// [`Bucket::IFetchMiss`] or [`Bucket::DMiss`] by access kind.
+    pub miss_cycles: Cycles,
+    /// Latency of a dirty L1-victim writeback absorbed by the L2.
+    /// Attributed to [`Bucket::L2`].
+    pub l2_absorbed_cycles: Cycles,
+}
+
+impl AccessReport {
+    /// Total cycles this access cost beyond the instruction's base cost.
+    pub fn cost(&self) -> Cycles {
+        self.miss_cycles + self.l2_absorbed_cycles
+    }
+}
+
+/// One recorded event. `at` is always the PMU cycle count at which the
+/// event's instruction *began* (before its cycles were charged).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A memory access (instruction fetch, data read, data write) went
+    /// through the cache hierarchy.
+    Access {
+        /// Cycle count at the start of the access.
+        at: Cycles,
+        /// Which L1 the access used.
+        kind: AccessKind,
+        /// Address accessed.
+        addr: Addr,
+        /// Hit/miss/writeback detail and latency split.
+        report: AccessReport,
+    },
+    /// The branch unit resolved a branch.
+    Branch {
+        /// Cycle count at the branch.
+        at: Cycles,
+        /// Branch address.
+        pc: Addr,
+        /// Actual direction.
+        taken: bool,
+        /// How the predictor fared.
+        outcome: BranchOutcome,
+        /// Cycles charged by the branch unit.
+        cost: Cycles,
+    },
+    /// A software-declared phase marker (the kernel labels decode,
+    /// fastpath, preemption-point checks, endpoint-deletion resume steps).
+    Phase {
+        /// Cycle count at the marker.
+        at: Cycles,
+        /// Static label; the kernel's vocabulary is listed in
+        /// `docs/TRACING.md`.
+        label: &'static str,
+    },
+}
+
+/// The event sink. Default-off; when disabled every emission reduces to a
+/// single boolean test and nothing is stored, so tracing is zero-cost for
+/// the Table 1/2 measurement runs.
+///
+/// ```
+/// use rt_hw::trace::TraceEvent;
+/// use rt_hw::{HwConfig, InstrClass, Machine};
+///
+/// let mut m = Machine::new(HwConfig::default());
+/// m.exec(InstrClass::Alu, 0xf000_0000); // not recorded: tracing off
+/// m.trace.enable();
+/// m.exec(InstrClass::Alu, 0xf000_0004);
+/// let events = m.trace.take(); // take() also clears the sink
+/// assert_eq!(events.len(), 1);
+/// assert!(matches!(
+///     events[0],
+///     TraceEvent::Access { addr: 0xf000_0004, .. }
+/// ));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates a disabled sink (the default state).
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Starts recording.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Stops recording (already-captured events are kept until taken).
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Whether events are currently recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends an event. Call sites guard with [`Trace::is_enabled`] so the
+    /// disabled path constructs no event.
+    pub fn push(&mut self, e: TraceEvent) {
+        if self.enabled {
+            self.events.push(e);
+        }
+    }
+
+    /// Events captured so far (without draining).
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Drains and returns all captured events; recording state is kept.
+    pub fn take(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounts_arithmetic() {
+        let a = CycleAccounts {
+            pipeline: 10,
+            ifetch_miss: 60,
+            dmiss: 120,
+            l2: 26,
+        };
+        assert_eq!(a.total(), 216);
+        assert_eq!(a.get(Bucket::DMiss), 120);
+        assert_eq!(a.scaled(2).total(), 432);
+        assert_eq!(a.add(a).since(a), a);
+        let names: Vec<&str> = Bucket::ALL.iter().map(|b| b.name()).collect();
+        assert_eq!(names, ["pipeline", "ifetch-miss", "dmiss", "l2-writeback"]);
+    }
+
+    #[test]
+    fn disabled_sink_stores_nothing() {
+        let mut t = Trace::new();
+        t.push(TraceEvent::Phase { at: 0, label: "x" });
+        assert!(t.events().is_empty());
+        t.enable();
+        t.push(TraceEvent::Phase { at: 1, label: "y" });
+        assert_eq!(t.take().len(), 1);
+        assert!(t.events().is_empty());
+        assert!(t.is_enabled());
+        t.disable();
+        assert!(!t.is_enabled());
+    }
+}

@@ -8,7 +8,7 @@
 
 use std::collections::HashSet;
 
-use rt_hw::{cycles_to_us, Addr, Cycles};
+use rt_hw::{cycles_to_us, Addr, CycleAccounts, Cycles};
 use rt_kernel::kernel::{EntryPoint, KernelConfig};
 use rt_kernel::kprog::{Block, Layout};
 use rt_kernel::pinning;
@@ -56,6 +56,11 @@ pub struct WcetReport {
     pub cycles: Cycles,
     /// The bound in microseconds at 532 MHz.
     pub us: f64,
+    /// The bound split into attribution buckets ([`rt_hw::Bucket`]) over
+    /// the ILP's chosen worst path — same vocabulary as the machine's
+    /// observed [`CycleAccounts`], so observed-vs-computed comparisons work
+    /// bucket by bucket. Invariant: `breakdown.total() == cycles`.
+    pub breakdown: CycleAccounts,
     /// Worst-path node counts: `(block, ctx, count, unit cost)` for every
     /// node executed on the worst path, heaviest contribution first.
     pub worst_path: Vec<(Block, u16, u64, u64)>,
@@ -108,6 +113,12 @@ pub struct Costs {
     /// the edges *entering* a loop, so they are paid once per loop entry
     /// no matter how often the preheader itself runs).
     pub edge: Vec<u64>,
+    /// Per-node cost split into attribution buckets; `node[i]` is always
+    /// `node_split[i].total()`.
+    pub node_split: Vec<CycleAccounts>,
+    /// Per-edge cost split (entirely ifetch-miss: the only edge costs are
+    /// loop-persistence cold fills).
+    pub edge_split: Vec<CycleAccounts>,
 }
 
 /// Computes costs for `cfg` under `model`, applying loop persistence:
@@ -115,7 +126,7 @@ pub struct Costs {
 /// charged on the loop's entry edges.
 pub fn node_costs(cfg: &Cfg, layout: &Layout, model: &CostModel) -> Costs {
     let mut persistent: Vec<HashSet<Addr>> = vec![HashSet::new(); cfg.nodes.len()];
-    let mut edge: Vec<u64> = vec![0; cfg.edges.len()];
+    let mut edge_split: Vec<CycleAccounts> = vec![CycleAccounts::default(); cfg.edges.len()];
     for l in &cfg.loops {
         let blocks: Vec<Block> = l.nodes.iter().map(|&n| cfg.nodes[n.0].block).collect();
         let lines = i_lines_of(layout, &blocks);
@@ -123,22 +134,41 @@ pub fn node_costs(cfg: &Cfg, layout: &Layout, model: &CostModel) -> Costs {
             for &n in &l.nodes {
                 persistent[n.0].extend(lines.iter().copied());
             }
-            let entry_cost = model.persistence_entry_cost(&lines);
+            let entry_cost = model.persistence_entry_cost_split(&lines);
             let members: HashSet<usize> = l.nodes.iter().map(|n| n.0).collect();
             for (i, (a, b)) in cfg.edges.iter().enumerate() {
                 if !members.contains(&a.0) && members.contains(&b.0) {
-                    edge[i] += entry_cost;
+                    edge_split[i] = edge_split[i].add(entry_cost);
                 }
             }
         }
     }
-    let node = cfg
+    let node_split: Vec<CycleAccounts> = cfg
         .nodes
         .iter()
         .enumerate()
-        .map(|(i, n)| model.block_cost(layout, n.block, &persistent[i]))
+        .map(|(i, n)| model.block_cost_split(layout, n.block, &persistent[i]))
         .collect();
-    Costs { node, edge }
+    Costs {
+        node: node_split.iter().map(|c| c.total()).collect(),
+        edge: edge_split.iter().map(|c| c.total()).collect(),
+        node_split,
+        edge_split,
+    }
+}
+
+/// Folds a solved IPET solution's node and edge counts over the split
+/// costs: the computed bound, bucket by bucket.
+fn path_breakdown(costs: &Costs, sol: &ipet::IpetSolution) -> CycleAccounts {
+    let mut b = CycleAccounts::default();
+    for (i, &n) in sol.counts.iter().enumerate() {
+        b = b.add(costs.node_split[i].scaled(n));
+    }
+    for (i, &n) in sol.edge_counts.iter().enumerate() {
+        b = b.add(costs.edge_split[i].scaled(n));
+    }
+    debug_assert_eq!(b.total(), sol.wcet, "bucket split must sum to the bound");
+    b
 }
 
 /// Runs the full analysis for one entry point.
@@ -199,6 +229,7 @@ pub fn analyze_with_bounds(
     WcetReport {
         cycles: sol.wcet,
         us: cycles_to_us(sol.wcet),
+        breakdown: path_breakdown(&costs, &sol),
         worst_path,
         trace,
         ilp_vars: sol.num_vars,
@@ -296,6 +327,7 @@ pub fn analyze_forced(entry: EntryPoint, cfg: &AnalysisConfig, allowed: &[Block]
     WcetReport {
         cycles: sol.wcet,
         us: cycles_to_us(sol.wcet),
+        breakdown: path_breakdown(&costs, &sol),
         worst_path,
         trace,
         ilp_vars: sol.num_vars,
@@ -445,6 +477,19 @@ mod tests {
             .filter(|(b, _)| *b == Block::ResolveLevel)
             .count();
         assert_eq!(levels, 352);
+    }
+
+    #[test]
+    fn breakdown_sums_to_the_bound() {
+        for e in EntryPoint::ALL {
+            for l2 in [false, true] {
+                let r = analyze(e, &cfg(KernelConfig::after(), l2, false));
+                assert_eq!(r.breakdown.total(), r.cycles, "{e:?} l2={l2}");
+                // The L2-writeback bucket appears exactly when an L2 exists.
+                assert_eq!(r.breakdown.l2 > 0, l2, "{e:?} l2={l2}");
+                assert!(r.breakdown.ifetch_miss > 0 && r.breakdown.dmiss > 0);
+            }
+        }
     }
 
     #[test]

@@ -25,7 +25,7 @@
 use std::collections::HashSet;
 
 use rt_hw::mem::{DRAM_CYCLES_L2_OFF, DRAM_CYCLES_L2_ON, L2_HIT_CYCLES};
-use rt_hw::Addr;
+use rt_hw::{Addr, CycleAccounts};
 use rt_kernel::kprog::{self, Block, Ik, Layout, D};
 
 /// Branch cost with the predictor disabled (§5.1).
@@ -54,7 +54,15 @@ impl CostModel {
     /// L2 off: straight to memory (no writeback — I-lines are clean).
     /// L2 on: L2 miss to memory plus a possible dirty L2-victim writeback.
     pub fn ifetch_miss(&self) -> u64 {
-        if self.l2_kernel_locked {
+        self.ifetch_miss_split().total()
+    }
+
+    /// As [`CostModel::ifetch_miss`], split into attribution buckets
+    /// ([`rt_hw::Bucket`]): the fill and its DRAM-level writeback belong to
+    /// the ifetch-miss bucket; I-lines are clean, so there is never an
+    /// L1-victim writeback into the L2.
+    pub fn ifetch_miss_split(&self) -> CycleAccounts {
+        let ifetch_miss = if self.l2_kernel_locked {
             // Kernel code is locked in the L2: an L1I miss is a guaranteed
             // L2 hit with a clean victim.
             L2_HIT_CYCLES
@@ -62,6 +70,10 @@ impl CostModel {
             DRAM_CYCLES_L2_ON + DRAM_CYCLES_L2_ON
         } else {
             DRAM_CYCLES_L2_OFF
+        };
+        CycleAccounts {
+            ifetch_miss,
+            ..CycleAccounts::default()
         }
     }
 
@@ -69,10 +81,26 @@ impl CostModel {
     /// writeback a polluted cache forces, and with L2 on also a dirty
     /// L2-victim writeback).
     pub fn data_miss(&self) -> u64 {
+        self.data_miss_split().total()
+    }
+
+    /// As [`CostModel::data_miss`], split into buckets: fill plus any
+    /// DRAM-level writeback in the dmiss bucket, the L1-victim writeback
+    /// absorbed by the L2 (when one exists) in the l2 bucket — the same
+    /// partition the machine's [`rt_hw::trace::AccessReport`] uses, so
+    /// per-bucket dominance can be asserted against observations.
+    pub fn data_miss_split(&self) -> CycleAccounts {
         if self.l2 || self.l2_kernel_locked {
-            DRAM_CYCLES_L2_ON + L2_HIT_CYCLES + DRAM_CYCLES_L2_ON
+            CycleAccounts {
+                dmiss: DRAM_CYCLES_L2_ON + DRAM_CYCLES_L2_ON,
+                l2: L2_HIT_CYCLES,
+                ..CycleAccounts::default()
+            }
         } else {
-            DRAM_CYCLES_L2_OFF + DRAM_CYCLES_L2_OFF
+            CycleAccounts {
+                dmiss: DRAM_CYCLES_L2_OFF + DRAM_CYCLES_L2_OFF,
+                ..CycleAccounts::default()
+            }
         }
     }
 
@@ -81,10 +109,19 @@ impl CostModel {
     /// which case the fill and the dirty L1-victim writeback both hit the
     /// locked L2 way.
     pub fn static_data_miss(&self) -> u64 {
+        self.static_data_miss_split().total()
+    }
+
+    /// As [`CostModel::static_data_miss`], split into buckets.
+    pub fn static_data_miss_split(&self) -> CycleAccounts {
         if self.l2_kernel_locked {
-            L2_HIT_CYCLES + L2_HIT_CYCLES
+            CycleAccounts {
+                dmiss: L2_HIT_CYCLES,
+                l2: L2_HIT_CYCLES,
+                ..CycleAccounts::default()
+            }
         } else {
-            self.data_miss()
+            self.data_miss_split()
         }
     }
 
@@ -92,18 +129,33 @@ impl CostModel {
     /// instruction lines guaranteed resident (loop persistence); the
     /// block's own already-fetched lines and pinned lines also hit.
     pub fn block_cost(&self, layout: &Layout, block: Block, persistent_i: &HashSet<Addr>) -> u64 {
+        self.block_cost_split(layout, block, persistent_i).total()
+    }
+
+    /// As [`CostModel::block_cost`], split into attribution buckets (base
+    /// instruction, branch and device cycles in the pipeline bucket; miss
+    /// latencies per [`CostModel::ifetch_miss_split`] and friends). The
+    /// total over buckets *is* the block cost — [`CostModel::block_cost`]
+    /// is defined as this split's sum, so the two cannot drift.
+    pub fn block_cost_split(
+        &self,
+        layout: &Layout,
+        block: Block,
+        persistent_i: &HashSet<Addr>,
+    ) -> CycleAccounts {
         let spec = block.spec();
-        let mut cost = 0u64;
+        let mut cost = CycleAccounts::default();
         let mut pc = layout.addr_of(block);
         let mut seen_i: HashSet<Addr> = HashSet::new();
         let mut auto_i = 0u32;
-        let fetch = |pc: Addr, cost: &mut u64, seen_i: &mut HashSet<Addr>| {
+        let ifetch = self.ifetch_miss_split();
+        let fetch = |pc: Addr, cost: &mut CycleAccounts, seen_i: &mut HashSet<Addr>| {
             let line = pc & !31;
             if !(self.pinned_i.contains(&line)
                 || persistent_i.contains(&line)
                 || seen_i.contains(&line))
             {
-                *cost += self.ifetch_miss();
+                *cost = cost.add(ifetch);
                 seen_i.insert(line);
             }
         };
@@ -112,18 +164,18 @@ impl CostModel {
                 Ik::A(n) => {
                     for _ in 0..n {
                         fetch(pc, &mut cost, &mut seen_i);
-                        cost += 1;
+                        cost.pipeline += 1;
                         pc += 4;
                     }
                 }
                 Ik::Z | Ik::M => {
                     fetch(pc, &mut cost, &mut seen_i);
-                    cost += if matches!(ik, Ik::M) { 2 } else { 1 };
+                    cost.pipeline += if matches!(ik, Ik::M) { 2 } else { 1 };
                     pc += 4;
                 }
                 Ik::B => {
                     fetch(pc, &mut cost, &mut seen_i);
-                    cost += BRANCH_CYCLES;
+                    cost.pipeline += BRANCH_CYCLES;
                     pc += 4;
                 }
                 Ik::L(d, n) | Ik::S(d, n) => {
@@ -131,10 +183,10 @@ impl CostModel {
                     // depends on the class.
                     for i in 0..n {
                         fetch(pc, &mut cost, &mut seen_i);
-                        cost += 1; // base cost of a load/store
+                        cost.pipeline += 1; // base cost of a load/store
                         pc += 4;
                         match d {
-                            D::Dv => cost += kprog::DEVICE_ACCESS_CYCLES,
+                            D::Dv => cost.pipeline += kprog::DEVICE_ACCESS_CYCLES,
                             D::St | D::Gl => {
                                 let addr = if d == D::St {
                                     kprog::stack_addr(auto_i)
@@ -143,14 +195,14 @@ impl CostModel {
                                 };
                                 auto_i += 1;
                                 if !self.pinned_d.contains(&(addr & !31)) {
-                                    cost += self.static_data_miss();
+                                    cost = cost.add(self.static_data_miss_split());
                                 }
                             }
                             D::Ob => {
                                 // One miss per grouped consecutive-word
                                 // region (first word), hits after.
                                 if i == 0 {
-                                    cost += self.data_miss();
+                                    cost = cost.add(self.data_miss_split());
                                 }
                             }
                         }
@@ -164,8 +216,14 @@ impl CostModel {
     /// Cold-miss charge for a loop's persistent instruction lines (paid
     /// once, at the preheader).
     pub fn persistence_entry_cost(&self, lines: &HashSet<Addr>) -> u64 {
+        self.persistence_entry_cost_split(lines).total()
+    }
+
+    /// As [`CostModel::persistence_entry_cost`], split into buckets (all
+    /// of it is instruction-fetch miss latency).
+    pub fn persistence_entry_cost_split(&self, lines: &HashSet<Addr>) -> CycleAccounts {
         let unpinned = lines.iter().filter(|l| !self.pinned_i.contains(*l)).count();
-        unpinned as u64 * self.ifetch_miss()
+        self.ifetch_miss_split().scaled(unpinned as u64)
     }
 }
 
@@ -274,6 +332,32 @@ mod tests {
                     >= off.block_cost(&layout, b, &HashSet::new()),
                 "{b:?}"
             );
+        }
+    }
+
+    #[test]
+    fn split_costs_partition_the_totals() {
+        let layout = Layout::new();
+        for (l2, locked) in [(false, false), (true, false), (true, true)] {
+            let m = CostModel {
+                l2,
+                l2_kernel_locked: locked,
+                ..CostModel::default()
+            };
+            assert_eq!(m.ifetch_miss_split().total(), m.ifetch_miss());
+            assert_eq!(m.data_miss_split().total(), m.data_miss());
+            assert_eq!(m.static_data_miss_split().total(), m.static_data_miss());
+            // The l2 bucket exists only where an L2 absorbs L1 victims.
+            assert_eq!(m.ifetch_miss_split().l2, 0, "I-lines are clean");
+            assert_eq!(m.data_miss_split().l2 > 0, l2 || locked);
+            for &b in Block::ALL {
+                let split = m.block_cost_split(&layout, b, &HashSet::new());
+                assert_eq!(
+                    split.total(),
+                    m.block_cost(&layout, b, &HashSet::new()),
+                    "{b:?}"
+                );
+            }
         }
     }
 

@@ -35,6 +35,14 @@
 //! The top-level driver is [`analysis::analyze`]; see
 //! [`analysis::AnalysisConfig`] for the switches (kernel before/after, L2
 //! on/off, pinning on/off) that regenerate the paper's tables.
+//!
+//! Every cost in [`cost`] is also available *split* into the attribution
+//! buckets of [`rt_hw::CycleAccounts`] (pipeline / ifetch-miss / dmiss /
+//! L2-writeback), and [`analysis::WcetReport::breakdown`] folds the ILP's
+//! chosen worst path over those splits — the computed half of the
+//! observed-vs-computed attribution printed by `repro attribution` and
+//! asserted per bucket by the soundness tests. The bucket partition and
+//! its per-bucket dominance argument are documented in `docs/TRACING.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -4,15 +4,22 @@
 //! mechanically. (The computed number uses the pessimistic §5.1 model;
 //! the observed number runs the same kernel blocks on the real 4-way
 //! caches with the §5.4 dirty-pollution preamble.)
+//!
+//! Dominance is asserted **per attribution bucket**, not just in total:
+//! the observed pipeline / ifetch-miss / dmiss / L2-writeback cycles must
+//! each stay under the computed bound's matching bucket. The bucket
+//! partition was chosen to make this a theorem of the per-access costs —
+//! see `docs/TRACING.md` for the case analysis.
 
+use rt_bench::attribution::observe_attribution;
 use rt_bench::observe::observe_entry_reps;
-use rt_hw::HwConfig;
+use rt_hw::{Bucket, HwConfig};
 use rt_kernel::kernel::{EntryPoint, KernelConfig};
 use rt_wcet::{analyze, AnalysisConfig};
 
 fn check(entry: EntryPoint, l2: bool) {
     let kernel = KernelConfig::after();
-    let computed = analyze(
+    let report = analyze(
         entry,
         &AnalysisConfig {
             kernel,
@@ -21,8 +28,13 @@ fn check(entry: EntryPoint, l2: bool) {
             l2_kernel_locked: false,
             manual_constraints: true,
         },
-    )
-    .cycles;
+    );
+    let computed = report.cycles;
+    assert_eq!(
+        report.breakdown.total(),
+        computed,
+        "{entry:?} l2={l2}: computed breakdown must sum to the bound"
+    );
     let hw = HwConfig {
         l2_enabled: l2,
         ..HwConfig::default()
@@ -38,6 +50,23 @@ fn check(entry: EntryPoint, l2: bool) {
         computed < observed.saturating_mul(20),
         "{entry:?} l2={l2}: computed {computed} is >20x observed {observed}"
     );
+    // Per-bucket dominance: the observed worst run's cycles in every
+    // bucket stay under the computed worst path's matching bucket.
+    let att = observe_attribution(entry, kernel, hw, 6);
+    assert_eq!(
+        att.breakdown.total(),
+        att.cycles,
+        "{entry:?} l2={l2}: observed breakdown must sum to the total"
+    );
+    for b in Bucket::ALL {
+        assert!(
+            att.breakdown.get(b) <= report.breakdown.get(b),
+            "{entry:?} l2={l2} bucket {}: observed {} exceeds computed {}",
+            b.name(),
+            att.breakdown.get(b),
+            report.breakdown.get(b)
+        );
+    }
 }
 
 #[test]
