@@ -4,6 +4,17 @@ set -euo pipefail
 
 cargo build --release
 cargo test -q
+
+# Exercise the parallel analysis path (worker pool + shared cache) in the
+# integration suite: the golden and differential tests must hold when the
+# env caps the pool at 2 workers.
+RT_JOBS=2 cargo test -q -p rt-tests --test goldens --test batch_differential
+
+# Golden-output check: the repro binary's rendered tables must match the
+# checked-in goldens byte for byte (any worker count; 4 covers stealing).
+cargo run --release -q -p rt-bench --bin repro -- table1 --jobs 4 | diff -u tests/goldens/table1.txt -
+cargo run --release -q -p rt-bench --bin repro -- table2 --jobs 4 | diff -u tests/goldens/table2.txt -
+
 cargo fmt --check
 cargo clippy --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps

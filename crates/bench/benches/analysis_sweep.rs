@@ -1,0 +1,58 @@
+//! Criterion group for the batched analysis sweep: the same job list run
+//! serially (uncached `analyze` per job), through `analyze_batch_with`
+//! on a fresh cache (1 and 4 workers), and against a pre-warmed cache.
+//! This is the microbenchmark behind the `repro bench` subcommand; the
+//! job list here is the cheap-entry-point slice of the full sweep so the
+//! group finishes in seconds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rt_kernel::kernel::EntryPoint;
+use rt_pool::Pool;
+use rt_wcet::{analyze, analyze_batch_with, AnalysisCache, AnalysisConfig};
+
+fn jobs() -> Vec<(EntryPoint, AnalysisConfig)> {
+    rt_bench::sweep::full_sweep_jobs()
+        .into_iter()
+        .filter(|(e, _)| *e != EntryPoint::Syscall)
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let jobs = jobs();
+    let mut g = c.benchmark_group("analysis_sweep");
+    g.sample_size(10);
+    g.bench_function("serial_uncached", |b| {
+        b.iter(|| {
+            jobs.iter()
+                .map(|(e, cfg)| analyze(*e, cfg).cycles)
+                .sum::<u64>()
+        })
+    });
+    for workers in [1usize, 4] {
+        let pool = Pool::new(workers);
+        g.bench_function(format!("batch_fresh_cache_{workers}w"), |b| {
+            b.iter(|| {
+                let cache = AnalysisCache::new();
+                analyze_batch_with(&jobs, &pool, &cache)
+                    .iter()
+                    .map(|r| r.cycles)
+                    .sum::<u64>()
+            })
+        });
+    }
+    let warm = AnalysisCache::new();
+    let pool = Pool::new(4);
+    let _ = analyze_batch_with(&jobs, &pool, &warm);
+    g.bench_function("batch_warm_cache", |b| {
+        b.iter(|| {
+            analyze_batch_with(&jobs, &pool, &warm)
+                .iter()
+                .map(|r| r.cycles)
+                .sum::<u64>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -8,23 +8,19 @@
 //! cargo run --release -p rt-bench --bin repro -- attribution
 //! cargo run --release -p rt-bench --bin repro -- overhead
 //! cargo run --release -p rt-bench --bin repro -- latency-bound
+//! cargo run --release -p rt-bench --bin repro -- bench
 //! cargo run --release -p rt-bench --bin repro -- all
 //! ```
+//!
+//! All analysis-driven targets run on one shared [`sweep::SweepCtx`]:
+//! `--jobs N` (or `RT_JOBS`) sizes the worker pool, and the shared cache
+//! means `repro all` computes each distinct analysis exactly once no
+//! matter how many tables need it. The output bytes are identical for any
+//! worker count.
 
+use rt_bench::sweep::{self, SweepCtx};
 use rt_bench::{attribution, tables};
 use rt_kernel::vspace::overhead::{compute, OverheadParams};
-
-fn attribution_report(reps: u32) -> String {
-    let mut s = String::new();
-    for l2 in [false, true] {
-        let rows = attribution::attribution(reps, l2);
-        s.push_str(&attribution::render_attribution(&rows, l2));
-        if !l2 {
-            s.push('\n');
-        }
-    }
-    s
-}
 
 fn overhead() -> String {
     let o = compute(&OverheadParams::paper_example());
@@ -47,9 +43,9 @@ fn overhead() -> String {
     s
 }
 
-fn latency_bound() -> String {
+fn latency_bound(ctx: &SweepCtx) -> String {
     use rt_kernel::kernel::{EntryPoint, KernelConfig};
-    use rt_wcet::{analyze, AnalysisConfig};
+    use rt_wcet::AnalysisConfig;
     let mut s = String::new();
     let cfg = AnalysisConfig {
         kernel: KernelConfig::after(),
@@ -58,8 +54,11 @@ fn latency_bound() -> String {
         l2_kernel_locked: false,
         manual_constraints: true,
     };
-    let sys = analyze(EntryPoint::Syscall, &cfg);
-    let irq = analyze(EntryPoint::Interrupt, &cfg);
+    let mut reports = ctx
+        .analyze_batch(&[(EntryPoint::Syscall, cfg), (EntryPoint::Interrupt, cfg)])
+        .into_iter();
+    let sys = reports.next().expect("syscall report");
+    let irq = reports.next().expect("interrupt report");
     let total = sys.cycles + irq.cycles;
     s.push_str("§6/§8 worst-case interrupt response bound (after-kernel, L2 off):\n");
     s.push_str(&format!(
@@ -100,9 +99,9 @@ fn latency_bound() -> String {
     s
 }
 
-fn constraints_demo() -> String {
+fn constraints_demo(ctx: &SweepCtx) -> String {
     use rt_kernel::kernel::{EntryPoint, KernelConfig};
-    use rt_wcet::{analyze, AnalysisConfig};
+    use rt_wcet::AnalysisConfig;
     let mut raw_cfg = AnalysisConfig {
         kernel: KernelConfig::after(),
         l2: false,
@@ -110,9 +109,9 @@ fn constraints_demo() -> String {
         l2_kernel_locked: false,
         manual_constraints: false,
     };
-    let raw = analyze(EntryPoint::Syscall, &raw_cfg);
+    let raw = ctx.cache().analyze(EntryPoint::Syscall, &raw_cfg);
     raw_cfg.manual_constraints = true;
-    let constrained = analyze(EntryPoint::Syscall, &raw_cfg);
+    let constrained = ctx.cache().analyze(EntryPoint::Syscall, &raw_cfg);
     format!(
         "§6 manual-constraint methodology (system call, after-kernel, L2 off):\n\
          \x20 raw CFG bound:         {} cycles ({:.1} us)\n\
@@ -128,63 +127,96 @@ fn constraints_demo() -> String {
     )
 }
 
+fn bench_report() -> String {
+    let result = sweep::run_bench();
+    let json = result.to_json();
+    let path = "BENCH_sweep.json";
+    std::fs::write(path, &json).expect("write BENCH_sweep.json");
+    let mut s = result.render();
+    s.push_str(&format!("  wrote {path}\n"));
+    s
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<Result<usize, ()>> {
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .ok_or(())
+    })
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let what = args.first().map(String::as_str).unwrap_or("all");
-    let reps: u32 = match args.iter().position(|a| a == "--reps") {
+    let reps: u32 = match flag_value(&args, "--reps") {
         None => 8,
-        Some(i) => match args.get(i + 1).map(|v| v.parse()) {
-            Some(Ok(n)) => n,
-            _ => {
-                eprintln!("--reps requires a positive integer");
-                std::process::exit(2);
-            }
-        },
+        Some(Ok(n)) => n as u32,
+        Some(Err(())) => {
+            eprintln!("--reps requires a positive integer");
+            std::process::exit(2);
+        }
     };
+    let ctx = match flag_value(&args, "--jobs") {
+        None => SweepCtx::from_env(),
+        Some(Ok(n)) => SweepCtx::with_jobs(n),
+        Some(Err(())) => {
+            eprintln!("--jobs requires a positive integer");
+            std::process::exit(2);
+        }
+    };
+    let ctx = &ctx;
     match what {
-        "table1" => print!("{}", tables::render_table1(&tables::table1())),
-        "table2" => print!("{}", tables::render_table2(&tables::table2(reps))),
-        "fig8" => print!("{}", tables::render_fig8(&tables::fig8(reps))),
-        "l2lock" => print!("{}", tables::render_l2lock(&tables::l2lock(reps))),
-        "open-closed" => print!("{}", tables::render_open_closed(&tables::open_closed())),
+        "table1" => print!("{}", tables::render_table1(&tables::table1_with(ctx))),
+        "table2" => print!("{}", tables::render_table2(&tables::table2_with(ctx, reps))),
+        "fig8" => print!("{}", tables::render_fig8(&tables::fig8_with(ctx, reps))),
+        "l2lock" => print!("{}", tables::render_l2lock(&tables::l2lock_with(ctx, reps))),
+        "open-closed" => print!(
+            "{}",
+            tables::render_open_closed(&tables::open_closed_with(ctx))
+        ),
         "restart-overhead" => print!(
             "{}",
             tables::render_restart_overhead(&tables::restart_overhead())
         ),
-        "fig9" => print!("{}", tables::render_fig9(&tables::fig9(reps))),
-        "attribution" => print!("{}", attribution_report(reps)),
+        "fig9" => print!("{}", tables::render_fig9(&tables::fig9_with(ctx, reps))),
+        "attribution" => print!("{}", attribution::attribution_report_with(ctx, reps)),
         "overhead" => print!("{}", overhead()),
-        "latency-bound" => print!("{}", latency_bound()),
-        "constraints" => print!("{}", constraints_demo()),
+        "latency-bound" => print!("{}", latency_bound(ctx)),
+        "constraints" => print!("{}", constraints_demo(ctx)),
+        "bench" => print!("{}", bench_report()),
         "all" => {
-            print!("{}", tables::render_table1(&tables::table1()));
+            print!("{}", tables::render_table1(&tables::table1_with(ctx)));
             println!();
-            print!("{}", tables::render_table2(&tables::table2(reps)));
+            print!("{}", tables::render_table2(&tables::table2_with(ctx, reps)));
             println!();
-            print!("{}", tables::render_fig8(&tables::fig8(reps)));
+            print!("{}", tables::render_fig8(&tables::fig8_with(ctx, reps)));
             println!();
-            print!("{}", tables::render_fig9(&tables::fig9(reps)));
+            print!("{}", tables::render_fig9(&tables::fig9_with(ctx, reps)));
             println!();
-            print!("{}", tables::render_l2lock(&tables::l2lock(reps)));
+            print!("{}", tables::render_l2lock(&tables::l2lock_with(ctx, reps)));
             println!();
             print!(
                 "{}",
                 tables::render_restart_overhead(&tables::restart_overhead())
             );
             println!();
-            print!("{}", tables::render_open_closed(&tables::open_closed()));
+            print!(
+                "{}",
+                tables::render_open_closed(&tables::open_closed_with(ctx))
+            );
             println!();
             print!("{}", overhead());
             println!();
-            print!("{}", latency_bound());
+            print!("{}", latency_bound(ctx));
             println!();
-            print!("{}", constraints_demo());
+            print!("{}", constraints_demo(ctx));
             println!();
-            print!("{}", attribution_report(reps));
+            print!("{}", attribution::attribution_report_with(ctx, reps));
         }
         other => {
             eprintln!(
-                "unknown target {other:?}; expected table1|table2|fig8|fig9|l2lock|attribution|open-closed|restart-overhead|overhead|latency-bound|constraints|all"
+                "unknown target {other:?}; expected table1|table2|fig8|fig9|l2lock|attribution|open-closed|restart-overhead|overhead|latency-bound|constraints|bench|all"
             );
             std::process::exit(2);
         }

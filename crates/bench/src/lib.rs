@@ -14,6 +14,10 @@
 //!   100 000 executions;
 //! * [`tables`] assembles Table 1, Table 2, Fig. 8 and Fig. 9 and formats
 //!   them like the paper;
+//! * [`sweep`] runs those generators as one fan-out: a [`sweep::SweepCtx`]
+//!   (thread pool + shared [`rt_wcet::AnalysisCache`]) is threaded through
+//!   every table so common analyses are computed once, and `repro bench`
+//!   times the serial vs batched sweep;
 //! * [`attribution`] explains *where* the worst-case cycles go: it reruns
 //!   the workloads with the machine's trace sink enabled and prints
 //!   observed vs computed per-bucket breakdowns (ifetch-miss / dmiss / L2
@@ -28,5 +32,6 @@
 
 pub mod attribution;
 pub mod observe;
+pub mod sweep;
 pub mod tables;
 pub mod workloads;

@@ -1,0 +1,376 @@
+//! The shared sweep context and the `repro bench` sweep timing.
+//!
+//! [`SweepCtx`] bundles the two pieces every table/figure generator needs
+//! to fan out: an [`rt_pool::Pool`] and an [`AnalysisCache`]. The `repro`
+//! binary builds **one** context and threads it through every subcommand,
+//! so e.g. the after-kernel/L2-off analyses Table 1 and Table 2 share are
+//! computed once per `repro all` run instead of once per table.
+//!
+//! [`run_bench`] is the `repro bench` subcommand: it times the full
+//! analysis sweep of `repro all` (the multiset of `analyze` calls in
+//! [`full_sweep_jobs`]) serially — one uncached [`analyze`] per job,
+//! exactly as the pre-cache code ran it — and then through
+//! [`analyze_batch_with`] at 1, 2 and 4 workers with a fresh cache each,
+//! plus a warm second pass. Every parallel report is checked identical to
+//! its serial counterpart before any timing is reported, and the results
+//! land in `BENCH_sweep.json`.
+
+use std::time::{Duration, Instant};
+
+use rt_kernel::kernel::{EntryPoint, KernelConfig};
+use rt_pool::Pool;
+use rt_wcet::{analyze, analyze_batch_with, AnalysisCache, AnalysisConfig, MemoStats, WcetReport};
+
+/// A thread pool plus a shared [`AnalysisCache`]: everything a sweep
+/// needs. Cheap to create; share one across related sweeps to dedupe
+/// their common analyses.
+pub struct SweepCtx {
+    pool: Pool,
+    cache: AnalysisCache,
+}
+
+impl SweepCtx {
+    /// A context running on the given pool with an empty cache.
+    pub fn new(pool: Pool) -> SweepCtx {
+        SweepCtx {
+            pool,
+            cache: AnalysisCache::new(),
+        }
+    }
+
+    /// A context with exactly `jobs` workers.
+    pub fn with_jobs(jobs: usize) -> SweepCtx {
+        SweepCtx::new(Pool::new(jobs))
+    }
+
+    /// A context sized by `RT_JOBS` / available parallelism
+    /// (see [`Pool::from_env`]).
+    pub fn from_env() -> SweepCtx {
+        SweepCtx::new(Pool::from_env())
+    }
+
+    /// The pool — for parallelising the observation side of a table.
+    pub fn pool(&self) -> &Pool {
+        &self.pool
+    }
+
+    /// The shared cache.
+    pub fn cache(&self) -> &AnalysisCache {
+        &self.cache
+    }
+
+    /// [`analyze_batch_with`] on this context's pool and cache.
+    pub fn analyze_batch(&self, jobs: &[(EntryPoint, AnalysisConfig)]) -> Vec<WcetReport> {
+        analyze_batch_with(jobs, &self.pool, &self.cache)
+    }
+}
+
+impl Default for SweepCtx {
+    /// Same as [`SweepCtx::from_env`].
+    fn default() -> SweepCtx {
+        SweepCtx::from_env()
+    }
+}
+
+fn acfg(kernel: KernelConfig, l2: bool, pinning: bool) -> AnalysisConfig {
+    AnalysisConfig {
+        kernel,
+        l2,
+        pinning,
+        l2_kernel_locked: false,
+        manual_constraints: true,
+    }
+}
+
+/// The multiset of default-bounds [`analyze`] calls a full `repro all`
+/// issues — duplicates included, because that is precisely what the cache
+/// is meant to absorb. (The forced-path fig. 8 analyses and the
+/// non-default-bounds §6.1 analyses are driven separately and not part of
+/// this list.)
+pub fn full_sweep_jobs() -> Vec<(EntryPoint, AnalysisConfig)> {
+    let after = KernelConfig::after();
+    let before = KernelConfig::before();
+    let mut jobs = Vec::new();
+    // Table 1: with/without pinning, after-kernel, L2 off.
+    for e in EntryPoint::ALL {
+        jobs.push((e, acfg(after, false, false)));
+        jobs.push((e, acfg(after, false, true)));
+    }
+    // Table 2: before/L2-off, after/L2-off, after/L2-on.
+    for e in EntryPoint::ALL {
+        jobs.push((e, acfg(before, false, false)));
+        jobs.push((e, acfg(after, false, false)));
+        jobs.push((e, acfg(after, true, false)));
+    }
+    // §4/§8 L2 locking: after/L2-on, unlocked and kernel-locked.
+    for e in EntryPoint::ALL {
+        jobs.push((e, acfg(after, true, false)));
+        let mut locked = acfg(after, true, false);
+        locked.l2_kernel_locked = true;
+        jobs.push((e, locked));
+    }
+    // Latency bound: syscall + interrupt, after/L2-off.
+    jobs.push((EntryPoint::Syscall, acfg(after, false, false)));
+    jobs.push((EntryPoint::Interrupt, acfg(after, false, false)));
+    // Constraint demo: syscall raw vs constrained.
+    let mut raw = acfg(after, false, false);
+    raw.manual_constraints = false;
+    jobs.push((EntryPoint::Syscall, raw));
+    jobs.push((EntryPoint::Syscall, acfg(after, false, false)));
+    // Attribution: after-kernel, both L2 settings.
+    for l2 in [false, true] {
+        for e in EntryPoint::ALL {
+            jobs.push((e, acfg(after, l2, false)));
+        }
+    }
+    jobs
+}
+
+/// True iff two reports agree bit-for-bit on every deterministic field
+/// (everything except the wall-clock phase timings).
+pub fn reports_identical(a: &WcetReport, b: &WcetReport) -> bool {
+    a.cycles == b.cycles
+        && a.us.to_bits() == b.us.to_bits()
+        && a.breakdown == b.breakdown
+        && a.worst_path == b.worst_path
+        && a.trace == b.trace
+        && a.ilp_vars == b.ilp_vars
+        && a.ilp_constraints == b.ilp_constraints
+}
+
+/// One timed configuration of the sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepTiming {
+    /// Worker count.
+    pub workers: usize,
+    /// Wall-clock time of the whole batch.
+    pub wall: Duration,
+    /// Speedup over the serial baseline.
+    pub speedup: f64,
+}
+
+/// Everything `repro bench` measured.
+pub struct BenchResult {
+    /// Number of jobs in the sweep (duplicates included).
+    pub jobs: usize,
+    /// Number of distinct reports the cache had to build.
+    pub distinct: u64,
+    /// Serial, uncached baseline.
+    pub serial: Duration,
+    /// Fresh-cache batch runs at 1/2/4 workers.
+    pub parallel: Vec<SweepTiming>,
+    /// Second pass over the 4-worker cache (everything memoized).
+    pub warm: Duration,
+    /// Cache counters after the 4-worker run.
+    pub stats: rt_wcet::CacheStats,
+    /// Whether every batch report matched its serial counterpart.
+    pub identical: bool,
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn stats_json(s: &MemoStats) -> String {
+    format!(
+        "{{\"lookups\": {}, \"builds\": {}, \"hit_rate\": {:.4}}}",
+        s.lookups,
+        s.builds,
+        s.hit_rate()
+    )
+}
+
+impl BenchResult {
+    /// The machine-readable artifact (hand-rolled JSON — the workspace is
+    /// offline, so no serde).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"sweep_jobs\": {},\n", self.jobs));
+        s.push_str(&format!("  \"distinct_reports\": {},\n", self.distinct));
+        s.push_str(&format!("  \"serial_ms\": {:.2},\n", ms(self.serial)));
+        s.push_str("  \"batch\": [\n");
+        for (i, t) in self.parallel.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"workers\": {}, \"wall_ms\": {:.2}, \"speedup\": {:.2}}}{}\n",
+                t.workers,
+                ms(t.wall),
+                t.speedup,
+                if i + 1 == self.parallel.len() {
+                    ""
+                } else {
+                    ","
+                }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!("  \"warm_ms\": {:.2},\n", ms(self.warm)));
+        s.push_str("  \"cache\": {\n");
+        s.push_str(&format!(
+            "    \"reports\": {},\n",
+            stats_json(&self.stats.reports)
+        ));
+        s.push_str(&format!(
+            "    \"cfgs\": {},\n",
+            stats_json(&self.stats.cfgs)
+        ));
+        s.push_str(&format!(
+            "    \"cost_models\": {},\n",
+            stats_json(&self.stats.cost_models)
+        ));
+        s.push_str(&format!(
+            "    \"costs\": {},\n",
+            stats_json(&self.stats.costs)
+        ));
+        s.push_str(&format!("    \"ilps\": {}\n", stats_json(&self.stats.ilps)));
+        s.push_str("  },\n");
+        s.push_str(&format!(
+            "  \"bit_identical_to_serial\": {}\n",
+            self.identical
+        ));
+        s.push('}');
+        s.push('\n');
+        s
+    }
+
+    /// The human-readable `repro bench` report.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "Analysis-sweep timing: {} analyze jobs ({} distinct), serial vs analyze_batch\n",
+            self.jobs, self.distinct
+        ));
+        s.push_str(&format!(
+            "  serial (uncached):        {:>9.1} ms\n",
+            ms(self.serial)
+        ));
+        for t in &self.parallel {
+            s.push_str(&format!(
+                "  batch, {} worker{}:         {:>9.1} ms   ({:.2}x)\n",
+                t.workers,
+                if t.workers == 1 { " " } else { "s" },
+                ms(t.wall),
+                t.speedup
+            ));
+        }
+        s.push_str(&format!(
+            "  warm cache, second pass:  {:>9.1} ms\n",
+            ms(self.warm)
+        ));
+        let r = self.stats.reports;
+        s.push_str(&format!(
+            "  dedup: {} duplicate jobs absorbed at dispatch; report memo {}/{} lookups hit \
+             ({:.0}% hit rate); CFGs built {}x for {} analyses\n",
+            self.jobs as u64 - self.stats.reports.builds,
+            r.lookups - r.builds,
+            r.lookups,
+            r.hit_rate() * 100.0,
+            self.stats.cfgs.builds,
+            self.stats.cfgs.lookups,
+        ));
+        s.push_str(&format!(
+            "  batch reports bit-identical to serial: {}\n",
+            if self.identical { "yes" } else { "NO (BUG)" }
+        ));
+        s
+    }
+}
+
+/// Repetitions per timed configuration; the minimum is reported, which
+/// filters scheduler noise from competing load (every repetition does the
+/// same deterministic work, so the minimum is the least-disturbed run).
+const TIMING_REPS: usize = 2;
+
+/// Runs the `repro bench` measurement (see the module docs) and returns
+/// the result; the caller decides where the JSON goes.
+pub fn run_bench() -> BenchResult {
+    let jobs = full_sweep_jobs();
+
+    let mut serial_wall = Duration::MAX;
+    let mut serial = Vec::new();
+    for _ in 0..TIMING_REPS {
+        let t0 = Instant::now();
+        serial = jobs.iter().map(|(e, cfg)| analyze(*e, cfg)).collect();
+        serial_wall = serial_wall.min(t0.elapsed());
+    }
+
+    let mut identical = true;
+    let mut parallel = Vec::new();
+    let mut last_cache = None;
+    for workers in [1usize, 2, 4] {
+        let pool = Pool::new(workers);
+        let mut wall = Duration::MAX;
+        for _ in 0..TIMING_REPS {
+            let cache = AnalysisCache::new();
+            let t0 = Instant::now();
+            let reports = analyze_batch_with(&jobs, &pool, &cache);
+            wall = wall.min(t0.elapsed());
+            identical &= reports.len() == serial.len()
+                && reports
+                    .iter()
+                    .zip(serial.iter())
+                    .all(|(a, b)| reports_identical(a, b));
+            last_cache = Some((cache, pool.clone()));
+        }
+        parallel.push(SweepTiming {
+            workers,
+            wall,
+            speedup: serial_wall.as_secs_f64() / wall.as_secs_f64(),
+        });
+    }
+
+    let (cache, pool) = last_cache.expect("batch runs happened");
+    let t0 = Instant::now();
+    let warm_reports = analyze_batch_with(&jobs, &pool, &cache);
+    let warm = t0.elapsed();
+    identical &= warm_reports
+        .iter()
+        .zip(serial.iter())
+        .all(|(a, b)| reports_identical(a, b));
+    let stats = cache.stats();
+
+    BenchResult {
+        jobs: jobs.len(),
+        distinct: stats.reports.builds,
+        serial: serial_wall,
+        parallel,
+        warm,
+        stats,
+        identical,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_jobs_mirror_repro_all() {
+        let jobs = full_sweep_jobs();
+        assert_eq!(jobs.len(), 40, "8 + 12 + 8 + 2 + 2 + 8 analyze calls");
+        let cache = AnalysisCache::new();
+        for (e, cfg) in &jobs {
+            cache.analyze(*e, cfg);
+        }
+        let s = cache.stats();
+        assert_eq!(s.reports.lookups, 40);
+        assert!(
+            s.reports.builds < 25,
+            "the sweep must contain substantial duplication: {s:?}"
+        );
+    }
+
+    #[test]
+    fn batch_equals_serial_on_a_small_sweep() {
+        let jobs: Vec<_> = full_sweep_jobs()
+            .into_iter()
+            .filter(|(e, _)| *e == EntryPoint::Interrupt)
+            .collect();
+        let serial: Vec<_> = jobs.iter().map(|(e, cfg)| analyze(*e, cfg)).collect();
+        let ctx = SweepCtx::with_jobs(3);
+        let batch = ctx.analyze_batch(&jobs);
+        assert_eq!(serial.len(), batch.len());
+        for (a, b) in serial.iter().zip(batch.iter()) {
+            assert!(reports_identical(a, b));
+        }
+    }
+}

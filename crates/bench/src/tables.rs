@@ -7,9 +7,10 @@
 
 use rt_hw::{cycles_to_us, Cycles, HwConfig};
 use rt_kernel::kernel::{EntryPoint, KernelConfig};
-use rt_wcet::{analyze, AnalysisConfig};
+use rt_wcet::AnalysisConfig;
 
 use crate::observe::observe_entry_reps;
+use crate::sweep::SweepCtx;
 
 fn hw(l2: bool, bpred: bool, locked_ways: u32) -> HwConfig {
     HwConfig {
@@ -51,12 +52,29 @@ impl Table1Row {
 /// Table 1: computed WCET per entry point, with vs without cache pinning
 /// (§4), after-kernel, L2 off.
 pub fn table1() -> Vec<Table1Row> {
+    table1_with(&SweepCtx::default())
+}
+
+/// [`table1`] on a shared sweep context: the eight analyses are batched
+/// across the context's pool and memoized in its cache.
+pub fn table1_with(ctx: &SweepCtx) -> Vec<Table1Row> {
+    let jobs: Vec<_> = EntryPoint::ALL
+        .into_iter()
+        .flat_map(|e| {
+            [
+                (e, acfg(KernelConfig::after(), false, false)),
+                (e, acfg(KernelConfig::after(), false, true)),
+            ]
+        })
+        .collect();
+    let reports = ctx.analyze_batch(&jobs);
     EntryPoint::ALL
         .into_iter()
-        .map(|e| Table1Row {
+        .enumerate()
+        .map(|(i, e)| Table1Row {
             entry: e,
-            without: analyze(e, &acfg(KernelConfig::after(), false, false)).cycles,
-            with: analyze(e, &acfg(KernelConfig::after(), false, true)).cycles,
+            without: reports[2 * i].cycles,
+            with: reports[2 * i + 1].cycles,
         })
         .collect()
 }
@@ -122,25 +140,41 @@ impl Table2Row {
 /// Table 2: per entry point, the before/after computed bounds and the
 /// after-kernel observed worst cases, with both L2 settings.
 pub fn table2(reps: u32) -> Vec<Table2Row> {
+    table2_with(&SweepCtx::default(), reps)
+}
+
+/// [`table2`] on a shared sweep context. The twelve analyses go through
+/// the batch API (three of them are shared with Table 1 and dedupe when
+/// the same context generated both); the four per-entry observation runs
+/// fan out over the pool.
+pub fn table2_with(ctx: &SweepCtx, reps: u32) -> Vec<Table2Row> {
+    let jobs: Vec<_> = EntryPoint::ALL
+        .into_iter()
+        .flat_map(|e| {
+            [
+                (e, acfg(KernelConfig::before(), false, false)),
+                (e, acfg(KernelConfig::after(), false, false)),
+                (e, acfg(KernelConfig::after(), true, false)),
+            ]
+        })
+        .collect();
+    let reports = ctx.analyze_batch(&jobs);
+    let observed = ctx.pool().parallel_map(EntryPoint::ALL.to_vec(), |e| {
+        (
+            observe_entry_reps(e, KernelConfig::after(), hw(false, false, 0), reps),
+            observe_entry_reps(e, KernelConfig::after(), hw(true, false, 0), reps),
+        )
+    });
     EntryPoint::ALL
         .into_iter()
-        .map(|e| Table2Row {
+        .enumerate()
+        .map(|(i, e)| Table2Row {
             entry: e,
-            before_computed: analyze(e, &acfg(KernelConfig::before(), false, false)).cycles,
-            after_computed_l2off: analyze(e, &acfg(KernelConfig::after(), false, false)).cycles,
-            after_observed_l2off: observe_entry_reps(
-                e,
-                KernelConfig::after(),
-                hw(false, false, 0),
-                reps,
-            ),
-            after_computed_l2on: analyze(e, &acfg(KernelConfig::after(), true, false)).cycles,
-            after_observed_l2on: observe_entry_reps(
-                e,
-                KernelConfig::after(),
-                hw(true, false, 0),
-                reps,
-            ),
+            before_computed: reports[3 * i].cycles,
+            after_computed_l2off: reports[3 * i + 1].cycles,
+            after_observed_l2off: observed[i].0,
+            after_computed_l2on: reports[3 * i + 2].cycles,
+            after_observed_l2on: observed[i].1,
         })
         .collect()
 }
@@ -223,27 +257,39 @@ pub struct L2LockRow {
 /// the L2 and compare bounds and observations against the plain L2-on
 /// configuration.
 pub fn l2lock(reps: u32) -> Vec<L2LockRow> {
+    l2lock_with(&SweepCtx::default(), reps)
+}
+
+/// [`l2lock`] on a shared sweep context (batched analyses, pooled
+/// observations).
+pub fn l2lock_with(ctx: &SweepCtx, reps: u32) -> Vec<L2LockRow> {
+    let mut locked_cfg = acfg(KernelConfig::after(), true, false);
+    locked_cfg.l2_kernel_locked = true;
+    let jobs: Vec<_> = EntryPoint::ALL
+        .into_iter()
+        .flat_map(|e| {
+            [
+                (e, acfg(KernelConfig::after(), true, false)),
+                (e, locked_cfg),
+            ]
+        })
+        .collect();
+    let reports = ctx.analyze_batch(&jobs);
+    let observed = ctx.pool().parallel_map(EntryPoint::ALL.to_vec(), |e| {
+        (
+            observe_entry_reps(e, KernelConfig::after(), hw(true, false, 0), reps),
+            crate::observe::observe_entry_l2locked(e, KernelConfig::after(), reps),
+        )
+    });
     EntryPoint::ALL
         .into_iter()
-        .map(|e| {
-            let mut locked_cfg = acfg(KernelConfig::after(), true, false);
-            locked_cfg.l2_kernel_locked = true;
-            L2LockRow {
-                entry: e,
-                computed_unlocked: analyze(e, &acfg(KernelConfig::after(), true, false)).cycles,
-                observed_unlocked: observe_entry_reps(
-                    e,
-                    KernelConfig::after(),
-                    hw(true, false, 0),
-                    reps,
-                ),
-                computed_locked: analyze(e, &locked_cfg).cycles,
-                observed_locked: crate::observe::observe_entry_l2locked(
-                    e,
-                    KernelConfig::after(),
-                    reps,
-                ),
-            }
+        .enumerate()
+        .map(|(i, e)| L2LockRow {
+            entry: e,
+            computed_unlocked: reports[2 * i].cycles,
+            observed_unlocked: observed[i].0,
+            computed_locked: reports[2 * i + 1].cycles,
+            observed_locked: observed[i].1,
         })
         .collect()
 }
@@ -421,38 +467,29 @@ pub struct OpenClosedRow {
 /// closed systems ... Our work now eliminates the need for this
 /// distinction." Computed bounds for both kernels under both assumptions.
 pub fn open_closed() -> Vec<OpenClosedRow> {
-    use rt_wcet::analysis::analyze_with_bounds;
+    open_closed_with(&SweepCtx::default())
+}
+
+/// [`open_closed`] on a shared sweep context. These analyses use
+/// non-default [`BoundParams`][rt_wcet::kmodel::BoundParams], so they go
+/// through [`rt_wcet::AnalysisCache::analyze_with_bounds`] directly, fanned
+/// out one entry point per pool task.
+pub fn open_closed_with(ctx: &SweepCtx) -> Vec<OpenClosedRow> {
     use rt_wcet::kmodel::BoundParams;
-    EntryPoint::ALL
-        .into_iter()
-        .map(|e| OpenClosedRow {
+    ctx.pool().parallel_map(EntryPoint::ALL.to_vec(), |e| {
+        let bound = |kernel, bounds: &BoundParams| {
+            ctx.cache()
+                .analyze_with_bounds(e, &acfg(kernel, false, false), bounds)
+                .cycles
+        };
+        OpenClosedRow {
             entry: e,
-            before_closed: analyze_with_bounds(
-                e,
-                &acfg(KernelConfig::before(), false, false),
-                &BoundParams::closed(),
-            )
-            .cycles,
-            before_open: analyze_with_bounds(
-                e,
-                &acfg(KernelConfig::before(), false, false),
-                &BoundParams::open(),
-            )
-            .cycles,
-            after_closed: analyze_with_bounds(
-                e,
-                &acfg(KernelConfig::after(), false, false),
-                &BoundParams::closed(),
-            )
-            .cycles,
-            after_open: analyze_with_bounds(
-                e,
-                &acfg(KernelConfig::after(), false, false),
-                &BoundParams::open(),
-            )
-            .cycles,
-        })
-        .collect()
+            before_closed: bound(KernelConfig::before(), &BoundParams::closed()),
+            before_open: bound(KernelConfig::before(), &BoundParams::open()),
+            after_closed: bound(KernelConfig::after(), &BoundParams::closed()),
+            after_open: bound(KernelConfig::after(), &BoundParams::open()),
+        }
+    })
 }
 
 /// Renders the open-vs-closed comparison.
@@ -498,6 +535,13 @@ pub struct Fig8Bar {
 /// node (§6.2: "adding extra constraints to the ILP problem to force
 /// analysis of the desired path").
 pub fn fig8(reps: u32) -> Vec<Fig8Bar> {
+    fig8_with(&SweepCtx::default(), reps)
+}
+
+/// [`fig8`] on a shared sweep context: one pool task per entry point, each
+/// running its two forced-path analyses (layout/CFG/cost model come from
+/// the cache) and its two observation runs.
+pub fn fig8_with(ctx: &SweepCtx, reps: u32) -> Vec<Fig8Bar> {
     use rt_kernel::kprog::Block;
     let fault_path: Vec<Block> = vec![
         Block::FaultSetup,
@@ -571,26 +615,21 @@ pub fn fig8(reps: u32) -> Vec<Fig8Bar> {
         (EntryPoint::PageFault, pf_path),
         (EntryPoint::Interrupt, irq_path),
     ];
-    paths
-        .into_iter()
-        .map(|(e, allowed)| {
-            let over = |l2: bool| {
-                let computed = rt_wcet::analysis::analyze_forced(
-                    e,
-                    &acfg(KernelConfig::after(), l2, false),
-                    &allowed,
-                )
+    ctx.pool().parallel_map(paths.to_vec(), |(e, allowed)| {
+        let over = |l2: bool| {
+            let computed = ctx
+                .cache()
+                .analyze_forced(e, &acfg(KernelConfig::after(), l2, false), &allowed)
                 .cycles;
-                let observed = observe_entry_reps(e, KernelConfig::after(), hw(l2, false, 0), reps);
-                100.0 * (computed as f64 - observed as f64) / observed as f64
-            };
-            Fig8Bar {
-                entry: e,
-                over_l2off: over(false),
-                over_l2on: over(true),
-            }
-        })
-        .collect()
+            let observed = observe_entry_reps(e, KernelConfig::after(), hw(l2, false, 0), reps);
+            100.0 * (computed as f64 - observed as f64) / observed as f64
+        };
+        Fig8Bar {
+            entry: e,
+            over_l2off: over(false),
+            over_l2on: over(true),
+        }
+    })
 }
 
 /// Renders Fig. 8 as a text bar chart.
@@ -634,23 +673,25 @@ pub struct Fig9Group {
 /// Fig. 9: effect of the L2 cache and branch predictor on observed
 /// worst-case execution times.
 pub fn fig9(reps: u32) -> Vec<Fig9Group> {
-    EntryPoint::ALL
-        .into_iter()
-        .map(|e| {
-            let base = observe_entry_reps(e, KernelConfig::after(), hw(false, false, 0), reps);
-            let norm = |l2: bool, bp: bool| {
-                observe_entry_reps(e, KernelConfig::after(), hw(l2, bp, 0), reps) as f64
-                    / base as f64
-            };
-            Fig9Group {
-                entry: e,
-                baseline: base,
-                l2: norm(true, false),
-                bpred: norm(false, true),
-                both: norm(true, true),
-            }
-        })
-        .collect()
+    fig9_with(&SweepCtx::default(), reps)
+}
+
+/// [`fig9`] on a shared sweep context (pure observation — one pool task
+/// per entry point).
+pub fn fig9_with(ctx: &SweepCtx, reps: u32) -> Vec<Fig9Group> {
+    ctx.pool().parallel_map(EntryPoint::ALL.to_vec(), |e| {
+        let base = observe_entry_reps(e, KernelConfig::after(), hw(false, false, 0), reps);
+        let norm = |l2: bool, bp: bool| {
+            observe_entry_reps(e, KernelConfig::after(), hw(l2, bp, 0), reps) as f64 / base as f64
+        };
+        Fig9Group {
+            entry: e,
+            baseline: base,
+            l2: norm(true, false),
+            bpred: norm(false, true),
+            both: norm(true, true),
+        }
+    })
 }
 
 /// Renders Fig. 9.

@@ -36,7 +36,7 @@ use crate::tcb::{Tcb, ThreadState, TCB_SIZE_BITS};
 use crate::vspace::asid::AsidTable;
 
 /// Scheduler design (§3.1–3.2).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum SchedKind {
     /// Lazy scheduling (Fig. 2) — the original design.
     Lazy,
@@ -47,7 +47,7 @@ pub enum SchedKind {
 }
 
 /// Virtual-memory design (§3.6).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum VmKind {
     /// ASID lookup table (Fig. 4) — the original design.
     Asid,
@@ -57,7 +57,7 @@ pub enum VmKind {
 
 /// Which kernel the experiments run: the paper's *before* or *after*
 /// configuration, or any mix.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct KernelConfig {
     /// Scheduler design.
     pub sched: SchedKind,

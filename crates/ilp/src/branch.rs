@@ -89,23 +89,11 @@ impl Ord for Node {
 /// popped (counted as warm misses in the stats).
 const WARM_SNAPSHOT_CAP: usize = 16;
 
-/// Solves `max objective . x` s.t. `rows`, `x >= 0`, and `x_i` integral for
-/// every `i` in `integers`, warm-starting child LPs from parent bases.
-pub fn solve(
-    n_vars: usize,
-    objective: &[(usize, Rat)],
-    rows: &[Row],
-    integers: &[usize],
-    node_limit: usize,
-) -> Result<IlpOut, SolveError> {
-    run(n_vars, objective, rows, integers, node_limit, true)
-}
-
 /// Reference driver replicating the seed solver: every node is solved cold
 /// from the base rows plus its branching path, with Bland's rule
-/// throughout (no warm starts, no Dantzig pricing). Kept as the baseline
-/// for differential tests and the `ilp_solver` benchmark; not used by
-/// production callers.
+/// throughout (no warm starts, no Dantzig pricing, no presolve). Kept as
+/// the baseline for differential tests and the `ilp_solver` benchmark; not
+/// used by production callers.
 pub fn solve_cold(
     n_vars: usize,
     objective: &[(usize, Rat)],
@@ -113,41 +101,28 @@ pub fn solve_cold(
     integers: &[usize],
     node_limit: usize,
 ) -> Result<IlpOut, SolveError> {
-    run(n_vars, objective, rows, integers, node_limit, false)
+    run_core(n_vars, objective, rows, integers, node_limit, false, 0)
 }
 
-fn run(
-    n_vars: usize,
-    objective: &[(usize, Rat)],
-    rows: &[Row],
-    integers: &[usize],
+/// Runs warm branch and bound on an already-presolved system and maps the
+/// solution back to original variables. Split out of [`solve`] so a cached
+/// [`crate::PresolvedModel`] can re-solve without repeating the reduction.
+pub(crate) fn solve_reduced(
+    p: &presolve::Presolved,
     node_limit: usize,
-    warm: bool,
 ) -> Result<IlpOut, SolveError> {
-    if !warm {
-        // Seed-replica baseline: no presolve, Bland's rule, cold nodes.
-        return run_core(n_vars, objective, rows, integers, node_limit, false, 0);
-    }
-    // Production path: substitute away equality rows first — on IPET
-    // systems this removes nearly every artificial variable phase 1 would
-    // otherwise pivot out one by one.
-    match presolve::reduce(n_vars, objective, rows, integers) {
-        presolve::Outcome::Infeasible => Err(SolveError::Infeasible),
-        presolve::Outcome::Reduced(p) => {
-            let mut out = run_core(
-                p.n_vars,
-                &p.objective,
-                &p.rows,
-                &p.integers,
-                node_limit,
-                true,
-                p.eliminated,
-            )?;
-            out.objective += p.obj_const;
-            out.values = p.expand(&out.values);
-            Ok(out)
-        }
-    }
+    let mut out = run_core(
+        p.n_vars,
+        &p.objective,
+        &p.rows,
+        &p.integers,
+        node_limit,
+        true,
+        p.eliminated,
+    )?;
+    out.objective += p.obj_const;
+    out.values = p.expand(&out.values);
+    Ok(out)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -385,6 +360,21 @@ mod tests {
 
     fn r(n: i128) -> Rat {
         Rat::int(n)
+    }
+
+    /// The production warm path as one call: presolve, then the reduced
+    /// branch and bound (what `Model::solve` does via `PresolvedModel`).
+    fn solve(
+        n_vars: usize,
+        objective: &[(usize, Rat)],
+        rows: &[Row],
+        integers: &[usize],
+        node_limit: usize,
+    ) -> Result<IlpOut, SolveError> {
+        match presolve::reduce(n_vars, objective, rows, integers) {
+            presolve::Outcome::Infeasible => Err(SolveError::Infeasible),
+            presolve::Outcome::Reduced(p) => solve_reduced(&p, node_limit),
+        }
     }
 
     #[test]

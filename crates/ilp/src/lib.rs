@@ -53,5 +53,7 @@ mod presolve;
 mod rational;
 mod simplex;
 
-pub use model::{LinExpr, Model, Sense, Solution, SolveError, SolveStats, Status, VarId};
+pub use model::{
+    LinExpr, Model, PresolvedModel, Sense, Solution, SolveError, SolveStats, Status, VarId,
+};
 pub use rational::Rat;

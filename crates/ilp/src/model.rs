@@ -10,6 +10,7 @@ use std::ops::Add;
 use std::time::{Duration, Instant};
 
 use crate::branch;
+use crate::presolve;
 use crate::rational::Rat;
 use crate::simplex::{Rel, Row};
 
@@ -310,7 +311,33 @@ impl Model {
     /// Returns [`SolveError::Infeasible`], [`SolveError::Unbounded`], or
     /// [`SolveError::NodeLimit`] if the node budget runs out first.
     pub fn solve(&self) -> Result<Solution, SolveError> {
-        self.solve_inner(true)
+        self.presolved()?.solve()
+    }
+
+    /// Runs row assembly and the equality-substitution presolve once,
+    /// returning a reusable [`PresolvedModel`].
+    ///
+    /// [`Model::solve`] is exactly `presolved()?.solve()`; callers that
+    /// solve the same instance repeatedly (the memoized analysis sweep in
+    /// `rt-wcet`) cache the `PresolvedModel` so the reduction — which on
+    /// IPET systems eliminates most rows — is paid once per distinct
+    /// instance instead of once per solve. The presolved form is immutable
+    /// and `Sync`, so concurrent solves can share one copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Infeasible`] when presolve already detects a
+    /// trivially false row.
+    pub fn presolved(&self) -> Result<PresolvedModel, SolveError> {
+        let a = self.assemble();
+        match presolve::reduce(self.vars.len(), &a.objective, &a.rows, &a.integers) {
+            presolve::Outcome::Infeasible => Err(SolveError::Infeasible),
+            presolve::Outcome::Reduced(p) => Ok(PresolvedModel {
+                negate: a.negate,
+                node_limit: self.node_limit,
+                reduced: p,
+            }),
+        }
     }
 
     /// Solves with the seed solver's strategy: every branch-and-bound node
@@ -325,12 +352,22 @@ impl Model {
     ///
     /// Same conditions as [`Model::solve`].
     pub fn solve_cold(&self) -> Result<Solution, SolveError> {
-        self.solve_inner(false)
+        let a = self.assemble();
+        let start = Instant::now();
+        let mut out = branch::solve_cold(
+            self.vars.len(),
+            &a.objective,
+            &a.rows,
+            &a.integers,
+            self.node_limit,
+        )?;
+        out.stats.wall = start.elapsed();
+        Ok(finish(out, a.negate))
     }
 
-    fn solve_inner(&self, warm: bool) -> Result<Solution, SolveError> {
-        let n = self.vars.len();
-        // Assemble base rows: user constraints plus variable bounds.
+    /// Assembles the raw solver input: user rows plus variable-bound rows,
+    /// the (sign-adjusted) objective, and the integer variable set.
+    fn assemble(&self) -> Assembled {
         let mut rows = self.rows.clone();
         for (i, v) in self.vars.iter().enumerate() {
             if !v.lb.is_zero() {
@@ -362,23 +399,66 @@ impl Model {
             .filter(|(_, v)| v.integer)
             .map(|(i, _)| i)
             .collect();
-        let start = Instant::now();
-        let mut out = if warm {
-            branch::solve(n, &objective, &rows, &integers, self.node_limit)?
+        Assembled {
+            rows,
+            objective,
+            negate,
+            integers,
+        }
+    }
+}
+
+/// Solver-ready form of a [`Model`]: rows (incl. bound rows), objective in
+/// maximisation sense, and the integrality set.
+struct Assembled {
+    rows: Vec<Row>,
+    objective: Vec<(usize, Rat)>,
+    negate: bool,
+    integers: Vec<usize>,
+}
+
+/// Wraps a raw solver result into a [`Solution`], undoing the
+/// minimisation-by-negation if needed.
+fn finish(out: branch::IlpOut, negate: bool) -> Solution {
+    Solution {
+        status: Status::Optimal,
+        objective: if negate {
+            -out.objective
         } else {
-            branch::solve_cold(n, &objective, &rows, &integers, self.node_limit)?
-        };
+            out.objective
+        },
+        stats: out.stats,
+        values: out.values,
+    }
+}
+
+/// A model that has been assembled and presolved once, ready to be solved
+/// any number of times (see [`Model::presolved`]).
+///
+/// Holds only immutable reduced data, so it is `Send + Sync` and can be
+/// shared across worker threads; every [`PresolvedModel::solve`] runs the
+/// same deterministic branch and bound and returns bit-identical results.
+pub struct PresolvedModel {
+    negate: bool,
+    node_limit: usize,
+    reduced: presolve::Presolved,
+}
+
+impl PresolvedModel {
+    /// Solves the presolved system to proven optimality.
+    ///
+    /// Identical result to [`Model::solve`] on the originating model; the
+    /// reported [`SolveStats::wall`] covers this solve only (the presolve
+    /// cost was paid in [`Model::presolved`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Model::solve`].
+    pub fn solve(&self) -> Result<Solution, SolveError> {
+        let start = Instant::now();
+        let mut out = branch::solve_reduced(&self.reduced, self.node_limit)?;
         out.stats.wall = start.elapsed();
-        Ok(Solution {
-            status: Status::Optimal,
-            objective: if negate {
-                -out.objective
-            } else {
-                out.objective
-            },
-            stats: out.stats,
-            values: out.values,
-        })
+        Ok(finish(out, self.negate))
     }
 }
 

@@ -1,0 +1,276 @@
+//! # rt-pool — scoped work-stealing executor for analysis sweeps
+//!
+//! The WCET evaluation is a *sweep*: dozens of independent IPET analyses
+//! (one per entry point × configuration) whose runtimes differ by two
+//! orders of magnitude — a system-call ILP runs ~100 ms while an
+//! interrupt ILP runs well under 1 ms. A static split of such a job list
+//! across threads leaves most workers idle behind the one that drew the
+//! system calls, so the executor steals: each worker owns a deque seeded
+//! round-robin, pops locally from the front, and when empty takes work
+//! from the *back* of a sibling's deque (the classic Chase–Lev shape,
+//! here with plain mutexed deques because every task is milliseconds of
+//! ILP solving, not nanoseconds of arithmetic).
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism.** [`Pool::parallel_map`] preserves input order in
+//!    its output and tasks share no mutable state through the pool, so a
+//!    sweep's result is bit-identical no matter the worker count or the
+//!    steal schedule. The paper's tables must come out byte-identical
+//!    whether reproduced on one core or sixteen.
+//! 2. **Std only.** The build environment has no route to crates.io, so
+//!    no `rayon`/`crossbeam`; scoped threads (`std::thread::scope`) let
+//!    tasks borrow from the caller without `'static` gymnastics.
+//! 3. **Panic transparency.** A panicking task poisons the pool (workers
+//!    stop drawing new tasks) and the panic is re-raised on the caller —
+//!    the lowest-index one when several race, so failures are stable.
+//!
+//! Worker count resolution: an explicit [`Pool::new`] wins, otherwise
+//! [`Pool::from_env`] honours the `RT_JOBS` environment variable (the
+//! `repro` binary's `--jobs` flag sets the same knob) and falls back to
+//! [`std::thread::available_parallelism`]. `jobs = 1` degenerates to an
+//! inline sequential loop with zero thread overhead.
+//!
+//! ```
+//! let pool = rt_pool::Pool::new(4);
+//! let squares = pool.parallel_map((0u64..100).collect(), |x| x * x);
+//! assert_eq!(squares[7], 49); // input order is preserved
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// A fixed-width scoped thread pool.
+///
+/// The pool itself is just a worker count; threads are spawned per
+/// [`Pool::parallel_map`] call inside a [`std::thread::scope`], which is
+/// what lets the mapped closure borrow the caller's data (the analysis
+/// cache, the job list) without `Arc`-wrapping everything. Spawning a
+/// handful of threads costs microseconds against tasks that run
+/// milliseconds, so a persistent pool would buy nothing but shutdown
+/// complexity.
+#[derive(Clone, Debug)]
+pub struct Pool {
+    jobs: usize,
+}
+
+impl Pool {
+    /// A pool running `jobs` workers (clamped up to at least 1).
+    pub fn new(jobs: usize) -> Pool {
+        Pool { jobs: jobs.max(1) }
+    }
+
+    /// A pool sized from the environment: `RT_JOBS` if set to a positive
+    /// integer, otherwise [`std::thread::available_parallelism`].
+    pub fn from_env() -> Pool {
+        let default = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let jobs = std::env::var("RT_JOBS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(default);
+        Pool::new(jobs)
+    }
+
+    /// The worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Applies `f` to every item, in parallel, returning results in input
+    /// order.
+    ///
+    /// Items are dealt round-robin into per-worker deques; idle workers
+    /// steal from the back of their siblings' deques, so a skewed mix
+    /// (one 100 ms task among thirty 1 ms tasks) still load-balances.
+    /// With `jobs == 1` (or a single item) the map runs inline on the
+    /// caller's thread.
+    ///
+    /// # Panics
+    ///
+    /// If a task panics, the panic is re-raised on the calling thread
+    /// after the pool winds down — the panic of the lowest input index
+    /// when several tasks fail, so the surfaced failure is deterministic.
+    pub fn parallel_map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let n = items.len();
+        if self.jobs == 1 || n <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let workers = self.jobs.min(n);
+
+        // Deal the tasks round-robin, keeping their input index.
+        let mut deques: Vec<Mutex<VecDeque<(usize, T)>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (i, item) in items.into_iter().enumerate() {
+            deques[i % workers]
+                .get_mut()
+                .expect("unshared deque")
+                .push_back((i, item));
+        }
+
+        let deques = &deques;
+        let f = &f;
+        let results_cell: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+        let results = &results_cell;
+        let panics: Mutex<Vec<(usize, Box<dyn Any + Send>)>> = Mutex::new(Vec::new());
+        let panics = &panics;
+        let poisoned = &AtomicBool::new(false);
+
+        let run_worker = move |w: usize| {
+            loop {
+                if poisoned.load(Ordering::Relaxed) {
+                    return;
+                }
+                // Own work first (front), then steal (back) — stolen tasks
+                // are the ones their owner would reach last.
+                let mut task = deques[w].lock().expect("deque lock").pop_front();
+                if task.is_none() {
+                    for off in 1..workers {
+                        let victim = (w + off) % workers;
+                        task = deques[victim].lock().expect("deque lock").pop_back();
+                        if task.is_some() {
+                            break;
+                        }
+                    }
+                }
+                let Some((i, item)) = task else { return };
+                match panic::catch_unwind(AssertUnwindSafe(|| f(item))) {
+                    Ok(r) => results.lock().expect("results lock")[i] = Some(r),
+                    Err(payload) => {
+                        poisoned.store(true, Ordering::Relaxed);
+                        panics.lock().expect("panics lock").push((i, payload));
+                    }
+                }
+            }
+        };
+        let run_worker = &run_worker;
+
+        std::thread::scope(|s| {
+            for w in 1..workers {
+                s.spawn(move || run_worker(w));
+            }
+            run_worker(0);
+        });
+
+        let mut failed = panics.lock().expect("panics lock");
+        if !failed.is_empty() {
+            failed.sort_by_key(|(i, _)| *i);
+            let (_, payload) = failed.remove(0);
+            panic::resume_unwind(payload);
+        }
+        results_cell
+            .into_inner()
+            .expect("results lock")
+            .into_iter()
+            .map(|r| r.expect("every task ran to completion"))
+            .collect()
+    }
+}
+
+impl Default for Pool {
+    /// Same as [`Pool::from_env`].
+    fn default() -> Pool {
+        Pool::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn preserves_input_order() {
+        let pool = Pool::new(4);
+        let input: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = input.iter().map(|x| x * 3 + 1).collect();
+        let got = pool.parallel_map(input, |x| x * 3 + 1);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn steals_under_skewed_task_sizes() {
+        // Worker 0's deque is dealt every 4th task; make those tasks heavy
+        // so the other workers must steal them to finish promptly. All
+        // results must still land at their input index.
+        let pool = Pool::new(4);
+        let executed = AtomicUsize::new(0);
+        let input: Vec<usize> = (0..32).collect();
+        let got = pool.parallel_map(input, |i| {
+            if i % 4 == 0 {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            executed.fetch_add(1, Ordering::Relaxed);
+            i * i
+        });
+        assert_eq!(executed.load(Ordering::Relaxed), 32);
+        for (i, &r) in got.iter().enumerate() {
+            assert_eq!(r, i * i);
+        }
+    }
+
+    #[test]
+    fn propagates_the_lowest_index_panic() {
+        let pool = Pool::new(3);
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.parallel_map((0..16).collect::<Vec<u32>>(), |i| {
+                if i == 5 || i == 11 {
+                    panic!("task {i} failed");
+                }
+                i
+            })
+        }));
+        let payload = caught.expect_err("a task panic must surface");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("task"), "unexpected payload {msg:?}");
+    }
+
+    #[test]
+    fn jobs_one_runs_inline() {
+        let pool = Pool::new(1);
+        assert_eq!(pool.jobs(), 1);
+        let got = pool.parallel_map(vec![1u8, 2, 3], |x| x + 1);
+        assert_eq!(got, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_jobs_clamps_to_one() {
+        assert_eq!(Pool::new(0).jobs(), 1);
+    }
+
+    #[test]
+    fn from_env_honours_rt_jobs() {
+        std::env::set_var("RT_JOBS", "3");
+        assert_eq!(Pool::from_env().jobs(), 3);
+        std::env::set_var("RT_JOBS", "not-a-number");
+        let fallback = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(Pool::from_env().jobs(), fallback);
+        std::env::remove_var("RT_JOBS");
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        let pool = Pool::new(16);
+        let got = pool.parallel_map(vec![7u32, 9], |x| x * 2);
+        assert_eq!(got, vec![14, 18]);
+    }
+}

@@ -19,7 +19,12 @@ use crate::ipet;
 use crate::kmodel;
 
 /// Configuration of one analysis run.
-#[derive(Clone, Copy, Debug)]
+///
+/// `Eq`/`Hash` make the configuration usable as a memoization key: two
+/// equal configurations produce bit-identical [`WcetReport`]s (the whole
+/// pipeline is deterministic), which is what lets [`crate::AnalysisCache`]
+/// dedupe repeated sweep entries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct AnalysisConfig {
     /// Which kernel (before/after designs).
     pub kernel: KernelConfig,
@@ -171,6 +176,60 @@ fn path_breakdown(costs: &Costs, sol: &ipet::IpetSolution) -> CycleAccounts {
     b
 }
 
+/// Builds the [`CostModel`] an [`AnalysisConfig`] describes (resolving the
+/// pinned line sets against `layout` when pinning is on).
+pub(crate) fn cost_model(layout: &Layout, cfg: &AnalysisConfig) -> CostModel {
+    CostModel {
+        l2: cfg.l2 || cfg.l2_kernel_locked,
+        l2_kernel_locked: cfg.l2_kernel_locked,
+        pinned_i: if cfg.pinning {
+            pinning::pinned_icache_lines(layout).into_iter().collect()
+        } else {
+            HashSet::new()
+        },
+        pinned_d: if cfg.pinning {
+            pinning::pinned_dcache_lines().into_iter().collect()
+        } else {
+            HashSet::new()
+        },
+    }
+}
+
+/// Folds a solved IPET instance into the user-facing [`WcetReport`]:
+/// trace reconstruction, worst-path contribution ranking, and the
+/// per-bucket breakdown. Shared by every analysis entry path (plain,
+/// forced, cached) so all of them report identically.
+pub(crate) fn report_from_solution(
+    graph: &Cfg,
+    costs: &Costs,
+    sol: &ipet::IpetSolution,
+    phases: PhaseTimes,
+) -> WcetReport {
+    let trace: Vec<(Block, u16)> = sol
+        .trace(graph)
+        .into_iter()
+        .map(|n| (graph.nodes[n.0].block, graph.nodes[n.0].ctx))
+        .collect();
+    let mut worst_path: Vec<(Block, u16, u64, u64)> = sol
+        .counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(i, &c)| (graph.nodes[i].block, graph.nodes[i].ctx, c, costs.node[i]))
+        .collect();
+    worst_path.sort_by_key(|&(_, _, n, c)| std::cmp::Reverse(n * c));
+    WcetReport {
+        cycles: sol.wcet,
+        us: cycles_to_us(sol.wcet),
+        breakdown: path_breakdown(costs, sol),
+        worst_path,
+        trace,
+        ilp_vars: sol.num_vars,
+        ilp_constraints: sol.num_constraints,
+        phases,
+    }
+}
+
 /// Runs the full analysis for one entry point.
 ///
 /// # Panics
@@ -192,20 +251,7 @@ pub fn analyze_with_bounds(
     let t0 = std::time::Instant::now();
     let graph = kmodel::build_cfg_with(entry, cfg.kernel, bounds);
     let t_build = t0.elapsed();
-    let model = CostModel {
-        l2: cfg.l2 || cfg.l2_kernel_locked,
-        l2_kernel_locked: cfg.l2_kernel_locked,
-        pinned_i: if cfg.pinning {
-            pinning::pinned_icache_lines(&layout).into_iter().collect()
-        } else {
-            HashSet::new()
-        },
-        pinned_d: if cfg.pinning {
-            pinning::pinned_dcache_lines().into_iter().collect()
-        } else {
-            HashSet::new()
-        },
-    };
+    let model = cost_model(&layout, cfg);
     let t0 = std::time::Instant::now();
     let costs = node_costs(&graph, &layout, &model);
     let t_costs = t0.elapsed();
@@ -213,34 +259,59 @@ pub fn analyze_with_bounds(
     let sol = ipet::solve(&graph, &costs.node, &costs.edge, cfg.manual_constraints)
         .expect("IPET ILP must be solvable");
     let t_ilp = t0.elapsed();
-    let trace: Vec<(Block, u16)> = sol
-        .trace(&graph)
-        .into_iter()
-        .map(|n| (graph.nodes[n.0].block, graph.nodes[n.0].ctx))
-        .collect();
-    let mut worst_path: Vec<(Block, u16, u64, u64)> = sol
-        .counts
+    let phases = PhaseTimes {
+        build: t_build,
+        costs: t_costs,
+        ilp: t_ilp,
+        ilp_stats: sol.stats,
+    };
+    report_from_solution(&graph, &costs, &sol, phases)
+}
+
+/// Analyzes every `(entry, config)` pair of a sweep, in parallel, with all
+/// immutable artifacts (layout, CFGs, cost models, presolved ILP
+/// skeletons) and fully duplicated jobs shared through one
+/// [`crate::AnalysisCache`].
+///
+/// The worker count honours `RT_JOBS` (see [`rt_pool::Pool::from_env`]).
+/// Results are returned in input order and are bit-identical to calling
+/// [`analyze`] sequentially on each pair, for any worker count — the
+/// determinism the golden-file tests enforce.
+pub fn analyze_batch(jobs: &[(EntryPoint, AnalysisConfig)]) -> Vec<WcetReport> {
+    analyze_batch_with(
+        jobs,
+        &rt_pool::Pool::from_env(),
+        &crate::AnalysisCache::new(),
+    )
+}
+
+/// As [`analyze_batch`] with an explicit pool and cache, so several sweeps
+/// (e.g. Table 1 and Table 2, which share their after-kernel/L2-off
+/// analyses) can dedupe against the same memo.
+pub fn analyze_batch_with(
+    jobs: &[(EntryPoint, AnalysisConfig)],
+    pool: &rt_pool::Pool,
+    cache: &crate::AnalysisCache,
+) -> Vec<WcetReport> {
+    // Dispatch each *distinct* job once: a duplicate dispatched as its own
+    // task would just park its worker on the builder's OnceLock, idling a
+    // thread that could be solving a different instance. The job pair is
+    // exactly the report memo's key (default bounds), so duplicates are
+    // guaranteed hits afterward.
+    let mut first = std::collections::HashMap::new();
+    let mut unique = Vec::new();
+    let index: Vec<usize> = jobs
         .iter()
-        .enumerate()
-        .filter(|(_, &c)| c > 0)
-        .map(|(i, &c)| (graph.nodes[i].block, graph.nodes[i].ctx, c, costs.node[i]))
+        .map(|job| {
+            *first.entry(*job).or_insert_with(|| {
+                unique.push(*job);
+                unique.len() - 1
+            })
+        })
         .collect();
-    worst_path.sort_by_key(|&(_, _, n, c)| std::cmp::Reverse(n * c));
-    WcetReport {
-        cycles: sol.wcet,
-        us: cycles_to_us(sol.wcet),
-        breakdown: path_breakdown(&costs, &sol),
-        worst_path,
-        trace,
-        ilp_vars: sol.num_vars,
-        ilp_constraints: sol.num_constraints,
-        phases: PhaseTimes {
-            build: t_build,
-            costs: t_costs,
-            ilp: t_ilp,
-            ilp_stats: sol.stats,
-        },
-    }
+    let distinct: Vec<std::sync::Arc<WcetReport>> =
+        pool.parallel_map(unique, |(entry, cfg)| cache.analyze(entry, &cfg));
+    index.into_iter().map(|i| (*distinct[i]).clone()).collect()
 }
 
 /// Builds the IPET ILP instance for one entry point without solving it.
@@ -260,20 +331,7 @@ pub fn ipet_ilp_with(
 ) -> ipet::IpetIlp {
     let layout = Layout::new();
     let graph = kmodel::build_cfg_with(entry, cfg.kernel, bounds);
-    let model = CostModel {
-        l2: cfg.l2 || cfg.l2_kernel_locked,
-        l2_kernel_locked: cfg.l2_kernel_locked,
-        pinned_i: if cfg.pinning {
-            pinning::pinned_icache_lines(&layout).into_iter().collect()
-        } else {
-            HashSet::new()
-        },
-        pinned_d: if cfg.pinning {
-            pinning::pinned_dcache_lines().into_iter().collect()
-        } else {
-            HashSet::new()
-        },
-    };
+    let model = cost_model(&layout, cfg);
     let costs = node_costs(&graph, &layout, &model);
     ipet::build_model(&graph, &costs.node, &costs.edge, cfg.manual_constraints)
 }
@@ -285,7 +343,23 @@ pub fn ipet_ilp_with(
 /// desired path", §6.2).
 pub fn analyze_forced(entry: EntryPoint, cfg: &AnalysisConfig, allowed: &[Block]) -> WcetReport {
     let layout = Layout::new();
-    let mut graph = kmodel::build_cfg(entry, cfg.kernel);
+    let graph = kmodel::build_cfg(entry, cfg.kernel);
+    let model = cost_model(&layout, cfg);
+    analyze_forced_parts(graph, &layout, &model, allowed)
+}
+
+/// The forced-path analysis over pre-built parts: takes ownership of a
+/// (possibly cache-cloned) graph, appends the path-forcing constraints,
+/// and solves. The per-node costs do not depend on user constraints, so a
+/// cached [`Costs`] would also be valid — but the forced graphs are all
+/// distinct, so [`crate::AnalysisCache::analyze_forced`] shares layout,
+/// CFG and cost model and recomputes only the solve.
+pub(crate) fn analyze_forced_parts(
+    mut graph: Cfg,
+    layout: &Layout,
+    model: &CostModel,
+    allowed: &[Block],
+) -> WcetReport {
     let allowed: HashSet<Block> = allowed.iter().copied().collect();
     for (i, n) in graph.nodes.iter().enumerate() {
         if !allowed.contains(&n.block) {
@@ -294,49 +368,14 @@ pub fn analyze_forced(entry: EntryPoint, cfg: &AnalysisConfig, allowed: &[Block]
                 .push(UserConstraint::ExecutesAtMost(crate::cfg::NodeId(i), 0));
         }
     }
-    let model = CostModel {
-        l2: cfg.l2 || cfg.l2_kernel_locked,
-        l2_kernel_locked: cfg.l2_kernel_locked,
-        pinned_i: if cfg.pinning {
-            pinning::pinned_icache_lines(&layout).into_iter().collect()
-        } else {
-            HashSet::new()
-        },
-        pinned_d: if cfg.pinning {
-            pinning::pinned_dcache_lines().into_iter().collect()
-        } else {
-            HashSet::new()
-        },
-    };
-    let costs = node_costs(&graph, &layout, &model);
+    let costs = node_costs(&graph, layout, model);
     let sol =
         ipet::solve(&graph, &costs.node, &costs.edge, true).expect("forced IPET must be solvable");
-    let trace: Vec<(Block, u16)> = sol
-        .trace(&graph)
-        .into_iter()
-        .map(|n| (graph.nodes[n.0].block, graph.nodes[n.0].ctx))
-        .collect();
-    let mut worst_path: Vec<(Block, u16, u64, u64)> = sol
-        .counts
-        .iter()
-        .enumerate()
-        .filter(|(_, &c)| c > 0)
-        .map(|(i, &c)| (graph.nodes[i].block, graph.nodes[i].ctx, c, costs.node[i]))
-        .collect();
-    worst_path.sort_by_key(|&(_, _, n, c)| std::cmp::Reverse(n * c));
-    WcetReport {
-        cycles: sol.wcet,
-        us: cycles_to_us(sol.wcet),
-        breakdown: path_breakdown(&costs, &sol),
-        worst_path,
-        trace,
-        ilp_vars: sol.num_vars,
-        ilp_constraints: sol.num_constraints,
-        phases: PhaseTimes {
-            ilp_stats: sol.stats,
-            ..PhaseTimes::default()
-        },
-    }
+    let phases = PhaseTimes {
+        ilp_stats: sol.stats,
+        ..PhaseTimes::default()
+    };
+    report_from_solution(&graph, &costs, &sol, phases)
 }
 
 #[cfg(test)]

@@ -1,0 +1,444 @@
+//! Shared memoization of the analysis pipeline's immutable artifacts.
+//!
+//! The paper's evaluation is a sweep: every entry point × {before/after
+//! kernel, L2 on/off, pinning on/off, constraints on/off} is one
+//! [`analyze`][crate::analyze] call, and the sweep re-derives the same
+//! immutable inputs over and over — the code [`Layout`] never changes at
+//! all, a CFG depends only on `(entry, kernel, bounds)`, a [`CostModel`]
+//! only on the cache configuration, and many sweep entries are *fully*
+//! identical (Table 1's after/L2-off column reappears in Table 2, the
+//! latency bound, the attribution tables…). [`AnalysisCache`] memoizes
+//! each stage behind per-key [`OnceLock`]s so concurrent analyses share
+//! one construction:
+//!
+//! | artifact | key |
+//! |---|---|
+//! | [`Layout`] | (global — the layout is a constant of the kernel image) |
+//! | [`Cfg`] | entry point, [`KernelConfig`], [`BoundParams`] |
+//! | [`CostModel`] | l2, pinning, l2_kernel_locked |
+//! | [`Costs`] | CFG key × cost-model key |
+//! | presolved ILP skeleton | costs key × manual_constraints |
+//! | [`WcetReport`] | same as the skeleton (the full pipeline is deterministic) |
+//!
+//! The keys are *normalised* projections of `(KernelConfig, l2, pinning,
+//! l2_kernel_locked)`: each stage keys on exactly the inputs it reads, so
+//! e.g. the after-kernel system-call CFG is built once and shared by the
+//! L2-off, L2-on, pinned and kernel-locked analyses.
+//!
+//! **Determinism.** Every cached value is immutable once built and every
+//! builder is a pure function of its key, so cache hits return the same
+//! bits a fresh construction would; the branch-and-bound solve order
+//! depends only on the (shared, immutable) presolved skeleton, never on
+//! thread scheduling. Reports obtained through the cache — in any order,
+//! from any number of workers — are bit-identical to serial
+//! [`analyze`][crate::analyze] calls. `tests/tests/batch_differential.rs`
+//! checks exactly this, and the golden-file tests pin the rendered tables
+//! byte-for-byte.
+//!
+//! ```
+//! use rt_kernel::kernel::EntryPoint;
+//! use rt_wcet::{analyze, AnalysisCache, AnalysisConfig};
+//!
+//! let cache = AnalysisCache::new();
+//! let cfg = AnalysisConfig::after_l2_off();
+//! let first = cache.analyze(EntryPoint::Interrupt, &cfg);
+//! let again = cache.analyze(EntryPoint::Interrupt, &cfg); // memo hit
+//! assert_eq!(first.cycles, again.cycles);
+//! assert_eq!(first.cycles, analyze(EntryPoint::Interrupt, &cfg).cycles);
+//! let stats = cache.stats();
+//! assert_eq!(stats.reports.lookups, 2);
+//! assert_eq!(stats.reports.builds, 1);
+//! ```
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use rt_kernel::kernel::{EntryPoint, KernelConfig};
+use rt_kernel::kprog::Layout;
+
+use crate::analysis::{
+    analyze_forced_parts, cost_model, node_costs, report_from_solution, AnalysisConfig, Costs,
+    PhaseTimes, WcetReport,
+};
+use crate::cfg::Cfg;
+use crate::cost::CostModel;
+use crate::ipet;
+use crate::kmodel::{self, BoundParams};
+use rt_kernel::kprog::Block;
+
+/// What a [`CostModel`] actually depends on: the cache configuration
+/// alone. Pinned sets derive from the (global) layout.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct CostModelKey {
+    l2: bool,
+    pinning: bool,
+    l2_kernel_locked: bool,
+}
+
+impl CostModelKey {
+    fn of(cfg: &AnalysisConfig) -> CostModelKey {
+        CostModelKey {
+            l2: cfg.l2,
+            pinning: cfg.pinning,
+            l2_kernel_locked: cfg.l2_kernel_locked,
+        }
+    }
+}
+
+/// What a CFG depends on: entry point, kernel design, loop bounds.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct CfgKey {
+    entry: EntryPoint,
+    kernel: KernelConfig,
+    bounds: BoundParams,
+}
+
+/// What the per-node costs depend on: the CFG and the cost model.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct CostKey {
+    cfg: CfgKey,
+    model: CostModelKey,
+}
+
+/// What the assembled (and presolved) IPET ILP — and therefore the whole
+/// report — depends on: costs plus whether manual constraints apply.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct IlpKey {
+    cost: CostKey,
+    manual_constraints: bool,
+}
+
+/// The assembled IPET instance with its presolve already run: the
+/// "skeleton" a solve starts from. `IpetIlp` keeps the variable maps
+/// needed to interpret solutions; `presolved` is the reduced system the
+/// warm branch and bound actually works on.
+struct PreparedIpet {
+    ilp: ipet::IpetIlp,
+    presolved: rt_ilp::PresolvedModel,
+}
+
+/// One memoized artifact class: a keyed map of [`OnceLock`] cells, so
+/// concurrent requests for the same key block on one builder instead of
+/// racing, while different keys build in parallel (the outer map lock is
+/// held only to fetch the cell, never during construction).
+struct Memo<K, V> {
+    map: Mutex<HashMap<K, Arc<OnceLock<Arc<V>>>>>,
+    lookups: AtomicU64,
+    builds: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V> Memo<K, V> {
+    fn new() -> Memo<K, V> {
+        Memo {
+            map: Mutex::new(HashMap::new()),
+            lookups: AtomicU64::new(0),
+            builds: AtomicU64::new(0),
+        }
+    }
+
+    fn get_or_build(&self, key: K, build: impl FnOnce() -> V) -> Arc<V> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let cell = {
+            let mut map = self.map.lock().expect("memo map lock");
+            Arc::clone(map.entry(key).or_default())
+        };
+        Arc::clone(cell.get_or_init(|| {
+            self.builds.fetch_add(1, Ordering::Relaxed);
+            Arc::new(build())
+        }))
+    }
+
+    fn stats(&self) -> MemoStats {
+        MemoStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            builds: self.builds.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Lookup/build counters of one artifact class.
+///
+/// `builds` equals the number of *distinct keys* ever requested, so for a
+/// fixed job list the counters are deterministic regardless of worker
+/// count or scheduling.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Requests served (hits + builds).
+    pub lookups: u64,
+    /// Requests that had to construct the artifact (distinct keys).
+    pub builds: u64,
+}
+
+impl MemoStats {
+    /// Fraction of lookups served from the memo (0 when never used).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            (self.lookups - self.builds) as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// Counter snapshot across all artifact classes (see
+/// [`AnalysisCache::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Control-flow graphs (virtually inlined, per entry × kernel × bounds).
+    pub cfgs: MemoStats,
+    /// Cost models (per cache configuration).
+    pub cost_models: MemoStats,
+    /// Per-node/per-edge cost vectors.
+    pub costs: MemoStats,
+    /// Assembled + presolved IPET skeletons.
+    pub ilps: MemoStats,
+    /// Complete analysis reports (whole-`analyze` dedup).
+    pub reports: MemoStats,
+}
+
+/// Memoizes the analysis pipeline's immutable artifacts across a sweep;
+/// see the [module docs](self) for keying and the determinism argument.
+///
+/// The cache is `Sync`: one instance is shared by all workers of an
+/// [`analyze_batch`][crate::analyze_batch] fan-out, and may be kept alive
+/// across several sweeps (the `repro` binary holds one for its whole run,
+/// which is what dedupes the analyses Table 1 and Table 2 share).
+pub struct AnalysisCache {
+    layout: OnceLock<Arc<Layout>>,
+    cfgs: Memo<CfgKey, Cfg>,
+    cost_models: Memo<CostModelKey, CostModel>,
+    costs: Memo<CostKey, Costs>,
+    ilps: Memo<IlpKey, PreparedIpet>,
+    reports: Memo<IlpKey, WcetReport>,
+}
+
+impl AnalysisCache {
+    /// An empty cache.
+    pub fn new() -> AnalysisCache {
+        AnalysisCache {
+            layout: OnceLock::new(),
+            cfgs: Memo::new(),
+            cost_models: Memo::new(),
+            costs: Memo::new(),
+            ilps: Memo::new(),
+            reports: Memo::new(),
+        }
+    }
+
+    /// The (kernel-image constant) code layout.
+    pub fn layout(&self) -> Arc<Layout> {
+        Arc::clone(self.layout.get_or_init(|| Arc::new(Layout::new())))
+    }
+
+    fn cfg(&self, key: CfgKey) -> Arc<Cfg> {
+        self.cfgs.get_or_build(key, || {
+            kmodel::build_cfg_with(key.entry, key.kernel, &key.bounds)
+        })
+    }
+
+    fn cost_model(&self, cfg: &AnalysisConfig) -> Arc<CostModel> {
+        let key = CostModelKey::of(cfg);
+        self.cost_models
+            .get_or_build(key, || cost_model(&self.layout(), cfg))
+    }
+
+    fn costs(&self, key: CostKey, graph: &Cfg, model: &CostModel) -> Arc<Costs> {
+        self.costs
+            .get_or_build(key, || node_costs(graph, &self.layout(), model))
+    }
+
+    fn ilp(&self, key: IlpKey, graph: &Cfg, costs: &Costs) -> Arc<PreparedIpet> {
+        self.ilps.get_or_build(key, || {
+            let ilp = ipet::build_model(graph, &costs.node, &costs.edge, key.manual_constraints);
+            let presolved = ilp
+                .model
+                .presolved()
+                .expect("IPET ILP must presolve (feasible by construction)");
+            PreparedIpet { ilp, presolved }
+        })
+    }
+
+    /// As [`analyze`][crate::analyze], memoized: identical report bits,
+    /// shared construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the IPET ILP fails to solve (a graph-construction bug),
+    /// exactly as the uncached path does.
+    pub fn analyze(&self, entry: EntryPoint, cfg: &AnalysisConfig) -> Arc<WcetReport> {
+        self.analyze_with_bounds(entry, cfg, &BoundParams::default())
+    }
+
+    /// As [`analyze_with_bounds`][crate::analysis::analyze_with_bounds],
+    /// memoized.
+    pub fn analyze_with_bounds(
+        &self,
+        entry: EntryPoint,
+        cfg: &AnalysisConfig,
+        bounds: &BoundParams,
+    ) -> Arc<WcetReport> {
+        let cfg_key = CfgKey {
+            entry,
+            kernel: cfg.kernel,
+            bounds: *bounds,
+        };
+        let cost_key = CostKey {
+            cfg: cfg_key,
+            model: CostModelKey::of(cfg),
+        };
+        let key = IlpKey {
+            cost: cost_key,
+            manual_constraints: cfg.manual_constraints,
+        };
+        self.reports.get_or_build(key, || {
+            let t0 = std::time::Instant::now();
+            let graph = self.cfg(cfg_key);
+            let t_build = t0.elapsed();
+            let model = self.cost_model(cfg);
+            let t0 = std::time::Instant::now();
+            let costs = self.costs(cost_key, &graph, &model);
+            let t_costs = t0.elapsed();
+            let prepared = self.ilp(key, &graph, &costs);
+            let t0 = std::time::Instant::now();
+            let sol = prepared
+                .presolved
+                .solve()
+                .expect("IPET ILP must be solvable");
+            let sol = prepared.ilp.interpret(&sol);
+            let t_ilp = t0.elapsed();
+            let phases = PhaseTimes {
+                build: t_build,
+                costs: t_costs,
+                ilp: t_ilp,
+                ilp_stats: sol.stats,
+            };
+            report_from_solution(&graph, &costs, &sol, phases)
+        })
+    }
+
+    /// As [`analyze_forced`][crate::analysis::analyze_forced], sharing the
+    /// cached layout, CFG and cost model. The forced solve itself is not
+    /// memoized — every forced path's constraint set is distinct — so only
+    /// the graph clone and the solve are paid per call.
+    pub fn analyze_forced(
+        &self,
+        entry: EntryPoint,
+        cfg: &AnalysisConfig,
+        allowed: &[Block],
+    ) -> WcetReport {
+        let cfg_key = CfgKey {
+            entry,
+            kernel: cfg.kernel,
+            bounds: BoundParams::default(),
+        };
+        let graph = self.cfg(cfg_key);
+        let model = self.cost_model(cfg);
+        analyze_forced_parts((*graph).clone(), &self.layout(), &model, allowed)
+    }
+
+    /// Snapshot of all lookup/build counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            cfgs: self.cfgs.stats(),
+            cost_models: self.cost_models.stats(),
+            costs: self.costs.stats(),
+            ilps: self.ilps.stats(),
+            reports: self.reports.stats(),
+        }
+    }
+}
+
+impl Default for AnalysisCache {
+    fn default() -> AnalysisCache {
+        AnalysisCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze;
+
+    fn acfg(l2: bool, pinning: bool) -> AnalysisConfig {
+        AnalysisConfig {
+            kernel: KernelConfig::after(),
+            l2,
+            pinning,
+            l2_kernel_locked: false,
+            manual_constraints: true,
+        }
+    }
+
+    #[test]
+    fn cached_report_matches_uncached_exactly() {
+        let cache = AnalysisCache::new();
+        for entry in [EntryPoint::Interrupt, EntryPoint::PageFault] {
+            for l2 in [false, true] {
+                let cached = cache.analyze(entry, &acfg(l2, false));
+                let plain = analyze(entry, &acfg(l2, false));
+                assert_eq!(cached.cycles, plain.cycles);
+                assert_eq!(cached.breakdown, plain.breakdown);
+                assert_eq!(cached.worst_path, plain.worst_path);
+                assert_eq!(cached.trace, plain.trace);
+                assert_eq!(cached.ilp_vars, plain.ilp_vars);
+                assert_eq!(cached.ilp_constraints, plain.ilp_constraints);
+            }
+        }
+    }
+
+    #[test]
+    fn artifacts_are_shared_across_config_variants() {
+        let cache = AnalysisCache::new();
+        // Same entry + kernel + bounds, different cache configs: the CFG
+        // must be built once and hit thrice.
+        for l2 in [false, true] {
+            for pinning in [false, true] {
+                cache.analyze(EntryPoint::Interrupt, &acfg(l2, pinning));
+            }
+        }
+        let s = cache.stats();
+        assert_eq!(s.cfgs.builds, 1, "one CFG for four configs: {s:?}");
+        assert_eq!(s.cfgs.lookups, 4);
+        assert_eq!(s.reports.builds, 4, "four distinct configs");
+        assert_eq!(s.cost_models.builds, 4);
+    }
+
+    #[test]
+    fn duplicate_jobs_are_served_from_the_report_memo() {
+        let cache = AnalysisCache::new();
+        let a = cache.analyze(EntryPoint::Undefined, &acfg(false, false));
+        let b = cache.analyze(EntryPoint::Undefined, &acfg(false, false));
+        assert!(Arc::ptr_eq(&a, &b), "second call must be a memo hit");
+        let s = cache.stats();
+        assert_eq!(s.reports.lookups, 2);
+        assert_eq!(s.reports.builds, 1);
+        assert!((s.reports.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forced_analysis_shares_parts_and_matches_uncached() {
+        use crate::analysis::analyze_forced;
+        let cache = AnalysisCache::new();
+        let allowed = [
+            Block::IrqEntry,
+            Block::IrqGet,
+            Block::IrqSpurious,
+            Block::SchedCommit,
+            Block::CtxSwitch,
+            Block::KExitCheck,
+            Block::ExitRestore,
+            Block::SchedBitmap,
+            Block::SchedIdle,
+            Block::DequeueThread,
+            Block::BitmapClear,
+        ];
+        let cfg = acfg(false, false);
+        let via_cache = cache.analyze_forced(EntryPoint::Interrupt, &cfg, &allowed);
+        let plain = analyze_forced(EntryPoint::Interrupt, &cfg, &allowed);
+        assert_eq!(via_cache.cycles, plain.cycles);
+        assert_eq!(via_cache.worst_path, plain.worst_path);
+        assert_eq!(cache.stats().cfgs.builds, 1);
+    }
+}

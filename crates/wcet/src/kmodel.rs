@@ -81,7 +81,7 @@ pub mod params {
 /// and closed systems, where closed systems permitted only specific IPC
 /// operations to avoid long interrupt latencies". The `open-closed`
 /// experiment shows the after-kernel eliminates the distinction.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct BoundParams {
     /// Maximum capability-decode depth (address bits consumed one per
     /// level in the worst case).

@@ -34,7 +34,13 @@
 //!
 //! The top-level driver is [`analysis::analyze`]; see
 //! [`analysis::AnalysisConfig`] for the switches (kernel before/after, L2
-//! on/off, pinning on/off) that regenerate the paper's tables.
+//! on/off, pinning on/off) that regenerate the paper's tables. Sweeps over
+//! many (entry, configuration) pairs should go through
+//! [`analysis::analyze_batch`] (or an explicit [`cache::AnalysisCache`] +
+//! `rt_pool` pool via [`analysis::analyze_batch_with`]), which dedupes
+//! identical jobs, shares the immutable artifacts between configurations,
+//! and fans the ILP solves out across worker threads while returning
+//! reports bit-identical to serial [`analysis::analyze`] calls.
 //!
 //! Every cost in [`cost`] is also available *split* into the attribution
 //! buckets of [`rt_hw::CycleAccounts`] (pipeline / ifetch-miss / dmiss /
@@ -48,11 +54,15 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod cache;
 pub mod cfg;
 pub mod cost;
 pub mod ipet;
 pub mod kmodel;
 pub mod loopbound;
 
-pub use analysis::{analyze, ipet_ilp, ipet_ilp_with, AnalysisConfig, WcetReport};
+pub use analysis::{
+    analyze, analyze_batch, analyze_batch_with, ipet_ilp, ipet_ilp_with, AnalysisConfig, WcetReport,
+};
+pub use cache::{AnalysisCache, CacheStats, MemoStats};
 pub use cfg::{Cfg, CfgBuilder, NodeId, UserConstraint};

@@ -1,0 +1,110 @@
+//! Differential test of the parallel analysis pipeline: for *random*
+//! (entry point, configuration) job lists — duplicates, random order,
+//! every config knob fuzzed — `analyze_batch_with` over a shared cache
+//! and a multi-worker pool must return, position by position, reports
+//! identical to sequential uncached `analyze` calls. Identical down to
+//! the per-bucket breakdowns and the worst-path listing, because the
+//! golden-file guarantee ("`repro` output is byte-identical for any
+//! worker count") rests on exactly this equivalence.
+
+use proptest::prelude::*;
+use rt_kernel::kernel::{EntryPoint, KernelConfig};
+use rt_pool::Pool;
+use rt_wcet::{analyze, analyze_batch_with, AnalysisCache, AnalysisConfig};
+
+fn arb_entry() -> impl Strategy<Value = EntryPoint> {
+    prop_oneof![
+        Just(EntryPoint::Syscall),
+        Just(EntryPoint::Undefined),
+        Just(EntryPoint::PageFault),
+        Just(EntryPoint::Interrupt),
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = AnalysisConfig> {
+    (
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(before, l2, pinning, locked, constraints)| AnalysisConfig {
+                kernel: if before {
+                    KernelConfig::before()
+                } else {
+                    KernelConfig::after()
+                },
+                l2,
+                pinning,
+                l2_kernel_locked: locked,
+                manual_constraints: constraints,
+            },
+        )
+}
+
+fn arb_jobs() -> impl Strategy<Value = Vec<(EntryPoint, AnalysisConfig)>> {
+    // Cheap entry points dominate the strategy space; the expensive
+    // syscall graphs still appear but the test stays tractable.
+    proptest::collection::vec((arb_entry(), arb_config()), 1..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn batch_reports_equal_sequential_analyze(jobs in arb_jobs()) {
+        let cache = AnalysisCache::new();
+        let pool = Pool::new(3);
+        let batch = analyze_batch_with(&jobs, &pool, &cache);
+        prop_assert_eq!(batch.len(), jobs.len());
+        for ((entry, cfg), b) in jobs.iter().zip(batch.iter()) {
+            let a = analyze(*entry, cfg);
+            prop_assert_eq!(a.cycles, b.cycles, "{:?}/{:?}", entry, cfg);
+            prop_assert_eq!(a.us.to_bits(), b.us.to_bits());
+            prop_assert_eq!(a.breakdown, b.breakdown);
+            prop_assert_eq!(&a.worst_path, &b.worst_path);
+            prop_assert_eq!(&a.trace, &b.trace);
+            prop_assert_eq!(a.ilp_vars, b.ilp_vars);
+            prop_assert_eq!(a.ilp_constraints, b.ilp_constraints);
+        }
+    }
+}
+
+#[test]
+fn duplicate_heavy_batch_is_deterministic_across_worker_counts() {
+    // The same job list, duplicates included, through 1-, 2- and
+    // 5-worker pools and independent caches: every run must agree with
+    // every other bit for bit.
+    let cfg = AnalysisConfig {
+        kernel: KernelConfig::after(),
+        l2: false,
+        pinning: false,
+        l2_kernel_locked: false,
+        manual_constraints: true,
+    };
+    let jobs: Vec<_> = [
+        EntryPoint::Interrupt,
+        EntryPoint::PageFault,
+        EntryPoint::Interrupt,
+        EntryPoint::Undefined,
+        EntryPoint::Interrupt,
+        EntryPoint::PageFault,
+    ]
+    .into_iter()
+    .map(|e| (e, cfg))
+    .collect();
+    let runs: Vec<_> = [1usize, 2, 5]
+        .into_iter()
+        .map(|w| analyze_batch_with(&jobs, &Pool::new(w), &AnalysisCache::new()))
+        .collect();
+    for other in &runs[1..] {
+        for (a, b) in runs[0].iter().zip(other.iter()) {
+            assert_eq!(a.cycles, b.cycles);
+            assert_eq!(a.breakdown, b.breakdown);
+            assert_eq!(a.worst_path, b.worst_path);
+            assert_eq!(a.trace, b.trace);
+        }
+    }
+}

@@ -11,15 +11,26 @@
 //! partition was chosen to make this a theorem of the per-access costs —
 //! see `docs/TRACING.md` for the case analysis.
 
+use std::sync::OnceLock;
+
 use rt_bench::attribution::observe_attribution;
 use rt_bench::observe::observe_entry_reps;
 use rt_hw::{Bucket, HwConfig};
 use rt_kernel::kernel::{EntryPoint, KernelConfig};
-use rt_wcet::{analyze, AnalysisConfig};
+use rt_wcet::{AnalysisCache, AnalysisConfig};
+
+/// One cache for the whole test binary: the eight `check` tests run
+/// concurrently under the libtest harness, and the cache lets them share
+/// the layout, the after-kernel CFGs and the cost models instead of each
+/// rebuilding its own.
+fn cache() -> &'static AnalysisCache {
+    static CACHE: OnceLock<AnalysisCache> = OnceLock::new();
+    CACHE.get_or_init(AnalysisCache::new)
+}
 
 fn check(entry: EntryPoint, l2: bool) {
     let kernel = KernelConfig::after();
-    let report = analyze(
+    let report = cache().analyze(
         entry,
         &AnalysisConfig {
             kernel,
@@ -113,17 +124,18 @@ fn interrupt_l2_on_sound() {
 fn pinned_bound_dominates_pinned_observation() {
     // Table 1's configuration: pinning on, L2 off.
     let kernel = KernelConfig::after();
-    let computed = analyze(
-        EntryPoint::Interrupt,
-        &AnalysisConfig {
-            kernel,
-            l2: false,
-            pinning: true,
-            l2_kernel_locked: false,
-            manual_constraints: true,
-        },
-    )
-    .cycles;
+    let computed = cache()
+        .analyze(
+            EntryPoint::Interrupt,
+            &AnalysisConfig {
+                kernel,
+                l2: false,
+                pinning: true,
+                l2_kernel_locked: false,
+                manual_constraints: true,
+            },
+        )
+        .cycles;
     let hw = HwConfig {
         locked_l1_ways: 1,
         ..HwConfig::default()
