@@ -15,6 +15,23 @@ RT_JOBS=2 cargo test -q -p rt-tests --test goldens --test batch_differential
 cargo run --release -q -p rt-bench --bin repro -- table1 --jobs 4 | diff -u tests/goldens/table1.txt -
 cargo run --release -q -p rt-bench --bin repro -- table2 --jobs 4 | diff -u tests/goldens/table2.txt -
 
+# Bench smoke pass: the incremental ILP path must actually engage. The run
+# writes its JSON to a scratch path (committed BENCH_sweep.json stays as
+# recorded), then we assert the structure memo absorbed the cost-config
+# axis (hit rate > 0.5) and that every batch report matched serial.
+bench_json="$(mktemp)"
+trap 'rm -f "$bench_json"' EXIT
+RT_BENCH_OUT="$bench_json" cargo run --release -q -p rt-bench --bin repro -- bench >/dev/null
+grep -q '"bit_identical_to_serial": true' "$bench_json" || {
+    echo "ci: bench sweep diverged from serial analyze" >&2
+    exit 1
+}
+structure_rate=$(sed -n 's/.*"ilp_structure": .*"hit_rate": \([0-9.]*\).*/\1/p' "$bench_json")
+awk -v r="$structure_rate" 'BEGIN { exit !(r > 0.5) }' || {
+    echo "ci: ilp_structure hit rate $structure_rate <= 0.5" >&2
+    exit 1
+}
+
 cargo fmt --check
 cargo clippy --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps

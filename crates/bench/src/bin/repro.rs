@@ -130,8 +130,10 @@ fn constraints_demo(ctx: &SweepCtx) -> String {
 fn bench_report() -> String {
     let result = sweep::run_bench();
     let json = result.to_json();
-    let path = "BENCH_sweep.json";
-    std::fs::write(path, &json).expect("write BENCH_sweep.json");
+    // RT_BENCH_OUT redirects the artifact (CI smoke runs measure without
+    // dirtying the committed BENCH_sweep.json).
+    let path = std::env::var("RT_BENCH_OUT").unwrap_or_else(|_| "BENCH_sweep.json".into());
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
     let mut s = result.render();
     s.push_str(&format!("  wrote {path}\n"));
     s

@@ -163,6 +163,10 @@ pub struct BenchResult {
     pub warm: Duration,
     /// Cache counters after the 4-worker run.
     pub stats: rt_wcet::CacheStats,
+    /// Total ILP pivots of the serial (cold-solve) path, summed over the
+    /// *distinct* jobs — the apples-to-apples denominator for the cache's
+    /// warm re-solve pivot counts.
+    pub cold_pivots: u64,
     /// Whether every batch report matched its serial counterpart.
     pub identical: bool,
 }
@@ -221,7 +225,36 @@ impl BenchResult {
             "    \"costs\": {},\n",
             stats_json(&self.stats.costs)
         ));
-        s.push_str(&format!("    \"ilps\": {}\n", stats_json(&self.stats.ilps)));
+        s.push_str(&format!(
+            "    \"ilp_structure\": {}\n",
+            stats_json(&self.stats.ilp_structures)
+        ));
+        s.push_str("  },\n");
+        let r = &self.stats.resolve;
+        let cold_per = if self.distinct == 0 {
+            0.0
+        } else {
+            self.cold_pivots as f64 / self.distinct as f64
+        };
+        let warm_vs_cold = if cold_per == 0.0 {
+            0.0
+        } else {
+            r.warm_pivots_per_resolve() / cold_per
+        };
+        s.push_str("  \"resolve\": {\n");
+        s.push_str(&format!("    \"resolves\": {},\n", r.resolves));
+        s.push_str(&format!("    \"warm_pivots\": {},\n", r.warm_pivots));
+        s.push_str(&format!(
+            "    \"warm_pivots_per_resolve\": {:.2},\n",
+            r.warm_pivots_per_resolve()
+        ));
+        s.push_str(&format!("    \"seed_pivots\": {},\n", r.seed_pivots));
+        s.push_str(&format!("    \"cold_pivots\": {},\n", self.cold_pivots));
+        s.push_str(&format!(
+            "    \"cold_pivots_per_solve\": {:.2},\n",
+            cold_per
+        ));
+        s.push_str(&format!("    \"warm_vs_cold\": {:.4}\n", warm_vs_cold));
         s.push_str("  },\n");
         s.push_str(&format!(
             "  \"bit_identical_to_serial\": {}\n",
@@ -266,6 +299,27 @@ impl BenchResult {
             r.hit_rate() * 100.0,
             self.stats.cfgs.builds,
             self.stats.cfgs.lookups,
+        ));
+        let rv = &self.stats.resolve;
+        let cold_per = if self.distinct == 0 {
+            0.0
+        } else {
+            self.cold_pivots as f64 / self.distinct as f64
+        };
+        s.push_str(&format!(
+            "  incremental ILP: {} structures seeded ({} pivots), {} objective re-solves at \
+             {:.1} pivots each vs {:.1} cold ({:.0}% saved); structure memo {:.0}% hit rate\n",
+            self.stats.ilp_structures.builds,
+            rv.seed_pivots,
+            rv.resolves,
+            rv.warm_pivots_per_resolve(),
+            cold_per,
+            if cold_per > 0.0 {
+                (1.0 - rv.warm_pivots_per_resolve() / cold_per) * 100.0
+            } else {
+                0.0
+            },
+            self.stats.ilp_structures.hit_rate() * 100.0,
         ));
         s.push_str(&format!(
             "  batch reports bit-identical to serial: {}\n",
@@ -318,6 +372,17 @@ pub fn run_bench() -> BenchResult {
         });
     }
 
+    // Cold-path pivot denominator: each *distinct* job's serial solve,
+    // counted once (duplicates are memo hits in the batch path and would
+    // inflate the cold side).
+    let mut seen = std::collections::HashSet::new();
+    let mut cold_pivots = 0u64;
+    for (job, rep) in jobs.iter().zip(serial.iter()) {
+        if seen.insert(*job) {
+            cold_pivots += rep.phases.ilp_stats.pivots();
+        }
+    }
+
     let (cache, pool) = last_cache.expect("batch runs happened");
     let t0 = Instant::now();
     let warm_reports = analyze_batch_with(&jobs, &pool, &cache);
@@ -335,6 +400,7 @@ pub fn run_bench() -> BenchResult {
         parallel,
         warm,
         stats,
+        cold_pivots,
         identical,
     }
 }

@@ -28,7 +28,7 @@ use std::rc::Rc;
 use crate::model::{SolveError, SolveStats};
 use crate::presolve;
 use crate::rational::Rat;
-use crate::simplex::{self, ColdOutcome, CutRel, PivotRule, Rel, Reopt, Row, Tableau};
+use crate::simplex::{self, ColdOutcome, CutRel, Opt, PivotRule, Rel, Reopt, Row, Tableau};
 
 /// Result of a successful branch-and-bound run.
 #[derive(Debug)]
@@ -101,7 +101,9 @@ pub fn solve_cold(
     integers: &[usize],
     node_limit: usize,
 ) -> Result<IlpOut, SolveError> {
-    run_core(n_vars, objective, rows, integers, node_limit, false, 0)
+    run_core(
+        n_vars, objective, rows, integers, node_limit, false, 0, None, None,
+    )
 }
 
 /// Runs warm branch and bound on an already-presolved system and maps the
@@ -119,8 +121,57 @@ pub(crate) fn solve_reduced(
         node_limit,
         true,
         p.eliminated,
+        None,
+        None,
     )?;
     out.objective += p.obj_const;
+    out.values = p.expand(&out.values);
+    Ok(out)
+}
+
+/// Warm branch and bound on a presolved system under a *replacement*
+/// objective (already reduced; see [`presolve::Presolved::reduce_objective`]),
+/// with the root LP warm-started from `seed` — an optimal tableau of the
+/// same constraint system under some other objective. Only the objective
+/// row differs, so the seed basis is primal-feasible as-is: the root is
+/// re-optimised with a short Dantzig primal run instead of a cold
+/// two-phase solve. `obj_const` is the constant the objective reduction
+/// absorbed; values are expanded back to original variables.
+///
+/// `incumbent` may carry an integral point (reduced space) known feasible
+/// for the rows — e.g. the seed solve's optimum. It is evaluated under the
+/// replacement objective and primes the branch and bound as an initial
+/// lower bound: subtrees that cannot strictly beat it prune immediately,
+/// which collapses the tree whenever the seed point stays optimal (or
+/// near-optimal) under the new objective. Sound because feasibility never
+/// depends on the objective; a pruned subtree has LP bound `<=` the
+/// incumbent value and so contains no strictly better point.
+pub(crate) fn solve_seeded(
+    p: &presolve::Presolved,
+    objective: &[(usize, Rat)],
+    obj_const: Rat,
+    node_limit: usize,
+    seed: &Tableau,
+    incumbent: Option<&[Rat]>,
+) -> Result<IlpOut, SolveError> {
+    let prime = incumbent.map(|point| {
+        let value = objective
+            .iter()
+            .fold(Rat::ZERO, |acc, &(j, c)| acc + c * point[j]);
+        (value, point.to_vec())
+    });
+    let mut out = run_core(
+        p.n_vars,
+        objective,
+        &p.rows,
+        &p.integers,
+        node_limit,
+        true,
+        p.eliminated,
+        Some(seed),
+        prime,
+    )?;
+    out.objective += obj_const;
     out.values = p.expand(&out.values);
     Ok(out)
 }
@@ -134,6 +185,8 @@ fn run_core(
     node_limit: usize,
     warm: bool,
     presolve_eliminated: u64,
+    seed: Option<&Tableau>,
+    prime: Option<(Rat, Vec<Rat>)>,
 ) -> Result<IlpOut, SolveError> {
     // All-integral objective coefficients let us floor fractional LP bounds.
     let integral_obj = objective.iter().all(|(_, c)| c.is_integer()) && integers.len() == n_vars;
@@ -145,7 +198,7 @@ fn run_core(
         warm,
         arena: Vec::new(),
         heap: BinaryHeap::new(),
-        incumbent: None,
+        incumbent: prime,
         stats: SolveStats {
             presolve_eliminated,
             ..SolveStats::default()
@@ -160,15 +213,29 @@ fn run_core(
         PivotRule::Bland
     };
 
-    // Root: always a cold two-phase solve.
+    // Root: warm-started from the seed tableau when one is supplied (its
+    // basis is primal-feasible for any objective — the rows are identical),
+    // otherwise a cold two-phase solve.
     ctx.stats.nodes += 1;
-    ctx.stats.warm_misses += 1;
-    let root =
-        match simplex::solve_cold(n_vars, objective, rows, &mut ctx.stats.primal_pivots, rule) {
-            ColdOutcome::Optimal(t) => t,
-            ColdOutcome::Infeasible => return Err(SolveError::Infeasible),
-            ColdOutcome::Unbounded => return Err(SolveError::Unbounded),
-        };
+    let root = match seed {
+        Some(s) => {
+            ctx.stats.warm_hits += 1;
+            let mut t = s.clone();
+            t.load_objective(objective);
+            match t.optimize(&mut ctx.stats.primal_pivots, rule) {
+                Opt::Optimal => t,
+                Opt::Unbounded => return Err(SolveError::Unbounded),
+            }
+        }
+        None => {
+            ctx.stats.warm_misses += 1;
+            match simplex::solve_cold(n_vars, objective, rows, &mut ctx.stats.primal_pivots, rule) {
+                ColdOutcome::Optimal(t) => t,
+                ColdOutcome::Infeasible => return Err(SolveError::Infeasible),
+                ColdOutcome::Unbounded => return Err(SolveError::Unbounded),
+            }
+        }
+    };
     ctx.offer(root, None, 0);
 
     while let Some(node) = ctx.heap.pop() {

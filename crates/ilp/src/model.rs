@@ -7,12 +7,13 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::ops::Add;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 use crate::branch;
 use crate::presolve;
 use crate::rational::Rat;
-use crate::simplex::{Rel, Row};
+use crate::simplex::{self, ColdOutcome, PivotRule, Rel, Row};
 
 /// Optimisation direction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -336,6 +337,7 @@ impl Model {
                 negate: a.negate,
                 node_limit: self.node_limit,
                 reduced: p,
+                seed: OnceLock::new(),
             }),
         }
     }
@@ -442,6 +444,24 @@ pub struct PresolvedModel {
     negate: bool,
     node_limit: usize,
     reduced: presolve::Presolved,
+    /// Optimal tableau of the reduced LP relaxation under the model's
+    /// *default* objective (the one set when [`Model::presolved`] ran),
+    /// built lazily on the first objective re-solve. Shared by every
+    /// [`PresolvedModel::resolve_with_objective`] call: the constraint rows
+    /// never change, so this basis is primal-feasible for any objective.
+    seed: OnceLock<Result<Seed, SolveError>>,
+}
+
+/// The shared basis seed: an optimal tableau plus the pivots spent
+/// building it (reported via [`PresolvedModel::warm_up`] so callers can
+/// account the one-off cost separately from per-re-solve work).
+struct Seed {
+    tableau: simplex::Tableau,
+    pivots: u64,
+    /// The seed optimum's (reduced-space) point, when it is integral —
+    /// feasibility is objective-independent, so this point primes every
+    /// re-solve's branch and bound with a valid incumbent.
+    int_point: Option<Vec<Rat>>,
 }
 
 impl PresolvedModel {
@@ -457,6 +477,101 @@ impl PresolvedModel {
     pub fn solve(&self) -> Result<Solution, SolveError> {
         let start = Instant::now();
         let mut out = branch::solve_reduced(&self.reduced, self.node_limit)?;
+        out.stats.wall = start.elapsed();
+        Ok(finish(out, self.negate))
+    }
+
+    /// Builds (or fetches) the shared basis seed.
+    fn seed(&self) -> Result<&Seed, SolveError> {
+        self.seed
+            .get_or_init(|| {
+                let mut pivots = 0u64;
+                match simplex::solve_cold(
+                    self.reduced.n_vars,
+                    &self.reduced.objective,
+                    &self.reduced.rows,
+                    &mut pivots,
+                    PivotRule::Dantzig,
+                ) {
+                    ColdOutcome::Optimal(t) => {
+                        let values = t.extract(self.reduced.n_vars);
+                        let int_point = self
+                            .reduced
+                            .integers
+                            .iter()
+                            .all(|&i| values[i].is_integer())
+                            .then_some(values);
+                        Ok(Seed {
+                            tableau: t,
+                            pivots,
+                            int_point,
+                        })
+                    }
+                    ColdOutcome::Infeasible => Err(SolveError::Infeasible),
+                    ColdOutcome::Unbounded => Err(SolveError::Unbounded),
+                }
+            })
+            .as_ref()
+            .map_err(|&e| e)
+    }
+
+    /// Forces the shared basis seed to be built now, returning the pivots
+    /// it cost. Idempotent: later calls (and re-solves) reuse the seed.
+    ///
+    /// Callers that share one `PresolvedModel` across worker threads call
+    /// this once at construction so every subsequent
+    /// [`PresolvedModel::resolve_with_objective`] reports re-solve work
+    /// only, independent of scheduling order.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`] or [`SolveError::Unbounded`] if the LP
+    /// relaxation under the default objective has no optimum.
+    pub fn warm_up(&self) -> Result<u64, SolveError> {
+        self.seed().map(|s| s.pivots)
+    }
+
+    /// Solves the same constraint system under a replacement objective,
+    /// warm-starting from the shared basis seed.
+    ///
+    /// Only the objective changes, so the seed's optimal basis stays
+    /// primal-feasible: the root LP is re-optimised with a short Dantzig
+    /// primal-simplex run (often zero pivots when the new objective is
+    /// close to the seed's) instead of a cold two-phase Bland solve, and
+    /// branch and bound proceeds from that root exactly as in
+    /// [`PresolvedModel::solve`]. When the seed optimum is integral, its
+    /// point — feasible under *any* objective, since feasibility is
+    /// objective-independent — additionally primes the branch and bound
+    /// as an initial incumbent, pruning every subtree that cannot beat
+    /// the seed point's value under the new objective. For the model's
+    /// default objective this replays the seed solve and returns the
+    /// same optimum as [`Model::solve`] bit for bit.
+    ///
+    /// The reported stats count the re-solve only — root re-optimisation
+    /// plus branch-and-bound work; the seed's pivots are reported once by
+    /// [`PresolvedModel::warm_up`]. The root counts as a warm hit.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Model::solve`], for the replacement objective.
+    pub fn resolve_with_objective(&self, objective: &LinExpr) -> Result<Solution, SolveError> {
+        let start = Instant::now();
+        let mut obj = objective.normalised();
+        if self.negate {
+            for t in &mut obj {
+                t.1 = -t.1;
+            }
+        }
+        let (reduced_obj, obj_const) = self.reduced.reduce_objective(&obj);
+        let seed = self.seed()?;
+        let mut out = branch::solve_seeded(
+            &self.reduced,
+            &reduced_obj,
+            obj_const,
+            self.node_limit,
+            &seed.tableau,
+            seed.int_point.as_deref(),
+        )?;
         out.stats.wall = start.elapsed();
         Ok(finish(out, self.negate))
     }

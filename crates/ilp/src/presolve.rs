@@ -61,6 +61,9 @@ pub(crate) struct Presolved {
     elims: Vec<Elim>,
     /// `keep[r]` is the original index of reduced variable `r`.
     keep: Vec<usize>,
+    /// `reduced_idx[orig]` is the reduced index of surviving original
+    /// variable `orig` (`usize::MAX` for eliminated variables).
+    reduced_idx: Vec<usize>,
 }
 
 pub(crate) enum Outcome {
@@ -86,6 +89,35 @@ impl Presolved {
             full[e.var] = v;
         }
         full
+    }
+
+    /// Maps an objective over *original* variables into the reduced space,
+    /// replaying the recorded substitutions in elimination order.
+    ///
+    /// This performs exactly the objective updates [`reduce`] interleaves
+    /// with its row eliminations (substitution never influences pivot
+    /// choice), so for the objective `reduce` was given it reproduces
+    /// `self.objective` / `self.obj_const` bit for bit — and for any other
+    /// objective it yields the reduction `reduce` would have produced,
+    /// without re-running the row elimination. Returns the reduced
+    /// objective (reduced indices, sorted) and the absorbed constant.
+    pub fn reduce_objective(&self, objective: &[(usize, Rat)]) -> (Vec<(usize, Rat)>, Rat) {
+        let mut obj: Vec<(usize, Rat)> = objective.to_vec();
+        obj.sort_by_key(|&(j, _)| j);
+        let mut obj_const = Rat::ZERO;
+        for e in &self.elims {
+            if let Ok(pos) = obj.binary_search_by_key(&e.var, |&(j, _)| j) {
+                let cv = obj[pos].1;
+                obj.remove(pos);
+                obj = add_scaled(&obj, cv, &e.terms);
+                obj_const += cv * e.constant;
+            }
+        }
+        let obj = obj
+            .into_iter()
+            .map(|(j, c)| (self.reduced_idx[j], c))
+            .collect();
+        (obj, obj_const)
     }
 }
 
@@ -300,6 +332,7 @@ pub(crate) fn reduce(
         eliminated: elims.len() as u64,
         elims,
         keep,
+        reduced_idx,
     })
 }
 
@@ -408,6 +441,28 @@ mod tests {
         assert_eq!(p.rows.len(), 1);
         let full = p.expand(&[r(1)]);
         assert_eq!(full, vec![r(1), r(1)]);
+    }
+
+    #[test]
+    fn reduce_objective_replays_reduce_exactly() {
+        // Chained substitutions (x0 depends on x1, eliminated later):
+        // replaying the elim log must reproduce the objective `reduce`
+        // computed inline, and must map a *different* objective correctly.
+        let rows = vec![
+            row(&[(0, 1), (1, -1)], Rel::Eq, 1),
+            row(&[(1, 1), (2, -1)], Rel::Eq, 1),
+            row(&[(2, 1)], Rel::Le, 9),
+        ];
+        let obj = [(0, r(3)), (2, r(1))];
+        let p = reduced(reduce(3, &obj, &rows, &[0, 1, 2]));
+        let (replayed, constant) = p.reduce_objective(&obj);
+        assert_eq!(replayed, p.objective);
+        assert_eq!(constant, p.obj_const);
+        // x1 = x2 + 1, x0 = x1 + 1 = x2 + 2: objective x0 + x1 reduces to
+        // 2*x2 + 3 over the single surviving variable.
+        let (other, other_const) = p.reduce_objective(&[(0, r(1)), (1, r(1))]);
+        assert_eq!(other, vec![(0, r(2))]);
+        assert_eq!(other_const, r(3));
     }
 
     #[test]

@@ -151,7 +151,7 @@ enum Phase1 {
     Infeasible,
 }
 
-enum Opt {
+pub(crate) enum Opt {
     Optimal,
     Unbounded,
 }
@@ -321,7 +321,7 @@ impl Tableau {
 
     /// Installs the phase-2 objective (maximise `c . x`), pricing out basic
     /// columns.
-    fn load_objective(&mut self, objective: &[(usize, Rat)]) {
+    pub(crate) fn load_objective(&mut self, objective: &[(usize, Rat)]) {
         self.obj = vec![Rat::ZERO; self.total];
         self.obj_rhs = Rat::ZERO;
         for &(j, c) in objective {
@@ -378,7 +378,7 @@ impl Tableau {
     /// the rule switches to Bland (smallest index) until progress resumes —
     /// termination stays guaranteed because Bland episodes cannot cycle and
     /// strict objective increases are finite.
-    fn optimize(&mut self, pivots: &mut u64, rule: PivotRule) -> Opt {
+    pub(crate) fn optimize(&mut self, pivots: &mut u64, rule: PivotRule) -> Opt {
         let threshold = match rule {
             PivotRule::Dantzig => 2 * self.m + 16,
             PivotRule::Bland => 0,

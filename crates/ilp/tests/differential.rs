@@ -147,6 +147,143 @@ proptest! {
     }
 }
 
+/// Brute force over the `0..=ub` box for a replacement objective: the best
+/// objective value, plus the argmax itself iff exactly one feasible point
+/// attains it (per-variable assertions are only meaningful then — solvers
+/// may legitimately return different optima when they are tied).
+fn brute_force_argmax(inst: &Instance, obj: &[i64]) -> (Option<i64>, Option<Vec<i64>>) {
+    let n = obj.len();
+    let mut best: Option<(i64, Vec<i64>, bool)> = None; // (value, point, unique)
+    let mut x = vec![0i64; n];
+    loop {
+        let feasible = inst.rows.iter().all(|(a, r, b)| {
+            let lhs: i64 = a.iter().zip(&x).map(|(c, v)| c * v).sum();
+            match r {
+                R::Le => lhs <= *b,
+                R::Ge => lhs >= *b,
+                R::Eq => lhs == *b,
+            }
+        });
+        if feasible {
+            let v: i64 = obj.iter().zip(&x).map(|(c, xi)| c * xi).sum();
+            best = Some(match best {
+                None => (v, x.clone(), true),
+                Some((bv, bx, uniq)) => {
+                    if v > bv {
+                        (v, x.clone(), true)
+                    } else if v == bv {
+                        (bv, bx, false)
+                    } else {
+                        (bv, bx, uniq)
+                    }
+                }
+            });
+        }
+        let mut i = 0;
+        loop {
+            if i == n {
+                let (value, point, unique) = match best {
+                    Some(b) => b,
+                    None => return (None, None),
+                };
+                return (Some(value), unique.then_some(point));
+            }
+            x[i] += 1;
+            if x[i] <= inst.ub {
+                break;
+            }
+            x[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The incremental re-solve path: presolve once under the instance's
+    /// own objective, then `resolve_with_objective` for random replacement
+    /// objectives must match a fresh cold-built `solve()` of the perturbed
+    /// model on the objective value (bit for bit), and on every variable
+    /// whenever brute force shows the integer optimum is unique. A re-solve
+    /// with the *original* objective must replay `solve()` exactly,
+    /// assignment included.
+    #[test]
+    fn resolve_with_objective_matches_fresh_solve(
+        inst in instance(),
+        perturbs in proptest::collection::vec(proptest::collection::vec(-5i64..=5, 3), 1..=3),
+    ) {
+        let (m, vars) = build(&inst);
+        let n = inst.obj.len();
+        let p = match m.presolved() {
+            Ok(p) => p,
+            Err(SolveError::Infeasible) => {
+                // Feasibility is objective-independent: every perturbed
+                // model must be infeasible too.
+                for pert in &perturbs {
+                    let obj2: Vec<i64> = pert.iter().copied().take(n).collect();
+                    let inst2 = Instance { ub: inst.ub, obj: obj2, rows: inst.rows.clone() };
+                    let (m2, _) = build(&inst2);
+                    prop_assert_eq!(m2.solve().unwrap_err(), SolveError::Infeasible);
+                }
+                return Ok(());
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("presolve failed: {e:?}"))),
+        };
+
+        // Exact replay of the default objective.
+        let mut e0 = LinExpr::new();
+        for (i, &c) in inst.obj.iter().enumerate() {
+            e0 = e0 + (c, vars[i]);
+        }
+        match (p.resolve_with_objective(&e0), m.solve()) {
+            (Ok(w), Ok(s)) => {
+                prop_assert_eq!(w.objective, s.objective);
+                for &v in &vars {
+                    prop_assert_eq!(w.value(v), s.value(v));
+                }
+            }
+            (Err(we), Err(se)) => prop_assert_eq!(we, se),
+            (w, s) => {
+                return Err(TestCaseError::fail(format!(
+                    "replay disagrees with solve: warm {w:?}, fresh {s:?}"
+                )));
+            }
+        }
+
+        for pert in &perturbs {
+            let obj2: Vec<i64> = pert.iter().copied().take(n).collect();
+            let mut e = LinExpr::new();
+            for (i, &c) in obj2.iter().enumerate() {
+                e = e + (c, vars[i]);
+            }
+            let warm = p.resolve_with_objective(&e);
+            let inst2 = Instance { ub: inst.ub, obj: obj2.clone(), rows: inst.rows.clone() };
+            let (m2, vars2) = build(&inst2);
+            let fresh = m2.solve();
+            match (warm, fresh) {
+                (Ok(w), Ok(f)) => {
+                    prop_assert_eq!(w.objective, f.objective);
+                    let (best, unique) = brute_force_argmax(&inst2, &obj2);
+                    prop_assert_eq!(Some(w.objective), best.map(|b| Rat::int(b as i128)));
+                    if let Some(ux) = unique {
+                        for (i, (&v, &v2)) in vars.iter().zip(&vars2).enumerate() {
+                            prop_assert_eq!(w.value_i64(v), ux[i]);
+                            prop_assert_eq!(f.value_i64(v2), ux[i]);
+                        }
+                    }
+                }
+                (Err(we), Err(fe)) => prop_assert_eq!(we, fe),
+                (w, f) => {
+                    return Err(TestCaseError::fail(format!(
+                        "re-solve disagrees with fresh solve: warm {w:?}, fresh {f:?}"
+                    )));
+                }
+            }
+        }
+    }
+}
+
 /// A handcrafted instance whose branching repeatedly cuts basic variables:
 /// enough depth that warm starts, snapshot drops and cold fallbacks all
 /// occur in one solve.

@@ -123,7 +123,11 @@ impl Pool {
 
         let deques = &deques;
         let f = &f;
-        let results_cell: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+        // One lock per result slot: workers finishing tasks never contend
+        // with each other (distinct indices), unlike a single Vec-wide
+        // mutex, which serialises every completion in the sweep's
+        // many-tiny-tasks regime.
+        let results_cell: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let results = &results_cell;
         let panics: Mutex<Vec<(usize, Box<dyn Any + Send>)>> = Mutex::new(Vec::new());
         let panics = &panics;
@@ -148,7 +152,7 @@ impl Pool {
                 }
                 let Some((i, item)) = task else { return };
                 match panic::catch_unwind(AssertUnwindSafe(|| f(item))) {
-                    Ok(r) => results.lock().expect("results lock")[i] = Some(r),
+                    Ok(r) => *results[i].lock().expect("result slot lock") = Some(r),
                     Err(payload) => {
                         poisoned.store(true, Ordering::Relaxed);
                         panics.lock().expect("panics lock").push((i, payload));
@@ -172,10 +176,12 @@ impl Pool {
             panic::resume_unwind(payload);
         }
         results_cell
-            .into_inner()
-            .expect("results lock")
             .into_iter()
-            .map(|r| r.expect("every task ran to completion"))
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot lock")
+                    .expect("every task ran to completion")
+            })
             .collect()
     }
 }

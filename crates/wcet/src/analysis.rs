@@ -179,15 +179,34 @@ fn path_breakdown(costs: &Costs, sol: &ipet::IpetSolution) -> CycleAccounts {
 /// Builds the [`CostModel`] an [`AnalysisConfig`] describes (resolving the
 /// pinned line sets against `layout` when pinning is on).
 pub(crate) fn cost_model(layout: &Layout, cfg: &AnalysisConfig) -> CostModel {
+    cost_model_from_flags(
+        layout,
+        cfg.l2 || cfg.l2_kernel_locked,
+        cfg.pinning,
+        cfg.l2_kernel_locked,
+    )
+}
+
+/// [`cost_model`] from the *effective* flags: `l2` must already fold in
+/// `l2_kernel_locked` (locking implies the L2 being on). This is the
+/// normalized form [`crate::AnalysisCache`] keys cost models by, so
+/// configurations that differ only in flags the model ignores share one
+/// construction.
+pub(crate) fn cost_model_from_flags(
+    layout: &Layout,
+    l2: bool,
+    pinning: bool,
+    l2_kernel_locked: bool,
+) -> CostModel {
     CostModel {
-        l2: cfg.l2 || cfg.l2_kernel_locked,
-        l2_kernel_locked: cfg.l2_kernel_locked,
-        pinned_i: if cfg.pinning {
+        l2,
+        l2_kernel_locked,
+        pinned_i: if pinning {
             pinning::pinned_icache_lines(layout).into_iter().collect()
         } else {
             HashSet::new()
         },
-        pinned_d: if cfg.pinning {
+        pinned_d: if pinning {
             pinning::pinned_dcache_lines().into_iter().collect()
         } else {
             HashSet::new()
@@ -309,9 +328,35 @@ pub fn analyze_batch_with(
             })
         })
         .collect();
+    // Order same-structure jobs adjacently (same entry, kernel and
+    // constraint set share one presolved ILP skeleton and basis seed), so
+    // a worker picking up consecutive jobs re-solves a structure that is
+    // already built and warm instead of interleaving cold structure
+    // builds. Groups keep first-appearance order; results are remapped to
+    // input order below, so this only changes scheduling, never output.
+    let mut group_of = std::collections::HashMap::new();
+    let rank: Vec<usize> = unique
+        .iter()
+        .map(|(entry, cfg)| {
+            let next = group_of.len();
+            *group_of
+                .entry((*entry, cfg.kernel, cfg.manual_constraints))
+                .or_insert(next)
+        })
+        .collect();
+    let mut order: Vec<usize> = (0..unique.len()).collect();
+    order.sort_by_key(|&i| rank[i]);
+    let mut pos = vec![0usize; unique.len()];
+    for (p, &i) in order.iter().enumerate() {
+        pos[i] = p;
+    }
+    let ordered: Vec<(EntryPoint, AnalysisConfig)> = order.iter().map(|&i| unique[i]).collect();
     let distinct: Vec<std::sync::Arc<WcetReport>> =
-        pool.parallel_map(unique, |(entry, cfg)| cache.analyze(entry, &cfg));
-    index.into_iter().map(|i| (*distinct[i]).clone()).collect()
+        pool.parallel_map(ordered, |(entry, cfg)| cache.analyze(entry, &cfg));
+    index
+        .into_iter()
+        .map(|i| (*distinct[pos[i]]).clone())
+        .collect()
 }
 
 /// Builds the IPET ILP instance for one entry point without solving it.

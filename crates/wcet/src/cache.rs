@@ -15,22 +15,37 @@
 //! |---|---|
 //! | [`Layout`] | (global — the layout is a constant of the kernel image) |
 //! | [`Cfg`] | entry point, [`KernelConfig`], [`BoundParams`] |
-//! | [`CostModel`] | l2, pinning, l2_kernel_locked |
+//! | [`CostModel`] | *effective* l2, *relevant* pinning, l2_kernel_locked |
 //! | [`Costs`] | CFG key × cost-model key |
-//! | presolved ILP skeleton | costs key × manual_constraints |
-//! | [`WcetReport`] | same as the skeleton (the full pipeline is deterministic) |
+//! | IPET ILP structure + basis seed | CFG key × manual_constraints |
+//! | [`WcetReport`] | costs key × manual_constraints |
 //!
 //! The keys are *normalised* projections of `(KernelConfig, l2, pinning,
 //! l2_kernel_locked)`: each stage keys on exactly the inputs it reads, so
 //! e.g. the after-kernel system-call CFG is built once and shared by the
-//! L2-off, L2-on, pinned and kernel-locked analyses.
+//! L2-off, L2-on, pinned and kernel-locked analyses. Cost-model keys go
+//! further and drop flag differences that provably cannot change a cost:
+//! `l2` stores the *effective* flag (`l2 || l2_kernel_locked`, because
+//! locking implies the L2 being on), and `pinning` is cleared for graphs
+//! whose blocks never touch a pinned line ([`block_touches_pinned`]).
+//!
+//! **Structure/cost split.** The constraint matrix of an entry point's
+//! IPET ILP depends only on the CFG and `manual_constraints` — cache
+//! configuration enters through objective coefficients alone. The
+//! structure memo therefore builds one model per `(CFG, manual)` key:
+//! assembled, presolved, and LP-solved once under the *canonical*
+//! (L2-off, unpinned, unlocked) cost objective to capture an optimal
+//! basis ([`rt_ilp::PresolvedModel::warm_up`]). Every configuration
+//! variant re-solves that shared skeleton with its own objective via
+//! [`rt_ilp::PresolvedModel::resolve_with_objective`] — a short warm
+//! primal run from the seed basis instead of a cold two-phase solve.
 //!
 //! **Determinism.** Every cached value is immutable once built and every
-//! builder is a pure function of its key, so cache hits return the same
-//! bits a fresh construction would; the branch-and-bound solve order
-//! depends only on the (shared, immutable) presolved skeleton, never on
-//! thread scheduling. Reports obtained through the cache — in any order,
-//! from any number of workers — are bit-identical to serial
+//! builder is a pure function of its key: the basis seed is pinned to the
+//! canonical objective (never to whichever configuration happened to
+//! arrive first), so re-solve results and work counters are independent
+//! of thread scheduling. Reports obtained through the cache — in any
+//! order, from any number of workers — are bit-identical to serial
 //! [`analyze`][crate::analyze] calls. `tests/tests/batch_differential.rs`
 //! checks exactly this, and the golden-file tests pin the rendered tables
 //! byte-for-byte.
@@ -51,25 +66,30 @@
 //! ```
 
 use std::collections::HashMap;
-use std::hash::Hash;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use rt_hw::Addr;
 use rt_kernel::kernel::{EntryPoint, KernelConfig};
 use rt_kernel::kprog::Layout;
+use rt_kernel::pinning;
 
 use crate::analysis::{
-    analyze_forced_parts, cost_model, node_costs, report_from_solution, AnalysisConfig, Costs,
-    PhaseTimes, WcetReport,
+    analyze_forced_parts, cost_model_from_flags, node_costs, report_from_solution, AnalysisConfig,
+    Costs, PhaseTimes, WcetReport,
 };
 use crate::cfg::Cfg;
-use crate::cost::CostModel;
+use crate::cost::{block_touches_pinned, CostModel};
 use crate::ipet;
 use crate::kmodel::{self, BoundParams};
 use rt_kernel::kprog::Block;
+use std::collections::HashSet;
 
-/// What a [`CostModel`] actually depends on: the cache configuration
-/// alone. Pinned sets derive from the (global) layout.
+/// What a [`CostModel`] actually depends on, in *normalised* form: the
+/// effective L2 flag (`l2 || l2_kernel_locked`), whether pinning is on
+/// *and can matter for the graph in question*, and the lock flag. Pinned
+/// sets derive from the (global) layout.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 struct CostModelKey {
     l2: bool,
@@ -78,10 +98,21 @@ struct CostModelKey {
 }
 
 impl CostModelKey {
-    fn of(cfg: &AnalysisConfig) -> CostModelKey {
+    /// The canonical configuration costs are seeded from: L2 off,
+    /// unpinned, unlocked — the paper's headline setup.
+    const CANONICAL: CostModelKey = CostModelKey {
+        l2: false,
+        pinning: false,
+        l2_kernel_locked: false,
+    };
+
+    /// Normalises a configuration's cost-relevant flags.
+    /// `pinning_relevant` is the per-graph verdict of
+    /// [`block_touches_pinned`][crate::cost::block_touches_pinned].
+    fn normalized(cfg: &AnalysisConfig, pinning_relevant: bool) -> CostModelKey {
         CostModelKey {
-            l2: cfg.l2,
-            pinning: cfg.pinning,
+            l2: cfg.l2 || cfg.l2_kernel_locked,
+            pinning: cfg.pinning && pinning_relevant,
             l2_kernel_locked: cfg.l2_kernel_locked,
         }
     }
@@ -102,29 +133,47 @@ struct CostKey {
     model: CostModelKey,
 }
 
-/// What the assembled (and presolved) IPET ILP — and therefore the whole
-/// report — depends on: costs plus whether manual constraints apply.
+/// What a complete report depends on: costs plus whether manual
+/// constraints apply.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 struct IlpKey {
     cost: CostKey,
     manual_constraints: bool,
 }
 
-/// The assembled IPET instance with its presolve already run: the
-/// "skeleton" a solve starts from. `IpetIlp` keeps the variable maps
-/// needed to interpret solutions; `presolved` is the reduced system the
-/// warm branch and bound actually works on.
-struct PreparedIpet {
+/// What the IPET ILP *structure* depends on: the CFG and the manual
+/// constraint set — never the cost configuration, which only supplies
+/// objective coefficients.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct StructKey {
+    cfg: CfgKey,
+    manual_constraints: bool,
+}
+
+/// One entry point's shared IPET skeleton: the assembled model (variable
+/// maps included), its presolved form, and — captured inside the
+/// presolved model by [`rt_ilp::PresolvedModel::warm_up`] — the optimal
+/// basis of the LP relaxation under the canonical cost objective.
+struct PreparedStructure {
     ilp: ipet::IpetIlp,
     presolved: rt_ilp::PresolvedModel,
 }
 
-/// One memoized artifact class: a keyed map of [`OnceLock`] cells, so
-/// concurrent requests for the same key block on one builder instead of
-/// racing, while different keys build in parallel (the outer map lock is
-/// held only to fetch the cell, never during construction).
+/// Shard count of a [`Memo`]'s key map. The map lock is held only to
+/// fetch a cell, but under a multi-worker sweep every pipeline stage of
+/// every job takes it; sharding by key hash keeps workers on different
+/// artifacts from serialising on one mutex.
+const MEMO_SHARDS: usize = 8;
+
+/// One shard's key map: per-key cells, each built at most once.
+type MemoShard<K, V> = Mutex<HashMap<K, Arc<OnceLock<Arc<V>>>>>;
+
+/// One memoized artifact class: a sharded, keyed map of [`OnceLock`]
+/// cells, so concurrent requests for the same key block on one builder
+/// instead of racing, while different keys build in parallel (a shard
+/// lock is held only to fetch the cell, never during construction).
 struct Memo<K, V> {
-    map: Mutex<HashMap<K, Arc<OnceLock<Arc<V>>>>>,
+    shards: [MemoShard<K, V>; MEMO_SHARDS],
     lookups: AtomicU64,
     builds: AtomicU64,
 }
@@ -132,7 +181,7 @@ struct Memo<K, V> {
 impl<K: Eq + Hash + Clone, V> Memo<K, V> {
     fn new() -> Memo<K, V> {
         Memo {
-            map: Mutex::new(HashMap::new()),
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
             lookups: AtomicU64::new(0),
             builds: AtomicU64::new(0),
         }
@@ -140,8 +189,11 @@ impl<K: Eq + Hash + Clone, V> Memo<K, V> {
 
     fn get_or_build(&self, key: K, build: impl FnOnce() -> V) -> Arc<V> {
         self.lookups.fetch_add(1, Ordering::Relaxed);
+        let mut h = std::hash::DefaultHasher::new();
+        key.hash(&mut h);
+        let shard = (h.finish() as usize) % MEMO_SHARDS;
         let cell = {
-            let mut map = self.map.lock().expect("memo map lock");
+            let mut map = self.shards[shard].lock().expect("memo shard lock");
             Arc::clone(map.entry(key).or_default())
         };
         Arc::clone(cell.get_or_init(|| {
@@ -182,20 +234,51 @@ impl MemoStats {
     }
 }
 
+/// Work counters of the incremental ILP re-solve path.
+///
+/// Deterministic for a fixed job list: seeds are built once per distinct
+/// structure (under the canonical objective, independent of arrival
+/// order) and each distinct report performs exactly one re-solve.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResolveStats {
+    /// Objective re-solves performed (one per report built).
+    pub resolves: u64,
+    /// Total simplex pivots across all re-solves — root re-optimisation
+    /// from the seed basis plus branch-and-bound work.
+    pub warm_pivots: u64,
+    /// One-off pivots spent building the shared basis seeds (one cold LP
+    /// solve per structure, under the canonical objective).
+    pub seed_pivots: u64,
+}
+
+impl ResolveStats {
+    /// Average pivots per objective re-solve (0 when none ran).
+    pub fn warm_pivots_per_resolve(&self) -> f64 {
+        if self.resolves == 0 {
+            0.0
+        } else {
+            self.warm_pivots as f64 / self.resolves as f64
+        }
+    }
+}
+
 /// Counter snapshot across all artifact classes (see
 /// [`AnalysisCache::stats`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Control-flow graphs (virtually inlined, per entry × kernel × bounds).
     pub cfgs: MemoStats,
-    /// Cost models (per cache configuration).
+    /// Cost models (per normalised cache configuration).
     pub cost_models: MemoStats,
     /// Per-node/per-edge cost vectors.
     pub costs: MemoStats,
-    /// Assembled + presolved IPET skeletons.
-    pub ilps: MemoStats,
+    /// Assembled + presolved IPET structures with their basis seeds
+    /// (per CFG × manual_constraints — shared by all cost configurations).
+    pub ilp_structures: MemoStats,
     /// Complete analysis reports (whole-`analyze` dedup).
     pub reports: MemoStats,
+    /// Incremental re-solve work counters.
+    pub resolve: ResolveStats,
 }
 
 /// Memoizes the analysis pipeline's immutable artifacts across a sweep;
@@ -207,11 +290,20 @@ pub struct CacheStats {
 /// which is what dedupes the analyses Table 1 and Table 2 share).
 pub struct AnalysisCache {
     layout: OnceLock<Arc<Layout>>,
+    /// The full pinned line sets, resolved once (needed even by unpinned
+    /// analyses to decide whether pinning is *relevant* to a graph).
+    pinned_lines: OnceLock<(HashSet<Addr>, HashSet<Addr>)>,
     cfgs: Memo<CfgKey, Cfg>,
+    /// Per-CFG verdict: does any node touch a pinned line? `false` lets
+    /// pinned configurations share the unpinned cost vectors.
+    pin_relevant: Memo<CfgKey, bool>,
     cost_models: Memo<CostModelKey, CostModel>,
     costs: Memo<CostKey, Costs>,
-    ilps: Memo<IlpKey, PreparedIpet>,
+    ilp_structures: Memo<StructKey, PreparedStructure>,
     reports: Memo<IlpKey, WcetReport>,
+    resolves: AtomicU64,
+    resolve_pivots: AtomicU64,
+    seed_pivots: AtomicU64,
 }
 
 impl AnalysisCache {
@@ -219,11 +311,16 @@ impl AnalysisCache {
     pub fn new() -> AnalysisCache {
         AnalysisCache {
             layout: OnceLock::new(),
+            pinned_lines: OnceLock::new(),
             cfgs: Memo::new(),
+            pin_relevant: Memo::new(),
             cost_models: Memo::new(),
             costs: Memo::new(),
-            ilps: Memo::new(),
+            ilp_structures: Memo::new(),
             reports: Memo::new(),
+            resolves: AtomicU64::new(0),
+            resolve_pivots: AtomicU64::new(0),
+            seed_pivots: AtomicU64::new(0),
         }
     }
 
@@ -238,10 +335,34 @@ impl AnalysisCache {
         })
     }
 
-    fn cost_model(&self, cfg: &AnalysisConfig) -> Arc<CostModel> {
-        let key = CostModelKey::of(cfg);
-        self.cost_models
-            .get_or_build(key, || cost_model(&self.layout(), cfg))
+    fn pinned_lines(&self) -> &(HashSet<Addr>, HashSet<Addr>) {
+        self.pinned_lines.get_or_init(|| {
+            let layout = self.layout();
+            (
+                pinning::pinned_icache_lines(&layout).into_iter().collect(),
+                pinning::pinned_dcache_lines().into_iter().collect(),
+            )
+        })
+    }
+
+    /// Whether pinning can change any cost of `graph` (see
+    /// [`block_touches_pinned`]). Conservative in the safe direction: a
+    /// `true` merely forgoes key merging.
+    fn pinning_relevant(&self, key: CfgKey, graph: &Cfg) -> bool {
+        *self.pin_relevant.get_or_build(key, || {
+            let layout = self.layout();
+            let (pinned_i, pinned_d) = self.pinned_lines();
+            graph
+                .nodes
+                .iter()
+                .any(|n| block_touches_pinned(&layout, n.block, pinned_i, pinned_d))
+        })
+    }
+
+    fn cost_model(&self, key: CostModelKey) -> Arc<CostModel> {
+        self.cost_models.get_or_build(key, || {
+            cost_model_from_flags(&self.layout(), key.l2, key.pinning, key.l2_kernel_locked)
+        })
     }
 
     fn costs(&self, key: CostKey, graph: &Cfg, model: &CostModel) -> Arc<Costs> {
@@ -249,14 +370,29 @@ impl AnalysisCache {
             .get_or_build(key, || node_costs(graph, &self.layout(), model))
     }
 
-    fn ilp(&self, key: IlpKey, graph: &Cfg, costs: &Costs) -> Arc<PreparedIpet> {
-        self.ilps.get_or_build(key, || {
-            let ilp = ipet::build_model(graph, &costs.node, &costs.edge, key.manual_constraints);
+    /// The shared IPET skeleton of one `(CFG, manual)` class: built,
+    /// presolved and basis-seeded once under the canonical cost objective.
+    fn structure(&self, key: StructKey, graph: &Cfg) -> Arc<PreparedStructure> {
+        self.ilp_structures.get_or_build(key, || {
+            let canon_model = self.cost_model(CostModelKey::CANONICAL);
+            let canon = self.costs(
+                CostKey {
+                    cfg: key.cfg,
+                    model: CostModelKey::CANONICAL,
+                },
+                graph,
+                &canon_model,
+            );
+            let ilp = ipet::build_model(graph, &canon.node, &canon.edge, key.manual_constraints);
             let presolved = ilp
                 .model
                 .presolved()
                 .expect("IPET ILP must presolve (feasible by construction)");
-            PreparedIpet { ilp, presolved }
+            let seed_pivots = presolved
+                .warm_up()
+                .expect("IPET root LP must have an optimum (bounded by construction)");
+            self.seed_pivots.fetch_add(seed_pivots, Ordering::Relaxed);
+            PreparedStructure { ilp, presolved }
         })
     }
 
@@ -272,7 +408,9 @@ impl AnalysisCache {
     }
 
     /// As [`analyze_with_bounds`][crate::analysis::analyze_with_bounds],
-    /// memoized.
+    /// memoized, with the solve routed through the incremental re-solve
+    /// path: the entry's shared structure skeleton plus this
+    /// configuration's cost objective.
     pub fn analyze_with_bounds(
         &self,
         entry: EntryPoint,
@@ -284,29 +422,41 @@ impl AnalysisCache {
             kernel: cfg.kernel,
             bounds: *bounds,
         };
+        let t0 = std::time::Instant::now();
+        let graph = self.cfg(cfg_key);
+        let t_build = t0.elapsed();
+        let pin_relevant = cfg.pinning && self.pinning_relevant(cfg_key, &graph);
+        let model_key = CostModelKey::normalized(cfg, pin_relevant);
         let cost_key = CostKey {
             cfg: cfg_key,
-            model: CostModelKey::of(cfg),
+            model: model_key,
         };
         let key = IlpKey {
             cost: cost_key,
             manual_constraints: cfg.manual_constraints,
         };
-        self.reports.get_or_build(key, || {
-            let t0 = std::time::Instant::now();
-            let graph = self.cfg(cfg_key);
-            let t_build = t0.elapsed();
-            let model = self.cost_model(cfg);
+        self.reports.get_or_build(key, move || {
+            let model = self.cost_model(model_key);
             let t0 = std::time::Instant::now();
             let costs = self.costs(cost_key, &graph, &model);
             let t_costs = t0.elapsed();
-            let prepared = self.ilp(key, &graph, &costs);
+            let structure = self.structure(
+                StructKey {
+                    cfg: cfg_key,
+                    manual_constraints: cfg.manual_constraints,
+                },
+                &graph,
+            );
             let t0 = std::time::Instant::now();
-            let sol = prepared
+            let objective = structure.ilp.objective_for(&costs.node, &costs.edge);
+            let sol = structure
                 .presolved
-                .solve()
+                .resolve_with_objective(&objective)
                 .expect("IPET ILP must be solvable");
-            let sol = prepared.ilp.interpret(&sol);
+            self.resolves.fetch_add(1, Ordering::Relaxed);
+            self.resolve_pivots
+                .fetch_add(sol.stats.pivots(), Ordering::Relaxed);
+            let sol = structure.ilp.interpret(&sol);
             let t_ilp = t0.elapsed();
             let phases = PhaseTimes {
                 build: t_build,
@@ -334,7 +484,8 @@ impl AnalysisCache {
             bounds: BoundParams::default(),
         };
         let graph = self.cfg(cfg_key);
-        let model = self.cost_model(cfg);
+        let pin_relevant = cfg.pinning && self.pinning_relevant(cfg_key, &graph);
+        let model = self.cost_model(CostModelKey::normalized(cfg, pin_relevant));
         analyze_forced_parts((*graph).clone(), &self.layout(), &model, allowed)
     }
 
@@ -344,8 +495,13 @@ impl AnalysisCache {
             cfgs: self.cfgs.stats(),
             cost_models: self.cost_models.stats(),
             costs: self.costs.stats(),
-            ilps: self.ilps.stats(),
+            ilp_structures: self.ilp_structures.stats(),
             reports: self.reports.stats(),
+            resolve: ResolveStats {
+                resolves: self.resolves.load(Ordering::Relaxed),
+                warm_pivots: self.resolve_pivots.load(Ordering::Relaxed),
+                seed_pivots: self.seed_pivots.load(Ordering::Relaxed),
+            },
         }
     }
 }
@@ -389,10 +545,47 @@ mod tests {
     }
 
     #[test]
+    fn resolve_path_matches_uncached_on_every_config_variant() {
+        // Every cost configuration of one entry re-solves the same shared
+        // structure — each must still equal the uncached cold-built run.
+        let cache = AnalysisCache::new();
+        for l2 in [false, true] {
+            for pinning in [false, true] {
+                for locked in [false, true] {
+                    for manual in [false, true] {
+                        let cfg = AnalysisConfig {
+                            kernel: KernelConfig::after(),
+                            l2,
+                            pinning,
+                            l2_kernel_locked: locked,
+                            manual_constraints: manual,
+                        };
+                        let cached = cache.analyze(EntryPoint::Interrupt, &cfg);
+                        let plain = analyze(EntryPoint::Interrupt, &cfg);
+                        assert_eq!(cached.cycles, plain.cycles, "{cfg:?}");
+                        assert_eq!(cached.breakdown, plain.breakdown, "{cfg:?}");
+                        assert_eq!(cached.worst_path, plain.worst_path, "{cfg:?}");
+                        assert_eq!(cached.trace, plain.trace, "{cfg:?}");
+                    }
+                }
+            }
+        }
+        let s = cache.stats();
+        assert_eq!(
+            s.ilp_structures.builds, 2,
+            "one structure per manual_constraints value: {s:?}"
+        );
+        assert_eq!(
+            s.resolve.resolves, s.reports.builds,
+            "every built report is one re-solve"
+        );
+    }
+
+    #[test]
     fn artifacts_are_shared_across_config_variants() {
         let cache = AnalysisCache::new();
         // Same entry + kernel + bounds, different cache configs: the CFG
-        // must be built once and hit thrice.
+        // and the ILP structure must be built once and shared.
         for l2 in [false, true] {
             for pinning in [false, true] {
                 cache.analyze(EntryPoint::Interrupt, &acfg(l2, pinning));
@@ -400,9 +593,30 @@ mod tests {
         }
         let s = cache.stats();
         assert_eq!(s.cfgs.builds, 1, "one CFG for four configs: {s:?}");
-        assert_eq!(s.cfgs.lookups, 4);
         assert_eq!(s.reports.builds, 4, "four distinct configs");
-        assert_eq!(s.cost_models.builds, 4);
+        assert_eq!(s.ilp_structures.builds, 1, "one shared structure: {s:?}");
+        assert_eq!(s.resolve.resolves, 4, "one re-solve per report");
+    }
+
+    #[test]
+    fn locked_key_normalisation_merges_l2_flag() {
+        // With the kernel L2-locked, the raw `l2` flag is immaterial
+        // (locking implies the L2 on): both spellings must share one cost
+        // model, one cost vector and one report.
+        let cache = AnalysisCache::new();
+        let with = |l2: bool| AnalysisConfig {
+            kernel: KernelConfig::after(),
+            l2,
+            pinning: false,
+            l2_kernel_locked: true,
+            manual_constraints: true,
+        };
+        let a = cache.analyze(EntryPoint::Undefined, &with(false));
+        let b = cache.analyze(EntryPoint::Undefined, &with(true));
+        assert!(Arc::ptr_eq(&a, &b), "normalised keys must share the report");
+        let s = cache.stats();
+        assert_eq!(s.reports.builds, 1);
+        assert_eq!(s.resolve.resolves, 1);
     }
 
     #[test]

@@ -232,6 +232,52 @@ pub fn i_lines_of(layout: &Layout, blocks: &[Block]) -> HashSet<Addr> {
     layout.code_lines(blocks).into_iter().collect()
 }
 
+/// Whether pinning can affect `block`'s cost at all: true iff any
+/// instruction line the block fetches is in `pinned_i` or any static data
+/// address it touches is in `pinned_d`. Walks exactly the addresses
+/// [`CostModel::block_cost_split`] prices — instruction lines `pc & !31`
+/// and the stack/global lines of `St`/`Gl` accesses (object and device
+/// accesses never consult the pinned sets). A `false` over every node of
+/// a graph proves the pinned and unpinned cost vectors are identical,
+/// including loop-persistence entry charges, whose lines are code lines of
+/// loop-member blocks and therefore covered by the instruction scan.
+pub fn block_touches_pinned(
+    layout: &Layout,
+    block: Block,
+    pinned_i: &HashSet<Addr>,
+    pinned_d: &HashSet<Addr>,
+) -> bool {
+    let spec = block.spec();
+    let mut pc = layout.addr_of(block);
+    let mut auto_i = 0u32;
+    for ik in spec.instrs {
+        let n = match *ik {
+            Ik::A(n) | Ik::L(_, n) | Ik::S(_, n) => n,
+            Ik::Z | Ik::M | Ik::B => 1,
+        };
+        for _ in 0..n {
+            if pinned_i.contains(&(pc & !31)) {
+                return true;
+            }
+            pc += 4;
+            if let Ik::L(d, _) | Ik::S(d, _) = *ik {
+                if matches!(d, D::St | D::Gl) {
+                    let addr = if d == D::St {
+                        kprog::stack_addr(auto_i)
+                    } else {
+                        kprog::global_addr(block, auto_i)
+                    };
+                    auto_i += 1;
+                    if pinned_d.contains(&(addr & !31)) {
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
 /// Checks whether a loop's instruction lines are conflict-free in the
 /// direct-mapped one-way model (4 KiB, 128 sets): if no two distinct lines
 /// share a set, the lines persist across iterations.
@@ -283,6 +329,45 @@ mod tests {
         m.pinned_i = all;
         let c = m.block_cost(&layout, Block::CaseEp, &HashSet::new());
         assert_eq!(c, 3 + 5, "no fetch misses when fully pinned");
+    }
+
+    #[test]
+    fn touch_scan_predicts_pinning_sensitivity() {
+        // The cache's key-normalisation relies on the contrapositive: if
+        // `block_touches_pinned` is false, pinning cannot change the
+        // block's cost. Check it block by block against the real pinned
+        // sets, with and without loop-persistent lines.
+        let layout = Layout::new();
+        let pinned_i: HashSet<Addr> = rt_kernel::pinning::pinned_icache_lines(&layout)
+            .into_iter()
+            .collect();
+        let pinned_d: HashSet<Addr> = rt_kernel::pinning::pinned_dcache_lines()
+            .into_iter()
+            .collect();
+        let unpinned = model(false);
+        let pinned = CostModel {
+            pinned_i: pinned_i.clone(),
+            pinned_d: pinned_d.clone(),
+            ..model(false)
+        };
+        let mut touching = 0usize;
+        for &b in Block::ALL {
+            let persistent: HashSet<Addr> = layout.code_lines(&[b]).into_iter().collect();
+            for per in [HashSet::new(), persistent] {
+                let a = unpinned.block_cost(&layout, b, &per);
+                let p = pinned.block_cost(&layout, b, &per);
+                if a != p {
+                    assert!(
+                        block_touches_pinned(&layout, b, &pinned_i, &pinned_d),
+                        "{b:?}: cost changed under pinning ({a} -> {p}) but scan says untouched"
+                    );
+                }
+            }
+            if block_touches_pinned(&layout, b, &pinned_i, &pinned_d) {
+                touching += 1;
+            }
+        }
+        assert!(touching > 0, "pinned sets should cover some blocks");
     }
 
     #[test]

@@ -80,6 +80,31 @@ pub struct IpetIlp {
 }
 
 impl IpetIlp {
+    /// Builds the IPET objective `sum cost_i * x_i + sum edge_cost_j * y_j`
+    /// for *this* instance's variables from a replacement cost vector.
+    ///
+    /// The constraint system of an entry point's IPET ILP depends only on
+    /// the CFG (flow conservation, loop bounds, SCC circulation, manual
+    /// constraints) — configuration variants change nothing but these
+    /// coefficients. Pairing one [`build_structure`] skeleton with
+    /// per-config objectives via
+    /// [`rt_ilp::PresolvedModel::resolve_with_objective`] is the sweep's
+    /// incremental re-solve path.
+    pub fn objective_for(&self, costs: &[u64], edge_costs: &[u64]) -> LinExpr {
+        assert_eq!(costs.len(), self.x.len());
+        assert_eq!(edge_costs.len(), self.y.len());
+        let mut obj = LinExpr::new();
+        for (i, &c) in costs.iter().enumerate() {
+            obj = obj + (c as i64, self.x[i]);
+        }
+        for (i, &c) in edge_costs.iter().enumerate() {
+            if c > 0 {
+                obj = obj + (c as i64, self.y[i]);
+            }
+        }
+        obj
+    }
+
     /// Converts a solver [`Solution`] of [`IpetIlp::model`] back into node
     /// and edge counts.
     pub fn interpret(&self, sol: &Solution) -> IpetSolution {
@@ -112,15 +137,25 @@ pub fn solve(
     Ok(ilp.interpret(&sol))
 }
 
-/// Assembles the IPET ILP for `cfg` without solving it.
+/// Assembles the IPET ILP for `cfg` without solving it: the structural
+/// skeleton from [`build_structure`] with the cost objective installed.
 pub fn build_model(
     cfg: &Cfg,
     costs: &[u64],
     edge_costs: &[u64],
     with_user_constraints: bool,
 ) -> IpetIlp {
-    assert_eq!(costs.len(), cfg.nodes.len());
-    assert_eq!(edge_costs.len(), cfg.edges.len());
+    let mut ilp = build_structure(cfg, with_user_constraints);
+    let obj = ilp.objective_for(costs, edge_costs);
+    ilp.model.set_objective(obj);
+    ilp
+}
+
+/// Assembles the *structural* half of the IPET ILP — variables and every
+/// constraint, no objective. Costs enter only through the objective
+/// ([`IpetIlp::objective_for`]), so one structure serves every cost
+/// configuration of its entry point.
+pub fn build_structure(cfg: &Cfg, with_user_constraints: bool) -> IpetIlp {
     let mut m = Model::maximize();
 
     // Node count variables.
@@ -278,18 +313,6 @@ pub fn build_model(
             }
         }
     }
-
-    // Objective.
-    let mut obj = LinExpr::new();
-    for (i, &c) in costs.iter().enumerate() {
-        obj = obj + (c as i64, x[i]);
-    }
-    for (i, &c) in edge_costs.iter().enumerate() {
-        if c > 0 {
-            obj = obj + (c as i64, y[i]);
-        }
-    }
-    m.set_objective(obj);
 
     IpetIlp { model: m, x, y }
 }

@@ -73,6 +73,55 @@ proptest! {
 }
 
 #[test]
+fn resolve_path_covers_every_config_variant_of_a_structure() {
+    // Deterministic companion to the proptest: every one of the 2^4 cost /
+    // constraint combinations of two entry points goes through one shared
+    // cache — so all variants of an (entry, manual) class re-solve the same
+    // seeded ILP structure — and each must equal its uncached cold solve.
+    let cache = AnalysisCache::new();
+    let entries = [EntryPoint::Interrupt, EntryPoint::Undefined];
+    let mut jobs = Vec::new();
+    for e in entries {
+        for l2 in [false, true] {
+            for pinning in [false, true] {
+                for locked in [false, true] {
+                    for manual in [false, true] {
+                        jobs.push((
+                            e,
+                            AnalysisConfig {
+                                kernel: KernelConfig::after(),
+                                l2,
+                                pinning,
+                                l2_kernel_locked: locked,
+                                manual_constraints: manual,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    let batch = analyze_batch_with(&jobs, &Pool::new(3), &cache);
+    for ((entry, cfg), b) in jobs.iter().zip(batch.iter()) {
+        let a = analyze(*entry, cfg);
+        assert_eq!(a.cycles, b.cycles, "{entry:?}/{cfg:?}");
+        assert_eq!(a.breakdown, b.breakdown, "{entry:?}/{cfg:?}");
+        assert_eq!(a.worst_path, b.worst_path, "{entry:?}/{cfg:?}");
+        assert_eq!(a.trace, b.trace, "{entry:?}/{cfg:?}");
+    }
+    let s = cache.stats();
+    assert_eq!(
+        s.ilp_structures.builds, 4,
+        "2 entries x 2 manual-constraint settings: {s:?}"
+    );
+    assert_eq!(s.resolve.resolves, s.reports.builds);
+    assert!(
+        s.ilp_structures.hit_rate() > 0.5,
+        "structure memo must absorb the cost-config axis: {s:?}"
+    );
+}
+
+#[test]
 fn duplicate_heavy_batch_is_deterministic_across_worker_counts() {
     // The same job list, duplicates included, through 1-, 2- and
     // 5-worker pools and independent caches: every run must agree with
