@@ -14,6 +14,31 @@ RT_JOBS=2 cargo test -q -p rt-tests --test goldens --test batch_differential
 # checked-in goldens byte for byte (any worker count; 4 covers stealing).
 cargo run --release -q -p rt-bench --bin repro -- table1 --jobs 4 | diff -u tests/goldens/table1.txt -
 cargo run --release -q -p rt-bench --bin repro -- table2 --jobs 4 | diff -u tests/goldens/table2.txt -
+cargo run --release -q -p rt-bench --bin repro -- fig9 --reps 2 --jobs 4 | diff -u tests/goldens/fig9.txt -
+cargo run --release -q -p rt-bench --bin repro -- l2lock --reps 2 --jobs 4 | diff -u tests/goldens/l2lock.txt -
+
+# Explorer smoke gate: at depth 6 every scenario must genuinely branch
+# (strictly more interleavings than preemption-point decision sites) and
+# every oracle must hold (zero counterexamples) on every explored path.
+cargo run --release -q -p rt-bench --bin repro -- explore --depth 6 --jobs 2 | awk '
+    /interleavings=/ {
+        n++
+        inter = -1; pts = -1; cex = -1
+        for (i = 1; i <= NF; i++) {
+            if (split($i, kv, "=") == 2) {
+                if (kv[1] == "interleavings") inter = kv[2] + 0
+                else if (kv[1] == "preempt-pts") pts = kv[2] + 0
+                else if (kv[1] == "counterexamples") cex = kv[2] + 0
+            }
+        }
+        if (cex != 0) { print "ci: explorer counterexample on line: " $0; bad = 1 }
+        if (inter <= pts) { print "ci: scenario did not branch: " $0; bad = 1 }
+    }
+    END {
+        if (n < 5) { print "ci: expected >= 5 explorer scenario lines, saw " n; bad = 1 }
+        exit bad
+    }
+'
 
 # Bench smoke pass: the incremental ILP path must actually engage. The run
 # writes its JSON to a scratch path (committed BENCH_sweep.json stays as

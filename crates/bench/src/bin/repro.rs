@@ -8,6 +8,7 @@
 //! cargo run --release -p rt-bench --bin repro -- attribution
 //! cargo run --release -p rt-bench --bin repro -- overhead
 //! cargo run --release -p rt-bench --bin repro -- latency-bound
+//! cargo run --release -p rt-bench --bin repro -- explore [--depth N]
 //! cargo run --release -p rt-bench --bin repro -- bench
 //! cargo run --release -p rt-bench --bin repro -- all
 //! ```
@@ -159,6 +160,14 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let depth: usize = match flag_value(&args, "--depth") {
+        None => 8,
+        Some(Ok(n)) => n,
+        Some(Err(())) => {
+            eprintln!("--depth requires a positive integer");
+            std::process::exit(2);
+        }
+    };
     let ctx = match flag_value(&args, "--jobs") {
         None => SweepCtx::from_env(),
         Some(Ok(n)) => SweepCtx::with_jobs(n),
@@ -186,6 +195,10 @@ fn main() {
         "overhead" => print!("{}", overhead()),
         "latency-bound" => print!("{}", latency_bound(ctx)),
         "constraints" => print!("{}", constraints_demo(ctx)),
+        "explore" => print!(
+            "{}",
+            rt_explore::explore_report(depth, ctx.pool(), ctx.cache())
+        ),
         "bench" => print!("{}", bench_report()),
         "all" => {
             print!("{}", tables::render_table1(&tables::table1_with(ctx)));
@@ -218,7 +231,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown target {other:?}; expected table1|table2|fig8|fig9|l2lock|attribution|open-closed|restart-overhead|overhead|latency-bound|constraints|bench|all"
+                "unknown target {other:?}; expected table1|table2|fig8|fig9|l2lock|attribution|open-closed|restart-overhead|overhead|latency-bound|constraints|explore|bench|all"
             );
             std::process::exit(2);
         }

@@ -1,0 +1,57 @@
+//! Injectable schedule-decision sources.
+//!
+//! The kernel's preemption behaviour is driven entirely by *when interrupt
+//! lines are asserted relative to preemption-point polls*. In production
+//! (and in all the benchmarks) that timing comes from the simulated
+//! devices' schedules. For systematic exploration of interleavings,
+//! however, a test harness wants to decide — at every single poll —
+//! whether a device asserts a line *right now*, and which one.
+//!
+//! [`DecisionSource`] is that hook: installed on a [`Kernel`], it is
+//! consulted at the top of every preemption-point poll and may assert one
+//! line. Declining (`None`) leaves the machine state untouched — the
+//! source reads the controller but charges no cycles and mutates nothing
+//! — so a run with [`RunToCompletion`] installed is bit-identical (trace,
+//! PMU counters, tables) to an uninstrumented run. The differential test
+//! `tests/tests/decision_differential.rs` pins that claim.
+//!
+//! The exploration engine that drives this hook lives in `crates/explore`
+//! (`rt-explore`); it is a consumer of this trait, not part of the
+//! kernel.
+//!
+//! [`Kernel`]: crate::kernel::Kernel
+
+use rt_hw::{IrqController, IrqLine};
+
+/// A source of interrupt-arrival decisions, consulted at every
+/// preemption-point poll.
+///
+/// Implementations may inspect the interrupt controller (to see which
+/// lines are already pending or masked) and return a line to assert at
+/// the current cycle, or `None` to let the poll proceed with whatever the
+/// hardware already has pending. Returning an already-pending line is
+/// harmless (the controller ignores re-raises) but wastes a branch, so
+/// sources should consult [`IrqController::is_pending`] first.
+///
+/// `Send` is a supertrait so an instrumented [`Kernel`] can still cross
+/// threads — the exploration engine fans whole kernels out across a
+/// worker pool.
+///
+/// [`Kernel`]: crate::kernel::Kernel
+pub trait DecisionSource: Send {
+    /// Called once per preemption-point poll, before the kernel samples
+    /// the pending mask. Return `Some(line)` to assert `line` now.
+    fn preemption_poll(&mut self, irq: &IrqController) -> Option<IrqLine>;
+}
+
+/// The production decision source: never injects anything, so every
+/// kernel operation runs to completion unless a *scheduled* device
+/// interrupt arrives. Installing it is equivalent to installing nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunToCompletion;
+
+impl DecisionSource for RunToCompletion {
+    fn preemption_poll(&mut self, _irq: &IrqController) -> Option<IrqLine> {
+        None
+    }
+}

@@ -25,6 +25,7 @@ use rt_hw::{Addr, Cycles, HwConfig, InstrClass, IrqLine, Machine};
 
 use crate::cap::{CapType, SlotRef};
 use crate::cnode::CNode;
+use crate::decision::DecisionSource;
 use crate::ep::Endpoint;
 use crate::irqk::IrqTable;
 use crate::kprog::{self, Block, Ik, Layout, D};
@@ -225,6 +226,9 @@ pub struct Kernel {
     pub(crate) destroying: Vec<ObjId>,
     /// Threads woken by an IRQ and not yet scheduled: tcb -> log index.
     pending_delivery: HashMap<ObjId, usize>,
+    /// Installed schedule-decision source ([`crate::decision`]); `None`
+    /// (the production state) means no poll-time injection at all.
+    decisions: Option<Box<dyn DecisionSource>>,
 }
 
 impl Kernel {
@@ -257,7 +261,20 @@ impl Kernel {
             alloc,
             destroying: Vec::new(),
             pending_delivery: HashMap::new(),
+            decisions: None,
         }
+    }
+
+    /// Installs a schedule-decision source, consulted at every
+    /// preemption-point poll (see [`crate::decision`]).
+    pub fn set_decision_source(&mut self, src: Box<dyn DecisionSource>) {
+        self.decisions = Some(src);
+    }
+
+    /// Removes the installed decision source, returning the kernel to the
+    /// uninstrumented production path.
+    pub fn clear_decision_source(&mut self) -> Option<Box<dyn DecisionSource>> {
+        self.decisions.take()
     }
 
     /// The currently running thread.
@@ -513,6 +530,17 @@ impl Kernel {
         if !self.config.preemption_points {
             return Ok(());
         }
+        if let Some(src) = self.decisions.as_mut() {
+            // An injected arrival models a device asserting the line in
+            // the instant before this poll samples the pending mask. The
+            // consultation itself charges no cycles and, when the source
+            // declines, mutates nothing — the production path stays
+            // bit-identical.
+            if let Some(line) = src.preemption_poll(&self.machine.irq) {
+                let now = self.machine.now();
+                self.machine.irq.raise(line, now);
+            }
+        }
         self.machine.trace_phase("preempt-check");
         self.blk0(Block::PreemptCheck);
         if self.machine.irq.has_pending() {
@@ -611,6 +639,19 @@ impl Kernel {
         let c = self.tcb_addr(t, 0x24);
         let d = self.tcb_addr(t, 0x28);
         self.blk(Block::DequeueThread, &[pr, a, b, st, c, d]);
+    }
+
+    /// Suspends thread `t` (as a root-task stand-in would via TcbSuspend):
+    /// dequeues it if queued, marks it inactive and reschedules. Used by
+    /// [`crate::system::System`] when a script runs dry, and by external
+    /// harnesses (the rt-explore engine) driving threads directly.
+    pub fn suspend_thread(&mut self, t: ObjId) {
+        if self.objs.tcb(t).in_runqueue {
+            self.queues.dequeue(&mut self.objs, t);
+        }
+        self.objs.tcb_mut(t).state = ThreadState::Inactive;
+        self.force_choose_new();
+        self.schedule();
     }
 
     /// Resolves the pending scheduling decision — runs on every kernel

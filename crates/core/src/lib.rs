@@ -54,6 +54,7 @@
 
 pub mod cap;
 pub mod cnode;
+pub mod decision;
 pub mod ep;
 pub mod fastpath;
 pub mod invariants;

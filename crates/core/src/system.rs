@@ -211,12 +211,7 @@ impl System {
     }
 
     fn suspend(&mut self, tcb: ObjId) {
-        if self.kernel.objs.tcb(tcb).in_runqueue {
-            self.kernel.queues.dequeue(&mut self.kernel.objs, tcb);
-        }
-        self.kernel.objs.tcb_mut(tcb).state = ThreadState::Inactive;
-        self.kernel.force_choose_new();
-        self.kernel.schedule();
+        self.kernel.suspend_thread(tcb);
     }
 }
 

@@ -1,0 +1,699 @@
+//! The exploration engine: exhaustive DFS, random walks, replay and
+//! counterexample minimization.
+//!
+//! A *run* executes a scenario instance from boot under a scripted choice
+//! trace (see [`crate::choice`]). The engine's event loop mirrors the
+//! simulator in `rt_kernel::system` — service pending interrupts, then
+//! step the current thread — except that *which* enabled event happens
+//! next (a thread step, or one of the legal interrupt arrivals) is a
+//! decision point, as is every preemption-point poll inside the kernel
+//! (via the installed [`DecisionSource`]). After every event the oracles
+//! run: the kernel-wide invariant suite, the incremental-consistency
+//! checks of [`crate::oracle`], and the latency oracle (every logged
+//! interrupt response must be within the WCET-derived bound).
+//!
+//! Exhaustive mode is a stateless-model-checking DFS: execute a trace,
+//! then branch a new trace for every untried alternative at every
+//! decision point past the scripted prefix. Kernels are rebuilt from the
+//! scenario per run (they are not cloneable), which keeps replay trivial
+//! and the frontier compact. Duplicate states are pruned via
+//! [`crate::state::canonical_hash`], only in the extension phase (prefix
+//! states were expanded before, by construction).
+//!
+//! Large frontiers fan out over an [`rt_pool::Pool`]: the frontier is
+//! dealt round-robin into a *fixed* number of chunks, each drained as an
+//! independent serial DFS (with its own pruning set seeded from the
+//! serial phase), and the chunk results merged in order — so the report
+//! is byte-identical for any worker count, the same determinism contract
+//! the analysis sweep makes.
+//!
+//! [`DecisionSource`]: rt_kernel::decision::DecisionSource
+
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+
+use rt_hw::Cycles;
+use rt_kernel::invariants::{self, Violation};
+use rt_kernel::kernel::{EntryPoint, Kernel, KernelConfig};
+use rt_kernel::system::Action;
+use rt_kernel::tcb::ThreadState;
+use rt_pool::Pool;
+use rt_wcet::{AnalysisCache, AnalysisConfig};
+
+use crate::choice::{Choice, Decision, RunCtl, ScriptedSource, Site, SplitMix};
+use crate::oracle;
+use crate::scenario::{self, Instance, Scenario};
+use crate::state::canonical_hash;
+
+/// Exploration parameters.
+#[derive(Clone, Debug)]
+pub struct ExploreConfig {
+    /// Maximum top-level events per run (depth bound).
+    pub max_depth: usize,
+    /// Prune runs that reach an already-expanded canonical state.
+    pub prune: bool,
+    /// Latency oracle bound in cycles ([`Cycles::MAX`] disables it).
+    pub latency_bound: Cycles,
+    /// Test-only mutation applied after preempting events (see
+    /// [`SeededBug`]).
+    pub seeded_bug: Option<SeededBug>,
+    /// Safety cap on the number of runs.
+    pub max_runs: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> ExploreConfig {
+        ExploreConfig {
+            max_depth: 8,
+            prune: true,
+            latency_bound: Cycles::MAX,
+            seeded_bug: None,
+            max_runs: 500_000,
+        }
+    }
+}
+
+/// A deliberately planted consistency bug, applied *after* any event that
+/// preempted a kernel operation. Schedules that never preempt mid-flight
+/// never trigger it — finding the bug requires finding the interleaving,
+/// which is what makes these useful for validating the explorer itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SeededBug {
+    /// Advance a live badged-abort cursor past one queue element without
+    /// examining it — lost §3.4 scan progress, caught by the
+    /// `abort-scan-progress` oracle when the skipped sender matches.
+    AbortSkip,
+    /// Dequeue one runnable queued thread without suspending it — breaks
+    /// the Benno "runnable iff queued or current" discipline, caught by
+    /// the scheduler invariants.
+    DropRunnable,
+}
+
+/// Everything observed during a single run.
+#[derive(Clone, Debug, Default)]
+pub struct RunRecord {
+    /// Full choice trace taken (prefix + extension).
+    pub taken: Vec<Choice>,
+    /// Option counts per decision, aligned with `taken`.
+    pub decisions: Vec<Decision>,
+    /// Top-level events executed.
+    pub events: usize,
+    /// Oracle-checked states.
+    pub states: usize,
+    /// Stopped at an already-expanded state.
+    pub pruned: bool,
+    /// Hit the depth bound while still active.
+    pub truncated: bool,
+    /// Preemption-poll decision points encountered.
+    pub preempt_decisions: u32,
+    /// Preemption-point polls observed (decision points or not).
+    pub polls: u32,
+    /// Interrupt arrivals injected.
+    pub injected: u32,
+    /// Preemptions the kernel actually took.
+    pub preemptions: u64,
+    /// Interrupt responses logged.
+    pub responses: usize,
+    /// Worst observed response latency (0 when none).
+    pub max_latency: Cycles,
+    /// Canonical state hashes newly expanded by this run.
+    pub hashes: Vec<u64>,
+    /// Oracle violations (run stops at the first failing state).
+    pub violations: Vec<Violation>,
+}
+
+/// A failing schedule: the full trace that produced it, the minimized
+/// replayable trace, and what the oracles reported.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// Trace of the originally failing run.
+    pub trace: Vec<Choice>,
+    /// Lexicographically minimized trace (replays to a failure).
+    pub minimized: Vec<Choice>,
+    /// Violations at the failing state.
+    pub violations: Vec<Violation>,
+}
+
+/// Aggregate result of exploring one scenario.
+#[derive(Clone, Debug)]
+pub struct ExploreReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Distinct interleavings executed.
+    pub interleavings: usize,
+    /// Runs cut short at a duplicate state.
+    pub pruned: usize,
+    /// Runs that hit the depth bound.
+    pub truncated: usize,
+    /// Oracle-checked states (with duplicates across runs).
+    pub states: usize,
+    /// Distinct canonical states expanded.
+    pub distinct_states: usize,
+    /// Most preemption-poll decision points seen in one run.
+    pub preempt_sites: u32,
+    /// Total preemption-point polls across runs.
+    pub polls: u64,
+    /// Total injected arrivals.
+    pub injected: u64,
+    /// Total kernel preemptions.
+    pub preemptions: u64,
+    /// Total interrupt responses checked by the latency oracle.
+    pub responses: u64,
+    /// Worst observed response latency across all paths.
+    pub max_latency: Cycles,
+    /// The bound the latency oracle enforced.
+    pub latency_bound: Cycles,
+    /// First failing schedule found, if any.
+    pub counterexample: Option<Counterexample>,
+    /// The run cap stopped the search before the frontier emptied.
+    pub capped: bool,
+}
+
+impl ExploreReport {
+    fn new(name: &str, bound: Cycles) -> ExploreReport {
+        ExploreReport {
+            scenario: name.to_string(),
+            interleavings: 0,
+            pruned: 0,
+            truncated: 0,
+            states: 0,
+            distinct_states: 0,
+            preempt_sites: 0,
+            polls: 0,
+            injected: 0,
+            preemptions: 0,
+            responses: 0,
+            max_latency: 0,
+            latency_bound: bound,
+            counterexample: None,
+            capped: false,
+        }
+    }
+}
+
+/// The paper's interrupt-response bound — WCET(system call) +
+/// WCET(interrupt) for the after-kernel with L2 off (the same
+/// configuration `repro latency-bound` prints) — computed through the
+/// shared [`AnalysisCache`] so repeated callers pay for it once.
+pub fn wcet_latency_bound(cache: &AnalysisCache) -> Cycles {
+    let cfg = AnalysisConfig {
+        kernel: KernelConfig::after(),
+        l2: false,
+        pinning: false,
+        l2_kernel_locked: false,
+        manual_constraints: true,
+    };
+    let sys = cache.analyze(EntryPoint::Syscall, &cfg);
+    let irq = cache.analyze(EntryPoint::Interrupt, &cfg);
+    sys.cycles + irq.cycles
+}
+
+/// A top-level event enabled at an event boundary, in enumeration order:
+/// step the current thread first, then arrivals in budget order.
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    Run,
+    Raise(usize),
+}
+
+fn apply_seeded_bug(k: &mut Kernel, bug: SeededBug) {
+    match bug {
+        SeededBug::AbortSkip => {
+            let target = k.objs.iter().find_map(|(id, o)| match &o.kind {
+                rt_kernel::obj::ObjKind::Endpoint(e) => {
+                    e.abort.as_ref().and_then(|a| a.cursor).map(|c| (id, c))
+                }
+                _ => None,
+            });
+            if let Some((ep, cursor)) = target {
+                let next = k.objs.tcb(cursor).ep_next;
+                k.objs
+                    .ep_mut(ep)
+                    .abort
+                    .as_mut()
+                    .expect("abort state")
+                    .cursor = next;
+            }
+        }
+        SeededBug::DropRunnable => {
+            let victim = k.objs.iter().find_map(|(id, o)| match &o.kind {
+                rt_kernel::obj::ObjKind::Tcb(t)
+                    if t.in_runqueue && t.state.is_runnable() && id != k.current() =>
+                {
+                    Some(id)
+                }
+                _ => None,
+            });
+            if let Some(t) = victim {
+                k.queues.dequeue(&mut k.objs, t);
+            }
+        }
+    }
+}
+
+/// Steps the current thread once, mirroring `System::run`'s action
+/// semantics (restart re-execution, script exhaustion parks the thread).
+fn run_current(
+    k: &mut Kernel,
+    scripts: &[(rt_kernel::obj::ObjId, Vec<Action>)],
+    cursors: &mut [usize],
+) {
+    let cur = k.current();
+    let restart = {
+        let t = k.objs.tcb(cur);
+        if t.state == ThreadState::Restart {
+            t.current_syscall.clone()
+        } else {
+            None
+        }
+    };
+    if let Some(sys) = restart {
+        let _ = k.handle_syscall(sys);
+        return;
+    }
+    if k.objs.tcb(cur).state == ThreadState::Restart {
+        // Restarted with no syscall (cancelled IPC): just run on.
+        k.objs.tcb_mut(cur).state = ThreadState::Running;
+        return;
+    }
+    let Some(si) = scripts.iter().position(|(id, _)| *id == cur) else {
+        k.suspend_thread(cur);
+        return;
+    };
+    let Some(action) = scripts[si].1.get(cursors[si]).cloned() else {
+        k.suspend_thread(cur);
+        return;
+    };
+    cursors[si] += 1;
+    match action {
+        Action::Compute(c) => k.machine.advance(c),
+        Action::Syscall(sys) => {
+            let _ = k.handle_syscall(sys);
+        }
+        Action::PageFault(addr) => k.handle_page_fault(addr),
+        Action::UndefInstr => k.handle_undefined(),
+        Action::Pollute => k.machine.pollute(0x4000_0000),
+        Action::Stop => k.suspend_thread(cur),
+    }
+}
+
+/// Executes one run of `sc` under `prefix` (+ default or random
+/// extension), checking every oracle at every event boundary.
+pub fn execute(
+    sc: &Scenario,
+    prefix: &[Choice],
+    rng: Option<SplitMix>,
+    cfg: &ExploreConfig,
+    visited: &HashSet<u64>,
+) -> RunRecord {
+    let Instance {
+        mut kernel,
+        scripts,
+        irqs,
+    } = (sc.build)();
+    let ctl = Arc::new(Mutex::new(RunCtl::new(prefix.to_vec(), rng, irqs)));
+    kernel.set_decision_source(Box::new(ScriptedSource { ctl: ctl.clone() }));
+    let mut cursors = vec![0usize; scripts.len()];
+    let mut rec = RunRecord::default();
+    let mut checked_responses = 0usize;
+
+    let mut check = |kernel: &Kernel, rec: &mut RunRecord| -> Vec<Violation> {
+        let mut v = invariants::check_all(kernel);
+        v.extend(oracle::check_consistency(kernel));
+        while checked_responses < kernel.irq_log.len() {
+            let r = &kernel.irq_log[checked_responses];
+            checked_responses += 1;
+            let latency = r.kernel_ack.saturating_sub(r.raised);
+            rec.responses += 1;
+            rec.max_latency = rec.max_latency.max(latency);
+            if latency > cfg.latency_bound {
+                v.push(Violation {
+                    invariant: "latency-bound",
+                    detail: format!(
+                        "line {:?}: observed {} cycles > bound {} (raised {}, acked {})",
+                        r.line, latency, cfg.latency_bound, r.raised, r.kernel_ack
+                    ),
+                });
+            }
+        }
+        rec.states += 1;
+        v
+    };
+
+    let initial = check(&kernel, &mut rec);
+    if !initial.is_empty() {
+        rec.violations = initial;
+    } else {
+        for _ in 0..cfg.max_depth {
+            // "In userspace" with a line pending: the entry happens now,
+            // deterministically — same as the simulator's run loop.
+            while kernel.machine.irq.has_pending() {
+                kernel.handle_interrupt();
+            }
+            let mut events: Vec<Event> = Vec::new();
+            if !kernel.is_idle() {
+                events.push(Event::Run);
+            }
+            {
+                let g = ctl.lock().expect("ctl lock");
+                for (i, &(line, left)) in g.budgets.iter().enumerate() {
+                    if left > 0
+                        && !kernel.machine.irq.is_masked(line)
+                        && !kernel.machine.irq.is_pending(line)
+                    {
+                        events.push(Event::Raise(i));
+                    }
+                }
+            }
+            if events.is_empty() {
+                break; // quiescent
+            }
+            if cfg.prune && ctl.lock().expect("ctl lock").in_extension() {
+                let budgets = ctl.lock().expect("ctl lock").budgets.clone();
+                let h = canonical_hash(&kernel, &cursors, &budgets);
+                if visited.contains(&h) || rec.hashes.contains(&h) {
+                    rec.pruned = true;
+                    break;
+                }
+                rec.hashes.push(h);
+            }
+            let pick = ctl
+                .lock()
+                .expect("ctl lock")
+                .choose(Site::Event, events.len() as Choice);
+            let preemptions_before = kernel.stats.preemptions;
+            match events[pick as usize] {
+                Event::Run => run_current(&mut kernel, &scripts, &mut cursors),
+                Event::Raise(i) => {
+                    let line = {
+                        let mut g = ctl.lock().expect("ctl lock");
+                        g.budgets[i].1 -= 1;
+                        g.injected += 1;
+                        g.budgets[i].0
+                    };
+                    let now = kernel.machine.now();
+                    kernel.machine.irq.raise(line, now);
+                    kernel.handle_interrupt();
+                }
+            }
+            rec.events += 1;
+            if let Some(bug) = cfg.seeded_bug {
+                if kernel.stats.preemptions > preemptions_before {
+                    apply_seeded_bug(&mut kernel, bug);
+                }
+            }
+            let v = check(&kernel, &mut rec);
+            if !v.is_empty() {
+                rec.violations = v;
+                break;
+            }
+        }
+    }
+
+    let g = ctl.lock().expect("ctl lock");
+    rec.taken = g.taken.clone();
+    rec.decisions = g.log.clone();
+    rec.polls = g.polls;
+    rec.injected = g.injected;
+    rec.preempt_decisions = g.log.iter().filter(|d| d.site == Site::PreemptPoll).count() as u32;
+    rec.preemptions = kernel.stats.preemptions;
+    rec.truncated = rec.events == cfg.max_depth && rec.violations.is_empty() && !rec.pruned;
+    rec
+}
+
+/// Replays `trace` against `sc` (no pruning, no extension randomness) and
+/// returns the full record — the repro entry point for counterexamples.
+pub fn replay(sc: &Scenario, trace: &[Choice], cfg: &ExploreConfig) -> RunRecord {
+    let mut c = cfg.clone();
+    c.prune = false;
+    execute(sc, trace, None, &c, &HashSet::new())
+}
+
+/// Minimizes a failing trace by lexicographic descent: repeatedly try to
+/// lower the first lowerable choice (re-running with the shortened prefix
+/// and default continuation) and keep any variant that still fails. The
+/// big-endian lexicographic value strictly decreases on every accepted
+/// step, so this terminates; trailing default choices are then dropped.
+pub fn minimize(sc: &Scenario, trace: &[Choice], cfg: &ExploreConfig) -> Vec<Choice> {
+    let fails = |t: &[Choice]| -> Option<Vec<Choice>> {
+        let r = replay(sc, t, cfg);
+        (!r.violations.is_empty()).then_some(r.taken)
+    };
+    let mut best = trace.to_vec();
+    loop {
+        let mut improved = false;
+        'scan: for i in 0..best.len() {
+            if best[i] == 0 {
+                continue;
+            }
+            for smaller in 0..best[i] {
+                let mut cand = best[..i].to_vec();
+                cand.push(smaller);
+                if let Some(full) = fails(&cand) {
+                    best = full;
+                    improved = true;
+                    break 'scan;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    while best.last() == Some(&0) {
+        best.pop();
+    }
+    best
+}
+
+fn absorb(
+    rep: &mut ExploreReport,
+    visited: &mut HashSet<u64>,
+    frontier: &mut Vec<Vec<Choice>>,
+    prefix_len: usize,
+    r: RunRecord,
+) {
+    rep.interleavings += 1;
+    rep.states += r.states;
+    rep.pruned += r.pruned as usize;
+    rep.truncated += r.truncated as usize;
+    rep.preempt_sites = rep.preempt_sites.max(r.preempt_decisions);
+    rep.polls += r.polls as u64;
+    rep.injected += r.injected as u64;
+    rep.preemptions += r.preemptions;
+    rep.responses += r.responses as u64;
+    rep.max_latency = rep.max_latency.max(r.max_latency);
+    visited.extend(r.hashes.iter().copied());
+    if !r.violations.is_empty() {
+        if rep.counterexample.is_none() {
+            rep.counterexample = Some(Counterexample {
+                trace: r.taken.clone(),
+                minimized: Vec::new(), // filled by the caller
+                violations: r.violations.clone(),
+            });
+        }
+        return;
+    }
+    // Branch every untried alternative past the prefix. Pushed in reverse
+    // so the lexicographically next trace is popped first (pure DFS).
+    for i in (prefix_len..r.taken.len()).rev() {
+        for alt in ((r.taken[i] + 1)..r.decisions[i].options).rev() {
+            let mut t = r.taken[..i].to_vec();
+            t.push(alt);
+            frontier.push(t);
+        }
+    }
+}
+
+/// Once the serial frontier reaches this size, the remainder fans out
+/// over the pool. Fixed (not worker-derived) so reports are identical for
+/// any job count.
+const PARALLEL_THRESHOLD: usize = 64;
+/// Fixed chunk count for the parallel phase, same reasoning.
+const PARALLEL_CHUNKS: usize = 16;
+
+fn drain_serial(
+    sc: &Scenario,
+    cfg: &ExploreConfig,
+    rep: &mut ExploreReport,
+    visited: &mut HashSet<u64>,
+    frontier: &mut Vec<Vec<Choice>>,
+    max_runs: usize,
+) {
+    while let Some(prefix) = frontier.pop() {
+        if rep.interleavings >= max_runs {
+            rep.capped = true;
+            frontier.clear();
+            break;
+        }
+        let r = execute(sc, &prefix, None, cfg, visited);
+        absorb(rep, visited, frontier, prefix.len(), r);
+        if rep.counterexample.is_some() {
+            frontier.clear();
+            break;
+        }
+    }
+}
+
+/// Exhaustive bounded DFS over `sc`'s interleavings. Deterministic for
+/// any `pool` size; stops early at the first counterexample (which is
+/// then minimized).
+pub fn explore(sc: &Scenario, cfg: &ExploreConfig, pool: &Pool) -> ExploreReport {
+    let mut rep = ExploreReport::new(sc.name, cfg.latency_bound);
+    let mut visited: HashSet<u64> = HashSet::new();
+    let mut frontier: Vec<Vec<Choice>> = vec![Vec::new()];
+
+    // Serial phase: run until done or the frontier is wide enough to
+    // split. The threshold split is taken regardless of worker count so
+    // jobs=1 and jobs=N traverse identical work lists.
+    while let Some(prefix) = frontier.pop() {
+        if rep.interleavings >= cfg.max_runs {
+            rep.capped = true;
+            break;
+        }
+        let r = execute(sc, &prefix, None, cfg, &visited);
+        absorb(&mut rep, &mut visited, &mut frontier, prefix.len(), r);
+        if rep.counterexample.is_some() {
+            break;
+        }
+        if frontier.len() >= PARALLEL_THRESHOLD {
+            break;
+        }
+    }
+
+    if rep.counterexample.is_none() && !frontier.is_empty() && rep.interleavings < cfg.max_runs {
+        // Parallel phase: deal the frontier round-robin into fixed
+        // chunks; each chunk drains independently against a snapshot of
+        // the pruning set, and chunk reports merge in deal order.
+        let mut chunks: Vec<Vec<Vec<Choice>>> = vec![Vec::new(); PARALLEL_CHUNKS];
+        for (i, t) in frontier.drain(..).enumerate() {
+            chunks[i % PARALLEL_CHUNKS].push(t);
+        }
+        let budget = (cfg.max_runs - rep.interleavings) / PARALLEL_CHUNKS + 1;
+        let snapshot = visited.clone();
+        let partials = pool.parallel_map(chunks, |mut chunk| {
+            chunk.reverse(); // drain in deal order
+            let mut sub = ExploreReport::new(sc.name, cfg.latency_bound);
+            let mut sub_visited = snapshot.clone();
+            drain_serial(sc, cfg, &mut sub, &mut sub_visited, &mut chunk, budget);
+            (sub, sub_visited)
+        });
+        for (sub, sub_visited) in partials {
+            rep.interleavings += sub.interleavings;
+            rep.states += sub.states;
+            rep.pruned += sub.pruned;
+            rep.truncated += sub.truncated;
+            rep.preempt_sites = rep.preempt_sites.max(sub.preempt_sites);
+            rep.polls += sub.polls;
+            rep.injected += sub.injected;
+            rep.preemptions += sub.preemptions;
+            rep.responses += sub.responses;
+            rep.max_latency = rep.max_latency.max(sub.max_latency);
+            rep.capped |= sub.capped;
+            visited.extend(sub_visited);
+            if rep.counterexample.is_none() {
+                rep.counterexample = sub.counterexample;
+            }
+        }
+    }
+
+    rep.distinct_states = visited.len();
+    if let Some(cex) = rep.counterexample.as_mut() {
+        let trace = cex.trace.clone();
+        let minimized = minimize(sc, &trace, cfg);
+        rep.counterexample
+            .as_mut()
+            .expect("counterexample present")
+            .minimized = minimized;
+    }
+    rep
+}
+
+/// Seeded random-walk mode for scopes too large to enumerate: `walks`
+/// independent runs whose choices are drawn from per-walk deterministic
+/// generators derived from `seed`. Identical seeds give identical
+/// reports.
+pub fn random_walk(sc: &Scenario, cfg: &ExploreConfig, seed: u64, walks: usize) -> ExploreReport {
+    let mut rep = ExploreReport::new(sc.name, cfg.latency_bound);
+    let mut visited: HashSet<u64> = HashSet::new();
+    let mut no_prune = cfg.clone();
+    no_prune.prune = false;
+    for w in 0..walks {
+        let rng = SplitMix::new(seed ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let r = execute(sc, &[], Some(rng), &no_prune, &visited);
+        let mut discard = Vec::new();
+        absorb(&mut rep, &mut visited, &mut discard, usize::MAX, r);
+        if rep.counterexample.is_some() {
+            break;
+        }
+    }
+    rep.distinct_states = visited.len();
+    if let Some(cex) = rep.counterexample.as_mut() {
+        let trace = cex.trace.clone();
+        let minimized = minimize(sc, &trace, cfg);
+        rep.counterexample
+            .as_mut()
+            .expect("counterexample present")
+            .minimized = minimized;
+    }
+    rep
+}
+
+fn render_line(rep: &ExploreReport) -> String {
+    let mut s = format!(
+        "  {:<16} interleavings={} pruned={} truncated={} states={} distinct={} \
+         preempt-pts={} polls={} injected={} preemptions={} responses={} \
+         max-latency={}/{}",
+        rep.scenario,
+        rep.interleavings,
+        rep.pruned,
+        rep.truncated,
+        rep.states,
+        rep.distinct_states,
+        rep.preempt_sites,
+        rep.polls,
+        rep.injected,
+        rep.preemptions,
+        rep.responses,
+        rep.max_latency,
+        rep.latency_bound,
+    );
+    s.push_str(&format!(
+        " counterexamples={}{}\n",
+        rep.counterexample.is_some() as u32,
+        if rep.capped { " (capped)" } else { "" }
+    ));
+    if let Some(cex) = &rep.counterexample {
+        s.push_str(&format!(
+            "    counterexample: trace={:?} minimized={:?}\n",
+            cex.trace, cex.minimized
+        ));
+        for v in &cex.violations {
+            s.push_str(&format!("    violated {}: {}\n", v.invariant, v.detail));
+        }
+    }
+    s
+}
+
+/// Runs every scenario exhaustively at `depth` and renders the `repro
+/// explore` report: one `key=value` line per scenario (awk-friendly; the
+/// CI smoke gate parses it), plus any counterexample traces.
+pub fn explore_report(depth: usize, pool: &Pool, cache: &AnalysisCache) -> String {
+    let bound = wcet_latency_bound(cache);
+    let mut s = String::new();
+    s.push_str(&format!(
+        "schedule exploration: exhaustive DFS over preemption-point interleavings, depth <= {depth}\n\
+         latency oracle: observed response <= WCET(syscall) + WCET(interrupt) = {bound} cycles\n\
+         (after-kernel, L2 off — the §6 bound `repro latency-bound` prints)\n\n"
+    ));
+    for sc in scenario::all() {
+        let cfg = ExploreConfig {
+            max_depth: depth,
+            latency_bound: bound,
+            ..ExploreConfig::default()
+        };
+        let rep = explore(&sc, &cfg, pool);
+        s.push_str(&render_line(&rep));
+    }
+    s
+}

@@ -1,0 +1,220 @@
+//! Incremental-consistency oracles for in-object resume state.
+//!
+//! The paper's preemption-point design stores the progress of a long
+//! kernel operation *inside the objects it manipulates* (§3.3–§3.6), so
+//! that a restarted system call continues instead of restarting from
+//! scratch. These oracles check that the stored resume state is coherent
+//! at every explored event boundary — i.e. in precisely the states an
+//! interrupt can observe:
+//!
+//! * **badged abort (§3.4)** — the [`AbortState`] cursor/end pointers
+//!   must still reference threads queued on the endpoint, the scanned
+//!   prefix must contain no matching-badge sender (progress is never
+//!   lost or skipped), and the initiator must be live;
+//! * **endpoint deletion (§3.3)** — a deactivated endpoint is
+//!   mid-teardown; its `completed_for` note must reference a live TCB;
+//! * **untyped clearing (§3.5)** — `clear_progress` never exceeds the
+//!   planned region and the claimed prefix really is zeroed in physical
+//!   memory; no progress lingers after the retype commits;
+//! * **vspace teardown (§3.6)** — `lowest_mapped` is a true lower bound:
+//!   every page-table / page-directory entry below it is invalid.
+//!
+//! Everything else (queue integrity, scheduler bitmap agreement, CDT
+//! shape, shadow back-pointers) is already covered by
+//! [`rt_kernel::invariants::check_all`], which the engine runs alongside
+//! these checks.
+//!
+//! [`AbortState`]: rt_kernel::ep::AbortState
+
+use rt_kernel::ep;
+use rt_kernel::invariants::Violation;
+use rt_kernel::kernel::Kernel;
+use rt_kernel::obj::{ObjId, ObjKind};
+use rt_kernel::vspace::{PdEntry, PtEntry};
+
+fn live_tcb(k: &Kernel, id: ObjId) -> bool {
+    k.objs.is_live(id) && matches!(k.objs.get(id).kind, ObjKind::Tcb(_))
+}
+
+/// Checks the in-object resume state of every live object. Empty result
+/// means consistent.
+pub fn check_consistency(k: &Kernel) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut fail = |invariant: &'static str, detail: String| {
+        out.push(Violation { invariant, detail });
+    };
+    for (id, o) in k.objs.iter() {
+        match &o.kind {
+            ObjKind::Endpoint(e) => {
+                if let Some(a) = &e.abort {
+                    if !live_tcb(k, a.initiator) {
+                        fail(
+                            "abort-initiator-live",
+                            format!("ep {id:?}: {:?}", a.initiator),
+                        );
+                    }
+                    // Walk the queue once: the cursor (when set) must be
+                    // reachable, `end` must not have been passed silently,
+                    // and no matching-badge sender may sit in the scanned
+                    // prefix [head, cursor).
+                    let mut cursor_seen = a.cursor.is_none();
+                    let mut end_seen = false;
+                    for t in ep::ep_iter(&k.objs, id) {
+                        if Some(t) == a.cursor {
+                            cursor_seen = true;
+                        }
+                        if !cursor_seen && ep::queued_badge(&k.objs, t) == Some(a.badge) {
+                            fail(
+                                "abort-scan-progress",
+                                format!(
+                                    "ep {id:?}: badge {:?} sender {t:?} left before cursor {:?}",
+                                    a.badge, a.cursor
+                                ),
+                            );
+                        }
+                        if t == a.end {
+                            end_seen = true;
+                        }
+                    }
+                    if !cursor_seen {
+                        fail(
+                            "abort-cursor-queued",
+                            format!("ep {id:?}: cursor {:?} not in queue", a.cursor),
+                        );
+                    }
+                    // `end` is examined last; while the scan is unfinished
+                    // (cursor set) it must still be queued.
+                    if a.cursor.is_some() && !end_seen {
+                        fail(
+                            "abort-end-queued",
+                            format!("ep {id:?}: end {:?} not in queue", a.end),
+                        );
+                    }
+                }
+                if let Some(t) = e.completed_for {
+                    if !live_tcb(k, t) {
+                        fail("abort-completed-for-live", format!("ep {id:?}: {t:?}"));
+                    }
+                }
+            }
+            ObjKind::Untyped(u) => {
+                if let Some(p) = &u.pending {
+                    if u.clear_progress > p.region_len {
+                        fail(
+                            "untyped-clear-in-region",
+                            format!(
+                                "ut {id:?}: progress {} > region {}",
+                                u.clear_progress, p.region_len
+                            ),
+                        );
+                    } else if !k
+                        .machine
+                        .phys
+                        .is_zero_range(p.region_start, u.clear_progress)
+                    {
+                        fail(
+                            "untyped-clear-zeroed",
+                            format!(
+                                "ut {id:?}: claimed-clear prefix [{:#x}, +{}) is dirty",
+                                p.region_start, u.clear_progress
+                            ),
+                        );
+                    }
+                } else if u.clear_progress != 0 {
+                    fail(
+                        "untyped-clear-quiescent",
+                        format!(
+                            "ut {id:?}: progress {} with no retype in flight",
+                            u.clear_progress
+                        ),
+                    );
+                }
+            }
+            ObjKind::PageTable(p) => {
+                let limit = p.lowest_mapped.min(p.entries.len() as u32);
+                for i in 0..limit {
+                    if !matches!(p.entries[i as usize], PtEntry::Invalid) {
+                        fail(
+                            "pt-lowest-mapped",
+                            format!("pt {id:?}: entry {i} mapped below lowest_mapped {limit}"),
+                        );
+                        break;
+                    }
+                }
+            }
+            ObjKind::PageDirectory(p) => {
+                let limit = p.lowest_mapped.min(p.entries.len() as u32);
+                for i in 0..limit {
+                    if !matches!(p.entries[i as usize], PdEntry::Invalid) {
+                        fail(
+                            "pd-lowest-mapped",
+                            format!("pd {id:?}: entry {i} mapped below lowest_mapped {limit}"),
+                        );
+                        break;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_hw::HwConfig;
+    use rt_kernel::cap::Badge;
+    use rt_kernel::ep::{ep_append, AbortState, EpState};
+    use rt_kernel::kernel::KernelConfig;
+    use rt_kernel::tcb::ThreadState;
+
+    #[test]
+    fn clean_kernel_is_consistent() {
+        let k = Kernel::new(KernelConfig::after(), HwConfig::default());
+        assert!(check_consistency(&k).is_empty());
+    }
+
+    #[test]
+    fn skipped_matching_sender_is_flagged() {
+        let mut k = Kernel::new(KernelConfig::after(), HwConfig::default());
+        let ep = k.boot_endpoint();
+        let a = k.boot_tcb("a", 10);
+        let b = k.boot_tcb("b", 10);
+        for (t, badge) in [(a, Badge(42)), (b, Badge(42))] {
+            ep_append(&mut k.objs, ep, t, EpState::Sending);
+            k.objs.tcb_mut(t).state = ThreadState::BlockedOnSend {
+                ep,
+                badge,
+                can_grant: false,
+                is_call: false,
+            };
+        }
+        let init = k.boot_tcb("init", 100);
+        // A cursor past `a` with `a` (badge 42) still queued: progress was
+        // skipped, exactly what a lost §3.4 resume would look like.
+        k.objs.ep_mut(ep).abort = Some(AbortState {
+            badge: Badge(42),
+            cursor: Some(b),
+            end: b,
+            initiator: init,
+        });
+        let v = check_consistency(&k);
+        assert!(
+            v.iter().any(|v| v.invariant == "abort-scan-progress"),
+            "got {v:?}"
+        );
+    }
+
+    #[test]
+    fn stale_clear_progress_is_flagged() {
+        let mut k = Kernel::new(KernelConfig::after(), HwConfig::default());
+        let ut = k.boot_untyped(14);
+        k.objs.untyped_mut(ut).clear_progress = 64;
+        let v = check_consistency(&k);
+        assert!(
+            v.iter().any(|v| v.invariant == "untyped-clear-quiescent"),
+            "got {v:?}"
+        );
+    }
+}

@@ -1,0 +1,433 @@
+//! Small-scope exploration scenarios.
+//!
+//! Each scenario is a self-contained booted kernel plus per-thread
+//! scripts and a set of injectable interrupt lines with per-line budgets.
+//! They are deliberately *small-scope* (a handful of threads, one long
+//! preemptible operation, one or two interrupt lines with one or two
+//! arrivals each): the small-scope hypothesis that makes exhaustive
+//! enumeration meaningful is the same one behind the bounded model
+//! checking the PAPERS.md verification line of work uses. Every scenario
+//! centres on one of the paper's preemptible operations (§3.3–§3.6) so
+//! the consistency oracles in [`crate::oracle`] have resume state to
+//! interrogate at every interleaving.
+//!
+//! Builders run any setup system calls to completion *before* the engine
+//! installs its decision source, so instances start from a quiescent,
+//! deterministic state.
+
+use rt_hw::{HwConfig, IrqLine};
+use rt_kernel::cap::{insert_cap, Badge, CapType, Rights, SlotRef};
+use rt_kernel::ep::{ep_append, EpState};
+use rt_kernel::kernel::{Kernel, KernelConfig};
+use rt_kernel::ntfn::ntfn_append;
+use rt_kernel::obj::ObjId;
+use rt_kernel::syscall::{Syscall, SyscallOutcome};
+use rt_kernel::system::Action;
+use rt_kernel::tcb::ThreadState;
+use rt_kernel::untyped::RetypeKind;
+
+/// Interrupt line wired to the driver thread's notification (bound lines
+/// follow seL4's mask-until-ack protocol). Line 0 is the timer; stay off
+/// it so no timeslice semantics are dragged in.
+pub const DRIVER_LINE: IrqLine = IrqLine(3);
+/// An issued but unbound line: acknowledged by the kernel, delivered to
+/// nobody — pure preemption pressure.
+pub const FREE_LINE: IrqLine = IrqLine(7);
+
+/// Capability addresses shared by all scenarios (one 12-bit CNode behind
+/// a 20-bit guard, so plain small integers decode directly).
+pub mod cptrs {
+    /// Original (unbadged) endpoint capability.
+    pub const EP: u32 = 1;
+    /// Badged derivation of [`EP`] (badge 42).
+    pub const BADGED: u32 = 2;
+    /// The driver's notification.
+    pub const NTFN: u32 = 3;
+    /// Untyped memory.
+    pub const UT: u32 = 4;
+    /// The root CNode itself (retype destination).
+    pub const ROOT: u32 = 5;
+    /// IRQ-handler capability for [`super::DRIVER_LINE`].
+    pub const IRQ_HANDLER: u32 = 6;
+    /// Page directory created during vspace-scenario setup.
+    pub const PD: u32 = 200;
+    /// Page table created during vspace-scenario setup.
+    pub const PT: u32 = 210;
+    /// First of the frames created during setup.
+    pub const FRAME: u32 = 220;
+    /// First free slot for retype destinations.
+    pub const DEST: u32 = 100;
+}
+
+/// A built scenario instance, ready for one run.
+pub struct Instance {
+    /// The booted kernel (current thread set, setup complete).
+    pub kernel: Kernel,
+    /// Per-thread scripts, executed one action per `Run` event.
+    pub scripts: Vec<(ObjId, Vec<Action>)>,
+    /// Injectable lines and how many arrivals of each to explore.
+    pub irqs: Vec<(IrqLine, u32)>,
+}
+
+/// A named scenario: a description plus a deterministic builder. The
+/// engine re-builds an instance per run (kernels are not cloneable), so
+/// builders must be pure.
+pub struct Scenario {
+    /// Short identifier (report key).
+    pub name: &'static str,
+    /// One-line description of what is being interleaved.
+    pub about: &'static str,
+    /// Deterministic instance constructor.
+    pub build: fn() -> Instance,
+}
+
+struct Base {
+    k: Kernel,
+    cnode: ObjId,
+    root: CapType,
+}
+
+fn base() -> Base {
+    let mut k = Kernel::new(KernelConfig::after(), HwConfig::default());
+    let cnode = k.boot_cnode(12);
+    let root = CapType::CNode {
+        obj: cnode,
+        guard_bits: 20,
+        guard: 0,
+    };
+    insert_cap(
+        &mut k.objs,
+        SlotRef::new(cnode, cptrs::ROOT),
+        root.clone(),
+        None,
+    );
+    Base { k, cnode, root }
+}
+
+/// An endpoint with `n` queued senders, every `badge_every`-th carrying
+/// badge 42 (0 = none badged). With `badged_child` a derived badge-42 cap
+/// sits at [`cptrs::BADGED`]; without it the cap at [`cptrs::EP`] is
+/// final, so deleting it destroys the endpoint.
+fn queued_ep(b: &mut Base, n: u32, badge_every: u32, badged_child: bool) -> ObjId {
+    let ep = b.k.boot_endpoint();
+    let orig = SlotRef::new(b.cnode, cptrs::EP);
+    insert_cap(
+        &mut b.k.objs,
+        orig,
+        CapType::Endpoint {
+            obj: ep,
+            badge: Badge::NONE,
+            rights: Rights::ALL,
+        },
+        None,
+    );
+    if badged_child {
+        insert_cap(
+            &mut b.k.objs,
+            SlotRef::new(b.cnode, cptrs::BADGED),
+            CapType::Endpoint {
+                obj: ep,
+                badge: Badge(42),
+                rights: Rights::ALL,
+            },
+            Some(orig),
+        );
+    }
+    for i in 0..n {
+        let c = b.k.boot_tcb(&format!("client{i}"), 10);
+        b.k.objs.tcb_mut(c).cspace_root = b.root.clone();
+        let badge = if badge_every != 0 && i % badge_every == 0 {
+            Badge(42)
+        } else {
+            Badge(7)
+        };
+        ep_append(&mut b.k.objs, ep, c, EpState::Sending);
+        b.k.objs.tcb_mut(c).state = ThreadState::BlockedOnSend {
+            ep,
+            badge,
+            can_grant: false,
+            is_call: false,
+        };
+    }
+    ep
+}
+
+/// A high-priority driver thread parked on a notification bound to
+/// [`DRIVER_LINE`]. Its script acknowledges the IRQ (unmasking the line)
+/// and goes back to waiting — the seL4 driver loop.
+fn add_driver(b: &mut Base) -> (ObjId, Vec<Action>) {
+    let ntfn = b.k.boot_ntfn();
+    insert_cap(
+        &mut b.k.objs,
+        SlotRef::new(b.cnode, cptrs::NTFN),
+        CapType::Notification {
+            obj: ntfn,
+            badge: Badge::NONE,
+            rights: Rights::ALL,
+        },
+        None,
+    );
+    insert_cap(
+        &mut b.k.objs,
+        SlotRef::new(b.cnode, cptrs::IRQ_HANDLER),
+        CapType::IrqHandler(DRIVER_LINE.0),
+        None,
+    );
+    assert!(b.k.irq_table.issue(DRIVER_LINE.0));
+    b.k.irq_table.bind(DRIVER_LINE.0, ntfn, Badge(1));
+    let d = b.k.boot_tcb("driver", 220);
+    b.k.objs.tcb_mut(d).cspace_root = b.root.clone();
+    ntfn_append(&mut b.k.objs, ntfn, d);
+    b.k.objs.tcb_mut(d).state = ThreadState::BlockedOnNotification { ntfn };
+    let script = vec![
+        Action::Syscall(Syscall::IrqAck {
+            handler: cptrs::IRQ_HANDLER,
+        }),
+        Action::Syscall(Syscall::Wait { cptr: cptrs::NTFN }),
+        Action::Stop,
+    ];
+    (d, script)
+}
+
+fn start(b: &mut Base, name: &str, prio: u8) -> ObjId {
+    let t = b.k.boot_tcb(name, prio);
+    b.k.objs.tcb_mut(t).cspace_root = b.root.clone();
+    b.k.objs.tcb_mut(t).state = ThreadState::Running;
+    b.k.force_current_for_test(t);
+    t
+}
+
+/// Runs a setup system call to completion (builders only — no decision
+/// source is installed yet, so nothing can preempt it).
+fn setup_syscall(k: &mut Kernel, sys: Syscall) {
+    match k.handle_syscall(sys) {
+        SyscallOutcome::Completed(r) => assert!(r.is_ok(), "setup syscall failed: {r:?}"),
+        SyscallOutcome::Preempted => panic!("setup syscall preempted"),
+    }
+}
+
+fn ep_delete() -> Instance {
+    let mut b = base();
+    let _ep = queued_ep(&mut b, 4, 2, false);
+    let (driver, driver_script) = add_driver(&mut b);
+    let deleter = start(&mut b, "deleter", 100);
+    let irqs = vec![(DRIVER_LINE, 2), (FREE_LINE, 2)];
+    Instance {
+        kernel: b.k,
+        scripts: vec![
+            (
+                deleter,
+                vec![
+                    Action::Syscall(Syscall::Delete { cptr: cptrs::EP }),
+                    Action::Stop,
+                ],
+            ),
+            (driver, driver_script),
+        ],
+        irqs,
+    }
+}
+
+fn badged_revoke() -> Instance {
+    let mut b = base();
+    let _ep = queued_ep(&mut b, 5, 2, true);
+    let server = start(&mut b, "server", 100);
+    Instance {
+        kernel: b.k,
+        scripts: vec![(
+            server,
+            vec![
+                Action::Syscall(Syscall::Revoke {
+                    cptr: cptrs::BADGED,
+                }),
+                Action::Stop,
+            ],
+        )],
+        irqs: vec![(FREE_LINE, 2)],
+    }
+}
+
+fn retype_clear() -> Instance {
+    let mut b = base();
+    let ut = b.k.boot_untyped(15);
+    insert_cap(
+        &mut b.k.objs,
+        SlotRef::new(b.cnode, cptrs::UT),
+        CapType::Untyped(ut),
+        None,
+    );
+    let alloc = start(&mut b, "allocator", 100);
+    Instance {
+        kernel: b.k,
+        scripts: vec![(
+            alloc,
+            vec![
+                Action::Syscall(Syscall::Retype {
+                    untyped: cptrs::UT,
+                    kind: RetypeKind::Frame { size_bits: 12 },
+                    count: 2,
+                    dest_cnode: cptrs::ROOT,
+                    dest_offset: cptrs::DEST,
+                }),
+                Action::Stop,
+            ],
+        )],
+        irqs: vec![(DRIVER_LINE, 1), (FREE_LINE, 1)],
+    }
+}
+
+fn vspace_teardown() -> Instance {
+    let mut b = base();
+    let ut = b.k.boot_untyped(17);
+    insert_cap(
+        &mut b.k.objs,
+        SlotRef::new(b.cnode, cptrs::UT),
+        CapType::Untyped(ut),
+        None,
+    );
+    let owner = start(&mut b, "owner", 100);
+    // Build a small address space to completion: a directory, a table,
+    // two mapped frames. Only the teardown is explored.
+    const VADDR: u32 = 0x1000_0000;
+    for sys in [
+        Syscall::Retype {
+            untyped: cptrs::UT,
+            kind: RetypeKind::PageDirectory,
+            count: 1,
+            dest_cnode: cptrs::ROOT,
+            dest_offset: cptrs::PD,
+        },
+        Syscall::Retype {
+            untyped: cptrs::UT,
+            kind: RetypeKind::PageTable,
+            count: 1,
+            dest_cnode: cptrs::ROOT,
+            dest_offset: cptrs::PT,
+        },
+        Syscall::Retype {
+            untyped: cptrs::UT,
+            kind: RetypeKind::Frame { size_bits: 12 },
+            count: 2,
+            dest_cnode: cptrs::ROOT,
+            dest_offset: cptrs::FRAME,
+        },
+        Syscall::MapPageTable {
+            pt: cptrs::PT,
+            pd: cptrs::PD,
+            vaddr: VADDR,
+        },
+        Syscall::MapFrame {
+            frame: cptrs::FRAME,
+            pd: cptrs::PD,
+            vaddr: VADDR,
+        },
+        Syscall::MapFrame {
+            frame: cptrs::FRAME + 1,
+            pd: cptrs::PD,
+            vaddr: VADDR + 0x1000,
+        },
+    ] {
+        setup_syscall(&mut b.k, sys);
+    }
+    Instance {
+        kernel: b.k,
+        scripts: vec![(
+            owner,
+            vec![
+                Action::Syscall(Syscall::Delete { cptr: cptrs::PT }),
+                Action::Syscall(Syscall::Delete { cptr: cptrs::PD }),
+                Action::Stop,
+            ],
+        )],
+        irqs: vec![(FREE_LINE, 2)],
+    }
+}
+
+fn irq_response() -> Instance {
+    let mut b = base();
+    let _ep = queued_ep(&mut b, 6, 1, true);
+    let (driver, driver_script) = add_driver(&mut b);
+    let server = start(&mut b, "server", 100);
+    Instance {
+        kernel: b.k,
+        scripts: vec![
+            (
+                server,
+                vec![
+                    // Dirty caches first so explored latencies are
+                    // realistic worst-ish cases, not warm-cache best cases.
+                    Action::Pollute,
+                    Action::Syscall(Syscall::Revoke {
+                        cptr: cptrs::BADGED,
+                    }),
+                    Action::Stop,
+                ],
+            ),
+            (driver, driver_script),
+        ],
+        irqs: vec![(DRIVER_LINE, 2), (FREE_LINE, 1)],
+    }
+}
+
+/// All scenarios, in report order.
+pub fn all() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "ep-delete",
+            about: "endpoint deletion unwinding a 4-deep send queue (§3.3)",
+            build: ep_delete,
+        },
+        Scenario {
+            name: "badged-revoke",
+            about: "badged abort scanning a mixed 5-deep queue (§3.4)",
+            build: badged_revoke,
+        },
+        Scenario {
+            name: "retype-clear",
+            about: "retype zeroing 8 KiB in preemptible chunks (§3.5)",
+            build: retype_clear,
+        },
+        Scenario {
+            name: "vspace-teardown",
+            about: "page-table and directory teardown mid-flight (§3.6)",
+            build: vspace_teardown,
+        },
+        Scenario {
+            name: "irq-response",
+            about: "driver IRQ latency across a badged abort (§5-§6 bound)",
+            build: irq_response,
+        },
+    ]
+}
+
+/// Looks up a scenario by name.
+pub fn by_name(name: &str) -> Option<Scenario> {
+    all().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scenario_builds_clean() {
+        for sc in all() {
+            let inst = (sc.build)();
+            let v = rt_kernel::invariants::check_all(&inst.kernel);
+            assert!(v.is_empty(), "{}: {v:?}", sc.name);
+            assert!(!inst.scripts.is_empty(), "{}", sc.name);
+            assert!(!inst.irqs.is_empty(), "{}", sc.name);
+        }
+    }
+
+    #[test]
+    fn builders_are_deterministic() {
+        for sc in all() {
+            let a = (sc.build)();
+            let b = (sc.build)();
+            let ha = crate::state::canonical_hash(&a.kernel, &[], &a.irqs);
+            let hb = crate::state::canonical_hash(&b.kernel, &[], &b.irqs);
+            assert_eq!(ha, hb, "{}", sc.name);
+        }
+    }
+}

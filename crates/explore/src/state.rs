@@ -1,0 +1,122 @@
+//! Canonical state snapshots for duplicate-state pruning.
+//!
+//! Exhaustive exploration revisits the same kernel state along many
+//! interleavings (two independent arrivals commute more often than not).
+//! The engine prunes a run when the *canonical* state at an event
+//! boundary was already expanded. Canonical means: everything that
+//! determines future behaviour — object contents, scheduler queues,
+//! interrupt-controller pending/mask bits, script positions, remaining
+//! injection budgets — and nothing that doesn't, in particular absolute
+//! time. Two states differing only in `machine.now()` (or in cache
+//! contents, statistics, or response logs) behave identically modulo
+//! timing, and the latency oracle checks timing along every *un*pruned
+//! path before the duplicate is cut off.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use rt_hw::IrqLine;
+use rt_kernel::kernel::Kernel;
+use rt_kernel::obj::ObjKind;
+
+/// Hashes the canonical (time-free) state of `kernel` plus the harness
+/// state that co-determines the future: per-thread script cursors and
+/// remaining interrupt budgets.
+///
+/// `DefaultHasher` is keyed with fixed constants, so the hash is stable
+/// within a process — sufficient for pruning and for cross-worker
+/// determinism (all workers of one exploration live in one process).
+pub fn canonical_hash(kernel: &Kernel, cursors: &[usize], budgets: &[(IrqLine, u32)]) -> u64 {
+    let mut h = DefaultHasher::new();
+    for (id, o) in kernel.objs.iter() {
+        id.0.hash(&mut h);
+        o.base.hash(&mut h);
+        o.size_bits.hash(&mut h);
+        match &o.kind {
+            // TCBs carry one time-dependent field (`wait_since`, response
+            // accounting only); hash the behaviour-relevant fields.
+            ObjKind::Tcb(t) => {
+                0u8.hash(&mut h);
+                t.prio.hash(&mut h);
+                format!("{:?}", t.state).hash(&mut h);
+                format!("{:?}", t.cspace_root).hash(&mut h);
+                format!("{:?}", t.vspace).hash(&mut h);
+                t.fault_handler.hash(&mut h);
+                t.msg.hash(&mut h);
+                format!("{:?}", t.msg_info).hash(&mut h);
+                t.xfer_caps.hash(&mut h);
+                t.recv_slot_spec.hash(&mut h);
+                t.recv_badge.0.hash(&mut h);
+                t.sched_next.map(|o| o.0).hash(&mut h);
+                t.sched_prev.map(|o| o.0).hash(&mut h);
+                t.in_runqueue.hash(&mut h);
+                t.ep_next.map(|o| o.0).hash(&mut h);
+                t.ep_prev.map(|o| o.0).hash(&mut h);
+                t.queued_on.map(|o| o.0).hash(&mut h);
+                t.caller.map(|o| o.0).hash(&mut h);
+                format!("{:?}", t.current_syscall).hash(&mut h);
+            }
+            // Every other object kind is time-free; its `Debug` form is a
+            // faithful rendering of all fields.
+            other => {
+                1u8.hash(&mut h);
+                format!("{other:?}").hash(&mut h);
+            }
+        }
+    }
+    format!("{:?}", kernel.queues).hash(&mut h);
+    format!("{:?}", kernel.irq_table).hash(&mut h);
+    kernel.current().0.hash(&mut h);
+    for l in 0..rt_hw::irq::NUM_LINES {
+        let line = IrqLine(l);
+        (
+            kernel.machine.irq.is_pending(line),
+            kernel.machine.irq.is_masked(line),
+        )
+            .hash(&mut h);
+    }
+    cursors.hash(&mut h);
+    for &(line, left) in budgets {
+        (line.0, left).hash(&mut h);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_hw::HwConfig;
+    use rt_kernel::kernel::KernelConfig;
+    use rt_kernel::tcb::ThreadState;
+
+    fn boot() -> Kernel {
+        let mut k = Kernel::new(KernelConfig::after(), HwConfig::default());
+        let t = k.boot_tcb("t", 10);
+        k.objs.tcb_mut(t).state = ThreadState::Running;
+        k.force_current_for_test(t);
+        k
+    }
+
+    #[test]
+    fn hash_ignores_time_but_sees_state() {
+        let mut a = boot();
+        let mut b = boot();
+        let h0 = canonical_hash(&a, &[0], &[]);
+        assert_eq!(h0, canonical_hash(&b, &[0], &[]));
+
+        // Advancing time alone must not change the canonical state.
+        a.machine.advance(12345);
+        assert_eq!(h0, canonical_hash(&a, &[0], &[]));
+
+        // A script-cursor move, a budget spend, or a thread-state change
+        // each must.
+        assert_ne!(h0, canonical_hash(&a, &[1], &[]));
+        assert_ne!(
+            canonical_hash(&a, &[0], &[(IrqLine(7), 2)]),
+            canonical_hash(&a, &[0], &[(IrqLine(7), 1)])
+        );
+        let t = b.current();
+        b.objs.tcb_mut(t).state = ThreadState::Restart;
+        assert_ne!(h0, canonical_hash(&b, &[0], &[]));
+    }
+}

@@ -88,6 +88,11 @@ impl IrqController {
         self.masked & (1 << line.0) != 0
     }
 
+    /// Whether `line` is currently asserted (pending), masked or not.
+    pub fn is_pending(&self, line: IrqLine) -> bool {
+        self.pending & (1 << line.0) != 0
+    }
+
     /// Highest-priority (lowest-numbered) pending unmasked line, if any.
     pub fn pending_unmasked(&self) -> Option<IrqLine> {
         let active = self.pending & !self.masked;

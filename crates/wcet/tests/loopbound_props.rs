@@ -1,0 +1,207 @@
+//! Property tests for §5.3 loop-bound computation: on deterministic
+//! (havoc-free) loop programs whose every read is initialised, the
+//! interval-based slicer/checker must be **exact** — its bound equals the
+//! iteration count of a direct brute-force interpretation of the same
+//! semantics. Havoc is the only source of abstraction in the domain
+//! (singleton intervals stay singleton under every operator), so any
+//! divergence here is a bug in slicing, the interval transfer functions,
+//! or the binary search.
+
+use proptest::prelude::*;
+use rt_wcet::loopbound::{max_iterations, shapes, slice, Expr, Guard, LoopSemantics, Stmt, Var};
+use std::collections::HashMap;
+
+/// Iteration cap used throughout: small enough that brute force is
+/// instant, large enough that most generated loops are bounded under it.
+const CAP: u64 = 256;
+
+const I: Var = Var(0);
+const N: Var = Var(1);
+const S: Var = Var(2);
+const J: Var = Var(3);
+const A: Var = Var(4);
+
+fn var(v: Var) -> Expr {
+    Expr::Var(v)
+}
+
+fn add(a: Expr, b: Expr) -> Expr {
+    Expr::Add(Box::new(a), Box::new(b))
+}
+
+fn sub(a: Expr, b: Expr) -> Expr {
+    Expr::Sub(Box::new(a), Box::new(b))
+}
+
+fn mul(a: Expr, b: Expr) -> Expr {
+    Expr::Mul(Box::new(a), Box::new(b))
+}
+
+/// Builds a deterministic loop: counter `I` initialised to `start`,
+/// moving by `stride` (held in variable `S`, so slicing must keep a
+/// transitive dependency) towards `limit`, guarded by `<`, `>` or `!=`
+/// per `dir`. `junk` appends that many guard-irrelevant statements, some
+/// of which *read* the counter — relevance only flows backwards.
+fn gen_loop(start: i64, limit: i64, stride: i64, dir: u8, junk: usize) -> LoopSemantics {
+    let (step, guard) = match dir % 3 {
+        0 => (add(var(I), var(S)), Guard::Lt(var(I), var(N))),
+        1 => (sub(var(I), var(S)), Guard::Gt(var(I), var(N))),
+        _ => (add(var(I), Expr::Const(1)), Guard::Ne(var(I), var(N))),
+    };
+    let mut body = vec![Stmt::Assign(I, step)];
+    let junk_stmts = [
+        Stmt::Assign(J, add(var(J), var(I))),
+        Stmt::Assign(A, mul(var(A), Expr::Const(3))),
+        Stmt::Assign(A, Expr::Shr(Box::new(add(var(A), Expr::Const(7))), 1)),
+    ];
+    for s in junk_stmts.iter().take(junk) {
+        body.push(s.clone());
+    }
+    LoopSemantics {
+        init: vec![
+            Stmt::Assign(I, Expr::Const(start)),
+            Stmt::Assign(N, Expr::Const(limit)),
+            Stmt::Assign(S, Expr::Const(stride)),
+            Stmt::Assign(J, Expr::Const(1)),
+            Stmt::Assign(A, Expr::Const(2)),
+        ],
+        body,
+        guard,
+    }
+}
+
+/// Concrete evaluation mirroring the analysis' arithmetic exactly:
+/// saturating add/sub/mul, and logical-shift-right clamped at zero.
+fn beval(e: &Expr, st: &HashMap<Var, i64>) -> i64 {
+    match e {
+        Expr::Const(n) => *n,
+        Expr::Var(v) => *st
+            .get(v)
+            .expect("generated program read an uninitialised variable"),
+        Expr::Add(a, b) => beval(a, st).saturating_add(beval(b, st)),
+        Expr::Sub(a, b) => beval(a, st).saturating_sub(beval(b, st)),
+        Expr::Mul(a, b) => beval(a, st).saturating_mul(beval(b, st)),
+        Expr::Shr(a, k) => (beval(a, st).max(0)) >> k,
+    }
+}
+
+fn bexec(stmts: &[Stmt], st: &mut HashMap<Var, i64>) {
+    for s in stmts {
+        match s {
+            Stmt::Assign(v, e) => {
+                let val = beval(e, st);
+                st.insert(*v, val);
+            }
+            Stmt::Havoc(..) => unreachable!("generator is havoc-free"),
+        }
+    }
+}
+
+fn bguard(g: &Guard, st: &HashMap<Var, i64>) -> bool {
+    match g {
+        Guard::Lt(a, b) => beval(a, st) < beval(b, st),
+        Guard::Gt(a, b) => beval(a, st) > beval(b, st),
+        Guard::Ne(a, b) => beval(a, st) != beval(b, st),
+    }
+}
+
+/// Ground truth: run the loop concretely. `None` means the guard held
+/// more than `cap` times at the head — the same "unbounded at this cap"
+/// answer [`max_iterations`] gives.
+fn brute_force(sem: &LoopSemantics, cap: u64) -> Option<u64> {
+    let mut st = HashMap::new();
+    bexec(&sem.init, &mut st);
+    let mut n = 0u64;
+    loop {
+        if !bguard(&sem.guard, &st) {
+            return Some(n);
+        }
+        n += 1;
+        if n > cap {
+            return None;
+        }
+        bexec(&sem.body, &mut st);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The analysis is exact on deterministic programs: its answer equals
+    /// the brute-force iteration count, bounded and unbounded cases alike.
+    #[test]
+    fn bound_matches_brute_force_interpreter(
+        start in -8i64..8,
+        limit in -4i64..60,
+        stride in 1i64..4,
+        dir in 0u8..3,
+        junk in 0usize..4,
+    ) {
+        let sem = gen_loop(start, limit, stride, dir, junk);
+        let expected = brute_force(&sem, CAP);
+        prop_assert_eq!(
+            max_iterations(&sem, CAP),
+            expected,
+            "analysis disagrees with interpreter on {:?}",
+            &sem
+        );
+    }
+
+    /// Guard-irrelevant statements neither survive the slice nor perturb
+    /// the bound (Weiser slicing is semantics-preserving for the guard).
+    #[test]
+    fn junk_statements_never_change_the_bound(
+        start in -8i64..8,
+        limit in -4i64..60,
+        stride in 1i64..4,
+        dir in 0u8..3,
+        junk in 1usize..4,
+    ) {
+        let plain = gen_loop(start, limit, stride, dir, 0);
+        let noisy = gen_loop(start, limit, stride, dir, junk);
+        prop_assert_eq!(max_iterations(&noisy, CAP), max_iterations(&plain, CAP));
+        let sliced = slice(&noisy);
+        prop_assert_eq!(sliced.body.len(), 1, "junk survived the slice: {:?}", &sliced);
+        prop_assert!(
+            sliced.init.len() <= 3,
+            "junk initialisers survived the slice: {:?}",
+            &sliced
+        );
+    }
+
+    /// A bound proven under a small cap is stable under a larger one —
+    /// binary search must not depend on the cap except through the
+    /// unbounded check.
+    #[test]
+    fn widening_the_cap_is_monotone(
+        start in -8i64..8,
+        limit in -4i64..60,
+        stride in 1i64..4,
+        dir in 0u8..3,
+    ) {
+        let sem = gen_loop(start, limit, stride, dir, 0);
+        if let Some(k) = max_iterations(&sem, CAP) {
+            prop_assert_eq!(max_iterations(&sem, 4 * CAP), Some(k));
+        }
+    }
+
+    /// The capability-decode shape (Fig. 7) matches its closed form: with
+    /// the per-level width havoc'd in `min..=total`, the worst case is
+    /// one minimum-width stripe per iteration, `ceil(total / min)`.
+    #[test]
+    fn decode_shape_matches_closed_form(total in 1i64..40, min in 1i64..8) {
+        prop_assert_eq!(
+            max_iterations(&shapes::decode(total, min), CAP),
+            Some(((total + min - 1) / min) as u64)
+        );
+    }
+
+    /// `count_up(n)` iterates exactly `max(n, 0)` times.
+    #[test]
+    fn count_up_matches_closed_form(n in -10i64..200) {
+        prop_assert_eq!(
+            max_iterations(&shapes::count_up(n), CAP),
+            Some(n.max(0) as u64)
+        );
+    }
+}

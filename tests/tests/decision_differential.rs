@@ -1,0 +1,119 @@
+//! Differential test for the schedule-decision hook: a kernel with the
+//! [`RunToCompletion`] source installed must be **bit-identical** to an
+//! uninstrumented kernel — same block trace, same final time, same PMU
+//! counters, same statistics. This is the contract that lets rt-explore
+//! instrument the production kernel without invalidating any table or
+//! figure: the hook charges no cycles and mutates nothing unless a source
+//! actually injects.
+
+use rt_hw::{HwConfig, IrqLine};
+use rt_kernel::decision::RunToCompletion;
+use rt_kernel::kernel::{Kernel, KernelConfig};
+use rt_kernel::kprog::Block;
+use rt_kernel::syscall::{Syscall, SyscallOutcome};
+use rt_kernel::untyped::RetypeKind;
+
+/// Everything observable about one driven run.
+#[derive(Debug, PartialEq, Eq)]
+struct Observation {
+    trace: Vec<Block>,
+    now: u64,
+    cycles: u64,
+    instructions: u64,
+    stats: String,
+    preemptions: u64,
+}
+
+/// Drives `sys` to completion, raising a device interrupt before every
+/// kernel entry so the preemption points actually fire (and therefore
+/// actually consult the installed source).
+fn drive(k: &mut Kernel, sys: Syscall) {
+    let mut entries = 0;
+    loop {
+        entries += 1;
+        assert!(entries <= 4096, "no forward progress");
+        let now = k.machine.now();
+        k.machine.irq.raise(IrqLine(7), now);
+        if let SyscallOutcome::Completed(_) = k.handle_syscall(sys.clone()) {
+            return;
+        }
+    }
+}
+
+fn observe(install: bool, build: impl Fn() -> (Kernel, Syscall)) -> Observation {
+    let (mut k, sys) = build();
+    if install {
+        k.set_decision_source(Box::new(RunToCompletion));
+    }
+    k.start_trace();
+    let snap = k.machine.pmu.snapshot();
+    drive(&mut k, sys);
+    Observation {
+        trace: k.take_trace(),
+        now: k.machine.now(),
+        cycles: k.machine.pmu.cycles_since(snap),
+        instructions: k.machine.pmu.instructions_since(snap),
+        stats: format!("{:?}", k.stats),
+        preemptions: k.stats.preemptions,
+    }
+}
+
+fn assert_identical(build: impl Fn() -> (Kernel, Syscall)) {
+    let plain = observe(false, &build);
+    let hooked = observe(true, &build);
+    assert!(
+        plain.preemptions > 0,
+        "scenario never preempted — the hook was never on the hot path"
+    );
+    assert_eq!(plain, hooked, "decision hook perturbed the kernel");
+}
+
+/// Badged-abort revoke (§3.4) under repeated preemption.
+#[test]
+fn revoke_is_unperturbed_by_the_hook() {
+    assert_identical(|| {
+        let (k, _server, cptr) = rt_bench::workloads::badged_queue_kernel(
+            KernelConfig::after(),
+            HwConfig::default(),
+            24,
+            2,
+        );
+        (k, Syscall::Revoke { cptr })
+    });
+}
+
+/// Preemptible retype/clear (§3.5) under repeated preemption.
+#[test]
+fn retype_is_unperturbed_by_the_hook() {
+    assert_identical(|| {
+        let (k, _task, ut, dest) =
+            rt_bench::workloads::retype_kernel(KernelConfig::after(), HwConfig::default(), 20);
+        let sys = Syscall::Retype {
+            untyped: ut,
+            kind: RetypeKind::Frame { size_bits: 16 },
+            count: 2,
+            dest_cnode: dest,
+            dest_offset: 8,
+        };
+        (k, sys)
+    });
+}
+
+/// The before-kernel has no preemption points; the hook must be equally
+/// invisible when the poll sites themselves are compiled out.
+#[test]
+fn before_kernel_is_unperturbed_by_the_hook() {
+    let build = || {
+        let (k, _server, cptr) = rt_bench::workloads::badged_queue_kernel(
+            KernelConfig::before(),
+            HwConfig::default(),
+            24,
+            2,
+        );
+        (k, Syscall::Revoke { cptr })
+    };
+    let plain = observe(false, build);
+    let hooked = observe(true, build);
+    assert_eq!(plain.preemptions, 0);
+    assert_eq!(plain, hooked);
+}

@@ -52,6 +52,20 @@ fn fig8_matches_golden() {
 }
 
 #[test]
+fn fig9_matches_golden() {
+    check("fig9", include_str!("../goldens/fig9.txt"), |ctx| {
+        tables::render_fig9(&tables::fig9_with(ctx, 2))
+    });
+}
+
+#[test]
+fn l2lock_matches_golden() {
+    check("l2lock", include_str!("../goldens/l2lock.txt"), |ctx| {
+        tables::render_l2lock(&tables::l2lock_with(ctx, 2))
+    });
+}
+
+#[test]
 fn attribution_matches_golden() {
     check(
         "attribution",

@@ -44,6 +44,42 @@ fn drive_to_completion(
     }
 }
 
+/// Body of `retype_survives_arbitrary_preemption`, shared with the named
+/// replay of the stored shrink in
+/// `proptest-regressions/tests/preemption_safety.txt` (see
+/// `tests/tests/regressions.rs` for the seed-coverage meta test).
+fn retype_case(size_bits: u8, irqs: &[bool]) -> Result<(), TestCaseError> {
+    let (mut k, _task, ut, dest) =
+        rt_bench::workloads::retype_kernel(KernelConfig::after(), HwConfig::default(), 20);
+    let sys = Syscall::Retype {
+        untyped: ut,
+        kind: RetypeKind::Frame {
+            size_bits: if size_bits >= 16 { 16 } else { 12 },
+        },
+        count: 2,
+        dest_cnode: dest,
+        dest_offset: 8,
+    };
+    let objs_before = k.objs.len();
+    drive_to_completion(&mut k, sys, irqs, 4096);
+    // Both frames exist and their memory is zeroed.
+    prop_assert_eq!(k.objs.len(), objs_before + 2);
+    for (_, o) in k.objs.iter() {
+        if matches!(o.kind, rt_kernel::obj::ObjKind::Frame(_)) {
+            prop_assert!(k.machine.phys.is_zero_range(o.base, o.size()));
+        }
+    }
+    Ok(())
+}
+
+/// Replays the stored proptest shrink `size_bits = 12, irqs = [false]`
+/// (`cc 06ce83b2…` — a historical clear-progress accounting failure) as a
+/// plain, deterministic tier-1 test.
+#[test]
+fn regression_retype_size12_no_irqs() {
+    retype_case(12, &[false]).expect("stored regression seed must pass");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -81,27 +117,7 @@ proptest! {
         size_bits in 12u8..17,
         irqs in proptest::collection::vec(any::<bool>(), 1..12),
     ) {
-        let (mut k, _task, ut, dest) = rt_bench::workloads::retype_kernel(
-            KernelConfig::after(),
-            HwConfig::default(),
-            20,
-        );
-        let sys = Syscall::Retype {
-            untyped: ut,
-            kind: RetypeKind::Frame { size_bits: if size_bits >= 16 { 16 } else { 12 } },
-            count: 2,
-            dest_cnode: dest,
-            dest_offset: 8,
-        };
-        let objs_before = k.objs.len();
-        drive_to_completion(&mut k, sys, &irqs, 4096);
-        // Both frames exist and their memory is zeroed.
-        prop_assert_eq!(k.objs.len(), objs_before + 2);
-        for (_, o) in k.objs.iter() {
-            if matches!(o.kind, rt_kernel::obj::ObjKind::Frame(_)) {
-                prop_assert!(k.machine.phys.is_zero_range(o.base, o.size()));
-            }
-        }
+        retype_case(size_bits, &irqs)?;
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! Meta test over `proptest-regressions/`: every stored `cc <hash>` seed
+//! must have a **named, deterministic tier-1 replay** somewhere in the
+//! test suite. The vendored proptest stub does not read regression files
+//! itself (the real crate replays them before generating novel cases), so
+//! without this check a stored shrink would silently stop being
+//! exercised. Adding a new seed file therefore forces adding a named
+//! replay test and registering it here.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Seeds with a named replay: (file relative to `proptest-regressions/`,
+/// hash, replaying test). The third column is documentation — the compile
+/// guarantee is the named test existing in the listed file.
+const COVERED: &[(&str, &str, &str)] = &[
+    (
+        "tests/preemption_safety.txt",
+        "06ce83b232922f151feb2e0d5505ea5dffe71cdc9633e7447172a86448127a7c",
+        "preemption_safety::regression_retype_size12_no_irqs",
+    ),
+    (
+        "tests/system_fuzz.txt",
+        "b12bf4d4520c013a1873d72f59f846c7374d0599e28af26bff45c815f6ca2f7a",
+        "system_fuzz::regression_two_blocked_waiters",
+    ),
+];
+
+fn regressions_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../proptest-regressions")
+}
+
+fn collect(dir: &Path, root: &Path, out: &mut BTreeSet<(String, String)>) {
+    for entry in fs::read_dir(dir).expect("read proptest-regressions") {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            collect(&path, root, out);
+        } else if path.extension().is_some_and(|e| e == "txt") {
+            let rel = path
+                .strip_prefix(root)
+                .expect("under root")
+                .to_string_lossy()
+                .into_owned();
+            for line in fs::read_to_string(&path).expect("read seed file").lines() {
+                if let Some(rest) = line.strip_prefix("cc ") {
+                    let hash = rest.split_whitespace().next().unwrap_or("").to_string();
+                    out.insert((rel.clone(), hash));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_stored_seed_has_a_named_replay() {
+    let root = regressions_root();
+    let mut stored = BTreeSet::new();
+    collect(&root, &root, &mut stored);
+    assert!(!stored.is_empty(), "no seeds found under {root:?}");
+    let covered: BTreeSet<(String, String)> = COVERED
+        .iter()
+        .map(|(f, h, _)| (f.to_string(), h.to_string()))
+        .collect();
+    for (file, hash) in &stored {
+        assert!(
+            covered.contains(&(file.clone(), hash.clone())),
+            "seed `cc {hash}` in proptest-regressions/{file} has no named \
+             replay test — add one and register it in tests/tests/regressions.rs"
+        );
+    }
+    for (file, hash) in &covered {
+        assert!(
+            stored.contains(&(file.clone(), hash.clone())),
+            "tests/tests/regressions.rs lists `cc {hash}` for {file}, but the \
+             seed file no longer contains it — remove the stale entry"
+        );
+    }
+}

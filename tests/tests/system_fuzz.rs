@@ -195,6 +195,59 @@ fn boot(cfg: KernelConfig, n_threads: u32) -> (Kernel, Vec<rt_kernel::obj::ObjId
     (k, threads)
 }
 
+/// Body of `random_systems_stay_consistent`, shared with the named replay
+/// of the stored shrink in `proptest-regressions/tests/system_fuzz.txt`
+/// (see `tests/tests/regressions.rs` for the seed-coverage meta test).
+fn fuzz_case(
+    scripts: &[Vec<FuzzAction>],
+    irqs: &[(u64, u8)],
+    timer: Option<u64>,
+    before: bool,
+) -> Result<(), TestCaseError> {
+    let cfg = if before {
+        KernelConfig::before()
+    } else {
+        KernelConfig::after()
+    };
+    let (mut k, threads) = boot(cfg, scripts.len() as u32);
+    for (at, line) in irqs {
+        k.irq_table.issue(*line);
+        k.machine.irq.schedule(*at, IrqLine(*line));
+    }
+    let mut sys = System::new(k);
+    for (i, script) in scripts.iter().enumerate() {
+        let actions: Vec<Action> = script
+            .iter()
+            .map(|f| to_action(f, i as u32))
+            .chain(std::iter::once(Action::Stop))
+            .collect();
+        sys.set_script(threads[i], ThreadScript::once(actions));
+    }
+    if let Some(p) = timer {
+        sys.enable_timer(p, 3_000_000);
+    }
+    let reason = sys.run(3_000_000);
+    prop_assert_ne!(reason, StopReason::StepLimit, "system wedged");
+    rt_kernel::invariants::assert_all(&sys.kernel);
+    // Progress: at least the first action of some thread ran.
+    prop_assert!(sys.kernel.machine.now() > 0);
+    Ok(())
+}
+
+/// Replays the stored proptest shrink `scripts = [[Wait], [Wait]], irqs =
+/// [], timer = None, before = false` (`cc b12bf4d4…` — a historical
+/// all-threads-blocked idle hang) as a plain, deterministic tier-1 test.
+#[test]
+fn regression_two_blocked_waiters() {
+    fuzz_case(
+        &[vec![FuzzAction::Wait], vec![FuzzAction::Wait]],
+        &[],
+        None,
+        false,
+    )
+    .expect("stored regression seed must pass");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(20))]
 
@@ -208,28 +261,6 @@ proptest! {
         timer in proptest::option::of(10_000u64..200_000),
         before in any::<bool>(),
     ) {
-        let cfg = if before { KernelConfig::before() } else { KernelConfig::after() };
-        let (mut k, threads) = boot(cfg, scripts.len() as u32);
-        for (at, line) in &irqs {
-            k.irq_table.issue(*line);
-            k.machine.irq.schedule(*at, IrqLine(*line));
-        }
-        let mut sys = System::new(k);
-        for (i, script) in scripts.iter().enumerate() {
-            let actions: Vec<Action> = script
-                .iter()
-                .map(|f| to_action(f, i as u32))
-                .chain(std::iter::once(Action::Stop))
-                .collect();
-            sys.set_script(threads[i], ThreadScript::once(actions));
-        }
-        if let Some(p) = timer {
-            sys.enable_timer(p, 3_000_000);
-        }
-        let reason = sys.run(3_000_000);
-        prop_assert_ne!(reason, StopReason::StepLimit, "system wedged");
-        rt_kernel::invariants::assert_all(&sys.kernel);
-        // Progress: at least the first action of some thread ran.
-        prop_assert!(sys.kernel.machine.now() > 0);
+        fuzz_case(&scripts, &irqs, timer, before)?;
     }
 }
