@@ -40,22 +40,49 @@ cargo run --release -q -p rt-bench --bin repro -- explore --depth 6 --jobs 2 | a
     }
 '
 
-# Bench smoke pass: the incremental ILP path must actually engage. The run
+# Bench smoke pass: the incremental ILP path must actually engage, and the
+# fleet sweep must hold its guarantees at a reduced job count. The run
 # writes its JSON to a scratch path (committed BENCH_sweep.json stays as
 # recorded), then we assert the structure memo absorbed the cost-config
-# axis (hit rate > 0.5) and that every batch report matched serial.
+# axis (hit rate > 0.5) and that every batch/fleet report matched serial
+# (`bit_identical_to_serial` is the AND of both sweeps' identity checks).
 bench_json="$(mktemp)"
 trap 'rm -f "$bench_json"' EXIT
-RT_BENCH_OUT="$bench_json" cargo run --release -q -p rt-bench --bin repro -- bench >/dev/null
+RT_BENCH_OUT="$bench_json" cargo run --release -q -p rt-bench --bin repro -- \
+    bench --workers 1,2,4 --fleet-jobs 200 >/dev/null
 grep -q '"bit_identical_to_serial": true' "$bench_json" || {
     echo "ci: bench sweep diverged from serial analyze" >&2
     exit 1
 }
-structure_rate=$(sed -n 's/.*"ilp_structure": .*"hit_rate": \([0-9.]*\).*/\1/p' "$bench_json")
+structure_rate=$(sed -n 's/.*"ilp_structure": .*"hit_rate": \([0-9.]*\).*/\1/p' "$bench_json" | head -1)
 awk -v r="$structure_rate" 'BEGIN { exit !(r > 0.5) }' || {
     echo "ci: ilp_structure hit rate $structure_rate <= 0.5" >&2
     exit 1
 }
+
+# Fleet scaling gate. Wall-clock speedup from worker threads only exists
+# when the host has CPUs to run them on, so the bound is CPU-aware:
+#   >= 4 CPUs: 4-worker wall must be <= 0.8x the 1-worker wall (scaling
+#              must point the right way, with slack for CI noise);
+#   <  4 CPUs: 4-worker wall must stay <= 1.35x the 1-worker wall (pure
+#              oversubscription overhead; the pre-PR-6 contended pool
+#              showed ~1.3x even at fleet=40, so this still catches a
+#              reintroduced lock convoy without demanding impossible
+#              parallel speedup from a 1-CPU box).
+host_cpus=$(sed -n 's/.*"host_cpus": \([0-9]*\).*/\1/p' "$bench_json" | head -1)
+fleet_wall_1=$(grep '"speedup_vs_1w"' "$bench_json" | sed -n 's/.*"workers": 1,.*"wall_ms": \([0-9.]*\).*/\1/p' | head -1)
+fleet_wall_4=$(grep '"speedup_vs_1w"' "$bench_json" | sed -n 's/.*"workers": 4,.*"wall_ms": \([0-9.]*\).*/\1/p' | head -1)
+[ -n "$host_cpus" ] && [ -n "$fleet_wall_1" ] && [ -n "$fleet_wall_4" ] || {
+    echo "ci: fleet scaling fields missing from bench JSON" >&2
+    exit 1
+}
+awk -v c="$host_cpus" -v w1="$fleet_wall_1" -v w4="$fleet_wall_4" 'BEGIN {
+    bound = (c >= 4) ? 0.8 : 1.35
+    if (w4 > bound * w1) {
+        printf "ci: fleet 4-worker wall %.1f ms > %.2fx 1-worker wall %.1f ms (host_cpus=%d)\n", w4, bound, w1, c > "/dev/stderr"
+        exit 1
+    }
+}' || exit 1
 
 cargo fmt --check
 cargo clippy --all-targets -- -D warnings

@@ -9,7 +9,7 @@
 //! cargo run --release -p rt-bench --bin repro -- overhead
 //! cargo run --release -p rt-bench --bin repro -- latency-bound
 //! cargo run --release -p rt-bench --bin repro -- explore [--depth N]
-//! cargo run --release -p rt-bench --bin repro -- bench
+//! cargo run --release -p rt-bench --bin repro -- bench [--workers a,b,c] [--fleet-jobs N]
 //! cargo run --release -p rt-bench --bin repro -- all
 //! ```
 //!
@@ -128,8 +128,51 @@ fn constraints_demo(ctx: &SweepCtx) -> String {
     )
 }
 
-fn bench_report() -> String {
-    let result = sweep::run_bench();
+/// Parses a worker-count list like `1,2,4,8` (from `--workers` or
+/// `RT_BENCH_WORKERS`); every element must be a positive integer.
+fn parse_workers(spec: &str) -> Result<Vec<usize>, ()> {
+    let counts: Vec<usize> = spec
+        .split(',')
+        .map(|w| w.trim().parse::<usize>().map_err(|_| ()))
+        .collect::<Result<_, _>>()?;
+    if counts.is_empty() || counts.contains(&0) {
+        return Err(());
+    }
+    Ok(counts)
+}
+
+fn bench_opts(args: &[String]) -> sweep::BenchOpts {
+    let mut opts = sweep::BenchOpts::default();
+    // CLI flag wins over the environment; both parse identically.
+    let spec = args
+        .iter()
+        .position(|a| a == "--workers")
+        .map(|i| args.get(i + 1).cloned().unwrap_or_default())
+        .or_else(|| std::env::var("RT_BENCH_WORKERS").ok());
+    if let Some(spec) = spec {
+        match parse_workers(&spec) {
+            Ok(counts) => opts.workers = counts,
+            Err(()) => {
+                eprintln!(
+                    "--workers / RT_BENCH_WORKERS requires a comma list of positive integers"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    match flag_value(args, "--fleet-jobs") {
+        None => {}
+        Some(Ok(n)) => opts.fleet_cap = n,
+        Some(Err(())) => {
+            eprintln!("--fleet-jobs requires a positive integer");
+            std::process::exit(2);
+        }
+    }
+    opts
+}
+
+fn bench_report(opts: &sweep::BenchOpts) -> String {
+    let result = sweep::run_bench_with(opts);
     let json = result.to_json();
     // RT_BENCH_OUT redirects the artifact (CI smoke runs measure without
     // dirtying the committed BENCH_sweep.json).
@@ -199,7 +242,7 @@ fn main() {
             "{}",
             rt_explore::explore_report(depth, ctx.pool(), ctx.cache())
         ),
-        "bench" => print!("{}", bench_report()),
+        "bench" => print!("{}", bench_report(&bench_opts(&args))),
         "all" => {
             print!("{}", tables::render_table1(&tables::table1_with(ctx)));
             println!();

@@ -17,9 +17,13 @@
 
 use std::time::{Duration, Instant};
 
-use rt_kernel::kernel::{EntryPoint, KernelConfig};
-use rt_pool::Pool;
-use rt_wcet::{analyze, analyze_batch_with, AnalysisCache, AnalysisConfig, MemoStats, WcetReport};
+use rt_kernel::kernel::{EntryPoint, KernelConfig, SchedKind, VmKind};
+use rt_pool::{Pool, PoolStats};
+use rt_wcet::kmodel::BoundParams;
+use rt_wcet::{
+    analyze, analyze_batch_bounds_with, analyze_batch_with, AnalysisCache, AnalysisConfig,
+    MemoStats, WcetReport,
+};
 
 /// A thread pool plus a shared [`AnalysisCache`]: everything a sweep
 /// needs. Cheap to create; share one across related sweeps to dedupe
@@ -126,6 +130,78 @@ pub fn full_sweep_jobs() -> Vec<(EntryPoint, AnalysisConfig)> {
     jobs
 }
 
+/// The config-fleet generator: the full cross product of kernel designs
+/// (scheduler × VM model × preemption points × fastpath), cache geometry
+/// (L2 off / on / kernel-locked), pinning, manual constraint sets, loop
+/// bounds (open / closed, plus a chunked-clear placement variant for the
+/// lazy-scheduler kernels whose unpreemptible clears the bound governs)
+/// and all four entry points — the "WCET analysis as a service" workload
+/// of ROADMAP item 1, ~2,700 jobs rather than a hand-picked list.
+///
+/// `cap` truncates by deterministic striding (every ⌈n/cap⌉-th job), so a
+/// reduced fleet still samples every axis; `usize::MAX` means the full
+/// fleet. The generator is pure: the same cap always yields the same job
+/// list, which is what lets the differential tests compare worker counts.
+pub fn fleet_jobs(cap: usize) -> Vec<(EntryPoint, AnalysisConfig, BoundParams)> {
+    let mut jobs = Vec::new();
+    // Loop order interleaves the expensive artifacts (kernel × bounds ×
+    // entry select the CFG and ILP structure) ahead of the cheap cost
+    // reconfigurations, so the batch dispatcher's structure-major sort
+    // sees many small groups — good stealing granularity — rather than a
+    // few giant ones.
+    for sched in [SchedKind::Lazy, SchedKind::Benno, SchedKind::BennoBitmap] {
+        for vm in [VmKind::Asid, VmKind::ShadowPt] {
+            for preemption_points in [false, true] {
+                for fastpath in [false, true] {
+                    let kernel = KernelConfig {
+                        sched,
+                        vm,
+                        preemption_points,
+                        fastpath,
+                    };
+                    let mut bounds = vec![BoundParams::open(), BoundParams::closed()];
+                    if sched == SchedKind::Lazy {
+                        // Preemption-point placement variant: chunk the
+                        // before-kernel's worst unpreemptible clear eight
+                        // times finer (§3.4's knob).
+                        let mut chunked = BoundParams::open();
+                        chunked.before_clear_lines /= 8;
+                        bounds.push(chunked);
+                    }
+                    for bounds in bounds {
+                        for entry in EntryPoint::ALL {
+                            for (l2, l2_kernel_locked) in
+                                [(false, false), (true, false), (true, true)]
+                            {
+                                for pinning in [false, true] {
+                                    for manual_constraints in [false, true] {
+                                        jobs.push((
+                                            entry,
+                                            AnalysisConfig {
+                                                kernel,
+                                                l2,
+                                                pinning,
+                                                l2_kernel_locked,
+                                                manual_constraints,
+                                            },
+                                            bounds,
+                                        ));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if jobs.len() > cap && cap > 0 {
+        let stride = jobs.len().div_ceil(cap);
+        jobs = jobs.into_iter().step_by(stride).collect();
+    }
+    jobs
+}
+
 /// True iff two reports agree bit-for-bit on every deterministic field
 /// (everything except the wall-clock phase timings).
 pub fn reports_identical(a: &WcetReport, b: &WcetReport) -> bool {
@@ -138,6 +214,27 @@ pub fn reports_identical(a: &WcetReport, b: &WcetReport) -> bool {
         && a.ilp_constraints == b.ilp_constraints
 }
 
+/// What `repro bench` should measure: which worker counts to put on the
+/// scaling curve, and how large a fleet to run.
+#[derive(Clone, Debug)]
+pub struct BenchOpts {
+    /// Worker counts of the scaling curve (applied to both the repro-all
+    /// sweep and the fleet). A leading 1-worker point is implied — it is
+    /// the speedup baseline and the bit-identity reference.
+    pub workers: Vec<usize>,
+    /// Fleet size cap (deterministic striding; `usize::MAX` = full fleet).
+    pub fleet_cap: usize,
+}
+
+impl Default for BenchOpts {
+    fn default() -> BenchOpts {
+        BenchOpts {
+            workers: vec![1, 2, 4, 8],
+            fleet_cap: usize::MAX,
+        }
+    }
+}
+
 /// One timed configuration of the sweep.
 #[derive(Clone, Copy, Debug)]
 pub struct SweepTiming {
@@ -147,6 +244,39 @@ pub struct SweepTiming {
     pub wall: Duration,
     /// Speedup over the serial baseline.
     pub speedup: f64,
+}
+
+/// One worker count's fleet run.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetTiming {
+    /// Worker count.
+    pub workers: usize,
+    /// Wall-clock time of the whole fleet batch (fresh cache).
+    pub wall: Duration,
+    /// Speedup over this curve's own 1-worker point.
+    pub speedup_vs_1w: f64,
+    /// Pool contention counters accumulated during the run.
+    pub pool: PoolStats,
+}
+
+/// The fleet-scale measurement: the scaling curve plus the evidence that
+/// the parallel path stayed honest (contention counters, cache stats, and
+/// bit-identity against the 1-worker reference and uncached spot-checks).
+pub struct FleetResult {
+    /// Jobs in the fleet (after any cap).
+    pub jobs: usize,
+    /// Distinct reports the cache built.
+    pub distinct: u64,
+    /// Logical CPUs of the measuring host — the context a scaling curve
+    /// cannot be read without (no host parallelism, no wall-time speedup).
+    pub host_cpus: usize,
+    /// Per-worker-count timings, in the order requested.
+    pub timings: Vec<FleetTiming>,
+    /// Cache counters after the last (highest-worker) run.
+    pub stats: rt_wcet::CacheStats,
+    /// Every worker count's reports matched the 1-worker reference, and
+    /// the sampled uncached spot-checks matched too.
+    pub identical: bool,
 }
 
 /// Everything `repro bench` measured.
@@ -167,8 +297,12 @@ pub struct BenchResult {
     /// *distinct* jobs — the apples-to-apples denominator for the cache's
     /// warm re-solve pivot counts.
     pub cold_pivots: u64,
-    /// Whether every batch report matched its serial counterpart.
+    /// Whether every batch report matched its serial counterpart — ANDed
+    /// with the fleet's identity verdict, so one grep of the JSON covers
+    /// both sweeps.
     pub identical: bool,
+    /// The fleet-scale scaling measurement.
+    pub fleet: FleetResult,
 }
 
 fn ms(d: Duration) -> f64 {
@@ -177,11 +311,38 @@ fn ms(d: Duration) -> f64 {
 
 fn stats_json(s: &MemoStats) -> String {
     format!(
-        "{{\"lookups\": {}, \"builds\": {}, \"hit_rate\": {:.4}}}",
+        "{{\"lookups\": {}, \"builds\": {}, \"hit_rate\": {:.4}, \"shard_collisions\": {}}}",
         s.lookups,
         s.builds,
-        s.hit_rate()
+        s.hit_rate(),
+        s.shard_collisions
     )
+}
+
+fn cache_json(indent: &str, stats: &rt_wcet::CacheStats) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{indent}\"reports\": {},\n",
+        stats_json(&stats.reports)
+    ));
+    s.push_str(&format!("{indent}\"cfgs\": {},\n", stats_json(&stats.cfgs)));
+    s.push_str(&format!(
+        "{indent}\"cost_models\": {},\n",
+        stats_json(&stats.cost_models)
+    ));
+    s.push_str(&format!(
+        "{indent}\"costs\": {},\n",
+        stats_json(&stats.costs)
+    ));
+    s.push_str(&format!(
+        "{indent}\"block_costs\": {},\n",
+        stats_json(&stats.block_costs)
+    ));
+    s.push_str(&format!(
+        "{indent}\"ilp_structure\": {}\n",
+        stats_json(&stats.ilp_structures)
+    ));
+    s
 }
 
 impl BenchResult {
@@ -209,26 +370,7 @@ impl BenchResult {
         s.push_str("  ],\n");
         s.push_str(&format!("  \"warm_ms\": {:.2},\n", ms(self.warm)));
         s.push_str("  \"cache\": {\n");
-        s.push_str(&format!(
-            "    \"reports\": {},\n",
-            stats_json(&self.stats.reports)
-        ));
-        s.push_str(&format!(
-            "    \"cfgs\": {},\n",
-            stats_json(&self.stats.cfgs)
-        ));
-        s.push_str(&format!(
-            "    \"cost_models\": {},\n",
-            stats_json(&self.stats.cost_models)
-        ));
-        s.push_str(&format!(
-            "    \"costs\": {},\n",
-            stats_json(&self.stats.costs)
-        ));
-        s.push_str(&format!(
-            "    \"ilp_structure\": {}\n",
-            stats_json(&self.stats.ilp_structures)
-        ));
+        s.push_str(&cache_json("    ", &self.stats));
         s.push_str("  },\n");
         let r = &self.stats.resolve;
         let cold_per = if self.distinct == 0 {
@@ -255,6 +397,31 @@ impl BenchResult {
             cold_per
         ));
         s.push_str(&format!("    \"warm_vs_cold\": {:.4}\n", warm_vs_cold));
+        s.push_str("  },\n");
+        let f = &self.fleet;
+        s.push_str("  \"fleet\": {\n");
+        s.push_str(&format!("    \"jobs\": {},\n", f.jobs));
+        s.push_str(&format!("    \"distinct_reports\": {},\n", f.distinct));
+        s.push_str(&format!("    \"host_cpus\": {},\n", f.host_cpus));
+        s.push_str("    \"scaling\": [\n");
+        for (i, t) in f.timings.iter().enumerate() {
+            s.push_str(&format!(
+                "      {{\"workers\": {}, \"wall_ms\": {:.2}, \"speedup_vs_1w\": {:.2}, \
+                 \"steals\": {}, \"failed_steals\": {}, \"spins\": {}}}{}\n",
+                t.workers,
+                ms(t.wall),
+                t.speedup_vs_1w,
+                t.pool.steals,
+                t.pool.failed_steals,
+                t.pool.spins,
+                if i + 1 == f.timings.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("    ],\n");
+        s.push_str("    \"cache\": {\n");
+        s.push_str(&cache_json("      ", &f.stats));
+        s.push_str("    },\n");
+        s.push_str(&format!("    \"identical\": {}\n", f.identical));
         s.push_str("  },\n");
         s.push_str(&format!(
             "  \"bit_identical_to_serial\": {}\n",
@@ -321,6 +488,44 @@ impl BenchResult {
             },
             self.stats.ilp_structures.hit_rate() * 100.0,
         ));
+        let f = &self.fleet;
+        s.push_str(&format!(
+            "Fleet sweep: {} generated configs ({} distinct reports), {} host CPU{}\n",
+            f.jobs,
+            f.distinct,
+            f.host_cpus,
+            if f.host_cpus == 1 { "" } else { "s" }
+        ));
+        for t in &f.timings {
+            s.push_str(&format!(
+                "  fleet, {} worker{}: {:>9.1} ms   ({:.2}x vs 1w; {} steals, {} failed, {} spins)\n",
+                t.workers,
+                if t.workers == 1 { " " } else { "s" },
+                ms(t.wall),
+                t.speedup_vs_1w,
+                t.pool.steals,
+                t.pool.failed_steals,
+                t.pool.spins
+            ));
+        }
+        s.push_str(&format!(
+            "  fleet cache: cfg {:.0}%, costs {:.0}%, block-costs {:.0}%, structure {:.0}% hit \
+             rates; {} shard collisions across all memos\n",
+            f.stats.cfgs.hit_rate() * 100.0,
+            f.stats.costs.hit_rate() * 100.0,
+            f.stats.block_costs.hit_rate() * 100.0,
+            f.stats.ilp_structures.hit_rate() * 100.0,
+            f.stats.cfgs.shard_collisions
+                + f.stats.costs.shard_collisions
+                + f.stats.block_costs.shard_collisions
+                + f.stats.cost_models.shard_collisions
+                + f.stats.ilp_structures.shard_collisions
+                + f.stats.reports.shard_collisions
+        ));
+        s.push_str(&format!(
+            "  fleet reports identical across worker counts + uncached spot-checks: {}\n",
+            if f.identical { "yes" } else { "NO (BUG)" }
+        ));
         s.push_str(&format!(
             "  batch reports bit-identical to serial: {}\n",
             if self.identical { "yes" } else { "NO (BUG)" }
@@ -334,9 +539,86 @@ impl BenchResult {
 /// same deterministic work, so the minimum is the least-disturbed run).
 const TIMING_REPS: usize = 2;
 
+/// Runs one fleet batch at `workers` workers with a fresh cache and pool,
+/// returning the reports, the wall time, the pool's contention counters
+/// and the cache (for stats).
+fn fleet_run(
+    jobs: &[(EntryPoint, AnalysisConfig, BoundParams)],
+    workers: usize,
+) -> (Vec<WcetReport>, Duration, PoolStats, AnalysisCache) {
+    let pool = Pool::new(workers);
+    let cache = AnalysisCache::new();
+    let t0 = Instant::now();
+    let reports = analyze_batch_bounds_with(jobs, &pool, &cache);
+    let wall = t0.elapsed();
+    (reports, wall, pool.stats(), cache)
+}
+
+/// Runs the fleet-scale scaling measurement: the 1-worker run is the
+/// speedup baseline *and* the bit-identity reference (its own honesty is
+/// established by uncached spot-checks at a deterministic stride — a full
+/// uncached pass over ~2,700 jobs would dwarf the measurement itself).
+fn run_fleet(opts: &BenchOpts) -> FleetResult {
+    let jobs = fleet_jobs(opts.fleet_cap);
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let (reference, base_wall, base_pool, base_cache) = fleet_run(&jobs, 1);
+    let mut identical = true;
+    let mut timings = Vec::new();
+    let mut stats = base_cache.stats();
+    let distinct = stats.reports.builds;
+    for &workers in &opts.workers {
+        let (wall, pool) = if workers == 1 {
+            (base_wall, base_pool)
+        } else {
+            let (reports, wall, pool, cache) = fleet_run(&jobs, workers);
+            identical &= reports.len() == reference.len()
+                && reports
+                    .iter()
+                    .zip(reference.iter())
+                    .all(|(a, b)| reports_identical(a, b));
+            stats = cache.stats();
+            (wall, pool)
+        };
+        timings.push(FleetTiming {
+            workers,
+            wall,
+            speedup_vs_1w: base_wall.as_secs_f64() / wall.as_secs_f64(),
+            pool,
+        });
+    }
+
+    // Uncached spot-checks: every `stride`-th job re-analyzed from scratch
+    // and compared against the reference — the ground truth anchoring the
+    // whole curve to the serial analyzer.
+    let stride = (jobs.len() / 16).max(1);
+    for i in (0..jobs.len()).step_by(stride) {
+        let (entry, cfg, bounds) = jobs[i];
+        let plain = rt_wcet::analysis::analyze_with_bounds(entry, &cfg, &bounds);
+        identical &= reports_identical(&plain, &reference[i]);
+    }
+
+    FleetResult {
+        jobs: jobs.len(),
+        distinct,
+        host_cpus,
+        timings,
+        stats,
+        identical,
+    }
+}
+
+/// Runs the `repro bench` measurement with default options (worker counts
+/// 1/2/4/8, full fleet).
+pub fn run_bench() -> BenchResult {
+    run_bench_with(&BenchOpts::default())
+}
+
 /// Runs the `repro bench` measurement (see the module docs) and returns
 /// the result; the caller decides where the JSON goes.
-pub fn run_bench() -> BenchResult {
+pub fn run_bench_with(opts: &BenchOpts) -> BenchResult {
     let jobs = full_sweep_jobs();
 
     let mut serial_wall = Duration::MAX;
@@ -347,10 +629,14 @@ pub fn run_bench() -> BenchResult {
         serial_wall = serial_wall.min(t0.elapsed());
     }
 
+    let mut curve = opts.workers.clone();
+    if !curve.contains(&1) {
+        curve.insert(0, 1);
+    }
     let mut identical = true;
     let mut parallel = Vec::new();
     let mut last_cache = None;
-    for workers in [1usize, 2, 4] {
+    for workers in curve {
         let pool = Pool::new(workers);
         let mut wall = Duration::MAX;
         for _ in 0..TIMING_REPS {
@@ -393,6 +679,9 @@ pub fn run_bench() -> BenchResult {
         .all(|(a, b)| reports_identical(a, b));
     let stats = cache.stats();
 
+    let fleet = run_fleet(opts);
+    identical &= fleet.identical;
+
     BenchResult {
         jobs: jobs.len(),
         distinct: stats.reports.builds,
@@ -402,6 +691,7 @@ pub fn run_bench() -> BenchResult {
         stats,
         cold_pivots,
         identical,
+        fleet,
     }
 }
 
@@ -423,6 +713,70 @@ mod tests {
             s.reports.builds < 25,
             "the sweep must contain substantial duplication: {s:?}"
         );
+    }
+
+    #[test]
+    fn fleet_covers_two_thousand_configs() {
+        let jobs = fleet_jobs(usize::MAX);
+        assert!(
+            jobs.len() >= 2000,
+            "fleet must reach ISSUE 6 scale: {}",
+            jobs.len()
+        );
+        // Every axis must appear somewhere.
+        assert!(jobs
+            .iter()
+            .any(|(_, c, _)| c.kernel.sched == SchedKind::Lazy));
+        assert!(jobs
+            .iter()
+            .any(|(_, c, _)| c.kernel.sched == SchedKind::Benno));
+        assert!(jobs.iter().any(|(_, c, _)| c.kernel.vm == VmKind::Asid));
+        assert!(jobs.iter().any(|(_, c, _)| c.l2_kernel_locked));
+        assert!(jobs.iter().any(|(_, c, _)| c.pinning));
+        assert!(jobs.iter().any(|(_, c, _)| !c.manual_constraints));
+        assert!(jobs.iter().any(|(_, _, b)| b.ipc_only));
+        assert!(jobs
+            .iter()
+            .any(|(_, _, b)| b.before_clear_lines != BoundParams::open().before_clear_lines));
+        // All four entry points.
+        for e in EntryPoint::ALL {
+            assert!(jobs.iter().any(|(entry, _, _)| *entry == e));
+        }
+    }
+
+    #[test]
+    fn fleet_cap_strides_deterministically() {
+        let full = fleet_jobs(usize::MAX);
+        let capped = fleet_jobs(100);
+        assert!(capped.len() <= 100 && capped.len() > 50);
+        let stride = full.len().div_ceil(100);
+        assert!(capped
+            .iter()
+            .enumerate()
+            .all(|(i, job)| *job == full[i * stride]));
+        // Striding still samples the big axes.
+        assert!(capped
+            .iter()
+            .any(|(_, c, _)| c.kernel.sched == SchedKind::Lazy));
+        assert!(capped
+            .iter()
+            .any(|(_, c, _)| c.kernel.sched == SchedKind::BennoBitmap));
+    }
+
+    #[test]
+    fn fleet_batch_equals_serial_on_a_sampled_fleet() {
+        let jobs = fleet_jobs(24);
+        let serial: Vec<_> = jobs
+            .iter()
+            .map(|(e, cfg, b)| rt_wcet::analysis::analyze_with_bounds(*e, cfg, b))
+            .collect();
+        let pool = Pool::new(3);
+        let cache = AnalysisCache::new();
+        let batch = analyze_batch_bounds_with(&jobs, &pool, &cache);
+        assert_eq!(serial.len(), batch.len());
+        for (a, b) in serial.iter().zip(batch.iter()) {
+            assert!(reports_identical(a, b));
+        }
     }
 
     #[test]

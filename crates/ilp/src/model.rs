@@ -440,6 +440,15 @@ fn finish(out: branch::IlpOut, negate: bool) -> Solution {
 /// Holds only immutable reduced data, so it is `Send + Sync` and can be
 /// shared across worker threads; every [`PresolvedModel::solve`] runs the
 /// same deterministic branch and bound and returns bit-identical results.
+///
+/// The basis seed is the one lazily-initialised member: concurrent
+/// [`PresolvedModel::warm_up`] / [`PresolvedModel::resolve_with_objective`]
+/// racers block on the seed's `OnceLock` — exactly one thread pays the
+/// cold LP solve, every thread observes the same tableau, and each
+/// re-solve then works on its own *clone* of it, so re-solves never
+/// contend with (or perturb) each other. This is the sharing contract the
+/// fleet sweep's worker pool leans on; `tests/tests/cache_stress.rs`
+/// pins it.
 pub struct PresolvedModel {
     negate: bool,
     node_limit: usize,

@@ -1,15 +1,31 @@
 //! # rt-pool — scoped work-stealing executor for analysis sweeps
 //!
-//! The WCET evaluation is a *sweep*: dozens of independent IPET analyses
-//! (one per entry point × configuration) whose runtimes differ by two
-//! orders of magnitude — a system-call ILP runs ~100 ms while an
-//! interrupt ILP runs well under 1 ms. A static split of such a job list
-//! across threads leaves most workers idle behind the one that drew the
-//! system calls, so the executor steals: each worker owns a deque seeded
-//! round-robin, pops locally from the front, and when empty takes work
-//! from the *back* of a sibling's deque (the classic Chase–Lev shape,
-//! here with plain mutexed deques because every task is milliseconds of
-//! ILP solving, not nanoseconds of arithmetic).
+//! The WCET evaluation is a *sweep*: hundreds to thousands of independent
+//! IPET analyses (one per entry point × configuration) whose runtimes
+//! differ by two orders of magnitude — a system-call ILP runs ~100 ms
+//! while an interrupt ILP runs well under 1 ms. A static split of such a
+//! job list across threads leaves most workers idle behind the one that
+//! drew the system calls, so the executor steals.
+//!
+//! The stealing scheme is deliberately lock-free on the hot path. Each
+//! worker owns a *contiguous block* of the input (not a round-robin
+//! deal), described by one packed `AtomicU64` holding the block's live
+//! `(front, back)` index pair. The owner claims from the front and
+//! thieves claim from the back, both with a single compare-exchange on
+//! the packed word, so a claim never takes a lock and two claimants can
+//! never obtain the same index. Results are published into per-index
+//! [`OnceLock`] slots — a claimed index is written exactly once, so a
+//! completion never contends with another worker's completion. (The
+//! previous design used one mutexed `VecDeque` per worker plus one
+//! `Mutex<Option<R>>` per result; under a multi-worker sweep of many
+//! small tasks the deque mutexes serialised pops against steal probes —
+//! the measured *anti*-scaling the lock-free scheme removes.)
+//!
+//! Block dealing matters for the analysis cache that sits behind the
+//! tasks: `analyze_batch` orders same-ILP-structure jobs adjacently, so
+//! contiguous blocks start every worker on a *different* structure (no
+//! convoy on one structure's build), and a thief steals from the back of
+//! a victim's block — the work its owner is farthest from touching.
 //!
 //! Design constraints, in order:
 //!
@@ -24,6 +40,9 @@
 //! 3. **Panic transparency.** A panicking task poisons the pool (workers
 //!    stop drawing new tasks) and the panic is re-raised on the caller —
 //!    the lowest-index one when several race, so failures are stable.
+//! 4. **Observability.** The pool counts steals, failed steal probes and
+//!    compare-exchange retries ([`Pool::stats`]) so a sweep benchmark can
+//!    *prove* the scheduler is not the bottleneck instead of guessing.
 //!
 //! Worker count resolution: an explicit [`Pool::new`] wins, otherwise
 //! [`Pool::from_env`] honours the `RT_JOBS` environment variable (the
@@ -41,29 +60,70 @@
 #![warn(missing_docs)]
 
 use std::any::Any;
-use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Packs a live `(front, back)` index pair into one atomic word so both
+/// ends of a worker's block move under a single compare-exchange.
+fn pack(front: usize, back: usize) -> u64 {
+    ((front as u64) << 32) | back as u64
+}
+
+fn unpack(v: u64) -> (usize, usize) {
+    ((v >> 32) as usize, (v & 0xffff_ffff) as usize)
+}
+
+/// Cumulative scheduler counters of one [`Pool`] (shared by clones; see
+/// [`Pool::stats`]).
+#[derive(Debug, Default)]
+struct Counters {
+    steals: AtomicU64,
+    failed_steals: AtomicU64,
+    spins: AtomicU64,
+}
+
+/// Snapshot of a pool's scheduler counters.
+///
+/// The counters accumulate across every [`Pool::parallel_map`] call made
+/// through this pool (and its clones). They exist to *verify* scaling
+/// behaviour: a healthy sweep shows a small steal count (load balancing
+/// worked), a bounded failed-steal count (idle workers found the pool
+/// drained quickly), and near-zero spins (claims almost never collided).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Tasks executed by a worker other than their block's owner.
+    pub steals: u64,
+    /// Steal probes that found a victim's block already empty.
+    pub failed_steals: u64,
+    /// Compare-exchange retries while claiming a task — the lock-free
+    /// analogue of lock-wait time. Non-zero only when an owner's pop and
+    /// a thief's steal raced on the same block at the same instant.
+    pub spins: u64,
+}
 
 /// A fixed-width scoped thread pool.
 ///
-/// The pool itself is just a worker count; threads are spawned per
-/// [`Pool::parallel_map`] call inside a [`std::thread::scope`], which is
-/// what lets the mapped closure borrow the caller's data (the analysis
-/// cache, the job list) without `Arc`-wrapping everything. Spawning a
-/// handful of threads costs microseconds against tasks that run
-/// milliseconds, so a persistent pool would buy nothing but shutdown
-/// complexity.
+/// The pool itself is a worker count plus shared scheduler counters;
+/// threads are spawned per [`Pool::parallel_map`] call inside a
+/// [`std::thread::scope`], which is what lets the mapped closure borrow
+/// the caller's data (the analysis cache, the job list) without
+/// `Arc`-wrapping everything. Spawning a handful of threads costs
+/// microseconds against tasks that run milliseconds, so a persistent pool
+/// would buy nothing but shutdown complexity.
 #[derive(Clone, Debug)]
 pub struct Pool {
     jobs: usize,
+    counters: Arc<Counters>,
 }
 
 impl Pool {
     /// A pool running `jobs` workers (clamped up to at least 1).
     pub fn new(jobs: usize) -> Pool {
-        Pool { jobs: jobs.max(1) }
+        Pool {
+            jobs: jobs.max(1),
+            counters: Arc::new(Counters::default()),
+        }
     }
 
     /// A pool sized from the environment: `RT_JOBS` if set to a positive
@@ -85,14 +145,25 @@ impl Pool {
         self.jobs
     }
 
+    /// Snapshot of the scheduler counters accumulated so far (across all
+    /// [`Pool::parallel_map`] calls of this pool and its clones).
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            steals: self.counters.steals.load(Ordering::Relaxed),
+            failed_steals: self.counters.failed_steals.load(Ordering::Relaxed),
+            spins: self.counters.spins.load(Ordering::Relaxed),
+        }
+    }
+
     /// Applies `f` to every item, in parallel, returning results in input
     /// order.
     ///
-    /// Items are dealt round-robin into per-worker deques; idle workers
-    /// steal from the back of their siblings' deques, so a skewed mix
-    /// (one 100 ms task among thirty 1 ms tasks) still load-balances.
-    /// With `jobs == 1` (or a single item) the map runs inline on the
-    /// caller's thread.
+    /// Items are dealt in contiguous blocks, one per worker; an idle
+    /// worker claims from the *back* of a sibling's block, so a skewed
+    /// mix (one 100 ms task among thirty 1 ms tasks) still load-balances
+    /// while adjacent items — which the analysis sweep orders to share
+    /// cached artifacts — stay on one worker. With `jobs == 1` (or a
+    /// single item) the map runs inline on the caller's thread.
     ///
     /// # Panics
     ///
@@ -102,57 +173,103 @@ impl Pool {
     pub fn parallel_map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
     where
         T: Send,
-        R: Send,
+        R: Send + Sync,
         F: Fn(T) -> R + Sync,
     {
         let n = items.len();
         if self.jobs == 1 || n <= 1 {
             return items.into_iter().map(f).collect();
         }
+        assert!(n < u32::MAX as usize, "job list exceeds the index width");
         let workers = self.jobs.min(n);
 
-        // Deal the tasks round-robin, keeping their input index.
-        let mut deques: Vec<Mutex<VecDeque<(usize, T)>>> =
-            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
-        for (i, item) in items.into_iter().enumerate() {
-            deques[i % workers]
-                .get_mut()
-                .expect("unshared deque")
-                .push_back((i, item));
-        }
+        // Item slots: a claimed index is taken exactly once (the claim CAS
+        // guarantees uniqueness), so this per-slot lock is never contended
+        // — it only converts "index i is mine" into ownership of item i
+        // without unsafe code.
+        let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let slots = &slots;
 
-        let deques = &deques;
+        // Contiguous blocks: worker w owns [bounds[w], bounds[w+1]), the
+        // first `n % workers` blocks one item larger.
+        let base = n / workers;
+        let extra = n % workers;
+        let mut start = 0usize;
+        let blocks: Vec<AtomicU64> = (0..workers)
+            .map(|w| {
+                let len = base + usize::from(w < extra);
+                let b = AtomicU64::new(pack(start, start + len));
+                start += len;
+                b
+            })
+            .collect();
+        let blocks = &blocks;
+
         let f = &f;
-        // One lock per result slot: workers finishing tasks never contend
-        // with each other (distinct indices), unlike a single Vec-wide
-        // mutex, which serialises every completion in the sweep's
-        // many-tiny-tasks regime.
-        let results_cell: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let results_cell: Vec<OnceLock<R>> = (0..n).map(|_| OnceLock::new()).collect();
         let results = &results_cell;
         let panics: Mutex<Vec<(usize, Box<dyn Any + Send>)>> = Mutex::new(Vec::new());
         let panics = &panics;
         let poisoned = &AtomicBool::new(false);
+        let counters = &*self.counters;
+
+        // Claims the front (owner) or back (thief) index of a block with
+        // one CAS; `None` once the block is empty.
+        let claim = move |block: &AtomicU64, front: bool| -> Option<usize> {
+            let mut v = block.load(Ordering::Acquire);
+            loop {
+                let (lo, hi) = unpack(v);
+                if lo >= hi {
+                    return None;
+                }
+                let (next, idx) = if front {
+                    (pack(lo + 1, hi), lo)
+                } else {
+                    (pack(lo, hi - 1), hi - 1)
+                };
+                match block.compare_exchange_weak(v, next, Ordering::AcqRel, Ordering::Acquire) {
+                    Ok(_) => return Some(idx),
+                    Err(cur) => {
+                        counters.spins.fetch_add(1, Ordering::Relaxed);
+                        v = cur;
+                    }
+                }
+            }
+        };
 
         let run_worker = move |w: usize| {
             loop {
                 if poisoned.load(Ordering::Relaxed) {
                     return;
                 }
-                // Own work first (front), then steal (back) — stolen tasks
-                // are the ones their owner would reach last.
-                let mut task = deques[w].lock().expect("deque lock").pop_front();
+                // Own block first (front), then steal (back) — stolen
+                // tasks are the ones their owner would reach last. Blocks
+                // only ever shrink, so a full failed scan means the sweep
+                // is fully claimed and the worker can retire.
+                let mut task = claim(&blocks[w], true);
                 if task.is_none() {
                     for off in 1..workers {
                         let victim = (w + off) % workers;
-                        task = deques[victim].lock().expect("deque lock").pop_back();
+                        task = claim(&blocks[victim], false);
                         if task.is_some() {
+                            counters.steals.fetch_add(1, Ordering::Relaxed);
                             break;
                         }
+                        counters.failed_steals.fetch_add(1, Ordering::Relaxed);
                     }
                 }
-                let Some((i, item)) = task else { return };
+                let Some(i) = task else { return };
+                let item = slots[i]
+                    .lock()
+                    .expect("item slot lock")
+                    .take()
+                    .expect("an index is claimed exactly once");
                 match panic::catch_unwind(AssertUnwindSafe(|| f(item))) {
-                    Ok(r) => *results[i].lock().expect("result slot lock") = Some(r),
+                    Ok(r) => {
+                        if results[i].set(r).is_err() {
+                            unreachable!("result slot {i} written twice");
+                        }
+                    }
                     Err(payload) => {
                         poisoned.store(true, Ordering::Relaxed);
                         panics.lock().expect("panics lock").push((i, payload));
@@ -177,11 +294,7 @@ impl Pool {
         }
         results_cell
             .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("result slot lock")
-                    .expect("every task ran to completion")
-            })
+            .map(|slot| slot.into_inner().expect("every task ran to completion"))
             .collect()
     }
 }
@@ -210,14 +323,14 @@ mod tests {
 
     #[test]
     fn steals_under_skewed_task_sizes() {
-        // Worker 0's deque is dealt every 4th task; make those tasks heavy
-        // so the other workers must steal them to finish promptly. All
-        // results must still land at their input index.
+        // Worker 0's block holds the heavy tasks; the other workers must
+        // steal them to finish promptly. All results must still land at
+        // their input index.
         let pool = Pool::new(4);
         let executed = AtomicUsize::new(0);
         let input: Vec<usize> = (0..32).collect();
         let got = pool.parallel_map(input, |i| {
-            if i % 4 == 0 {
+            if i < 8 {
                 std::thread::sleep(Duration::from_millis(10));
             }
             executed.fetch_add(1, Ordering::Relaxed);
@@ -227,6 +340,43 @@ mod tests {
         for (i, &r) in got.iter().enumerate() {
             assert_eq!(r, i * i);
         }
+    }
+
+    #[test]
+    fn counters_observe_stealing() {
+        // One worker's block is all heavy tasks; with more workers than
+        // work per block, siblings must record successful steals, and the
+        // drain-out must record failed probes.
+        let pool = Pool::new(4);
+        let input: Vec<usize> = (0..16).collect();
+        pool.parallel_map(input, |i| {
+            if i < 4 {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            i
+        });
+        let s = pool.stats();
+        assert!(s.steals > 0, "sleepy block must be stolen from: {s:?}");
+        assert!(
+            s.failed_steals > 0,
+            "retiring workers probe drained blocks: {s:?}"
+        );
+    }
+
+    #[test]
+    fn stats_accumulate_across_calls_and_clones() {
+        let pool = Pool::new(3);
+        let before = pool.stats();
+        assert_eq!(before, PoolStats::default());
+        let clone = pool.clone();
+        for _ in 0..4 {
+            clone.parallel_map((0..64).collect::<Vec<u32>>(), |x| {
+                std::thread::sleep(Duration::from_micros(200));
+                x
+            });
+        }
+        // Counter totals are shared: the original sees the clone's work.
+        assert_eq!(pool.stats(), clone.stats());
     }
 
     #[test]
@@ -278,5 +428,22 @@ mod tests {
         let pool = Pool::new(16);
         let got = pool.parallel_map(vec![7u32, 9], |x| x * 2);
         assert_eq!(got, vec![14, 18]);
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once_under_contention() {
+        // Tiny tasks maximise claim-CAS collisions between owners and
+        // thieves; each index must still be executed exactly once.
+        let pool = Pool::new(8);
+        let runs: Vec<AtomicUsize> = (0..4096).map(|_| AtomicUsize::new(0)).collect();
+        let runs = &runs;
+        let got = pool.parallel_map((0..4096usize).collect(), |i| {
+            runs[i].fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        for (i, r) in runs.iter().enumerate() {
+            assert_eq!(r.load(Ordering::Relaxed), 1, "index {i}");
+        }
+        assert_eq!(got, (0..4096).collect::<Vec<_>>());
     }
 }

@@ -130,6 +130,25 @@ pub struct Costs {
 /// conflict-free loop lines hit inside the loop and their cold misses are
 /// charged on the loop's entry edges.
 pub fn node_costs(cfg: &Cfg, layout: &Layout, model: &CostModel) -> Costs {
+    node_costs_via(cfg, layout, model, |block, persistent| {
+        model.block_cost_split(layout, block, persistent)
+    })
+}
+
+/// [`node_costs`] with the per-node block costing routed through
+/// `block_split`. [`node_costs`] passes [`CostModel::block_cost_split`]
+/// straight through; [`crate::AnalysisCache`] passes a memoizing wrapper
+/// keyed on `(block, persistent lines, model)` — virtual inlining repeats
+/// the same block across many contexts and graphs, so the wrapper prices
+/// each distinct combination once per sweep. Everything *around* the
+/// block costs (persistence detection, entry-edge charges) is shared here
+/// so the two paths cannot drift.
+pub(crate) fn node_costs_via(
+    cfg: &Cfg,
+    layout: &Layout,
+    model: &CostModel,
+    mut block_split: impl FnMut(Block, &HashSet<Addr>) -> CycleAccounts,
+) -> Costs {
     let mut persistent: Vec<HashSet<Addr>> = vec![HashSet::new(); cfg.nodes.len()];
     let mut edge_split: Vec<CycleAccounts> = vec![CycleAccounts::default(); cfg.edges.len()];
     for l in &cfg.loops {
@@ -152,7 +171,7 @@ pub fn node_costs(cfg: &Cfg, layout: &Layout, model: &CostModel) -> Costs {
         .nodes
         .iter()
         .enumerate()
-        .map(|(i, n)| model.block_cost_split(layout, n.block, &persistent[i]))
+        .map(|(i, n)| block_split(n.block, &persistent[i]))
         .collect();
     Costs {
         node: node_split.iter().map(|c| c.total()).collect(),
@@ -312,11 +331,26 @@ pub fn analyze_batch_with(
     pool: &rt_pool::Pool,
     cache: &crate::AnalysisCache,
 ) -> Vec<WcetReport> {
+    let with_bounds: Vec<(EntryPoint, AnalysisConfig, kmodel::BoundParams)> = jobs
+        .iter()
+        .map(|&(entry, cfg)| (entry, cfg, kmodel::BoundParams::default()))
+        .collect();
+    analyze_batch_bounds_with(&with_bounds, pool, cache)
+}
+
+/// As [`analyze_batch_with`] with explicit per-job loop-bound parameters —
+/// the full job triple the fleet sweep generates. Results are in input
+/// order and bit-identical to serial [`analyze_with_bounds`] calls.
+pub fn analyze_batch_bounds_with(
+    jobs: &[(EntryPoint, AnalysisConfig, kmodel::BoundParams)],
+    pool: &rt_pool::Pool,
+    cache: &crate::AnalysisCache,
+) -> Vec<WcetReport> {
     // Dispatch each *distinct* job once: a duplicate dispatched as its own
     // task would just park its worker on the builder's OnceLock, idling a
-    // thread that could be solving a different instance. The job pair is
-    // exactly the report memo's key (default bounds), so duplicates are
-    // guaranteed hits afterward.
+    // thread that could be solving a different instance. The job triple is
+    // exactly the report memo's key, so duplicates are guaranteed hits
+    // afterward.
     let mut first = std::collections::HashMap::new();
     let mut unique = Vec::new();
     let index: Vec<usize> = jobs
@@ -328,19 +362,22 @@ pub fn analyze_batch_with(
             })
         })
         .collect();
-    // Order same-structure jobs adjacently (same entry, kernel and
+    // Order same-structure jobs adjacently (same entry, kernel, bounds and
     // constraint set share one presolved ILP skeleton and basis seed), so
     // a worker picking up consecutive jobs re-solves a structure that is
     // already built and warm instead of interleaving cold structure
     // builds. Groups keep first-appearance order; results are remapped to
     // input order below, so this only changes scheduling, never output.
+    // The pool deals *contiguous blocks* of this order to its workers, so
+    // distinct workers start on distinct structures rather than convoying
+    // on the first group's builder OnceLock.
     let mut group_of = std::collections::HashMap::new();
     let rank: Vec<usize> = unique
         .iter()
-        .map(|(entry, cfg)| {
+        .map(|(entry, cfg, bounds)| {
             let next = group_of.len();
             *group_of
-                .entry((*entry, cfg.kernel, cfg.manual_constraints))
+                .entry((*entry, cfg.kernel, cfg.manual_constraints, *bounds))
                 .or_insert(next)
         })
         .collect();
@@ -350,9 +387,12 @@ pub fn analyze_batch_with(
     for (p, &i) in order.iter().enumerate() {
         pos[i] = p;
     }
-    let ordered: Vec<(EntryPoint, AnalysisConfig)> = order.iter().map(|&i| unique[i]).collect();
-    let distinct: Vec<std::sync::Arc<WcetReport>> =
-        pool.parallel_map(ordered, |(entry, cfg)| cache.analyze(entry, &cfg));
+    let ordered: Vec<(EntryPoint, AnalysisConfig, kmodel::BoundParams)> =
+        order.iter().map(|&i| unique[i]).collect();
+    let distinct: Vec<std::sync::Arc<WcetReport>> = pool
+        .parallel_map(ordered, |(entry, cfg, bounds)| {
+            cache.analyze_with_bounds(entry, &cfg, &bounds)
+        });
     index
         .into_iter()
         .map(|i| (*distinct[pos[i]]).clone())

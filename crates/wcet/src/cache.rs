@@ -15,10 +15,12 @@
 //! |---|---|
 //! | [`Layout`] | (global — the layout is a constant of the kernel image) |
 //! | [`Cfg`] | entry point, [`KernelConfig`], [`BoundParams`] |
+//! | cost shape id | CFG key (interned graph topology) |
 //! | [`CostModel`] | *effective* l2, *relevant* pinning, l2_kernel_locked |
-//! | [`Costs`] | CFG key × cost-model key |
+//! | block cost split | block × persistent lines × cost-model key |
+//! | [`Costs`] | cost *shape* id × cost-model key |
 //! | IPET ILP structure + basis seed | CFG key × manual_constraints |
-//! | [`WcetReport`] | costs key × manual_constraints |
+//! | [`WcetReport`] | CFG key × cost-model key × manual_constraints |
 //!
 //! The keys are *normalised* projections of `(KernelConfig, l2, pinning,
 //! l2_kernel_locked)`: each stage keys on exactly the inputs it reads, so
@@ -39,6 +41,31 @@
 //! variant re-solves that shared skeleton with its own objective via
 //! [`rt_ilp::PresolvedModel::resolve_with_objective`] — a short warm
 //! primal run from the seed basis instead of a cold two-phase solve.
+//!
+//! **Shape/cost split.** The same move again for the cost vectors: what
+//! [`node_costs`][crate::analysis::node_costs] reads is the graph's
+//! *topology* — the per-node block sequence, the edge list, the loop
+//! memberships — never the loop-bound values or constraint sets that
+//! distinguish e.g. open- from closed-system variants of one CFG. Each
+//! distinct topology is interned once into a *cost shape id*, and the
+//! costs memo keys on `(shape, model)`: every bound variant of an entry
+//! point (and any two entry points whose graphs happen to coincide, like
+//! the two fault vectors) shares one cost vector per cache configuration.
+//! Underneath, the per-block splits are memoized again on `(block,
+//! persistent lines, model)` — virtual inlining repeats a block across
+//! many contexts, entry points and kernels, so each distinct combination
+//! is priced exactly once per sweep.
+//!
+//! **Concurrency.** Sweeps fan these lookups out across worker threads,
+//! so the hot (hit) path must never serialise: each memo is sharded 64
+//! ways and a shard is guarded by an [`RwLock`] taken only long enough to
+//! fetch the per-key cell — hits take the *read* lock, so concurrent hits
+//! on different keys (and even on the same key) proceed without exclusive
+//! locking; only the first request of a new key briefly takes the write
+//! lock to insert the cell. Construction itself happens outside any shard
+//! lock, behind the cell's [`OnceLock`]. Per-memo counters additionally
+//! record shard collisions (distinct keys inserted into an occupied
+//! shard) so `repro bench` can verify sharding keeps contention nil.
 //!
 //! **Determinism.** Every cached value is immutable once built and every
 //! builder is a pure function of its key: the basis seed is pinned to the
@@ -68,16 +95,16 @@
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
-use rt_hw::Addr;
+use rt_hw::{Addr, CycleAccounts};
 use rt_kernel::kernel::{EntryPoint, KernelConfig};
 use rt_kernel::kprog::Layout;
 use rt_kernel::pinning;
 
 use crate::analysis::{
-    analyze_forced_parts, cost_model_from_flags, node_costs, report_from_solution, AnalysisConfig,
-    Costs, PhaseTimes, WcetReport,
+    analyze_forced_parts, cost_model_from_flags, node_costs_via, report_from_solution,
+    AnalysisConfig, Costs, PhaseTimes, WcetReport,
 };
 use crate::cfg::Cfg;
 use crate::cost::{block_touches_pinned, CostModel};
@@ -126,18 +153,73 @@ struct CfgKey {
     bounds: BoundParams,
 }
 
-/// What the per-node costs depend on: the CFG and the cost model.
+/// Everything [`node_costs_via`] reads of a graph: the per-node block
+/// sequence, the edge list, and each loop's node membership. Loop-bound
+/// values, manual constraints and inlining context ids are deliberately
+/// absent — they cannot change a cost vector — so CFGs that differ only
+/// in those (the open/closed bound variants of one entry point, or two
+/// entry points with coincident graphs) intern to the same shape.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct CostShape {
+    nodes: Vec<Block>,
+    edges: Vec<(u32, u32)>,
+    /// Sorted member lists of each loop, list-of-loops itself sorted:
+    /// persistence and entry-edge charging are order-independent, but a
+    /// loop registered twice must stay twice (its entry charge doubles).
+    loops: Vec<Vec<u32>>,
+}
+
+impl CostShape {
+    fn of(graph: &Cfg) -> CostShape {
+        let mut loops: Vec<Vec<u32>> = graph
+            .loops
+            .iter()
+            .map(|l| {
+                let mut m: Vec<u32> = l.nodes.iter().map(|n| n.0 as u32).collect();
+                m.sort_unstable();
+                m
+            })
+            .collect();
+        loops.sort();
+        CostShape {
+            nodes: graph.nodes.iter().map(|n| n.block).collect(),
+            edges: graph
+                .edges
+                .iter()
+                .map(|(a, b)| (a.0 as u32, b.0 as u32))
+                .collect(),
+            loops,
+        }
+    }
+}
+
+/// What the per-node costs depend on: the graph's interned cost shape and
+/// the cost model — *not* the full CFG key, whose bound values the cost
+/// computation never reads.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 struct CostKey {
-    cfg: CfgKey,
+    shape: usize,
     model: CostModelKey,
 }
 
-/// What a complete report depends on: costs plus whether manual
-/// constraints apply.
+/// What one block's cost split depends on: the block, the lines
+/// guaranteed resident while it runs, and the cost model.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct BlockCostKey {
+    block: Block,
+    model: CostModelKey,
+    /// Sorted, deduplicated persistent-line set (a canonical form of the
+    /// per-node `HashSet<Addr>` the costing walks).
+    persistent: Vec<Addr>,
+}
+
+/// What a complete report depends on: the exact CFG (bounds and
+/// constraints included — they shape the ILP), the normalised cost
+/// model, and whether manual constraints apply.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 struct IlpKey {
-    cost: CostKey,
+    cfg: CfgKey,
+    model: CostModelKey,
     manual_constraints: bool,
 }
 
@@ -159,31 +241,39 @@ struct PreparedStructure {
     presolved: rt_ilp::PresolvedModel,
 }
 
-/// Shard count of a [`Memo`]'s key map. The map lock is held only to
-/// fetch a cell, but under a multi-worker sweep every pipeline stage of
-/// every job takes it; sharding by key hash keeps workers on different
-/// artifacts from serialising on one mutex.
-const MEMO_SHARDS: usize = 8;
+/// Shard count of a [`Memo`]'s key map. Sized so that even a fleet-scale
+/// sweep (hundreds of distinct keys, up to `available_parallelism`
+/// workers) sees almost every key alone in its shard; the counter
+/// [`MemoStats::shard_collisions`] verifies this at run time.
+const MEMO_SHARDS: usize = 64;
 
-/// One shard's key map: per-key cells, each built at most once.
-type MemoShard<K, V> = Mutex<HashMap<K, Arc<OnceLock<Arc<V>>>>>;
+/// One shard's key map: per-key cells, each built at most once. The
+/// `RwLock` is held only to fetch or insert a cell — the common hit path
+/// takes the read side, so hits never exclude each other.
+type MemoShard<K, V> = RwLock<HashMap<K, Arc<OnceLock<Arc<V>>>>>;
 
 /// One memoized artifact class: a sharded, keyed map of [`OnceLock`]
 /// cells, so concurrent requests for the same key block on one builder
-/// instead of racing, while different keys build in parallel (a shard
-/// lock is held only to fetch the cell, never during construction).
+/// instead of racing, while different keys build in parallel. A hit costs
+/// one shard *read* lock (never exclusive) plus one `OnceLock` load; only
+/// the first request of a new key upgrades to the shard write lock to
+/// insert the cell, and construction happens outside any shard lock.
 struct Memo<K, V> {
-    shards: [MemoShard<K, V>; MEMO_SHARDS],
+    shards: Vec<MemoShard<K, V>>,
     lookups: AtomicU64,
     builds: AtomicU64,
+    collisions: AtomicU64,
 }
 
 impl<K: Eq + Hash + Clone, V> Memo<K, V> {
     fn new() -> Memo<K, V> {
         Memo {
-            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            shards: (0..MEMO_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
             lookups: AtomicU64::new(0),
             builds: AtomicU64::new(0),
+            collisions: AtomicU64::new(0),
         }
     }
 
@@ -191,10 +281,24 @@ impl<K: Eq + Hash + Clone, V> Memo<K, V> {
         self.lookups.fetch_add(1, Ordering::Relaxed);
         let mut h = std::hash::DefaultHasher::new();
         key.hash(&mut h);
-        let shard = (h.finish() as usize) % MEMO_SHARDS;
+        let shard = &self.shards[(h.finish() as usize) % MEMO_SHARDS];
         let cell = {
-            let mut map = self.shards[shard].lock().expect("memo shard lock");
-            Arc::clone(map.entry(key).or_default())
+            let map = shard.read().expect("memo shard read lock");
+            map.get(&key).cloned()
+        };
+        let cell = match cell {
+            Some(cell) => cell,
+            None => {
+                let mut map = shard.write().expect("memo shard write lock");
+                // A distinct key landing in an occupied shard is a
+                // collision (two threads racing to insert the *same* key
+                // is not). For a fixed key set the count is deterministic:
+                // distinct keys minus occupied shards.
+                if !map.is_empty() && !map.contains_key(&key) {
+                    self.collisions.fetch_add(1, Ordering::Relaxed);
+                }
+                Arc::clone(map.entry(key).or_default())
+            }
         };
         Arc::clone(cell.get_or_init(|| {
             self.builds.fetch_add(1, Ordering::Relaxed);
@@ -206,6 +310,7 @@ impl<K: Eq + Hash + Clone, V> Memo<K, V> {
         MemoStats {
             lookups: self.lookups.load(Ordering::Relaxed),
             builds: self.builds.load(Ordering::Relaxed),
+            shard_collisions: self.collisions.load(Ordering::Relaxed),
         }
     }
 }
@@ -214,13 +319,19 @@ impl<K: Eq + Hash + Clone, V> Memo<K, V> {
 ///
 /// `builds` equals the number of *distinct keys* ever requested, so for a
 /// fixed job list the counters are deterministic regardless of worker
-/// count or scheduling.
+/// count or scheduling — and so is `shard_collisions` (distinct keys
+/// minus occupied shards).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MemoStats {
     /// Requests served (hits + builds).
     pub lookups: u64,
     /// Requests that had to construct the artifact (distinct keys).
     pub builds: u64,
+    /// Distinct keys that were inserted into an already-occupied shard —
+    /// the keys whose first build could briefly contend with another
+    /// key's cell fetch. Should stay near zero while distinct keys per
+    /// memo stay well under the shard count.
+    pub shard_collisions: u64,
 }
 
 impl MemoStats {
@@ -270,8 +381,12 @@ pub struct CacheStats {
     pub cfgs: MemoStats,
     /// Cost models (per normalised cache configuration).
     pub cost_models: MemoStats,
-    /// Per-node/per-edge cost vectors.
+    /// Per-node/per-edge cost vectors (per cost shape × model — bound
+    /// variants of one topology share these).
     pub costs: MemoStats,
+    /// Per-block cost splits (per block × persistent lines × model —
+    /// shared across contexts, entry points and kernels).
+    pub block_costs: MemoStats,
     /// Assembled + presolved IPET structures with their basis seeds
     /// (per CFG × manual_constraints — shared by all cost configurations).
     pub ilp_structures: MemoStats,
@@ -297,8 +412,13 @@ pub struct AnalysisCache {
     /// Per-CFG verdict: does any node touch a pinned line? `false` lets
     /// pinned configurations share the unpinned cost vectors.
     pin_relevant: Memo<CfgKey, bool>,
+    /// Per-CFG interned cost-shape id (index into `shape_intern`).
+    shape_ids: Memo<CfgKey, usize>,
+    /// The shape interning table: identical topologies map to one id.
+    shape_intern: Mutex<HashMap<CostShape, usize>>,
     cost_models: Memo<CostModelKey, CostModel>,
     costs: Memo<CostKey, Costs>,
+    block_costs: Memo<BlockCostKey, CycleAccounts>,
     ilp_structures: Memo<StructKey, PreparedStructure>,
     reports: Memo<IlpKey, WcetReport>,
     resolves: AtomicU64,
@@ -314,8 +434,11 @@ impl AnalysisCache {
             pinned_lines: OnceLock::new(),
             cfgs: Memo::new(),
             pin_relevant: Memo::new(),
+            shape_ids: Memo::new(),
+            shape_intern: Mutex::new(HashMap::new()),
             cost_models: Memo::new(),
             costs: Memo::new(),
+            block_costs: Memo::new(),
             ilp_structures: Memo::new(),
             reports: Memo::new(),
             resolves: AtomicU64::new(0),
@@ -332,6 +455,19 @@ impl AnalysisCache {
     fn cfg(&self, key: CfgKey) -> Arc<Cfg> {
         self.cfgs.get_or_build(key, || {
             kmodel::build_cfg_with(key.entry, key.kernel, &key.bounds)
+        })
+    }
+
+    /// The interned cost-shape id of `graph` (memoized per CFG key so the
+    /// topology is extracted and interned once per distinct CFG, not per
+    /// lookup). Ids are dense indices; *which* id a shape gets depends on
+    /// arrival order and is never exposed — only key equality matters.
+    fn shape_id(&self, key: CfgKey, graph: &Cfg) -> usize {
+        *self.shape_ids.get_or_build(key, || {
+            let shape = CostShape::of(graph);
+            let mut intern = self.shape_intern.lock().expect("shape intern lock");
+            let next = intern.len();
+            *intern.entry(shape).or_insert(next)
         })
     }
 
@@ -366,18 +502,31 @@ impl AnalysisCache {
     }
 
     fn costs(&self, key: CostKey, graph: &Cfg, model: &CostModel) -> Arc<Costs> {
-        self.costs
-            .get_or_build(key, || node_costs(graph, &self.layout(), model))
+        self.costs.get_or_build(key, || {
+            let layout = self.layout();
+            node_costs_via(graph, &layout, model, |block, persistent| {
+                let mut lines: Vec<Addr> = persistent.iter().copied().collect();
+                lines.sort_unstable();
+                *self.block_costs.get_or_build(
+                    BlockCostKey {
+                        block,
+                        model: key.model,
+                        persistent: lines,
+                    },
+                    || model.block_cost_split(&layout, block, persistent),
+                )
+            })
+        })
     }
 
     /// The shared IPET skeleton of one `(CFG, manual)` class: built,
     /// presolved and basis-seeded once under the canonical cost objective.
-    fn structure(&self, key: StructKey, graph: &Cfg) -> Arc<PreparedStructure> {
+    fn structure(&self, key: StructKey, graph: &Cfg, shape: usize) -> Arc<PreparedStructure> {
         self.ilp_structures.get_or_build(key, || {
             let canon_model = self.cost_model(CostModelKey::CANONICAL);
             let canon = self.costs(
                 CostKey {
-                    cfg: key.cfg,
+                    shape,
                     model: CostModelKey::CANONICAL,
                 },
                 graph,
@@ -427,18 +576,23 @@ impl AnalysisCache {
         let t_build = t0.elapsed();
         let pin_relevant = cfg.pinning && self.pinning_relevant(cfg_key, &graph);
         let model_key = CostModelKey::normalized(cfg, pin_relevant);
-        let cost_key = CostKey {
+        let key = IlpKey {
             cfg: cfg_key,
             model: model_key,
-        };
-        let key = IlpKey {
-            cost: cost_key,
             manual_constraints: cfg.manual_constraints,
         };
         self.reports.get_or_build(key, move || {
             let model = self.cost_model(model_key);
+            let shape = self.shape_id(cfg_key, &graph);
             let t0 = std::time::Instant::now();
-            let costs = self.costs(cost_key, &graph, &model);
+            let costs = self.costs(
+                CostKey {
+                    shape,
+                    model: model_key,
+                },
+                &graph,
+                &model,
+            );
             let t_costs = t0.elapsed();
             let structure = self.structure(
                 StructKey {
@@ -446,6 +600,7 @@ impl AnalysisCache {
                     manual_constraints: cfg.manual_constraints,
                 },
                 &graph,
+                shape,
             );
             let t0 = std::time::Instant::now();
             let objective = structure.ilp.objective_for(&costs.node, &costs.edge);
@@ -495,6 +650,7 @@ impl AnalysisCache {
             cfgs: self.cfgs.stats(),
             cost_models: self.cost_models.stats(),
             costs: self.costs.stats(),
+            block_costs: self.block_costs.stats(),
             ilp_structures: self.ilp_structures.stats(),
             reports: self.reports.stats(),
             resolve: ResolveStats {
@@ -596,6 +752,49 @@ mod tests {
         assert_eq!(s.reports.builds, 4, "four distinct configs");
         assert_eq!(s.ilp_structures.builds, 1, "one shared structure: {s:?}");
         assert_eq!(s.resolve.resolves, 4, "one re-solve per report");
+    }
+
+    #[test]
+    fn bound_variants_share_cost_vectors_via_shape() {
+        // Open- and closed-system bounds change loop-bound values and
+        // constraint sets but not the graph topology, so the cost vectors
+        // must come from one shape-keyed build; the reports (whose ILPs
+        // see the bounds) must still be distinct.
+        let cache = AnalysisCache::new();
+        let cfg = acfg(false, false);
+        let open = cache.analyze_with_bounds(EntryPoint::Interrupt, &cfg, &BoundParams::open());
+        let closed = cache.analyze_with_bounds(EntryPoint::Interrupt, &cfg, &BoundParams::closed());
+        let s = cache.stats();
+        assert_eq!(s.cfgs.builds, 2, "two CFGs (distinct bounds): {s:?}");
+        assert_eq!(
+            s.costs.builds, 1,
+            "one shared cost vector across bound variants: {s:?}"
+        );
+        assert_eq!(s.reports.builds, 2, "distinct reports per bounds");
+        // Both must equal their uncached counterparts.
+        use crate::analysis::analyze_with_bounds;
+        let open_plain = analyze_with_bounds(EntryPoint::Interrupt, &cfg, &BoundParams::open());
+        let closed_plain = analyze_with_bounds(EntryPoint::Interrupt, &cfg, &BoundParams::closed());
+        assert_eq!(open.cycles, open_plain.cycles);
+        assert_eq!(closed.cycles, closed_plain.cycles);
+        assert_eq!(open.breakdown, open_plain.breakdown);
+        assert_eq!(closed.breakdown, closed_plain.breakdown);
+    }
+
+    #[test]
+    fn block_costs_are_shared_across_entry_points() {
+        // Virtual inlining repeats blocks across contexts and entry
+        // points: the per-block memo must price each distinct (block,
+        // persistent, model) once, making it the highest-hit memo.
+        let cache = AnalysisCache::new();
+        for entry in EntryPoint::ALL {
+            cache.analyze(entry, &acfg(false, false));
+        }
+        let s = cache.stats();
+        assert!(
+            s.block_costs.lookups > 2 * s.block_costs.builds,
+            "block splits must be heavily shared: {s:?}"
+        );
     }
 
     #[test]

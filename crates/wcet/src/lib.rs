@@ -62,7 +62,8 @@ pub mod kmodel;
 pub mod loopbound;
 
 pub use analysis::{
-    analyze, analyze_batch, analyze_batch_with, ipet_ilp, ipet_ilp_with, AnalysisConfig, WcetReport,
+    analyze, analyze_batch, analyze_batch_bounds_with, analyze_batch_with, ipet_ilp, ipet_ilp_with,
+    AnalysisConfig, WcetReport,
 };
-pub use cache::{AnalysisCache, CacheStats, MemoStats};
+pub use cache::{AnalysisCache, CacheStats, MemoStats, ResolveStats};
 pub use cfg::{Cfg, CfgBuilder, NodeId, UserConstraint};

@@ -10,7 +10,9 @@
 use proptest::prelude::*;
 use rt_kernel::kernel::{EntryPoint, KernelConfig};
 use rt_pool::Pool;
-use rt_wcet::{analyze, analyze_batch_with, AnalysisCache, AnalysisConfig};
+use rt_wcet::{
+    analyze, analyze_batch_bounds_with, analyze_batch_with, AnalysisCache, AnalysisConfig,
+};
 
 fn arb_entry() -> impl Strategy<Value = EntryPoint> {
     prop_oneof![
@@ -50,8 +52,39 @@ fn arb_jobs() -> impl Strategy<Value = Vec<(EntryPoint, AnalysisConfig)>> {
     proptest::collection::vec((arb_entry(), arb_config()), 1..6)
 }
 
+/// A random sample (with duplicates and shuffled order) of the fleet
+/// generator's job space: raw indices, reduced modulo the fleet length.
+fn arb_fleet_sample() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(any::<usize>(), 2..8)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn fleet_batch_is_identical_at_one_and_max_workers_and_to_serial(picks in arb_fleet_sample()) {
+        // The PR 3 differential, extended to the generated config space:
+        // sampled fleet jobs (full BoundParams axis included) run at 1
+        // worker and at an oversubscribed worker count, each with a fresh
+        // cache, and both must match serial uncached analysis bit for bit.
+        let fleet = rt_bench::sweep::fleet_jobs(usize::MAX);
+        let jobs: Vec<_> = picks.iter().map(|ix| fleet[ix % fleet.len()]).collect();
+        let one = analyze_batch_bounds_with(&jobs, &Pool::new(1), &AnalysisCache::new());
+        let many = analyze_batch_bounds_with(&jobs, &Pool::new(8), &AnalysisCache::new());
+        prop_assert_eq!(one.len(), jobs.len());
+        for (i, (entry, cfg, bounds)) in jobs.iter().enumerate() {
+            let serial = rt_wcet::analysis::analyze_with_bounds(*entry, cfg, bounds);
+            for got in [&one[i], &many[i]] {
+                prop_assert_eq!(serial.cycles, got.cycles, "{:?}/{:?}/{:?}", entry, cfg, bounds);
+                prop_assert_eq!(serial.us.to_bits(), got.us.to_bits());
+                prop_assert_eq!(&serial.breakdown, &got.breakdown);
+                prop_assert_eq!(&serial.worst_path, &got.worst_path);
+                prop_assert_eq!(&serial.trace, &got.trace);
+                prop_assert_eq!(serial.ilp_vars, got.ilp_vars);
+                prop_assert_eq!(serial.ilp_constraints, got.ilp_constraints);
+            }
+        }
+    }
 
     #[test]
     fn batch_reports_equal_sequential_analyze(jobs in arb_jobs()) {
