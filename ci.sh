@@ -84,6 +84,35 @@ awk -v c="$host_cpus" -v w1="$fleet_wall_1" -v w4="$fleet_wall_4" 'BEGIN {
     }
 }' || exit 1
 
+# Load-engine smoke gate (docs/WORKLOADS.md): a fixed-seed 100k-event
+# heavy-traffic run must (a) report zero soundness violations — no
+# observed interrupt response above its static bound — and (b) render
+# byte-identical stdout at 1 worker and at 4 workers. Each invocation
+# also self-checks identity across its own worker list; running two
+# invocations and diffing proves the property holds across *processes*,
+# not just across pools in one address space. JSON goes to a scratch
+# path so the committed BENCH_sweep.json stays as recorded.
+load_out_1="$(mktemp)"
+load_out_4="$(mktemp)"
+load_json="$(mktemp)"
+trap 'rm -f "$bench_json" "$load_out_1" "$load_out_4" "$load_json"' EXIT
+RT_BENCH_OUT="$load_json" cargo run --release -q -p rt-bench --bin repro -- \
+    load --events 100000 --shards 16 --tenants 32 --seed 42 --workers 1 >"$load_out_1"
+RT_BENCH_OUT="$load_json" cargo run --release -q -p rt-bench --bin repro -- \
+    load --events 100000 --shards 16 --tenants 32 --seed 42 --workers 4 >"$load_out_4"
+diff -u "$load_out_1" "$load_out_4" || {
+    echo "ci: load report differs between 1 and 4 workers" >&2
+    exit 1
+}
+grep -q 'soundness oracle: PASS' "$load_out_1" || {
+    echo "ci: load soundness oracle did not pass" >&2
+    exit 1
+}
+grep -q '"violations": 0,' "$load_json" || {
+    echo "ci: load JSON block reports violations" >&2
+    exit 1
+}
+
 cargo fmt --check
 cargo clippy --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps

@@ -10,6 +10,7 @@
 //! cargo run --release -p rt-bench --bin repro -- latency-bound
 //! cargo run --release -p rt-bench --bin repro -- explore [--depth N]
 //! cargo run --release -p rt-bench --bin repro -- bench [--workers a,b,c] [--fleet-jobs N]
+//! cargo run --release -p rt-bench --bin repro -- load [--events N --tenants N --shards N --seed N --workers a,b,c]
 //! cargo run --release -p rt-bench --bin repro -- all
 //! ```
 //!
@@ -173,14 +174,102 @@ fn bench_opts(args: &[String]) -> sweep::BenchOpts {
 
 fn bench_report(opts: &sweep::BenchOpts) -> String {
     let result = sweep::run_bench_with(opts);
-    let json = result.to_json();
+    let mut json = result.to_json();
     // RT_BENCH_OUT redirects the artifact (CI smoke runs measure without
     // dirtying the committed BENCH_sweep.json).
     let path = std::env::var("RT_BENCH_OUT").unwrap_or_else(|_| "BENCH_sweep.json".into());
+    // `repro bench` regenerates the sweep numbers but must not lose the
+    // `repro load` block of a previous run — carry it forward.
+    if let Some(load) = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|old| sweep::extract_json_block(&old, "load"))
+    {
+        json = sweep::upsert_json_block(&json, "load", &load);
+    }
     std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
     let mut s = result.render();
     s.push_str(&format!("  wrote {path}\n"));
     s
+}
+
+/// The `repro load` driver: runs the rt-load heavy-traffic engine once
+/// per requested worker count, asserts the rendered reports are
+/// byte-identical, upserts the `"load"` block into the bench artifact,
+/// and returns the (deterministic) report for stdout. Wall-clock and
+/// file-path chatter goes to stderr so stdout stays byte-comparable
+/// across invocations.
+fn load_report(args: &[String]) -> String {
+    let grab = |flag: &str, default: usize| -> usize {
+        match flag_value(args, flag) {
+            None => default,
+            Some(Ok(n)) => n,
+            Some(Err(())) => {
+                eprintln!("{flag} requires a positive integer");
+                std::process::exit(2);
+            }
+        }
+    };
+    let events = grab("--events", 1_000_000) as u64;
+    let tenants = grab("--tenants", 64) as u32;
+    let shards = grab("--shards", 32) as u32;
+    let seed = grab("--seed", 42) as u64;
+    let workers = args
+        .iter()
+        .position(|a| a == "--workers")
+        .map(|i| args.get(i + 1).cloned().unwrap_or_default())
+        .or_else(|| std::env::var("RT_BENCH_WORKERS").ok())
+        .map(|spec| {
+            parse_workers(&spec).unwrap_or_else(|()| {
+                eprintln!(
+                    "--workers / RT_BENCH_WORKERS requires a comma list of positive integers"
+                );
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or_else(|| vec![1, 4]);
+
+    let spec = rt_load::LoadSpec::standard(seed, events, tenants, shards);
+    let cfg = rt_wcet::AnalysisConfig::after_l2_off();
+    // One shared analysis cache: the per-line bounds are computed once
+    // and every worker-count run reuses the memo.
+    let cache = rt_wcet::AnalysisCache::new();
+    let mut walls: Vec<(usize, u128)> = Vec::new();
+    let mut renders: Vec<String> = Vec::new();
+    let mut last = None;
+    for &w in &workers {
+        let pool = rt_pool::Pool::new(w);
+        let t0 = std::time::Instant::now();
+        let r = rt_load::run_load(&spec, &pool, &cache, &cfg);
+        walls.push((w, t0.elapsed().as_millis()));
+        renders.push(r.render());
+        last = Some(r);
+    }
+    let identical = renders.windows(2).all(|w| w[0] == w[1]);
+    let result = last.expect("at least one worker count");
+    for (w, ms) in &walls {
+        eprintln!("  load: {w} workers -> {ms} ms (wall; stderr only)");
+    }
+
+    let path = std::env::var("RT_BENCH_OUT").unwrap_or_else(|_| "BENCH_sweep.json".into());
+    let existing = std::fs::read_to_string(&path)
+        .ok()
+        .filter(|s| !s.trim().is_empty())
+        .unwrap_or_else(|| "{\n}\n".into());
+    let block = result.to_json_block(&walls, identical);
+    let merged = sweep::upsert_json_block(&existing, "load", &block);
+    std::fs::write(&path, &merged).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    eprintln!("  wrote {path}");
+
+    if !identical {
+        eprintln!("load: reports DIVERGED across worker counts {workers:?}");
+        std::process::exit(1);
+    }
+    if !result.sound() {
+        eprint!("{}", renders[0]);
+        eprintln!("load: soundness oracle FAILED");
+        std::process::exit(1);
+    }
+    renders.into_iter().next().expect("one render per run")
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<Result<usize, ()>> {
@@ -243,6 +332,7 @@ fn main() {
             rt_explore::explore_report(depth, ctx.pool(), ctx.cache())
         ),
         "bench" => print!("{}", bench_report(&bench_opts(&args))),
+        "load" => print!("{}", load_report(&args)),
         "all" => {
             print!("{}", tables::render_table1(&tables::table1_with(ctx)));
             println!();
@@ -274,7 +364,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown target {other:?}; expected table1|table2|fig8|fig9|l2lock|attribution|open-closed|restart-overhead|overhead|latency-bound|constraints|explore|bench|all"
+                "unknown target {other:?}; expected table1|table2|fig8|fig9|l2lock|attribution|open-closed|restart-overhead|overhead|latency-bound|constraints|explore|bench|load|all"
             );
             std::process::exit(2);
         }

@@ -695,9 +695,126 @@ pub fn run_bench_with(opts: &BenchOpts) -> BenchResult {
     }
 }
 
+/// Locates a top-level `"key": { ... }` entry in a hand-rolled JSON
+/// object string. Returns `(entry_start, entry_end)` byte offsets, where
+/// `entry_start` is the newline before the entry's indent and
+/// `entry_end` is just past the object's closing brace and any trailing
+/// comma. Good enough for the artifacts this workspace writes (no braces
+/// or escapes inside strings).
+fn find_top_block(json: &str, key: &str) -> Option<(usize, usize)> {
+    let pat = format!("\"{key}\":");
+    let bytes = json.as_bytes();
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' | b'[' => depth += 1,
+            b'}' | b']' => depth -= 1,
+            b'"' => {
+                if depth == 1 && json[i..].starts_with(&pat) {
+                    let start = json[..i].rfind('\n').unwrap_or(0);
+                    let vstart = i + pat.len() + json[i + pat.len()..].find('{')?;
+                    let mut d = 0i32;
+                    let mut j = vstart;
+                    loop {
+                        match bytes.get(j)? {
+                            b'{' => d += 1,
+                            b'}' => {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    let mut end = j + 1;
+                    if bytes.get(end) == Some(&b',') {
+                        end += 1;
+                    }
+                    return Some((start, end));
+                }
+                // Skip the rest of the string literal.
+                i += 1;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    i += 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Extracts a top-level `"key": { ... }` block (indent included, no
+/// trailing comma or newline) from a JSON object string, if present.
+/// Used by `repro bench` to carry the `"load"` block of the previous
+/// artifact forward when it rewrites `BENCH_sweep.json`.
+pub fn extract_json_block(json: &str, key: &str) -> Option<String> {
+    let (start, end) = find_top_block(json, key)?;
+    Some(
+        json[start..end]
+            .trim_matches(|c| c == '\n')
+            .trim_end_matches(',')
+            .to_string(),
+    )
+}
+
+/// Inserts or replaces a top-level block in a JSON object string.
+/// `block` is the full entry (`  "key": { ... }`, indent included, no
+/// trailing comma). Any existing entry for `key` is removed first; the
+/// block lands as the last entry, commas normalised either way.
+pub fn upsert_json_block(json: &str, key: &str, block: &str) -> String {
+    let without = match find_top_block(json, key) {
+        Some((start, end)) => format!("{}{}", &json[..start], &json[end..]),
+        None => json.to_string(),
+    };
+    let close = without.rfind('}').expect("artifact must be a JSON object");
+    let mut head = without[..close].trim_end().to_string();
+    if head.ends_with(',') {
+        head.pop();
+    }
+    let needs_comma = !head.ends_with('{');
+    if needs_comma {
+        head.push(',');
+    }
+    head.push('\n');
+    head.push_str(block);
+    head.push_str("\n}\n");
+    head
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_block_roundtrip() {
+        let base = "{\n  \"a\": 1,\n  \"b\": {\n    \"x\": [1, 2]\n  }\n}\n";
+        assert!(extract_json_block(base, "load").is_none());
+        let block = "  \"load\": {\n    \"sound\": true\n  }";
+        let with = upsert_json_block(base, "load", block);
+        assert!(with.contains("\"a\": 1,"));
+        assert_eq!(extract_json_block(&with, "load").as_deref(), Some(block));
+        // Replacing is idempotent and keeps the object well-formed.
+        let block2 = "  \"load\": {\n    \"sound\": false\n  }";
+        let with2 = upsert_json_block(&with, "load", block2);
+        assert_eq!(extract_json_block(&with2, "load").as_deref(), Some(block2));
+        assert!(!with2.contains("\"sound\": true"));
+        assert_eq!(with2.matches("\"load\"").count(), 1);
+        // A nested "load" key deeper in the object is not confused for a
+        // top-level one.
+        let nested = "{\n  \"outer\": {\n    \"load\": {\"x\": 1}\n  }\n}\n";
+        assert!(extract_json_block(nested, "load").is_none());
+    }
+
+    #[test]
+    fn upsert_into_empty_object() {
+        let out = upsert_json_block("{\n}\n", "load", "  \"load\": {\n  }");
+        assert_eq!(out, "{\n  \"load\": {\n  }\n}\n");
+    }
 
     #[test]
     fn sweep_jobs_mirror_repro_all() {

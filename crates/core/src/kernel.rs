@@ -365,6 +365,20 @@ impl Kernel {
         &mut self.alloc
     }
 
+    /// Programs a whole batch of future device interrupts in one call.
+    ///
+    /// This is the bulk event-injection hook used by load generators
+    /// (rt-load) that pre-compute open-loop arrival schedules with tens of
+    /// thousands of raises: it forwards to
+    /// [`rt_hw::IrqController::schedule_batch`], which appends every event
+    /// and sorts the firing schedule once, instead of the O(n²) re-sort that
+    /// per-event [`rt_hw::IrqController::schedule`] calls would cost.
+    /// Scheduled lines fire automatically as kernel execution is charged to
+    /// the machine (see [`rt_hw::Machine::charge`]).
+    pub fn inject_irq_schedule(&mut self, events: impl IntoIterator<Item = (Cycles, IrqLine)>) {
+        self.machine.irq.schedule_batch(events);
+    }
+
     /// Makes `tcb` runnable and enqueues it (boot-time resume; charges
     /// nothing). The highest-priority runnable thread becomes current, as
     /// it would after a real scheduling pass.

@@ -59,6 +59,34 @@ impl Pmu {
     pub fn instructions_since(&self, snap: PmuSnapshot) -> u64 {
         self.instructions - snap.0.instructions
     }
+
+    /// All counter deltas since `snap`, as a [`Pmu`] whose fields are the
+    /// per-counter differences.
+    ///
+    /// This is the histogram-friendly readout: one call per measured event
+    /// yields every counter delta at once, so a load generator can feed
+    /// cycle/instruction/branch/access histograms from a single snapshot
+    /// pair instead of four separate subtractions.
+    ///
+    /// ```
+    /// use rt_hw::{HwConfig, Machine};
+    ///
+    /// let mut m = Machine::new(HwConfig::default());
+    /// let snap = m.pmu.snapshot();
+    /// m.exec_straight(0xf000_0000, 8);
+    /// let d = m.pmu.delta_since(snap);
+    /// assert_eq!(d.cycles, 68);
+    /// assert_eq!(d.instructions, 8);
+    /// assert_eq!(d.branches, 0);
+    /// ```
+    pub fn delta_since(&self, snap: PmuSnapshot) -> Pmu {
+        Pmu {
+            cycles: self.cycles - snap.0.cycles,
+            instructions: self.instructions - snap.0.instructions,
+            branches: self.branches - snap.0.branches,
+            data_accesses: self.data_accesses - snap.0.data_accesses,
+        }
+    }
 }
 
 #[cfg(test)]

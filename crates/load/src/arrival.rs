@@ -1,0 +1,168 @@
+//! Arrival processes: when device interrupts fire and how long tenants
+//! think between requests.
+//!
+//! Interrupt arrivals are **open-loop**: a schedule of raise times is
+//! computed up front (as a pure function of the shard RNG) and injected
+//! into the interrupt controller in one batch
+//! ([`rt_kernel::kernel::Kernel::inject_irq_schedule`]) — the device
+//! does not wait for the system. Tenant think times are **closed-loop**:
+//! the next request is issued only after the previous response, with a
+//! think-time draw in between. `docs/WORKLOADS.md` is the taxonomy
+//! handbook.
+//!
+//! Every schedule is clamped to a per-line **budget** (minimum
+//! inter-arrival gap). The budget is what makes the rank-aware static
+//! bound of [`rt_wcet::AnalysisCache::irq_line_bounds`] applicable: with
+//! gaps no smaller than the largest bound, a line is raised at most once
+//! per service window, so no storm can queue two occurrences of one line
+//! behind a single kernel visit.
+
+use crate::rng::Rng64;
+use rt_hw::Cycles;
+
+/// An open-loop arrival process for one interrupt line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Arrival {
+    /// Deterministic: every `period` cycles exactly.
+    Periodic {
+        /// Inter-arrival gap in cycles.
+        period: Cycles,
+    },
+    /// Uniform jitter: `period ± jitter`, drawn uniformly per arrival.
+    Jitter {
+        /// Mean inter-arrival gap.
+        period: Cycles,
+        /// Maximum absolute deviation from `period` (must be < period).
+        jitter: Cycles,
+    },
+    /// Bursty on/off (an interrupt storm): `burst` arrivals separated by
+    /// `on_gap`, then an off phase of `off_gap` cycles, repeating.
+    Bursty {
+        /// Arrivals per burst.
+        burst: u32,
+        /// Gap between arrivals inside a burst.
+        on_gap: Cycles,
+        /// Gap between the last arrival of a burst and the first of the
+        /// next.
+        off_gap: Cycles,
+    },
+}
+
+impl Arrival {
+    /// Generates `count` raise times starting after `start`, honouring
+    /// the `budget` minimum gap (the per-line storm budget): whatever
+    /// the process asks for, consecutive arrivals are at least `budget`
+    /// cycles apart. Pure function of the RNG stream.
+    pub fn schedule(
+        &self,
+        rng: &mut Rng64,
+        start: Cycles,
+        count: usize,
+        budget: Cycles,
+    ) -> Vec<Cycles> {
+        let mut out = Vec::with_capacity(count);
+        let mut t = start;
+        let mut in_burst = 0u32;
+        for _ in 0..count {
+            let gap = match *self {
+                Arrival::Periodic { period } => period,
+                Arrival::Jitter { period, jitter } => {
+                    assert!(jitter < period, "jitter must be below the period");
+                    rng.gen_range(period - jitter, period + jitter + 1)
+                }
+                Arrival::Bursty {
+                    burst,
+                    on_gap,
+                    off_gap,
+                } => {
+                    assert!(burst > 0, "burst length must be positive");
+                    in_burst += 1;
+                    if in_burst >= burst {
+                        in_burst = 0;
+                        off_gap
+                    } else {
+                        on_gap
+                    }
+                }
+            };
+            t = t.saturating_add(gap.max(budget));
+            out.push(t);
+        }
+        out
+    }
+}
+
+/// A closed-loop think-time range `[lo, hi)` in cycles; one uniform draw
+/// per request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Think {
+    /// Minimum think time.
+    pub lo: Cycles,
+    /// Exclusive maximum think time.
+    pub hi: Cycles,
+}
+
+impl Think {
+    /// One think-time draw.
+    pub fn draw(&self, rng: &mut Rng64) -> Cycles {
+        rng.gen_range(self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_is_exact() {
+        let mut rng = Rng64::new(1);
+        let s = Arrival::Periodic { period: 100 }.schedule(&mut rng, 50, 4, 0);
+        assert_eq!(s, vec![150, 250, 350, 450]);
+    }
+
+    #[test]
+    fn budget_clamps_every_gap() {
+        let mut rng = Rng64::new(2);
+        for arrival in [
+            Arrival::Periodic { period: 10 },
+            Arrival::Jitter {
+                period: 50,
+                jitter: 40,
+            },
+            Arrival::Bursty {
+                burst: 5,
+                on_gap: 1,
+                off_gap: 1000,
+            },
+        ] {
+            let s = arrival.schedule(&mut rng, 0, 200, 300);
+            for w in s.windows(2) {
+                assert!(w[1] - w[0] >= 300, "{arrival:?}: gap {}", w[1] - w[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn bursty_alternates_phases() {
+        let mut rng = Rng64::new(3);
+        let s = Arrival::Bursty {
+            burst: 3,
+            on_gap: 10,
+            off_gap: 500,
+        }
+        .schedule(&mut rng, 0, 6, 0);
+        let gaps: Vec<Cycles> = s.windows(2).map(|w| w[1] - w[0]).collect();
+        assert_eq!(gaps, vec![10, 500, 10, 10, 500]);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = Arrival::Jitter {
+            period: 1000,
+            jitter: 500,
+        };
+        let s1 = a.schedule(&mut Rng64::new(9), 0, 50, 0);
+        let s2 = a.schedule(&mut Rng64::new(9), 0, 50, 0);
+        assert_eq!(s1, s2);
+    }
+}

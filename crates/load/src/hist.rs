@@ -1,0 +1,293 @@
+//! Log-bucketed, mergeable latency histograms.
+//!
+//! The workload engine records one sample per observed event (an
+//! interrupt response, a kernel visit) into a [`Hist`]. The bucketing is
+//! the classic HDR scheme: values below [`LINEAR_MAX`] get an exact
+//! bucket each; above that, each power-of-two octave is split into
+//! [`SUB_BUCKETS`] linear sub-buckets, so the relative width of any
+//! bucket — and therefore the worst-case relative error of any quantile
+//! estimate — is at most `1/SUB_BUCKETS` (≈1.6%). Exact `min`, `max`,
+//! `sum` and `count` are tracked alongside, so the report's `max` column
+//! (the one the soundness oracle judges) is always sample-exact.
+//!
+//! Histograms **merge**: two [`Hist`]s over the same bucketing add
+//! elementwise, and the merge is associative and commutative — the
+//! algebra that lets shard reports combine into one run report in shard
+//! order regardless of which worker produced which shard
+//! (`DESIGN.md` §11). Quantiles are computed in integer arithmetic only,
+//! so a merged histogram renders the same bytes on every host.
+
+use rt_hw::Cycles;
+
+/// Number of linear sub-buckets per power-of-two octave (2^6).
+pub const SUB_BUCKETS: u64 = 64;
+
+/// Values below this get one exact bucket each (2 × SUB_BUCKETS).
+pub const LINEAR_MAX: u64 = 128;
+
+/// Bucket count: 128 exact buckets + 57 octaves × 64 sub-buckets covers
+/// the full `u64` range (exponents 7..=63).
+const NUM_BUCKETS: usize = 128 + 57 * 64;
+
+/// A log-bucketed histogram of cycle counts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hist {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+/// Index of the bucket containing `v`.
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_MAX {
+        v as usize
+    } else {
+        let e = 63 - v.leading_zeros() as u64; // >= 7
+        let sub = (v >> (e - 6)) & (SUB_BUCKETS - 1);
+        (LINEAR_MAX + (e - 7) * SUB_BUCKETS + sub) as usize
+    }
+}
+
+/// Inclusive lower edge of bucket `idx`.
+fn bucket_lo(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < LINEAR_MAX {
+        idx
+    } else {
+        let octave = (idx - LINEAR_MAX) / SUB_BUCKETS;
+        let sub = (idx - LINEAR_MAX) % SUB_BUCKETS;
+        let e = octave + 7;
+        (SUB_BUCKETS + sub) << (e - 6)
+    }
+}
+
+/// Exclusive upper edge of bucket `idx` (saturating at `u64::MAX`).
+fn bucket_hi(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < LINEAR_MAX {
+        idx + 1
+    } else {
+        let octave = (idx - LINEAR_MAX) / SUB_BUCKETS;
+        let e = octave + 7;
+        bucket_lo(idx as usize).saturating_add(1u64 << (e - 6))
+    }
+}
+
+impl Default for Hist {
+    fn default() -> Hist {
+        Hist::new()
+    }
+}
+
+impl Hist {
+    /// Creates an empty histogram.
+    pub fn new() -> Hist {
+        Hist {
+            counts: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: Cycles) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact smallest sample (0 when empty).
+    pub fn min(&self) -> Cycles {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest sample (0 when empty).
+    pub fn max(&self) -> Cycles {
+        self.max
+    }
+
+    /// Integer mean of all samples (0 when empty).
+    pub fn mean(&self) -> Cycles {
+        if self.count == 0 {
+            0
+        } else {
+            (self.sum / u128::from(self.count)) as Cycles
+        }
+    }
+
+    /// The `num/den` quantile estimate, e.g. `quantile(999, 1000)` for
+    /// p999. Returns the largest value of the bucket holding the
+    /// rank-`ceil(count·num/den)` sample, clamped to the exact maximum —
+    /// a conservative (never-understating) estimate whose error is below
+    /// the bucket width, i.e. a relative error of at most
+    /// `1/`[`SUB_BUCKETS`]. Integer arithmetic only: merged shard
+    /// histograms quantise identically on every host.
+    pub fn quantile(&self, num: u64, den: u64) -> Cycles {
+        assert!(den > 0 && num <= den);
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (u128::from(self.count) * u128::from(num)).div_ceil(u128::from(den));
+        let rank = rank.max(1);
+        let mut cum: u128 = 0;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cum += u128::from(c);
+            if cum >= rank {
+                return (bucket_hi(idx) - 1).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Adds every sample of `other` into `self`. Associative and
+    /// commutative (elementwise addition on a shared bucketing).
+    pub fn merge(&mut self, other: &Hist) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// A bucket-resolution lower bound on the number of samples strictly
+    /// greater than `threshold`; in particular it is **zero if and only
+    /// if** `max() <= threshold`, which is the only property the
+    /// soundness report relies on (the engine counts true violations
+    /// sample-by-sample as they are recorded).
+    pub fn samples_above(&self, threshold: Cycles) -> u64 {
+        if self.max <= threshold {
+            return 0;
+        }
+        // Conservative from buckets alone: count buckets entirely above
+        // the threshold, plus the threshold's own bucket if the maximum
+        // falls inside it.
+        let t_idx = bucket_index(threshold);
+        self.counts[t_idx + 1..].iter().sum::<u64>() + u64::from(bucket_index(self.max) == t_idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_consistent() {
+        // Every representable bucket: lo < hi, and lo of the next bucket
+        // equals hi of this one (no gaps, no overlaps).
+        for idx in 0..NUM_BUCKETS - 1 {
+            let (lo, hi) = (bucket_lo(idx), bucket_hi(idx));
+            assert!(lo < hi, "bucket {idx}: lo {lo} >= hi {hi}");
+            assert_eq!(hi, bucket_lo(idx + 1), "gap after bucket {idx}");
+        }
+    }
+
+    #[test]
+    fn values_map_into_their_buckets() {
+        for v in (0..4096u64).chain([1 << 20, (1 << 20) + 12345, u64::MAX / 2, u64::MAX]) {
+            let idx = bucket_index(v);
+            assert!(
+                bucket_lo(idx) <= v && (v < bucket_hi(idx) || bucket_hi(idx) == u64::MAX),
+                "v {v} not in bucket {idx} [{}, {})",
+                bucket_lo(idx),
+                bucket_hi(idx)
+            );
+        }
+    }
+
+    #[test]
+    fn exact_below_linear_max() {
+        let mut h = Hist::new();
+        for v in 0..LINEAR_MAX {
+            h.record(v);
+        }
+        // With one sample per exact bucket, every quantile is exact.
+        assert_eq!(h.quantile(1, 2), 63);
+        assert_eq!(h.quantile(1, 1), 127);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 127);
+    }
+
+    #[test]
+    fn quantile_error_is_bounded() {
+        let mut h = Hist::new();
+        let mut samples: Vec<u64> = (0..1000).map(|i| i * i * 37 + 11).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        for (num, den) in [(1, 2), (9, 10), (99, 100), (999, 1000)] {
+            let rank = ((samples.len() as u64 * num).div_ceil(den)).max(1) as usize;
+            let exact = samples[rank - 1];
+            let est = h.quantile(num, den);
+            assert!(est >= exact, "p{num}/{den}: est {est} < exact {exact}");
+            // Relative error below one sub-bucket width.
+            assert!(
+                est - exact <= exact / SUB_BUCKETS + 1,
+                "p{num}/{den}: est {est} vs exact {exact}"
+            );
+        }
+        assert_eq!(h.quantile(1, 1), *samples.last().unwrap());
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mk = |seed: u64, n: u64| {
+            let mut h = Hist::new();
+            let mut x = seed;
+            for _ in 0..n {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                h.record(x >> 40);
+            }
+            h
+        };
+        let (a, b, c) = (mk(1, 500), mk(2, 300), mk(3, 700));
+        // (a+b)+c == a+(b+c)
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+        // a+b == b+a
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), 800);
+    }
+
+    #[test]
+    fn samples_above_is_zero_iff_max_below() {
+        let mut h = Hist::new();
+        h.record(100);
+        h.record(5000);
+        assert_eq!(h.samples_above(5000), 0);
+        assert!(h.samples_above(4999) >= 1);
+        assert!(h.samples_above(99) >= 2);
+    }
+}

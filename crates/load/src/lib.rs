@@ -1,0 +1,77 @@
+//! rt-load — the heavy-traffic workload engine.
+//!
+//! Drives the rt-kernel simulator with large syscall/interrupt volumes
+//! across many tenant threads and endpoints, records full latency
+//! distributions, and judges every observed interrupt response against
+//! the static per-line bound from rt-wcet — the dynamic half of the
+//! paper's soundness story: *no observed interrupt response may ever
+//! exceed the computed worst case*.
+//!
+//! The engine is organised as a deterministic map-reduce
+//! (`docs/WORKLOADS.md` is the user handbook, `DESIGN.md` §11 the
+//! determinism argument):
+//!
+//! * a [`scenario::LoadSpec`] fixes the run — master seed, event quota,
+//!   shard count, tenant mix, arrival processes;
+//! * each shard boots its own kernel ([`scenario::build_shard`]) and is
+//!   simulated by [`engine::run_shard`] with an RNG seeded purely from
+//!   `(master seed, shard index)` ([`rng::shard_seed`]);
+//! * shards run in parallel on an [`rt_pool::Pool`] — `parallel_map` is
+//!   order-preserving, so worker count affects wall-clock only;
+//! * per-shard histograms ([`hist::Hist`], log-bucketed, mergeable)
+//!   fold in shard order into a [`report::LoadResult`] whose rendered
+//!   report is byte-identical at any worker count;
+//! * the worst observed sample is replayed with the trace sink enabled
+//!   ([`engine::attribute_worst`]) and attributed to
+//!   pipeline/ifetch-miss/dmiss/L2 buckets, reusing the tracing layer of
+//!   `docs/TRACING.md`.
+//!
+//! Entry point: [`run_load`]. CLI: `cargo run --release -p rt-bench
+//! --bin repro -- load`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod engine;
+pub mod hist;
+pub mod report;
+pub mod rng;
+pub mod scenario;
+
+pub use arrival::{Arrival, Think};
+pub use engine::{attribute_worst, run_shard, ShardReport, Violation, WorstSample};
+pub use hist::Hist;
+pub use report::LoadResult;
+pub use rng::{shard_seed, Rng64};
+pub use scenario::{FaultInjection, LoadSpec, TenantMix};
+
+use rt_kernel::kernel::EntryPoint;
+use rt_wcet::{AnalysisCache, AnalysisConfig};
+
+/// Runs `spec` sharded over `pool` and returns the merged result.
+///
+/// The per-line bounds come from
+/// [`AnalysisCache::irq_line_bounds`] under `cfg` (the paper's headline
+/// configuration unless the caller says otherwise); the syscall WCET of
+/// the same configuration is carried along as the soft reference for the
+/// kernel-visit table. After the merge, the worst observed sample is
+/// replayed with tracing enabled and its cycle attribution attached.
+pub fn run_load(
+    spec: &LoadSpec,
+    pool: &rt_pool::Pool,
+    cache: &AnalysisCache,
+    cfg: &AnalysisConfig,
+) -> LoadResult {
+    let lines = spec.active_lines();
+    let bounds = cache.irq_line_bounds(cfg, &lines);
+    let syscall_wcet = cache.analyze(EntryPoint::Syscall, cfg).cycles;
+    let shard_ixs: Vec<u32> = (0..spec.shards).collect();
+    let reports = pool.parallel_map(shard_ixs, |s| engine::run_shard(spec, s, &bounds));
+    let mut result = LoadResult::merge(spec, &bounds, syscall_wcet, &reports);
+    if let Some(w) = result.worst {
+        let replay = engine::attribute_worst(spec, &w, &bounds);
+        result.attribution = replay.attribution;
+    }
+    result
+}

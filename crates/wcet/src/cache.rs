@@ -97,7 +97,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
-use rt_hw::{Addr, CycleAccounts};
+use rt_hw::{Addr, CycleAccounts, Cycles};
 use rt_kernel::kernel::{EntryPoint, KernelConfig};
 use rt_kernel::kprog::Layout;
 use rt_kernel::pinning;
@@ -642,6 +642,52 @@ impl AnalysisCache {
         let pin_relevant = cfg.pinning && self.pinning_relevant(cfg_key, &graph);
         let model = self.cost_model(CostModelKey::normalized(cfg, pin_relevant));
         analyze_forced_parts((*graph).clone(), &self.layout(), &model, allowed)
+    }
+
+    /// Worst-case cycles of any single kernel entry under `cfg`: the
+    /// maximum of [`analyze`][AnalysisCache::analyze] over every
+    /// [`EntryPoint`]. This is the longest a pending interrupt can wait for
+    /// the kernel to reach its next preemption point or exit, whatever the
+    /// kernel happened to be doing when the device raised the line.
+    pub fn max_entry_wcet(&self, cfg: &AnalysisConfig) -> Cycles {
+        EntryPoint::ALL
+            .iter()
+            .map(|&e| self.analyze(e, cfg).cycles)
+            .max()
+            .expect("EntryPoint::ALL is non-empty")
+    }
+
+    /// Static interrupt-response bounds for a set of active interrupt
+    /// lines, as `(line, bound_cycles)` sorted by line number.
+    ///
+    /// The paper's §6/§8 bound covers a *single* interrupt source:
+    /// response ≤ WCET(entry) + WCET(interrupt). With several active lines
+    /// the kernel's exit path services pending lines highest-priority-first
+    /// (lowest line number wins, one bounded interrupt path per service),
+    /// so line `ℓ` can additionally wait for every active line that
+    /// outranks it. Its rank-aware bound is
+    ///
+    /// ```text
+    /// bound(ℓ) = max-entry WCET + rank(ℓ) × WCET(interrupt)
+    /// ```
+    ///
+    /// where `rank(ℓ)` is ℓ's 1-based position among `lines` sorted by
+    /// line number. The bound assumes each line is raised at most once per
+    /// service window — arrival processes must keep per-line gaps above the
+    /// largest bound (rt-load's budget clamp enforces this; see
+    /// docs/WORKLOADS.md), and the empirical soundness oracle verifies the
+    /// result sample-by-sample.
+    pub fn irq_line_bounds(&self, cfg: &AnalysisConfig, lines: &[u8]) -> Vec<(u8, Cycles)> {
+        let entry = self.max_entry_wcet(cfg);
+        let irq = self.analyze(EntryPoint::Interrupt, cfg).cycles;
+        let mut sorted: Vec<u8> = lines.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &line)| (line, entry + (i as Cycles + 1) * irq))
+            .collect()
     }
 
     /// Snapshot of all lookup/build counters.

@@ -1,0 +1,88 @@
+//! Property tests for the load engine's histogram: the quantile error
+//! bound and the merge algebra hold for *arbitrary* sample sets, not
+//! just the unit-test fixtures in `crates/load/src/hist.rs`. These are
+//! the two facts the byte-identity argument leans on: merge order can't
+//! matter, and quantiles can't understate.
+
+use proptest::prelude::*;
+use rt_load::hist::{Hist, SUB_BUCKETS};
+
+fn hist_of(samples: &[u64]) -> Hist {
+    let mut h = Hist::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Quantile estimates never understate, and overstate by less than
+    /// one sub-bucket width (relative error ≤ 1/SUB_BUCKETS).
+    #[test]
+    fn quantile_error_bound_holds(
+        mut samples in proptest::collection::vec(0u64..2_000_000_000, 1..400),
+        num in 1u64..1000,
+    ) {
+        let h = hist_of(&samples);
+        samples.sort_unstable();
+        let den = 1000u64;
+        let rank = ((samples.len() as u64 * num).div_ceil(den)).max(1) as usize;
+        let exact = samples[rank - 1];
+        let est = h.quantile(num, den);
+        prop_assert!(est >= exact, "p{}/1000: {} < exact {}", num, est, exact);
+        prop_assert!(
+            est - exact <= exact / SUB_BUCKETS + 1,
+            "p{}/1000: est {} vs exact {}", num, est, exact
+        );
+    }
+
+    /// Merging is associative and commutative, and exact aggregates
+    /// (count/min/max/mean) match a flat recording of all samples.
+    #[test]
+    fn merge_algebra_holds(
+        a in proptest::collection::vec(0u64..1_000_000_000, 0..200),
+        b in proptest::collection::vec(0u64..1_000_000_000, 0..200),
+        c in proptest::collection::vec(0u64..1_000_000_000, 0..200),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        // (a+b)+c == a+(b+c)
+        let mut ab_c = ha.clone();
+        ab_c.merge(&hb);
+        ab_c.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut a_bc = ha.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+        // a+b == b+a
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb;
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+        // Merge of parts == flat recording of the whole.
+        let mut flat: Vec<u64> = a.clone();
+        flat.extend(&b);
+        flat.extend(&c);
+        prop_assert_eq!(&ab_c, &hist_of(&flat));
+        prop_assert_eq!(ab_c.count(), flat.len() as u64);
+        if !flat.is_empty() {
+            prop_assert_eq!(ab_c.min(), *flat.iter().min().unwrap());
+            prop_assert_eq!(ab_c.max(), *flat.iter().max().unwrap());
+        }
+    }
+
+    /// `samples_above` is zero exactly when no sample exceeds the
+    /// threshold — the property the soundness report relies on.
+    #[test]
+    fn samples_above_agrees_with_max(
+        samples in proptest::collection::vec(0u64..10_000_000, 1..200),
+        threshold in 0u64..10_000_000,
+    ) {
+        let h = hist_of(&samples);
+        let above = h.samples_above(threshold);
+        prop_assert_eq!(above == 0, h.max() <= threshold);
+    }
+}

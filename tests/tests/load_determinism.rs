@@ -1,0 +1,120 @@
+//! The load engine's two headline guarantees, end to end:
+//!
+//! * **Distribution determinism** — a run's merged histograms, census
+//!   and rendered report are byte-identical whether the shards execute
+//!   serially or on an 8-worker pool, for arbitrary specs (DESIGN.md
+//!   §11).
+//! * **Soundness oracle** — a seeded bound-violating delay
+//!   ([`rt_load::FaultInjection`]) is always caught, attributed to the
+//!   right line, and the worst sample replays bit-identically with a
+//!   full cycle attribution (the trace-backed evidence trail).
+//!
+//! Bounds here are fixed stand-ins shaped like the real rank-aware
+//! bounds: the properties under test are about the *engine*, and paying
+//! a WCET analysis per proptest case would bury the signal in noise.
+//! `load_smoke` in `ci.sh` covers the engine against the real
+//! `irq_line_bounds` output.
+
+use proptest::prelude::*;
+use rt_load::{run_shard, FaultInjection, LoadResult, LoadSpec};
+use rt_pool::Pool;
+
+fn standin_bounds(spec: &LoadSpec) -> Vec<(u8, u64)> {
+    spec.active_lines()
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| (l, 180_000 + 15_000 * (i as u64 + 1)))
+        .collect()
+}
+
+/// Runs every shard of `spec` on `pool` and merges in shard order —
+/// the same shape as `rt_load::run_load`, minus the WCET analysis.
+fn run_merged(spec: &LoadSpec, pool: &Pool) -> LoadResult {
+    let bounds = standin_bounds(spec);
+    let shards: Vec<u32> = (0..spec.shards).collect();
+    let reports = pool.parallel_map(shards, |s| run_shard(spec, s, &bounds));
+    LoadResult::merge(spec, &bounds, 163_000, &reports)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Same seed ⇒ identical merged histograms and identical rendered
+    /// bytes, serial vs 8 workers.
+    #[test]
+    fn serial_and_parallel_runs_are_byte_identical(
+        seed in 0u64..1_000_000,
+        events in 400u64..1_200,
+        tenants in 8u32..24,
+        shards in 2u32..5,
+    ) {
+        let spec = LoadSpec::standard(seed, events, tenants, shards);
+        let serial = run_merged(&spec, &Pool::new(1));
+        let parallel = run_merged(&spec, &Pool::new(8));
+        prop_assert_eq!(&serial.lines, &parallel.lines);
+        prop_assert_eq!(&serial.syscalls, &parallel.syscalls);
+        prop_assert_eq!(serial.worst, parallel.worst);
+        prop_assert_eq!(serial.events, parallel.events);
+        prop_assert_eq!(serial.render(), parallel.render());
+    }
+}
+
+#[test]
+fn clean_run_is_sound_and_injected_bug_is_caught() {
+    let mut spec = LoadSpec::standard(404, 3_000, 16, 3);
+    let bounds = standin_bounds(&spec);
+    let bound_max = bounds.iter().map(|&(_, b)| b).max().unwrap();
+
+    // Without the injection the oracle passes.
+    let clean = run_merged(&spec, &Pool::new(4));
+    assert!(clean.sound(), "clean run violated: {}", clean.render());
+    assert!(clean.irq_responses > 0, "no interrupt traffic measured");
+
+    // With a delay bigger than every bound, the oracle fails on exactly
+    // the injected shard and line.
+    spec.fault = Some(FaultInjection {
+        shard: 2,
+        line: 0,
+        after: 1,
+        delay: bound_max + 75_000,
+    });
+    let buggy = run_merged(&spec, &Pool::new(4));
+    assert!(!buggy.sound(), "oracle missed the injected delay");
+    let v = buggy.violations[0];
+    assert_eq!(v.sample.shard, 2);
+    assert_eq!(v.sample.line, 0);
+    assert!(v.sample.latency > v.bound);
+
+    // The worst sample replays deterministically, with an attribution
+    // that accounts for every cycle of the observed latency.
+    let worst = buggy.worst.expect("worst sample exists");
+    assert!(worst.latency > bound_max);
+    let replay = rt_load::attribute_worst(&spec, &worst, &bounds);
+    let attr = replay.attribution.expect("replay finds the sample");
+    assert!(attr.replay_matches, "replay diverged from the recording");
+    assert_eq!(
+        attr.pipeline + attr.ifetch_miss + attr.dmiss + attr.l2,
+        worst.latency,
+        "attribution buckets must partition the latency"
+    );
+}
+
+#[test]
+fn fault_free_shards_are_unaffected_by_injection_elsewhere() {
+    let mut spec = LoadSpec::standard(77, 2_000, 12, 3);
+    let bounds = standin_bounds(&spec);
+    let clean0 = run_shard(&spec, 0, &bounds);
+    spec.fault = Some(FaultInjection {
+        shard: 1,
+        line: 0,
+        after: 0,
+        delay: 500_000,
+    });
+    let with_fault0 = run_shard(&spec, 0, &bounds);
+    // Shard 0's entire report is bitwise unchanged: injection is scoped
+    // to its shard, so the blast radius of a seeded bug is one shard.
+    assert_eq!(clean0.lines, with_fault0.lines);
+    assert_eq!(clean0.syscalls, with_fault0.syscalls);
+    assert_eq!(clean0.worst, with_fault0.worst);
+    assert!(with_fault0.violations.is_empty());
+}
