@@ -40,6 +40,76 @@ cargo run --release -q -p rt-bench --bin repro -- explore --depth 6 --jobs 2 | a
     }
 '
 
+# POR soundness gate: at equal depth the sleep-set-reduced search must
+# expand exactly the same distinct canonical-state set as the unreduced
+# search on every scenario (reduction skips *transitions*, never states)
+# while executing no more runs, hold zero counterexamples on the clean
+# scenarios, and render byte-identical reports at 1 and 4 workers — two
+# separate invocations, so the identity holds across processes, not just
+# across pools in one address space (each invocation also self-checks
+# identity across its own worker list).
+explore_json="$(mktemp)"
+explore_off="$(mktemp)"
+explore_por_1="$(mktemp)"
+explore_por_4="$(mktemp)"
+trap 'rm -f "$explore_json" "$explore_off" "$explore_por_1" "$explore_por_4"' EXIT
+RT_BENCH_OUT="$explore_json" cargo run --release -q -p rt-bench --bin repro -- \
+    explore --depth 8 --por off --workers 2 >"$explore_off" 2>/dev/null
+RT_BENCH_OUT="$explore_json" cargo run --release -q -p rt-bench --bin repro -- \
+    explore --depth 8 --por sleep --workers 1 >"$explore_por_1" 2>/dev/null
+RT_BENCH_OUT="$explore_json" cargo run --release -q -p rt-bench --bin repro -- \
+    explore --depth 8 --por sleep --workers 4 >"$explore_por_4" 2>/dev/null
+diff -u "$explore_por_1" "$explore_por_4" || {
+    echo "ci: reduced explore report differs between 1 and 4 workers" >&2
+    exit 1
+}
+awk '
+    /interleavings=/ {
+        name = $1; d = -1; inter = -1; cex = -1
+        for (i = 1; i <= NF; i++) {
+            if (split($i, kv, "=") == 2) {
+                if (kv[1] == "distinct") d = kv[2] + 0
+                else if (kv[1] == "interleavings") inter = kv[2] + 0
+                else if (kv[1] == "counterexamples") cex = kv[2] + 0
+            }
+        }
+        if (NR == FNR) { od[name] = d; oi[name] = inter; next }
+        n++
+        if (!(name in od)) { print "ci: scenario " name " missing from unreduced run"; bad = 1; next }
+        if (d != od[name]) { print "ci: POR changed distinct states for " name ": " d " vs " od[name]; bad = 1 }
+        if (inter > oi[name]) { print "ci: POR executed more runs for " name ": " inter " > " oi[name]; bad = 1 }
+        if (cex != 0) { print "ci: POR counterexample on clean scenario: " $0; bad = 1 }
+    }
+    END {
+        if (n < 5) { print "ci: expected >= 5 reduced scenario lines, saw " n; bad = 1 }
+        exit bad
+    }
+' "$explore_off" "$explore_por_4"
+
+# Scale gate: the widened small-scope scenario must push at least a
+# million oracle-checked states through the reduced frontier search
+# within the smoke budget (the recorded BENCH_sweep.json explore block
+# carries the 1e7-state run of the same configuration).
+RT_BENCH_OUT="$explore_json" cargo run --release -q -p rt-bench --bin repro -- \
+    explore --depth 20 --scenario ep-delete-wide --por sleep --budget-states 1050000 --workers 4 \
+    2>/dev/null | awk '
+    /interleavings=/ {
+        ok = 1; st = -1; cex = -1
+        for (i = 1; i <= NF; i++) {
+            if (split($i, kv, "=") == 2) {
+                if (kv[1] == "states") st = kv[2] + 0
+                else if (kv[1] == "counterexamples") cex = kv[2] + 0
+            }
+        }
+        if (st < 1000000) { print "ci: widened scenario explored only " st " states (< 1e6)"; bad = 1 }
+        if (cex != 0) { print "ci: counterexample in widened scenario: " $0; bad = 1 }
+    }
+    END {
+        if (!ok) { print "ci: no scenario line from the widened run"; bad = 1 }
+        exit bad
+    }
+'
+
 # Bench smoke pass: the incremental ILP path must actually engage, and the
 # fleet sweep must hold its guarantees at a reduced job count. The run
 # writes its JSON to a scratch path (committed BENCH_sweep.json stays as
@@ -47,7 +117,7 @@ cargo run --release -q -p rt-bench --bin repro -- explore --depth 6 --jobs 2 | a
 # axis (hit rate > 0.5) and that every batch/fleet report matched serial
 # (`bit_identical_to_serial` is the AND of both sweeps' identity checks).
 bench_json="$(mktemp)"
-trap 'rm -f "$bench_json"' EXIT
+trap 'rm -f "$explore_json" "$explore_off" "$explore_por_1" "$explore_por_4" "$bench_json"' EXIT
 RT_BENCH_OUT="$bench_json" cargo run --release -q -p rt-bench --bin repro -- \
     bench --workers 1,2,4 --fleet-jobs 200 >/dev/null
 grep -q '"bit_identical_to_serial": true' "$bench_json" || {
@@ -61,7 +131,7 @@ awk -v r="$structure_rate" 'BEGIN { exit !(r > 0.5) }' || {
 }
 
 # Fleet scaling gate. Wall-clock speedup from worker threads only exists
-# when the host has CPUs to run them on, so the bound is CPU-aware:
+# when the host has CPUs to run them on, so the bounds are CPU-aware:
 #   >= 4 CPUs: 4-worker wall must be <= 0.8x the 1-worker wall (scaling
 #              must point the right way, with slack for CI noise);
 #   <  4 CPUs: 4-worker wall must stay <= 1.35x the 1-worker wall (pure
@@ -69,17 +139,30 @@ awk -v r="$structure_rate" 'BEGIN { exit !(r > 0.5) }' || {
 #              showed ~1.3x even at fleet=40, so this still catches a
 #              reintroduced lock convoy without demanding impossible
 #              parallel speedup from a 1-CPU box).
+# The 2-worker wall gets its own bound on hosts with >= 2 CPUs: block
+# boundaries now snap to structure-group starts, so two workers never
+# open on the same presolved skeleton, and with real CPUs behind them
+# two workers must not lose to one (<= 1.1x for noise). On a 1-CPU host
+# a 2-thread wall measures the host scheduler, not this code — the
+# recorded BENCH_sweep.json (host_cpus: 1) shows phantom slowdowns for
+# exactly 2 threads that neither syscall, fault nor context-switch
+# counters explain — so below 2 CPUs the 2-worker bound is skipped.
 host_cpus=$(sed -n 's/.*"host_cpus": \([0-9]*\).*/\1/p' "$bench_json" | head -1)
 fleet_wall_1=$(grep '"speedup_vs_1w"' "$bench_json" | sed -n 's/.*"workers": 1,.*"wall_ms": \([0-9.]*\).*/\1/p' | head -1)
+fleet_wall_2=$(grep '"speedup_vs_1w"' "$bench_json" | sed -n 's/.*"workers": 2,.*"wall_ms": \([0-9.]*\).*/\1/p' | head -1)
 fleet_wall_4=$(grep '"speedup_vs_1w"' "$bench_json" | sed -n 's/.*"workers": 4,.*"wall_ms": \([0-9.]*\).*/\1/p' | head -1)
-[ -n "$host_cpus" ] && [ -n "$fleet_wall_1" ] && [ -n "$fleet_wall_4" ] || {
+[ -n "$host_cpus" ] && [ -n "$fleet_wall_1" ] && [ -n "$fleet_wall_2" ] && [ -n "$fleet_wall_4" ] || {
     echo "ci: fleet scaling fields missing from bench JSON" >&2
     exit 1
 }
-awk -v c="$host_cpus" -v w1="$fleet_wall_1" -v w4="$fleet_wall_4" 'BEGIN {
-    bound = (c >= 4) ? 0.8 : 1.35
-    if (w4 > bound * w1) {
-        printf "ci: fleet 4-worker wall %.1f ms > %.2fx 1-worker wall %.1f ms (host_cpus=%d)\n", w4, bound, w1, c > "/dev/stderr"
+awk -v c="$host_cpus" -v w1="$fleet_wall_1" -v w2="$fleet_wall_2" -v w4="$fleet_wall_4" 'BEGIN {
+    bound4 = (c >= 4) ? 0.8 : 1.35
+    if (w4 > bound4 * w1) {
+        printf "ci: fleet 4-worker wall %.1f ms > %.2fx 1-worker wall %.1f ms (host_cpus=%d)\n", w4, bound4, w1, c > "/dev/stderr"
+        exit 1
+    }
+    if (c >= 2 && w2 > 1.1 * w1) {
+        printf "ci: fleet 2-worker wall %.1f ms > 1.10x 1-worker wall %.1f ms (host_cpus=%d)\n", w2, w1, c > "/dev/stderr"
         exit 1
     }
 }' || exit 1
@@ -95,7 +178,7 @@ awk -v c="$host_cpus" -v w1="$fleet_wall_1" -v w4="$fleet_wall_4" 'BEGIN {
 load_out_1="$(mktemp)"
 load_out_4="$(mktemp)"
 load_json="$(mktemp)"
-trap 'rm -f "$bench_json" "$load_out_1" "$load_out_4" "$load_json"' EXIT
+trap 'rm -f "$explore_json" "$explore_off" "$explore_por_1" "$explore_por_4" "$bench_json" "$load_out_1" "$load_out_4" "$load_json"' EXIT
 RT_BENCH_OUT="$load_json" cargo run --release -q -p rt-bench --bin repro -- \
     load --events 100000 --shards 16 --tenants 32 --seed 42 --workers 1 >"$load_out_1"
 RT_BENCH_OUT="$load_json" cargo run --release -q -p rt-bench --bin repro -- \

@@ -8,7 +8,8 @@
 //! cargo run --release -p rt-bench --bin repro -- attribution
 //! cargo run --release -p rt-bench --bin repro -- overhead
 //! cargo run --release -p rt-bench --bin repro -- latency-bound
-//! cargo run --release -p rt-bench --bin repro -- explore [--depth N]
+//! cargo run --release -p rt-bench --bin repro -- explore [--depth N] [--por off|sleep|full] \
+//!     [--workers a,b,c] [--budget-states N] [--scenario NAME]
 //! cargo run --release -p rt-bench --bin repro -- bench [--workers a,b,c] [--fleet-jobs N]
 //! cargo run --release -p rt-bench --bin repro -- load [--events N --tenants N --shards N --seed N --workers a,b,c]
 //! cargo run --release -p rt-bench --bin repro -- all
@@ -179,12 +180,14 @@ fn bench_report(opts: &sweep::BenchOpts) -> String {
     // dirtying the committed BENCH_sweep.json).
     let path = std::env::var("RT_BENCH_OUT").unwrap_or_else(|_| "BENCH_sweep.json".into());
     // `repro bench` regenerates the sweep numbers but must not lose the
-    // `repro load` block of a previous run — carry it forward.
-    if let Some(load) = std::fs::read_to_string(&path)
-        .ok()
-        .and_then(|old| sweep::extract_json_block(&old, "load"))
-    {
-        json = sweep::upsert_json_block(&json, "load", &load);
+    // `repro load` / `repro explore` blocks of previous runs — carry
+    // them forward.
+    if let Ok(old) = std::fs::read_to_string(&path) {
+        for key in ["load", "explore"] {
+            if let Some(block) = sweep::extract_json_block(&old, key) {
+                json = sweep::upsert_json_block(&json, key, &block);
+            }
+        }
     }
     std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
     let mut s = result.render();
@@ -272,6 +275,175 @@ fn load_report(args: &[String]) -> String {
     renders.into_iter().next().expect("one render per run")
 }
 
+/// The `repro explore` driver: runs the reduced frontier search once per
+/// requested worker count, asserts the rendered reports (header plus one
+/// `key=value` line per scenario) are byte-identical across counts,
+/// upserts the `"explore"` block into the bench artifact, and returns the
+/// deterministic report for stdout. Wall-clock and file-path chatter goes
+/// to stderr, as with `repro load`.
+fn explore_cmd(args: &[String], depth: usize, ctx: &SweepCtx) -> String {
+    use rt_explore::PorMode;
+    let por = match args
+        .iter()
+        .position(|a| a == "--por")
+        .map(|i| args.get(i + 1).map(String::as_str).unwrap_or(""))
+    {
+        None | Some("off") => PorMode::Off,
+        Some("sleep") => PorMode::Sleep,
+        Some("full") => PorMode::Full,
+        Some(other) => {
+            eprintln!("--por must be off|sleep|full, got {other:?}");
+            std::process::exit(2);
+        }
+    };
+    let budget_states = match flag_value(args, "--budget-states") {
+        None => None,
+        Some(Ok(n)) => Some(n),
+        Some(Err(())) => {
+            eprintln!("--budget-states requires a positive integer");
+            std::process::exit(2);
+        }
+    };
+    let scenarios: Vec<rt_explore::Scenario> = match args
+        .iter()
+        .position(|a| a == "--scenario")
+        .map(|i| args.get(i + 1).cloned().unwrap_or_default())
+    {
+        None => rt_explore::scenario::all(),
+        Some(name) => match rt_explore::scenario::by_name(&name) {
+            Some(sc) => vec![sc],
+            None => {
+                eprintln!("--scenario {name:?} unknown");
+                std::process::exit(2);
+            }
+        },
+    };
+    let workers = args
+        .iter()
+        .position(|a| a == "--workers")
+        .map(|i| args.get(i + 1).cloned().unwrap_or_default())
+        .map(|spec| {
+            parse_workers(&spec).unwrap_or_else(|()| {
+                eprintln!("--workers requires a comma list of positive integers");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or_else(|| vec![ctx.pool().jobs()]);
+
+    let cache = ctx.cache();
+    let bound = rt_explore::wcet_latency_bound(cache);
+    let header = format!(
+        "schedule exploration: reduced frontier search over preemption-point interleavings, \
+         depth <= {depth}, por={por:?}, budget-states={budget_states:?}\n\
+         latency oracle: per-line rank-aware bounds from max-entry WCET + rank x WCET(interrupt)\n\
+         (after-kernel, L2 off — scalar fallback {bound} cycles, the §6 bound `repro latency-bound` prints)\n\n"
+    );
+    // One run of every scenario per worker count; the bound memo and the
+    // analysis cache are shared so bounds are resolved once total.
+    let mut memo = rt_explore::BoundMemo::default();
+    let mut walls: Vec<(usize, u128, usize)> = Vec::new();
+    let mut renders: Vec<String> = Vec::new();
+    let mut last_reports: Vec<rt_explore::ExploreReport> = Vec::new();
+    for &w in &workers {
+        let pool = rt_pool::Pool::new(w);
+        let t0 = std::time::Instant::now();
+        let reports: Vec<_> = scenarios
+            .iter()
+            .map(|sc| {
+                rt_explore::explore_scenario(sc, depth, por, budget_states, &pool, cache, &mut memo)
+            })
+            .collect();
+        let ms = t0.elapsed().as_millis();
+        let states: usize = reports.iter().map(|r| r.states).sum();
+        let mut s = header.clone();
+        for rep in &reports {
+            s.push_str(&rt_explore::render_line(rep));
+        }
+        walls.push((w, ms, states));
+        renders.push(s);
+        last_reports = reports;
+    }
+    let identical = renders.windows(2).all(|w| w[0] == w[1]);
+    for (w, ms, states) in &walls {
+        let rate = *states as f64 / (*ms as f64 / 1e3).max(1e-9);
+        eprintln!("  explore: {w} workers -> {ms} ms, {states} states ({rate:.0} states/sec; stderr only)");
+    }
+
+    let path = std::env::var("RT_BENCH_OUT").unwrap_or_else(|_| "BENCH_sweep.json".into());
+    let existing = std::fs::read_to_string(&path)
+        .ok()
+        .filter(|s| !s.trim().is_empty())
+        .unwrap_or_else(|| "{\n}\n".into());
+    let block = explore_json_block(depth, por, budget_states, &walls, identical, &last_reports);
+    let merged = sweep::upsert_json_block(&existing, "explore", &block);
+    std::fs::write(&path, &merged).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    eprintln!("  wrote {path}");
+
+    if !identical {
+        eprintln!("explore: reports DIVERGED across worker counts {workers:?}");
+        std::process::exit(1);
+    }
+    renders.into_iter().next().expect("one render per run")
+}
+
+/// Serializes the `"explore"` block: search shape, per-scenario frontier
+/// and reduction stats, and per-worker wall/throughput measurements.
+fn explore_json_block(
+    depth: usize,
+    por: rt_explore::PorMode,
+    budget_states: Option<usize>,
+    walls: &[(usize, u128, usize)],
+    identical: bool,
+    reports: &[rt_explore::ExploreReport],
+) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "  \"explore\": {{");
+    let _ = writeln!(s, "    \"depth\": {depth},");
+    let _ = writeln!(s, "    \"por\": \"{:?}\",", por);
+    let _ = writeln!(
+        s,
+        "    \"budget_states\": {},",
+        budget_states.map_or("null".into(), |b| b.to_string())
+    );
+    let _ = writeln!(s, "    \"identical_across_workers\": {identical},");
+    let _ = writeln!(s, "    \"scenarios\": [");
+    for (i, r) in reports.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "      {{\"name\": \"{}\", \"interleavings\": {}, \"states\": {}, \"distinct\": {}, \
+             \"sleep_skips\": {}, \"persistent_skips\": {}, \"reduction_ratio\": {:.4}, \
+             \"waves\": {}, \"peak_frontier\": {}, \"counterexamples\": {}, \"capped\": {}}}{}",
+            r.scenario,
+            r.interleavings,
+            r.states,
+            r.distinct_states,
+            r.sleep_skips,
+            r.persistent_skips,
+            r.reduction_ratio(),
+            r.waves,
+            r.peak_frontier,
+            r.counterexample.is_some() as u32,
+            r.capped,
+            if i + 1 == reports.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(s, "    ],");
+    let _ = writeln!(s, "    \"runs\": [");
+    for (i, (w, ms, states)) in walls.iter().enumerate() {
+        let rate = *states as f64 / (*ms as f64 / 1e3).max(1e-9);
+        let _ = writeln!(
+            s,
+            "      {{\"workers\": {w}, \"wall_ms\": {ms}, \"states\": {states}, \
+             \"states_per_sec\": {rate:.0}}}{}",
+            if i + 1 == walls.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(s, "    ]");
+    let _ = write!(s, "  }}");
+    s
+}
+
 fn flag_value(args: &[String], flag: &str) -> Option<Result<usize, ()>> {
     args.iter().position(|a| a == flag).map(|i| {
         args.get(i + 1)
@@ -327,10 +499,7 @@ fn main() {
         "overhead" => print!("{}", overhead()),
         "latency-bound" => print!("{}", latency_bound(ctx)),
         "constraints" => print!("{}", constraints_demo(ctx)),
-        "explore" => print!(
-            "{}",
-            rt_explore::explore_report(depth, ctx.pool(), ctx.cache())
-        ),
+        "explore" => print!("{}", explore_cmd(&args, depth, ctx)),
         "bench" => print!("{}", bench_report(&bench_opts(&args))),
         "load" => print!("{}", load_report(&args)),
         "all" => {

@@ -1,5 +1,5 @@
-//! The exploration engine: exhaustive DFS, random walks, replay and
-//! counterexample minimization.
+//! The exploration engine: partial-order-reduced frontier search,
+//! random walks, replay and counterexample minimization.
 //!
 //! A *run* executes a scenario instance from boot under a scripted choice
 //! trace (see [`crate::choice`]). The engine's event loop mirrors the
@@ -10,29 +10,39 @@
 //! (via the installed [`DecisionSource`]). After every event the oracles
 //! run: the kernel-wide invariant suite, the incremental-consistency
 //! checks of [`crate::oracle`], and the latency oracle (every logged
-//! interrupt response must be within the WCET-derived bound).
+//! interrupt response must be within its WCET-derived bound — per-line
+//! rank-aware bounds when configured, the scalar §6 bound otherwise).
 //!
-//! Exhaustive mode is a stateless-model-checking DFS: execute a trace,
-//! then branch a new trace for every untried alternative at every
-//! decision point past the scripted prefix. Kernels are rebuilt from the
-//! scenario per run (they are not cloneable), which keeps replay trivial
-//! and the frontier compact. Duplicate states are pruned via
-//! [`crate::state::canonical_hash`], only in the extension phase (prefix
-//! states were expanded before, by construction).
+//! Exhaustive mode is stateless model checking: execute a trace, then
+//! branch a new trace for every untried alternative at every decision
+//! point past the scripted prefix. Kernels are rebuilt from the scenario
+//! per run (they are not cloneable), which keeps replay trivial and the
+//! frontier compact. Three mechanisms keep the search polynomial in
+//! practice where the raw interleaving count is exponential:
 //!
-//! Large frontiers fan out over an [`rt_pool::Pool`]: the frontier is
-//! dealt round-robin into a *fixed* number of chunks, each drained as an
-//! independent serial DFS (with its own pruning set seeded from the
-//! serial phase), and the chunk results merged in order — so the report
-//! is byte-identical for any worker count, the same determinism contract
-//! the analysis sweep makes.
+//! * **Duplicate-state pruning** against a sharded visited set of
+//!   canonical time-free hashes ([`crate::state`]);
+//! * **Partial-order reduction** ([`crate::por`]): sleep sets skip
+//!   branches provably covered by a commuted sibling, and (in
+//!   [`PorMode::Full`]) persistent singletons skip all siblings of an
+//!   invisible, everywhere-independent thread step;
+//! * **Frontier waves over the worker pool**: the frontier drains in
+//!   deterministic fixed-size waves; within a wave, runs execute in
+//!   parallel over [`rt_pool::Pool`] (work-stealing hands branches
+//!   between idle workers) against a *read-only* view of the visited
+//!   set, and the wave's results merge back in frontier order. Wave
+//!   composition, merge order, prune decisions and counterexample choice
+//!   (lowest lexicographic trace of the first failing wave) are all
+//!   independent of the worker count, so reports are byte-identical at
+//!   any `--workers` value — the same determinism contract the analysis
+//!   sweep makes.
 //!
 //! [`DecisionSource`]: rt_kernel::decision::DecisionSource
 
-use std::collections::HashSet;
+use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
-use rt_hw::Cycles;
+use rt_hw::{Cycles, IrqLine};
 use rt_kernel::invariants::{self, Violation};
 use rt_kernel::kernel::{EntryPoint, Kernel, KernelConfig};
 use rt_kernel::system::Action;
@@ -42,8 +52,12 @@ use rt_wcet::{AnalysisCache, AnalysisConfig};
 
 use crate::choice::{Choice, Decision, RunCtl, ScriptedSource, Site, SplitMix};
 use crate::oracle;
+use crate::por::{
+    desc_raise, desc_run, filter_sleep, independent, raise_footprint, run_footprint, sig_subset,
+    sleep_sig, Footprint, PorMode, SleepEntry,
+};
 use crate::scenario::{self, Instance, Scenario};
-use crate::state::canonical_hash;
+use crate::state::{canonical_hash, SharedVisited};
 
 /// Exploration parameters.
 #[derive(Clone, Debug)]
@@ -53,12 +67,20 @@ pub struct ExploreConfig {
     /// Prune runs that reach an already-expanded canonical state.
     pub prune: bool,
     /// Latency oracle bound in cycles ([`Cycles::MAX`] disables it).
+    /// Fallback for lines without an entry in `line_bounds`.
     pub latency_bound: Cycles,
+    /// Per-line rank-aware bounds (`AnalysisCache::irq_line_bounds`);
+    /// empty means every line uses the scalar `latency_bound`.
+    pub line_bounds: Vec<(IrqLine, Cycles)>,
+    /// Partial-order reduction mode (see [`crate::por`]).
+    pub por: PorMode,
     /// Test-only mutation applied after preempting events (see
     /// [`SeededBug`]).
     pub seeded_bug: Option<SeededBug>,
     /// Safety cap on the number of runs.
     pub max_runs: usize,
+    /// Stop (checked between waves) once this many states were checked.
+    pub budget_states: Option<usize>,
 }
 
 impl Default for ExploreConfig {
@@ -67,8 +89,11 @@ impl Default for ExploreConfig {
             max_depth: 8,
             prune: true,
             latency_bound: Cycles::MAX,
+            line_bounds: Vec::new(),
+            por: PorMode::Off,
             seeded_bug: None,
             max_runs: 500_000,
+            budget_states: None,
         }
     }
 }
@@ -87,6 +112,18 @@ pub enum SeededBug {
     /// the Benno "runnable iff queued or current" discipline, caught by
     /// the scheduler invariants.
     DropRunnable,
+}
+
+/// Per-decision alternatives recorded for branch generation: event
+/// identities and footprints per option, plus the sleep set at the
+/// decision (POR modes only; `None` at preemption polls and when POR is
+/// off).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct EventInfo {
+    descs: Vec<u32>,
+    fps: Vec<Footprint>,
+    sleep: Vec<SleepEntry>,
+    persistent_only: bool,
 }
 
 /// Everything observed during a single run.
@@ -116,10 +153,13 @@ pub struct RunRecord {
     pub responses: usize,
     /// Worst observed response latency (0 when none).
     pub max_latency: Cycles,
-    /// Canonical state hashes newly expanded by this run.
-    pub hashes: Vec<u64>,
+    /// Canonical state hashes newly expanded by this run, each with the
+    /// sleep-set signature in force at the expansion.
+    pub hashes: Vec<(u64, Vec<u32>)>,
     /// Oracle violations (run stops at the first failing state).
     pub violations: Vec<Violation>,
+    /// Per-decision branch alternatives (POR bookkeeping).
+    pub(crate) evinfo: Vec<Option<EventInfo>>,
 }
 
 /// A failing schedule: the full trace that produced it, the minimized
@@ -149,6 +189,14 @@ pub struct ExploreReport {
     pub states: usize,
     /// Distinct canonical states expanded.
     pub distinct_states: usize,
+    /// Branches skipped by sleep-set reduction.
+    pub sleep_skips: u64,
+    /// Branches skipped by persistent-singleton reduction.
+    pub persistent_skips: u64,
+    /// Frontier waves processed.
+    pub waves: usize,
+    /// Largest single wave (runs).
+    pub peak_frontier: usize,
     /// Most preemption-poll decision points seen in one run.
     pub preempt_sites: u32,
     /// Total preemption-point polls across runs.
@@ -161,11 +209,12 @@ pub struct ExploreReport {
     pub responses: u64,
     /// Worst observed response latency across all paths.
     pub max_latency: Cycles,
-    /// The bound the latency oracle enforced.
+    /// The bound the latency oracle enforced (scalar fallback).
     pub latency_bound: Cycles,
     /// First failing schedule found, if any.
     pub counterexample: Option<Counterexample>,
-    /// The run cap stopped the search before the frontier emptied.
+    /// The run cap or state budget stopped the search before the
+    /// frontier emptied.
     pub capped: bool,
 }
 
@@ -178,6 +227,10 @@ impl ExploreReport {
             truncated: 0,
             states: 0,
             distinct_states: 0,
+            sleep_skips: 0,
+            persistent_skips: 0,
+            waves: 0,
+            peak_frontier: 0,
             preempt_sites: 0,
             polls: 0,
             injected: 0,
@@ -189,23 +242,55 @@ impl ExploreReport {
             capped: false,
         }
     }
+
+    /// Fraction of generated branches the reduction discharged without
+    /// executing: `skipped / (executed + skipped)`.
+    pub fn reduction_ratio(&self) -> f64 {
+        let skipped = (self.sleep_skips + self.persistent_skips) as f64;
+        let total = self.interleavings as f64 + skipped;
+        if total == 0.0 {
+            0.0
+        } else {
+            skipped / total
+        }
+    }
 }
 
-/// The paper's interrupt-response bound — WCET(system call) +
-/// WCET(interrupt) for the after-kernel with L2 off (the same
-/// configuration `repro latency-bound` prints) — computed through the
-/// shared [`AnalysisCache`] so repeated callers pay for it once.
-pub fn wcet_latency_bound(cache: &AnalysisCache) -> Cycles {
-    let cfg = AnalysisConfig {
+/// The WCET configuration every exploration bound derives from: the
+/// after-kernel with L2 off (the §6 configuration `repro latency-bound`
+/// prints).
+fn bound_analysis_config() -> AnalysisConfig {
+    AnalysisConfig {
         kernel: KernelConfig::after(),
         l2: false,
         pinning: false,
         l2_kernel_locked: false,
         manual_constraints: true,
-    };
+    }
+}
+
+/// The paper's interrupt-response bound — WCET(system call) +
+/// WCET(interrupt) for the after-kernel with L2 off — computed through
+/// the shared [`AnalysisCache`] so repeated callers pay for it once.
+pub fn wcet_latency_bound(cache: &AnalysisCache) -> Cycles {
+    let cfg = bound_analysis_config();
     let sys = cache.analyze(EntryPoint::Syscall, &cfg);
     let irq = cache.analyze(EntryPoint::Interrupt, &cfg);
     sys.cycles + irq.cycles
+}
+
+/// Rank-aware per-line latency bounds for a scenario's injectable lines,
+/// via [`AnalysisCache::irq_line_bounds`] — each per-state bound check in
+/// the engine then costs a table lookup, and the bound computation itself
+/// costs ~4 warm simplex pivots per entry point (the structure memo and
+/// `PresolvedModel::resolve_with_objective` do the heavy lifting once).
+pub fn scenario_line_bounds(cache: &AnalysisCache, lines: &[IrqLine]) -> Vec<(IrqLine, Cycles)> {
+    let raw: Vec<u8> = lines.iter().map(|l| l.0).collect();
+    cache
+        .irq_line_bounds(&bound_analysis_config(), &raw)
+        .into_iter()
+        .map(|(l, c)| (IrqLine(l), c))
+        .collect()
 }
 
 /// A top-level event enabled at an event boundary, in enumeration order:
@@ -297,25 +382,35 @@ fn run_current(
     }
 }
 
-/// Executes one run of `sc` under `prefix` (+ default or random
-/// extension), checking every oracle at every event boundary.
-pub fn execute(
+/// One unexplored branch: the choice prefix to replay plus the sleep set
+/// in force after the branch-point event (empty when POR is off).
+#[derive(Clone, Debug, Default)]
+struct Branch {
+    prefix: Vec<Choice>,
+    sleep0: Vec<SleepEntry>,
+}
+
+fn execute_inner(
     sc: &Scenario,
-    prefix: &[Choice],
+    branch: &Branch,
     rng: Option<SplitMix>,
     cfg: &ExploreConfig,
-    visited: &HashSet<u64>,
+    visited: Option<&SharedVisited>,
 ) -> RunRecord {
     let Instance {
         mut kernel,
         scripts,
         irqs,
     } = (sc.build)();
-    let ctl = Arc::new(Mutex::new(RunCtl::new(prefix.to_vec(), rng, irqs)));
+    // POR bookkeeping is meaningful only for default-extension runs (the
+    // exploration mode); random walks skip it.
+    let track_por = cfg.por.on() && rng.is_none();
+    let ctl = Arc::new(Mutex::new(RunCtl::new(branch.prefix.clone(), rng, irqs)));
     kernel.set_decision_source(Box::new(ScriptedSource { ctl: ctl.clone() }));
     let mut cursors = vec![0usize; scripts.len()];
     let mut rec = RunRecord::default();
     let mut checked_responses = 0usize;
+    let mut sleep: Vec<SleepEntry> = branch.sleep0.clone();
 
     let mut check = |kernel: &Kernel, rec: &mut RunRecord| -> Vec<Violation> {
         let mut v = invariants::check_all(kernel);
@@ -326,12 +421,18 @@ pub fn execute(
             let latency = r.kernel_ack.saturating_sub(r.raised);
             rec.responses += 1;
             rec.max_latency = rec.max_latency.max(latency);
-            if latency > cfg.latency_bound {
+            let bound = cfg
+                .line_bounds
+                .iter()
+                .find(|&&(l, _)| l == r.line)
+                .map(|&(_, b)| b)
+                .unwrap_or(cfg.latency_bound);
+            if latency > bound {
                 v.push(Violation {
                     invariant: "latency-bound",
                     detail: format!(
                         "line {:?}: observed {} cycles > bound {} (raised {}, acked {})",
-                        r.line, latency, cfg.latency_bound, r.raised, r.kernel_ack
+                        r.line, latency, bound, r.raised, r.kernel_ack
                     ),
                 });
             }
@@ -368,19 +469,70 @@ pub fn execute(
             if events.is_empty() {
                 break; // quiescent
             }
-            if cfg.prune && ctl.lock().expect("ctl lock").in_extension() {
+            let in_extension = ctl.lock().expect("ctl lock").in_extension();
+            // POR: identity and footprint per enabled event (extension
+            // only — prefix decisions were branched by the parent).
+            let info = if track_por && in_extension {
                 let budgets = ctl.lock().expect("ctl lock").budgets.clone();
+                let mut descs = Vec::with_capacity(events.len());
+                let mut fps = Vec::with_capacity(events.len());
+                for e in &events {
+                    match *e {
+                        Event::Run => {
+                            descs.push(desc_run(kernel.current()));
+                            fps.push(run_footprint(&kernel, &scripts, &cursors));
+                        }
+                        Event::Raise(i) => {
+                            descs.push(desc_raise(budgets[i].0));
+                            fps.push(raise_footprint(&kernel, budgets[i].0));
+                        }
+                    }
+                }
+                // Persistent singleton: an invisible thread step
+                // independent of every other enabled event (necessarily
+                // all free-line arrivals) may suppress its siblings
+                // entirely (Full mode; see crate::por).
+                let persistent_only = cfg.por == PorMode::Full
+                    && events.len() > 1
+                    && matches!(events[0], Event::Run)
+                    && fps[0].invisible_step()
+                    && !sleep.iter().any(|e| e.desc == descs[0])
+                    && fps[1..].iter().all(|f| independent(&fps[0], f));
+                Some(EventInfo {
+                    descs,
+                    fps,
+                    sleep: sleep.clone(),
+                    persistent_only,
+                })
+            } else {
+                None
+            };
+            if cfg.prune && in_extension {
+                let budgets = ctl.lock().expect("ctl lock").budgets.clone();
+                let sig = sleep_sig(&sleep);
                 let h = canonical_hash(&kernel, &cursors, &budgets);
-                if visited.contains(&h) || rec.hashes.contains(&h) {
+                let seen_shared = visited.is_some_and(|v| v.would_prune(h, &sig));
+                let seen_local = rec
+                    .hashes
+                    .iter()
+                    .any(|(ph, ps)| *ph == h && sig_subset(ps, &sig));
+                if seen_shared || seen_local {
                     rec.pruned = true;
                     break;
                 }
-                rec.hashes.push(h);
+                rec.hashes.push((h, sig));
             }
-            let pick = ctl
-                .lock()
-                .expect("ctl lock")
-                .choose(Site::Event, events.len() as Choice);
+            let pick = {
+                let mut g = ctl.lock().expect("ctl lock");
+                if info.is_some() {
+                    // Align evinfo with this decision's index in `taken`.
+                    while rec.evinfo.len() < g.taken.len() {
+                        rec.evinfo.push(None);
+                    }
+                    rec.evinfo.push(info);
+                }
+                g.choose(Site::Event, events.len() as Choice)
+            };
             let preemptions_before = kernel.stats.preemptions;
             match events[pick as usize] {
                 Event::Run => run_current(&mut kernel, &scripts, &mut cursors),
@@ -394,6 +546,15 @@ pub fn execute(
                     let now = kernel.machine.now();
                     kernel.machine.irq.raise(line, now);
                     kernel.handle_interrupt();
+                }
+            }
+            if track_por && in_extension {
+                // Evict sleepers dependent on what just ran. The executed
+                // footprint comes from the recorded info when available
+                // (extension picks are always option 0).
+                if let Some(Some(info)) = rec.evinfo.last() {
+                    let fp = info.fps[pick as usize].clone();
+                    filter_sleep(&mut sleep, &fp);
                 }
             }
             rec.events += 1;
@@ -421,12 +582,29 @@ pub fn execute(
     rec
 }
 
+/// Executes one run of `sc` under `prefix` (+ default or random
+/// extension), checking every oracle at every event boundary. No
+/// duplicate-state pruning (the exploration driver handles that); the
+/// direct entry point for tests and one-off runs.
+pub fn execute(
+    sc: &Scenario,
+    prefix: &[Choice],
+    rng: Option<SplitMix>,
+    cfg: &ExploreConfig,
+) -> RunRecord {
+    let branch = Branch {
+        prefix: prefix.to_vec(),
+        sleep0: Vec::new(),
+    };
+    execute_inner(sc, &branch, rng, cfg, None)
+}
+
 /// Replays `trace` against `sc` (no pruning, no extension randomness) and
 /// returns the full record — the repro entry point for counterexamples.
 pub fn replay(sc: &Scenario, trace: &[Choice], cfg: &ExploreConfig) -> RunRecord {
     let mut c = cfg.clone();
     c.prune = false;
-    execute(sc, trace, None, &c, &HashSet::new())
+    execute(sc, trace, None, &c)
 }
 
 /// Minimizes a failing trace by lexicographic descent: repeatedly try to
@@ -466,13 +644,9 @@ pub fn minimize(sc: &Scenario, trace: &[Choice], cfg: &ExploreConfig) -> Vec<Cho
     best
 }
 
-fn absorb(
-    rep: &mut ExploreReport,
-    visited: &mut HashSet<u64>,
-    frontier: &mut Vec<Vec<Choice>>,
-    prefix_len: usize,
-    r: RunRecord,
-) {
+/// Folds one run's counters into the report (branching handled
+/// separately).
+fn tally(rep: &mut ExploreReport, r: &RunRecord) {
     rep.interleavings += 1;
     rep.states += r.states;
     rep.pruned += r.pruned as usize;
@@ -483,117 +657,144 @@ fn absorb(
     rep.preemptions += r.preemptions;
     rep.responses += r.responses as u64;
     rep.max_latency = rep.max_latency.max(r.max_latency);
-    visited.extend(r.hashes.iter().copied());
-    if !r.violations.is_empty() {
-        if rep.counterexample.is_none() {
-            rep.counterexample = Some(Counterexample {
-                trace: r.taken.clone(),
-                minimized: Vec::new(), // filled by the caller
-                violations: r.violations.clone(),
-            });
+}
+
+/// Generates the child branches of one completed run: every untried
+/// alternative at every extension decision, minus what the reduction
+/// discharges (sleeping alternatives; all siblings at persistent
+/// singletons).
+fn branch(
+    rep: &mut ExploreReport,
+    frontier: &mut VecDeque<Branch>,
+    prefix_len: usize,
+    r: &RunRecord,
+) {
+    for i in prefix_len..r.taken.len() {
+        let info = r.evinfo.get(i).and_then(|o| o.as_ref());
+        if let Some(info) = info {
+            if info.persistent_only {
+                rep.persistent_skips += (r.decisions[i].options - 1 - r.taken[i]) as u64;
+                continue;
+            }
         }
-        return;
-    }
-    // Branch every untried alternative past the prefix. Pushed in reverse
-    // so the lexicographically next trace is popped first (pure DFS).
-    for i in (prefix_len..r.taken.len()).rev() {
-        for alt in ((r.taken[i] + 1)..r.decisions[i].options).rev() {
-            let mut t = r.taken[..i].to_vec();
-            t.push(alt);
-            frontier.push(t);
+        // Non-sleeping siblings already branched at this site (option
+        // `taken[i]` was executed by this very run).
+        let mut explored: Vec<usize> = vec![r.taken[i] as usize];
+        for alt in (r.taken[i] + 1)..r.decisions[i].options {
+            let mut prefix = r.taken[..i].to_vec();
+            prefix.push(alt);
+            let sleep0 = match info {
+                None => Vec::new(),
+                Some(info) => {
+                    let a = alt as usize;
+                    if info.sleep.iter().any(|e| e.desc == info.descs[a]) {
+                        rep.sleep_skips += 1;
+                        continue;
+                    }
+                    let fp_alt = &info.fps[a];
+                    let mut s0: Vec<SleepEntry> = info
+                        .sleep
+                        .iter()
+                        .filter(|e| independent(&e.fp, fp_alt))
+                        .cloned()
+                        .collect();
+                    for &sib in &explored {
+                        if independent(&info.fps[sib], fp_alt) {
+                            s0.push(SleepEntry {
+                                desc: info.descs[sib],
+                                fp: info.fps[sib].clone(),
+                            });
+                        }
+                    }
+                    explored.push(a);
+                    s0
+                }
+            };
+            frontier.push_back(Branch { prefix, sleep0 });
         }
     }
 }
 
-/// Once the serial frontier reaches this size, the remainder fans out
-/// over the pool. Fixed (not worker-derived) so reports are identical for
-/// any job count.
-const PARALLEL_THRESHOLD: usize = 64;
-/// Fixed chunk count for the parallel phase, same reasoning.
-const PARALLEL_CHUNKS: usize = 16;
+/// Runs per wave: bounds the memory spike of a wide frontier and the
+/// overshoot past `budget_states`/`max_runs` (both are enforced at wave
+/// boundaries). Fixed — never derived from the worker count.
+const MAX_WAVE: usize = 4096;
+/// Branches per work-stealing chunk within a wave.
+const WAVE_CHUNK: usize = 8;
 
-fn drain_serial(
+/// Exhaustive bounded search over `sc`'s interleavings: deterministic
+/// frontier waves fanned over `pool`, with duplicate-state pruning and
+/// (per `cfg.por`) partial-order reduction. Reports are byte-identical
+/// for any pool size; the search stops at the wave containing the first
+/// counterexample and reports the lexicographically smallest failing
+/// trace of that wave (then minimizes it).
+pub fn explore(sc: &Scenario, cfg: &ExploreConfig, pool: &Pool) -> ExploreReport {
+    explore_with_states(sc, cfg, pool).0
+}
+
+/// As [`explore`], additionally returning the sorted set of distinct
+/// canonical state hashes expanded — the quantity the reduced-vs-
+/// unreduced differential suite compares (sleep-set reduction must
+/// preserve it exactly).
+pub fn explore_with_states(
     sc: &Scenario,
     cfg: &ExploreConfig,
-    rep: &mut ExploreReport,
-    visited: &mut HashSet<u64>,
-    frontier: &mut Vec<Vec<Choice>>,
-    max_runs: usize,
-) {
-    while let Some(prefix) = frontier.pop() {
-        if rep.interleavings >= max_runs {
-            rep.capped = true;
-            frontier.clear();
-            break;
-        }
-        let r = execute(sc, &prefix, None, cfg, visited);
-        absorb(rep, visited, frontier, prefix.len(), r);
-        if rep.counterexample.is_some() {
-            frontier.clear();
-            break;
-        }
-    }
-}
+    pool: &Pool,
+) -> (ExploreReport, Vec<u64>) {
+    let mut rep = ExploreReport::new(&sc.name, cfg.latency_bound);
+    let visited = SharedVisited::new();
+    let mut frontier: VecDeque<Branch> = VecDeque::from([Branch::default()]);
 
-/// Exhaustive bounded DFS over `sc`'s interleavings. Deterministic for
-/// any `pool` size; stops early at the first counterexample (which is
-/// then minimized).
-pub fn explore(sc: &Scenario, cfg: &ExploreConfig, pool: &Pool) -> ExploreReport {
-    let mut rep = ExploreReport::new(sc.name, cfg.latency_bound);
-    let mut visited: HashSet<u64> = HashSet::new();
-    let mut frontier: Vec<Vec<Choice>> = vec![Vec::new()];
-
-    // Serial phase: run until done or the frontier is wide enough to
-    // split. The threshold split is taken regardless of worker count so
-    // jobs=1 and jobs=N traverse identical work lists.
-    while let Some(prefix) = frontier.pop() {
-        if rep.interleavings >= cfg.max_runs {
+    while !frontier.is_empty() {
+        if rep.interleavings >= cfg.max_runs || cfg.budget_states.is_some_and(|b| rep.states >= b) {
             rep.capped = true;
             break;
         }
-        let r = execute(sc, &prefix, None, cfg, &visited);
-        absorb(&mut rep, &mut visited, &mut frontier, prefix.len(), r);
-        if rep.counterexample.is_some() {
-            break;
-        }
-        if frontier.len() >= PARALLEL_THRESHOLD {
-            break;
-        }
-    }
+        let take = frontier
+            .len()
+            .min(MAX_WAVE)
+            .min(cfg.max_runs - rep.interleavings);
+        let wave: Vec<Branch> = frontier.drain(..take).collect();
+        rep.waves += 1;
+        rep.peak_frontier = rep.peak_frontier.max(wave.len());
 
-    if rep.counterexample.is_none() && !frontier.is_empty() && rep.interleavings < cfg.max_runs {
-        // Parallel phase: deal the frontier round-robin into fixed
-        // chunks; each chunk drains independently against a snapshot of
-        // the pruning set, and chunk reports merge in deal order.
-        let mut chunks: Vec<Vec<Vec<Choice>>> = vec![Vec::new(); PARALLEL_CHUNKS];
-        for (i, t) in frontier.drain(..).enumerate() {
-            chunks[i % PARALLEL_CHUNKS].push(t);
-        }
-        let budget = (cfg.max_runs - rep.interleavings) / PARALLEL_CHUNKS + 1;
-        let snapshot = visited.clone();
-        let partials = pool.parallel_map(chunks, |mut chunk| {
-            chunk.reverse(); // drain in deal order
-            let mut sub = ExploreReport::new(sc.name, cfg.latency_bound);
-            let mut sub_visited = snapshot.clone();
-            drain_serial(sc, cfg, &mut sub, &mut sub_visited, &mut chunk, budget);
-            (sub, sub_visited)
-        });
-        for (sub, sub_visited) in partials {
-            rep.interleavings += sub.interleavings;
-            rep.states += sub.states;
-            rep.pruned += sub.pruned;
-            rep.truncated += sub.truncated;
-            rep.preempt_sites = rep.preempt_sites.max(sub.preempt_sites);
-            rep.polls += sub.polls;
-            rep.injected += sub.injected;
-            rep.preemptions += sub.preemptions;
-            rep.responses += sub.responses;
-            rep.max_latency = rep.max_latency.max(sub.max_latency);
-            rep.capped |= sub.capped;
-            visited.extend(sub_visited);
-            if rep.counterexample.is_none() {
-                rep.counterexample = sub.counterexample;
+        // Execute the wave: chunks fan out over the pool (work stealing
+        // hands whole chunks between idle workers); results come back in
+        // frontier order regardless of who ran what. Workers only read
+        // the visited set during the wave.
+        let chunks: Vec<Vec<Branch>> = wave.chunks(WAVE_CHUNK).map(|c| c.to_vec()).collect();
+        let records: Vec<RunRecord> = pool
+            .parallel_map(chunks, |chunk| {
+                chunk
+                    .iter()
+                    .map(|b| execute_inner(sc, b, None, cfg, Some(&visited)))
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+
+        // Deterministic merge, in frontier order: visited-set updates,
+        // counters, and child branches.
+        let mut failing: Option<&RunRecord> = None;
+        for (b, r) in wave.iter().zip(&records) {
+            tally(&mut rep, r);
+            for (h, sig) in &r.hashes {
+                visited.merge(*h, sig);
             }
+            if r.violations.is_empty() {
+                branch(&mut rep, &mut frontier, b.prefix.len(), r);
+            } else if failing.is_none_or(|f| r.taken < f.taken) {
+                failing = Some(r);
+            }
+        }
+        if let Some(r) = failing {
+            rep.counterexample = Some(Counterexample {
+                trace: r.taken.clone(),
+                minimized: Vec::new(),
+                violations: r.violations.clone(),
+            });
+            break;
         }
     }
 
@@ -606,7 +807,7 @@ pub fn explore(sc: &Scenario, cfg: &ExploreConfig, pool: &Pool) -> ExploreReport
             .expect("counterexample present")
             .minimized = minimized;
     }
-    rep
+    (rep, visited.hashes())
 }
 
 /// Seeded random-walk mode for scopes too large to enumerate: `walks`
@@ -614,16 +815,24 @@ pub fn explore(sc: &Scenario, cfg: &ExploreConfig, pool: &Pool) -> ExploreReport
 /// generators derived from `seed`. Identical seeds give identical
 /// reports.
 pub fn random_walk(sc: &Scenario, cfg: &ExploreConfig, seed: u64, walks: usize) -> ExploreReport {
-    let mut rep = ExploreReport::new(sc.name, cfg.latency_bound);
-    let mut visited: HashSet<u64> = HashSet::new();
+    let mut rep = ExploreReport::new(&sc.name, cfg.latency_bound);
+    let visited = SharedVisited::new();
     let mut no_prune = cfg.clone();
     no_prune.prune = false;
+    no_prune.por = PorMode::Off;
     for w in 0..walks {
         let rng = SplitMix::new(seed ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let r = execute(sc, &[], Some(rng), &no_prune, &visited);
-        let mut discard = Vec::new();
-        absorb(&mut rep, &mut visited, &mut discard, usize::MAX, r);
-        if rep.counterexample.is_some() {
+        let r = execute(sc, &[], Some(rng), &no_prune);
+        tally(&mut rep, &r);
+        for (h, sig) in &r.hashes {
+            visited.merge(*h, sig);
+        }
+        if !r.violations.is_empty() {
+            rep.counterexample = Some(Counterexample {
+                trace: r.taken.clone(),
+                minimized: Vec::new(),
+                violations: r.violations.clone(),
+            });
             break;
         }
     }
@@ -639,9 +848,14 @@ pub fn random_walk(sc: &Scenario, cfg: &ExploreConfig, seed: u64, walks: usize) 
     rep
 }
 
-fn render_line(rep: &ExploreReport) -> String {
+/// Renders one scenario report as the `key=value` summary line the CI
+/// smoke gate parses (plus counterexample traces, when any). Every field
+/// is deterministic — wall-clock never appears — so the rendered bytes
+/// are identical for any worker count.
+pub fn render_line(rep: &ExploreReport) -> String {
     let mut s = format!(
         "  {:<16} interleavings={} pruned={} truncated={} states={} distinct={} \
+         sleep-skips={} persistent-skips={} waves={} \
          preempt-pts={} polls={} injected={} preemptions={} responses={} \
          max-latency={}/{}",
         rep.scenario,
@@ -650,6 +864,9 @@ fn render_line(rep: &ExploreReport) -> String {
         rep.truncated,
         rep.states,
         rep.distinct_states,
+        rep.sleep_skips,
+        rep.persistent_skips,
+        rep.waves,
         rep.preempt_sites,
         rep.polls,
         rep.injected,
@@ -675,25 +892,72 @@ fn render_line(rep: &ExploreReport) -> String {
     s
 }
 
-/// Runs every scenario exhaustively at `depth` and renders the `repro
-/// explore` report: one `key=value` line per scenario (awk-friendly; the
-/// CI smoke gate parses it), plus any counterexample traces.
-pub fn explore_report(depth: usize, pool: &Pool, cache: &AnalysisCache) -> String {
+/// Runs every scenario exhaustively at `depth` under `por` and renders
+/// the `repro explore` report: one `key=value` line per scenario
+/// (awk-friendly; the CI smoke gate parses it), plus any counterexample
+/// traces. Per-line latency bounds come from
+/// [`scenario_line_bounds`], memoized per distinct line set (scenarios
+/// sharing a line set share one warm-resolve pass).
+pub fn explore_report(depth: usize, por: PorMode, pool: &Pool, cache: &AnalysisCache) -> String {
     let bound = wcet_latency_bound(cache);
     let mut s = String::new();
     s.push_str(&format!(
-        "schedule exploration: exhaustive DFS over preemption-point interleavings, depth <= {depth}\n\
-         latency oracle: observed response <= WCET(syscall) + WCET(interrupt) = {bound} cycles\n\
-         (after-kernel, L2 off — the §6 bound `repro latency-bound` prints)\n\n"
+        "schedule exploration: reduced frontier search over preemption-point interleavings, \
+         depth <= {depth}, por={por:?}\n\
+         latency oracle: per-line rank-aware bounds from max-entry WCET + rank x WCET(interrupt)\n\
+         (after-kernel, L2 off — scalar fallback {bound} cycles, the §6 bound `repro latency-bound` prints)\n\n"
     ));
+    let mut memo = BoundMemo::default();
     for sc in scenario::all() {
-        let cfg = ExploreConfig {
-            max_depth: depth,
-            latency_bound: bound,
-            ..ExploreConfig::default()
-        };
-        let rep = explore(&sc, &cfg, pool);
+        let rep = explore_scenario(&sc, depth, por, None, pool, cache, &mut memo);
         s.push_str(&render_line(&rep));
     }
     s
+}
+
+/// Per-scenario latency-bound memo, keyed by a scenario's (sorted,
+/// deduplicated) injectable line set. Scenarios sharing a line set share
+/// one rank-aware bound table; the underlying WCETs are memoized again
+/// inside [`AnalysisCache`], so a memo miss costs warm resolves only.
+#[derive(Default)]
+pub struct BoundMemo {
+    bounds: std::collections::HashMap<Vec<u8>, Vec<(IrqLine, Cycles)>>,
+}
+
+/// Explores one scenario with the standard report configuration:
+/// WCET-derived per-line bounds (memoized by line set across calls) and
+/// the given depth/POR/state budget.
+pub fn explore_scenario(
+    sc: &Scenario,
+    depth: usize,
+    por: PorMode,
+    budget_states: Option<usize>,
+    pool: &Pool,
+    cache: &AnalysisCache,
+    memo: &mut BoundMemo,
+) -> ExploreReport {
+    let inst = (sc.build)();
+    let mut lines: Vec<u8> = inst.irqs.iter().map(|&(l, _)| l.0).collect();
+    lines.sort_unstable();
+    lines.dedup();
+    let line_bounds = memo
+        .bounds
+        .entry(lines.clone())
+        .or_insert_with(|| {
+            scenario_line_bounds(
+                cache,
+                &lines.iter().map(|&l| IrqLine(l)).collect::<Vec<_>>(),
+            )
+        })
+        .clone();
+    let cfg = ExploreConfig {
+        max_depth: depth,
+        latency_bound: wcet_latency_bound(cache),
+        line_bounds,
+        por,
+        budget_states,
+        max_runs: usize::MAX,
+        ..ExploreConfig::default()
+    };
+    explore(sc, &cfg, pool)
 }

@@ -20,11 +20,13 @@
 //! * [`oracle`] — incremental-consistency checks over in-object resume
 //!   state, run beside `rt_kernel::invariants` and a latency oracle
 //!   (observed response ≤ the rt-wcet bound) at every explored state;
-//! * [`state`] — canonical (time-free) state hashing for duplicate
-//!   pruning;
-//! * [`engine`] — bounded-depth exhaustive DFS fanned across an
-//!   `rt_pool::Pool`, seeded random walks, replay, and counterexample
-//!   minimization.
+//! * [`state`] — canonical (time-free) state hashing and the sharded
+//!   visited set shared across exploration workers;
+//! * [`por`] — the independence relation, event footprints, and
+//!   sleep-set/persistent-set partial-order reduction;
+//! * [`engine`] — bounded-depth search as deterministic frontier waves
+//!   fanned across an `rt_pool::Pool`, seeded random walks, replay, and
+//!   counterexample minimization.
 //!
 //! The kernel side of the hook is `rt_kernel::decision::DecisionSource`;
 //! with no source installed (or the run-to-completion source) the kernel
@@ -37,12 +39,15 @@
 pub mod choice;
 pub mod engine;
 pub mod oracle;
+pub mod por;
 pub mod scenario;
 pub mod state;
 
 pub use choice::{Choice, Decision, Site, SplitMix};
 pub use engine::{
-    execute, explore, explore_report, minimize, random_walk, replay, wcet_latency_bound,
-    Counterexample, ExploreConfig, ExploreReport, RunRecord, SeededBug,
+    execute, explore, explore_report, explore_scenario, explore_with_states, minimize, random_walk,
+    render_line, replay, scenario_line_bounds, wcet_latency_bound, BoundMemo, Counterexample,
+    ExploreConfig, ExploreReport, RunRecord, SeededBug,
 };
-pub use scenario::{Instance, Scenario};
+pub use por::PorMode;
+pub use scenario::{randomized, Instance, RandomParams, Scenario};

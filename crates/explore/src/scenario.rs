@@ -15,6 +15,8 @@
 //! installs its decision source, so instances start from a quiescent,
 //! deterministic state.
 
+use std::sync::Arc;
+
 use rt_hw::{HwConfig, IrqLine};
 use rt_kernel::cap::{insert_cap, Badge, CapType, Rights, SlotRef};
 use rt_kernel::ep::{ep_append, EpState};
@@ -71,14 +73,30 @@ pub struct Instance {
 
 /// A named scenario: a description plus a deterministic builder. The
 /// engine re-builds an instance per run (kernels are not cloneable), so
-/// builders must be pure.
+/// builders must be pure. Builders are shared closures so parameterized
+/// (including property-test-randomized) scenarios are expressible.
+#[derive(Clone)]
 pub struct Scenario {
     /// Short identifier (report key).
-    pub name: &'static str,
+    pub name: String,
     /// One-line description of what is being interleaved.
-    pub about: &'static str,
+    pub about: String,
     /// Deterministic instance constructor.
-    pub build: fn() -> Instance,
+    pub build: Arc<dyn Fn() -> Instance + Send + Sync>,
+}
+
+impl Scenario {
+    fn new(
+        name: &str,
+        about: &str,
+        build: impl Fn() -> Instance + Send + Sync + 'static,
+    ) -> Scenario {
+        Scenario {
+            name: name.to_string(),
+            about: about.to_string(),
+            build: Arc::new(build),
+        }
+    }
 }
 
 struct Base {
@@ -88,11 +106,19 @@ struct Base {
 }
 
 fn base() -> Base {
+    base_radix(12)
+}
+
+/// As [`base`] but with a chosen root-CNode radix. The widened search
+/// scenario uses a 256-slot root: the canonical state hash scans every
+/// slot for occupancy, and at 10⁷ states a 4096-slot scan would dominate
+/// the whole search. All scenario cptrs fit in 8 bits.
+fn base_radix(radix_bits: u8) -> Base {
     let mut k = Kernel::new(KernelConfig::after(), HwConfig::default());
-    let cnode = k.boot_cnode(12);
+    let cnode = k.boot_cnode(radix_bits);
     let root = CapType::CNode {
         obj: cnode,
-        guard_bits: 20,
+        guard_bits: 32 - radix_bits,
         guard: 0,
     };
     insert_cap(
@@ -369,39 +395,156 @@ fn irq_response() -> Instance {
     }
 }
 
-/// All scenarios, in report order.
+/// Widened-scope endpoint deletion for the 10⁶–10⁷-state searches: a
+/// deeper send queue and triple arrival budgets on both lines, on a
+/// 256-slot root CNode (see [`base_radix`]). Not part of [`all`] — the
+/// smoke report keeps the PR 5 scope; `repro explore --scenario
+/// ep-delete-wide` and the CI budget gate drive this one.
+fn ep_delete_wide() -> Instance {
+    let mut b = base_radix(8);
+    let _ep = queued_ep(&mut b, 12, 2, false);
+    let (driver, driver_script) = add_driver(&mut b);
+    let deleter = start(&mut b, "deleter", 100);
+    let irqs = vec![(DRIVER_LINE, 6), (FREE_LINE, 6)];
+    Instance {
+        kernel: b.k,
+        scripts: vec![
+            (
+                deleter,
+                vec![
+                    Action::Syscall(Syscall::Delete { cptr: cptrs::EP }),
+                    Action::Stop,
+                ],
+            ),
+            (driver, driver_script),
+        ],
+        irqs,
+    }
+}
+
+/// Parameters for a randomized small-scope scenario (property tests):
+/// a queued endpoint, an optional driver, and a delete/revoke operation,
+/// all within the small-scope envelope the differential suites can
+/// explore unreduced.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomParams {
+    /// Queued senders (1..=3 keeps unreduced exploration tractable).
+    pub senders: u32,
+    /// Badge period for `queued_ep`-style mixing (0 = none badged).
+    pub badge_every: u32,
+    /// Include the bound-line driver thread.
+    pub with_driver: bool,
+    /// Arrival budget for [`DRIVER_LINE`] (only with the driver).
+    pub driver_budget: u32,
+    /// Arrival budget for [`FREE_LINE`].
+    pub free_budget: u32,
+    /// Explore `Revoke` of the badged child instead of `Delete` of the
+    /// original endpoint cap.
+    pub revoke: bool,
+}
+
+/// Builds a deterministic scenario from randomized parameters. Budgets
+/// are clamped so at least one arrival is injectable (a scenario with no
+/// decisions explores nothing).
+pub fn randomized(p: RandomParams) -> Scenario {
+    let mut p = p;
+    p.senders = p.senders.clamp(1, 3);
+    p.badge_every = p.badge_every.min(2);
+    p.driver_budget = if p.with_driver {
+        p.driver_budget.min(2)
+    } else {
+        0
+    };
+    p.free_budget = p.free_budget.min(2);
+    if p.driver_budget == 0 && p.free_budget == 0 {
+        p.free_budget = 1;
+    }
+    let name = format!(
+        "rand-s{}b{}{}d{}f{}-{}",
+        p.senders,
+        p.badge_every,
+        if p.with_driver { "D" } else { "-" },
+        p.driver_budget,
+        p.free_budget,
+        if p.revoke { "revoke" } else { "delete" },
+    );
+    Scenario::new(
+        &name,
+        "randomized queued-endpoint scenario (property tests)",
+        move || {
+            let mut b = base();
+            let _ep = queued_ep(&mut b, p.senders, p.badge_every, p.revoke);
+            let mut scripts = Vec::new();
+            let mut irqs = Vec::new();
+            if p.with_driver {
+                let (driver, script) = add_driver(&mut b);
+                scripts.push((driver, script));
+                if p.driver_budget > 0 {
+                    irqs.push((DRIVER_LINE, p.driver_budget));
+                }
+            }
+            if p.free_budget > 0 {
+                irqs.push((FREE_LINE, p.free_budget));
+            }
+            let op = start(&mut b, "op", 100);
+            let sys = if p.revoke {
+                Syscall::Revoke {
+                    cptr: cptrs::BADGED,
+                }
+            } else {
+                Syscall::Delete { cptr: cptrs::EP }
+            };
+            scripts.insert(0, (op, vec![Action::Syscall(sys), Action::Stop]));
+            Instance {
+                kernel: b.k,
+                scripts,
+                irqs,
+            }
+        },
+    )
+}
+
+/// All report scenarios, in report order.
 pub fn all() -> Vec<Scenario> {
     vec![
-        Scenario {
-            name: "ep-delete",
-            about: "endpoint deletion unwinding a 4-deep send queue (§3.3)",
-            build: ep_delete,
-        },
-        Scenario {
-            name: "badged-revoke",
-            about: "badged abort scanning a mixed 5-deep queue (§3.4)",
-            build: badged_revoke,
-        },
-        Scenario {
-            name: "retype-clear",
-            about: "retype zeroing 8 KiB in preemptible chunks (§3.5)",
-            build: retype_clear,
-        },
-        Scenario {
-            name: "vspace-teardown",
-            about: "page-table and directory teardown mid-flight (§3.6)",
-            build: vspace_teardown,
-        },
-        Scenario {
-            name: "irq-response",
-            about: "driver IRQ latency across a badged abort (§5-§6 bound)",
-            build: irq_response,
-        },
+        Scenario::new(
+            "ep-delete",
+            "endpoint deletion unwinding a 4-deep send queue (§3.3)",
+            ep_delete,
+        ),
+        Scenario::new(
+            "badged-revoke",
+            "badged abort scanning a mixed 5-deep queue (§3.4)",
+            badged_revoke,
+        ),
+        Scenario::new(
+            "retype-clear",
+            "retype zeroing 8 KiB in preemptible chunks (§3.5)",
+            retype_clear,
+        ),
+        Scenario::new(
+            "vspace-teardown",
+            "page-table and directory teardown mid-flight (§3.6)",
+            vspace_teardown,
+        ),
+        Scenario::new(
+            "irq-response",
+            "driver IRQ latency across a badged abort (§5-§6 bound)",
+            irq_response,
+        ),
     ]
 }
 
-/// Looks up a scenario by name.
+/// Scenarios addressable by name: the report set plus the widened-scope
+/// search target.
 pub fn by_name(name: &str) -> Option<Scenario> {
+    if name == "ep-delete-wide" {
+        return Some(Scenario::new(
+            "ep-delete-wide",
+            "widened §3.3 deletion: 6-deep queue, 3+3 arrivals (10⁷-state search target)",
+            ep_delete_wide,
+        ));
+    }
     all().into_iter().find(|s| s.name == name)
 }
 

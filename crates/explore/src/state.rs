@@ -1,4 +1,5 @@
-//! Canonical state snapshots for duplicate-state pruning.
+//! Canonical state snapshots for duplicate-state pruning, and the
+//! sharded visited set shared across exploration workers.
 //!
 //! Exhaustive exploration revisits the same kernel state along many
 //! interleavings (two independent arrivals commute more often than not).
@@ -11,75 +12,314 @@
 //! contents, statistics, or response logs) behave identically modulo
 //! timing, and the latency oracle checks timing along every *un*pruned
 //! path before the duplicate is cut off.
+//!
+//! The hash is the hot loop of a 10⁷-state search, so it avoids the PR 5
+//! implementation's per-object `format!` allocations: hot object kinds
+//! are hashed field by field with a fast multiply-rotate hasher, and the
+//! cold kinds (page tables, residual cap payloads) stream their `Debug`
+//! rendering straight into the hasher through a `fmt::Write` adapter —
+//! zero allocation either way.
 
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::hash::Hasher;
+use std::sync::RwLock;
 
 use rt_hw::IrqLine;
 use rt_kernel::kernel::Kernel;
 use rt_kernel::obj::ObjKind;
 
+use crate::por::{sig_intersect, sig_subset};
+
+/// FxHash-style multiply-rotate hasher: quality is ample for pruning
+/// (collisions cost a missed prune or, with vanishing probability, a
+/// false prune — the differential suite would catch a systematic one)
+/// and it is an order of magnitude cheaper than `DefaultHasher`'s
+/// SipHash on the short field streams hashed here.
+#[derive(Default)]
+struct FastHasher {
+    hash: u64,
+}
+
+const FAST_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FastHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FAST_SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut w = [0u8; 8];
+            w[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(w) ^ (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Final avalanche so low-entropy inputs spread across all bits
+        // (the visited-set shards key on the low bits).
+        let mut h = self.hash;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        h
+    }
+}
+
+/// Streams `Debug` output into the hasher without allocating.
+struct HashWriter<'a>(&'a mut FastHasher);
+
+impl std::fmt::Write for HashWriter<'_> {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.0.write(s.as_bytes());
+        Ok(())
+    }
+}
+
+macro_rules! stream_debug {
+    ($h:expr, $v:expr) => {
+        let _ = write!(HashWriter($h), "{:?}", $v);
+    };
+}
+
+#[inline]
+fn opt_id(h: &mut FastHasher, v: Option<rt_kernel::obj::ObjId>) {
+    h.add(match v {
+        Some(o) => 0x1_0000_0000 | o.0 as u64,
+        None => u64::MAX,
+    });
+}
+
 /// Hashes the canonical (time-free) state of `kernel` plus the harness
 /// state that co-determines the future: per-thread script cursors and
 /// remaining interrupt budgets.
 ///
-/// `DefaultHasher` is keyed with fixed constants, so the hash is stable
-/// within a process — sufficient for pruning and for cross-worker
-/// determinism (all workers of one exploration live in one process).
+/// The hash is stable within a process — sufficient for pruning and for
+/// cross-worker determinism (all workers of one exploration live in one
+/// process).
 pub fn canonical_hash(kernel: &Kernel, cursors: &[usize], budgets: &[(IrqLine, u32)]) -> u64 {
-    let mut h = DefaultHasher::new();
+    let mut h = FastHasher::default();
     for (id, o) in kernel.objs.iter() {
-        id.0.hash(&mut h);
-        o.base.hash(&mut h);
-        o.size_bits.hash(&mut h);
+        h.add(id.0 as u64);
+        h.add(o.base as u64);
+        h.add(o.size_bits as u64);
         match &o.kind {
             // TCBs carry one time-dependent field (`wait_since`, response
             // accounting only); hash the behaviour-relevant fields.
             ObjKind::Tcb(t) => {
-                0u8.hash(&mut h);
-                t.prio.hash(&mut h);
-                format!("{:?}", t.state).hash(&mut h);
-                format!("{:?}", t.cspace_root).hash(&mut h);
-                format!("{:?}", t.vspace).hash(&mut h);
-                t.fault_handler.hash(&mut h);
-                t.msg.hash(&mut h);
-                format!("{:?}", t.msg_info).hash(&mut h);
-                t.xfer_caps.hash(&mut h);
-                t.recv_slot_spec.hash(&mut h);
-                t.recv_badge.0.hash(&mut h);
-                t.sched_next.map(|o| o.0).hash(&mut h);
-                t.sched_prev.map(|o| o.0).hash(&mut h);
-                t.in_runqueue.hash(&mut h);
-                t.ep_next.map(|o| o.0).hash(&mut h);
-                t.ep_prev.map(|o| o.0).hash(&mut h);
-                t.queued_on.map(|o| o.0).hash(&mut h);
-                t.caller.map(|o| o.0).hash(&mut h);
-                format!("{:?}", t.current_syscall).hash(&mut h);
+                h.add(0);
+                h.add(t.prio as u64);
+                stream_debug!(&mut h, t.state);
+                stream_debug!(&mut h, t.cspace_root);
+                stream_debug!(&mut h, t.vspace);
+                h.add(t.fault_handler as u64);
+                for &w in &t.msg {
+                    h.add(w as u64);
+                }
+                stream_debug!(&mut h, t.msg_info);
+                for &w in &t.xfer_caps {
+                    h.add(w as u64);
+                }
+                stream_debug!(&mut h, t.recv_slot_spec);
+                h.add(t.recv_badge.0 as u64);
+                opt_id(&mut h, t.sched_next);
+                opt_id(&mut h, t.sched_prev);
+                h.add(t.in_runqueue as u64);
+                opt_id(&mut h, t.ep_next);
+                opt_id(&mut h, t.ep_prev);
+                opt_id(&mut h, t.queued_on);
+                opt_id(&mut h, t.caller);
+                stream_debug!(&mut h, t.current_syscall);
             }
-            // Every other object kind is time-free; its `Debug` form is a
-            // faithful rendering of all fields.
+            ObjKind::Endpoint(e) => {
+                h.add(1);
+                h.add(e.state as u64);
+                opt_id(&mut h, e.head);
+                opt_id(&mut h, e.tail);
+                h.add(e.active as u64);
+                match &e.abort {
+                    None => h.add(u64::MAX),
+                    Some(a) => {
+                        h.add(a.badge.0 as u64);
+                        opt_id(&mut h, a.cursor);
+                        h.add(a.end.0 as u64);
+                        h.add(a.initiator.0 as u64);
+                    }
+                }
+                opt_id(&mut h, e.completed_for);
+            }
+            ObjKind::Notification(n) => {
+                h.add(2);
+                h.add(n.word as u64);
+                opt_id(&mut h, n.head);
+                opt_id(&mut h, n.tail);
+            }
+            ObjKind::CNode(c) => {
+                // Slot scan dominated by the null check; only occupied
+                // slots stream their (index, payload).
+                h.add(3);
+                h.add(c.radix_bits() as u64);
+                for i in 0..c.num_slots() {
+                    let s = c.slot(i);
+                    if !s.cap.is_null() {
+                        h.add(i as u64);
+                        stream_debug!(&mut h, s);
+                    }
+                }
+            }
+            ObjKind::Untyped(u) => {
+                h.add(4);
+                h.add(u.watermark as u64);
+                h.add(u.clear_progress as u64);
+                stream_debug!(&mut h, u.pending);
+                for c in &u.children {
+                    h.add(c.0 as u64);
+                }
+            }
+            ObjKind::Frame(f) => {
+                h.add(5);
+                h.add(f.size_bits as u64);
+            }
+            // Cold kinds (vspace structures): faithful but rare — stream
+            // the full Debug rendering.
             other => {
-                1u8.hash(&mut h);
-                format!("{other:?}").hash(&mut h);
+                h.add(6);
+                stream_debug!(&mut h, other);
             }
         }
     }
-    format!("{:?}", kernel.queues).hash(&mut h);
-    format!("{:?}", kernel.irq_table).hash(&mut h);
-    kernel.current().0.hash(&mut h);
+    // Queue membership and FIFO order live in the per-TCB links hashed
+    // above; per-priority heads pin which list each chain belongs to.
+    for prio in 0..=255u8 {
+        if let Some(head) = kernel.queues.head(prio) {
+            h.add(prio as u64);
+            h.add(head.0 as u64);
+        }
+    }
+    h.add(kernel.queues.len() as u64);
+    stream_debug!(&mut h, kernel.irq_table);
+    h.add(kernel.current().0 as u64);
     for l in 0..rt_hw::irq::NUM_LINES {
         let line = IrqLine(l);
-        (
-            kernel.machine.irq.is_pending(line),
-            kernel.machine.irq.is_masked(line),
-        )
-            .hash(&mut h);
+        h.add(
+            (kernel.machine.irq.is_pending(line) as u64) << 1
+                | kernel.machine.irq.is_masked(line) as u64
+                | (l as u64) << 8,
+        );
     }
-    cursors.hash(&mut h);
+    for &c in cursors {
+        h.add(c as u64);
+    }
     for &(line, left) in budgets {
-        (line.0, left).hash(&mut h);
+        h.add((line.0 as u64) << 32 | left as u64);
     }
     h.finish()
+}
+
+/// Sleep-set signature stored with a visited state: the sorted event
+/// descs that were asleep when the state was expanded (empty when POR is
+/// off). See [`crate::por`] for the `S ⊆ T` pruning rule.
+pub(crate) type SleepSig = Vec<u32>;
+
+const VISITED_SHARDS: usize = 64;
+
+/// Sharded, lock-striped visited set shared across rt-pool workers.
+///
+/// Within one frontier wave every worker only *reads* the set (taking
+/// shard read locks, which never contend with each other); the wave's
+/// discoveries are merged back single-threaded, in deterministic frontier
+/// order, between waves. Merging is commutative anyway (signatures merge
+/// by intersection), so the stored contents — and therefore every prune
+/// decision of the next wave — are identical at any worker count.
+pub(crate) struct SharedVisited {
+    shards: Vec<RwLock<HashMap<u64, SleepSig>>>,
+}
+
+impl SharedVisited {
+    pub(crate) fn new() -> SharedVisited {
+        SharedVisited {
+            shards: (0..VISITED_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, hash: u64) -> &RwLock<HashMap<u64, SleepSig>> {
+        &self.shards[(hash & (VISITED_SHARDS as u64 - 1)) as usize]
+    }
+
+    /// Whether a run reaching `hash` with `sleep` asleep may be pruned:
+    /// the state was already expanded with a sleep set no larger than
+    /// this one (so every transition this run could still take was
+    /// explored from the stored expansion).
+    pub(crate) fn would_prune(&self, hash: u64, sleep: &[u32]) -> bool {
+        self.shard(hash)
+            .read()
+            .unwrap()
+            .get(&hash)
+            .is_some_and(|stored| sig_subset(stored, sleep))
+    }
+
+    /// Records an expansion of `hash` with `sleep` asleep. Re-expansions
+    /// shrink the stored signature to the intersection, so the stored
+    /// value is independent of merge order.
+    pub(crate) fn merge(&self, hash: u64, sleep: &[u32]) {
+        let mut shard = self.shard(hash).write().unwrap();
+        match shard.get_mut(&hash) {
+            Some(stored) => {
+                if !sig_subset(stored, sleep) {
+                    *stored = sig_intersect(stored, sleep);
+                }
+            }
+            None => {
+                shard.insert(hash, sleep.to_vec());
+            }
+        }
+    }
+
+    /// Number of distinct canonical states recorded.
+    pub(crate) fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
+    }
+
+    /// All recorded canonical hashes, sorted (differential tests compare
+    /// reduced and unreduced reachable-state sets).
+    pub(crate) fn hashes(&self) -> Vec<u64> {
+        let mut all: Vec<u64> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.read().unwrap().keys().copied().collect::<Vec<_>>())
+            .collect();
+        all.sort_unstable();
+        all
+    }
 }
 
 #[cfg(test)]
@@ -118,5 +358,28 @@ mod tests {
         let t = b.current();
         b.objs.tcb_mut(t).state = ThreadState::Restart;
         assert_ne!(h0, canonical_hash(&b, &[0], &[]));
+    }
+
+    #[test]
+    fn shared_visited_prunes_by_sleep_subset() {
+        let v = SharedVisited::new();
+        assert!(!v.would_prune(42, &[]));
+        v.merge(42, &[1, 3]);
+        // Stored {1,3}: prunable only when the stored set is a subset of
+        // the revisit's sleep set.
+        assert!(v.would_prune(42, &[1, 2, 3]));
+        assert!(!v.would_prune(42, &[1]));
+        assert!(!v.would_prune(42, &[]));
+        // Re-expansion with {1} shrinks the stored signature to {1}.
+        v.merge(42, &[1]);
+        assert!(v.would_prune(42, &[1]));
+        assert!(!v.would_prune(42, &[3]));
+        // Merge order is irrelevant: intersection is commutative.
+        let w = SharedVisited::new();
+        w.merge(42, &[1]);
+        w.merge(42, &[1, 3]);
+        assert!(w.would_prune(42, &[1]));
+        assert!(!w.would_prune(42, &[3]));
+        assert_eq!(v.len(), 1);
     }
 }

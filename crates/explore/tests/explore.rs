@@ -8,7 +8,6 @@ use rt_explore::{
 };
 use rt_pool::Pool;
 use rt_wcet::AnalysisCache;
-use std::collections::HashSet;
 
 /// The endpoint-deletion scenario must be exhaustively enumerable at a
 /// scale of well over 10^3 distinct interleavings, with every oracle
@@ -143,7 +142,7 @@ fn recorded_traces_replay_exactly() {
         prune: false, // replay() never prunes; keep the records comparable
         ..ExploreConfig::default()
     };
-    let first = execute(&sc, &[1, 1], None, &cfg, &HashSet::new());
+    let first = execute(&sc, &[1, 1], None, &cfg);
     let again = replay(&sc, &first.taken, &cfg);
     assert_eq!(format!("{first:?}"), format!("{again:?}"));
 }

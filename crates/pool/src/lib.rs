@@ -74,6 +74,51 @@ fn unpack(v: u64) -> (usize, usize) {
     ((v >> 32) as usize, (v & 0xffff_ffff) as usize)
 }
 
+/// The even block split of `parallel_map`: `workers + 1` boundaries with
+/// the first `n % workers` blocks one item larger.
+fn even_boundaries(n: usize, workers: usize) -> Vec<usize> {
+    let workers = workers.max(1);
+    let base = n / workers;
+    let extra = n % workers;
+    let mut bounds = Vec::with_capacity(workers + 1);
+    let mut start = 0usize;
+    bounds.push(0);
+    for w in 0..workers {
+        start += base + usize::from(w < extra);
+        bounds.push(start);
+    }
+    bounds
+}
+
+/// Snaps each interior boundary of the even split to the nearest entry of
+/// `group_starts` (ties snap down), then restores monotonicity. `0` and
+/// `n` stay fixed; a degenerate `group_starts` (unsorted, out of range)
+/// yields the even split unchanged.
+fn aligned_boundaries(n: usize, workers: usize, group_starts: &[usize]) -> Vec<usize> {
+    let mut bounds = even_boundaries(n, workers);
+    if group_starts.windows(2).any(|w| w[0] >= w[1]) || group_starts.last().is_some_and(|&g| g >= n)
+    {
+        return bounds;
+    }
+    let workers = bounds.len() - 1;
+    for b in &mut bounds[1..workers] {
+        let i = group_starts.partition_point(|&g| g <= *b);
+        // Candidate group starts bracketing the even boundary; `n` itself
+        // is always a legal (empty-block) landing spot.
+        let below = i.checked_sub(1).map(|j| group_starts[j]).unwrap_or(0);
+        let above = group_starts.get(i).copied().unwrap_or(n);
+        *b = if *b - below <= above - *b {
+            below
+        } else {
+            above
+        };
+    }
+    for w in 1..workers {
+        bounds[w] = bounds[w].max(bounds[w - 1]);
+    }
+    bounds
+}
+
 /// Cumulative scheduler counters of one [`Pool`] (shared by clones; see
 /// [`Pool::stats`]).
 #[derive(Debug, Default)]
@@ -176,12 +221,62 @@ impl Pool {
         R: Send + Sync,
         F: Fn(T) -> R + Sync,
     {
+        let workers = self.jobs.min(items.len().max(1));
+        let bounds = even_boundaries(items.len(), workers);
+        self.map_blocks(items, &bounds, f)
+    }
+
+    /// As [`Pool::parallel_map`], with initial block boundaries *snapped
+    /// to the nearest of the caller's `group_starts`* (sorted indices
+    /// where a new affinity group begins — for the analysis sweep, where
+    /// a new ILP structure starts in the job order).
+    ///
+    /// The even split of [`Pool::parallel_map`] can land a boundary in
+    /// the *middle* of a group: two workers then start inside the same
+    /// group and convoy on its shared builder (the measured two-worker
+    /// fleet regression — the midpoint of the job list split the largest
+    /// structure group, so both workers spent their first tasks behind
+    /// one `OnceLock` build instead of building two structures in
+    /// parallel). Snapping start positions to group boundaries keeps
+    /// every worker's opening run inside its own group; work stealing
+    /// still rebalances at item granularity afterwards, so alignment only
+    /// biases *where workers start*, never what completes. Results are in
+    /// input order and bit-identical to [`Pool::parallel_map`].
+    ///
+    /// `group_starts` must be sorted and in range; out-of-contract input
+    /// (unsorted, duplicates beyond the first, indices ≥ `len`) degrades
+    /// to the even split rather than panicking.
+    pub fn parallel_map_aligned<T, R, F>(
+        &self,
+        items: Vec<T>,
+        group_starts: &[usize],
+        f: F,
+    ) -> Vec<R>
+    where
+        T: Send,
+        R: Send + Sync,
+        F: Fn(T) -> R + Sync,
+    {
+        let workers = self.jobs.min(items.len().max(1));
+        let bounds = aligned_boundaries(items.len(), workers, group_starts);
+        self.map_blocks(items, &bounds, f)
+    }
+
+    /// The shared executor: worker `w` initially owns the contiguous
+    /// block `[bounds[w], bounds[w+1])` (blocks may be empty — such a
+    /// worker goes straight to stealing).
+    fn map_blocks<T, R, F>(&self, items: Vec<T>, bounds: &[usize], f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send + Sync,
+        F: Fn(T) -> R + Sync,
+    {
         let n = items.len();
         if self.jobs == 1 || n <= 1 {
             return items.into_iter().map(f).collect();
         }
         assert!(n < u32::MAX as usize, "job list exceeds the index width");
-        let workers = self.jobs.min(n);
+        let workers = bounds.len() - 1;
 
         // Item slots: a claimed index is taken exactly once (the claim CAS
         // guarantees uniqueness), so this per-slot lock is never contended
@@ -190,18 +285,8 @@ impl Pool {
         let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
         let slots = &slots;
 
-        // Contiguous blocks: worker w owns [bounds[w], bounds[w+1]), the
-        // first `n % workers` blocks one item larger.
-        let base = n / workers;
-        let extra = n % workers;
-        let mut start = 0usize;
         let blocks: Vec<AtomicU64> = (0..workers)
-            .map(|w| {
-                let len = base + usize::from(w < extra);
-                let b = AtomicU64::new(pack(start, start + len));
-                start += len;
-                b
-            })
+            .map(|w| AtomicU64::new(pack(bounds[w], bounds[w + 1])))
             .collect();
         let blocks = &blocks;
 
@@ -311,6 +396,46 @@ mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
     use std::time::Duration;
+
+    #[test]
+    fn even_boundaries_cover_and_balance() {
+        assert_eq!(even_boundaries(10, 4), vec![0, 3, 6, 8, 10]);
+        assert_eq!(even_boundaries(3, 4), vec![0, 1, 2, 3, 3]);
+        assert_eq!(even_boundaries(0, 4), vec![0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn aligned_boundaries_snap_to_group_starts() {
+        // Two workers over 10 items, one group straddling the midpoint:
+        // the even boundary (5) snaps to the group start at 4, so neither
+        // worker starts mid-group.
+        assert_eq!(aligned_boundaries(10, 2, &[0, 4, 8]), vec![0, 4, 10]);
+        // Ties snap down (boundary 5 between starts 4 and 6).
+        assert_eq!(aligned_boundaries(10, 2, &[0, 4, 6]), vec![0, 4, 10]);
+        // A boundary past the last group start may land on `n` (empty
+        // final block — that worker starts by stealing).
+        assert_eq!(aligned_boundaries(10, 2, &[0, 9]), vec![0, 9, 10]);
+        // More workers than groups: monotonicity clamps, empty blocks ok.
+        let b = aligned_boundaries(10, 4, &[0, 5]);
+        assert_eq!(b.len(), 5);
+        assert!(b.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!((b[0], *b.last().unwrap()), (0, 10));
+        for &x in &b[1..4] {
+            assert!(x == 0 || x == 5 || x == 10, "boundary {x} not aligned");
+        }
+        // Degenerate group lists fall back to the even split.
+        assert_eq!(aligned_boundaries(10, 2, &[3, 3]), vec![0, 5, 10]);
+        assert_eq!(aligned_boundaries(10, 2, &[0, 12]), vec![0, 5, 10]);
+    }
+
+    #[test]
+    fn aligned_map_matches_unaligned() {
+        let pool = Pool::new(3);
+        let input: Vec<u64> = (0..101).collect();
+        let expect: Vec<u64> = input.iter().map(|x| x * 7 + 5).collect();
+        let got = pool.parallel_map_aligned(input, &[0, 2, 40, 41, 90], |x| x * 7 + 5);
+        assert_eq!(got, expect);
+    }
 
     #[test]
     fn preserves_input_order() {

@@ -389,8 +389,19 @@ pub fn analyze_batch_bounds_with(
     }
     let ordered: Vec<(EntryPoint, AnalysisConfig, kmodel::BoundParams)> =
         order.iter().map(|&i| unique[i]).collect();
-    let distinct: Vec<std::sync::Arc<WcetReport>> = pool
-        .parallel_map(ordered, |(entry, cfg, bounds)| {
+    // Tell the pool where the structure groups begin so its initial
+    // block boundaries snap to group starts: an even split that lands
+    // mid-group starts two workers on the *same* presolved skeleton,
+    // convoying on its builder (the measured two-worker fleet
+    // regression). Stealing still rebalances across groups afterwards.
+    let group_starts: Vec<usize> = order
+        .iter()
+        .enumerate()
+        .filter(|&(p, &i)| p == 0 || rank[order[p - 1]] != rank[i])
+        .map(|(p, _)| p)
+        .collect();
+    let distinct: Vec<std::sync::Arc<WcetReport>> =
+        pool.parallel_map_aligned(ordered, &group_starts, |(entry, cfg, bounds)| {
             cache.analyze_with_bounds(entry, &cfg, &bounds)
         });
     index

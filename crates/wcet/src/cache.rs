@@ -241,11 +241,29 @@ struct PreparedStructure {
     presolved: rt_ilp::PresolvedModel,
 }
 
-/// Shard count of a [`Memo`]'s key map. Sized so that even a fleet-scale
-/// sweep (hundreds of distinct keys, up to `available_parallelism`
-/// workers) sees almost every key alone in its shard; the counter
-/// [`MemoStats::shard_collisions`] verifies this at run time.
-const MEMO_SHARDS: usize = 64;
+/// Per-memo shard counts, sized so a fleet-scale sweep sees almost every
+/// key alone in its shard (collision rate well under 10% of distinct
+/// keys; [`MemoStats::shard_collisions`] verifies this at run time). The
+/// recorded fleet sweep builds ~2.7k report keys, ~800 block-cost keys,
+/// ~450 structures and ~220 CFGs; with `K` keys in `S` shards the
+/// expected collision count is `K - S(1 - (1 - 1/S)^K)` ≈ `K²/2S` for
+/// small load, so each count is ≥ ~10× its memo's fleet key count. A
+/// shard is one `RwLock<HashMap>` (~1 cache line empty), so the largest
+/// table costs ~2 MiB idle — noise against a single presolved ILP.
+const REPORT_SHARDS: usize = 32768;
+const BLOCK_COST_SHARDS: usize = 8192;
+const STRUCTURE_SHARDS: usize = 4096;
+const CFG_SHARDS: usize = 2048;
+const SMALL_SHARDS: usize = 64;
+
+/// Finalizing mixer (splitmix64) applied to the key hash before masking:
+/// shard selection keeps only the low bits, so every input bit must
+/// avalanche into them regardless of the upstream hasher.
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
 
 /// One shard's key map: per-key cells, each built at most once. The
 /// `RwLock` is held only to fetch or insert a cell — the common hit path
@@ -266,11 +284,13 @@ struct Memo<K, V> {
 }
 
 impl<K: Eq + Hash + Clone, V> Memo<K, V> {
-    fn new() -> Memo<K, V> {
+    fn new(shards: usize) -> Memo<K, V> {
+        assert!(
+            shards.is_power_of_two(),
+            "shard count must be a power of two"
+        );
         Memo {
-            shards: (0..MEMO_SHARDS)
-                .map(|_| RwLock::new(HashMap::new()))
-                .collect(),
+            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
             lookups: AtomicU64::new(0),
             builds: AtomicU64::new(0),
             collisions: AtomicU64::new(0),
@@ -281,7 +301,7 @@ impl<K: Eq + Hash + Clone, V> Memo<K, V> {
         self.lookups.fetch_add(1, Ordering::Relaxed);
         let mut h = std::hash::DefaultHasher::new();
         key.hash(&mut h);
-        let shard = &self.shards[(h.finish() as usize) % MEMO_SHARDS];
+        let shard = &self.shards[mix64(h.finish()) as usize & (self.shards.len() - 1)];
         let cell = {
             let map = shard.read().expect("memo shard read lock");
             map.get(&key).cloned()
@@ -432,15 +452,15 @@ impl AnalysisCache {
         AnalysisCache {
             layout: OnceLock::new(),
             pinned_lines: OnceLock::new(),
-            cfgs: Memo::new(),
-            pin_relevant: Memo::new(),
-            shape_ids: Memo::new(),
+            cfgs: Memo::new(CFG_SHARDS),
+            pin_relevant: Memo::new(CFG_SHARDS),
+            shape_ids: Memo::new(CFG_SHARDS),
             shape_intern: Mutex::new(HashMap::new()),
-            cost_models: Memo::new(),
-            costs: Memo::new(),
-            block_costs: Memo::new(),
-            ilp_structures: Memo::new(),
-            reports: Memo::new(),
+            cost_models: Memo::new(SMALL_SHARDS),
+            costs: Memo::new(CFG_SHARDS),
+            block_costs: Memo::new(BLOCK_COST_SHARDS),
+            ilp_structures: Memo::new(STRUCTURE_SHARDS),
+            reports: Memo::new(REPORT_SHARDS),
             resolves: AtomicU64::new(0),
             resolve_pivots: AtomicU64::new(0),
             seed_pivots: AtomicU64::new(0),
@@ -862,6 +882,44 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.reports.builds, 1);
         assert_eq!(s.resolve.resolves, 1);
+    }
+
+    #[test]
+    fn fleet_scale_key_sets_stay_under_ten_percent_shard_collisions() {
+        // Synthetic key sets shaped like the fleet sweep's (small
+        // enumerations with low input entropy — the worst case for shard
+        // mixing), at the recorded fleet sizes: ~2.7k report keys, ~800
+        // block-cost keys, ~450 structures, ~220 CFGs. Each memo must
+        // keep `shard_collisions` under 10% of its distinct keys.
+        fn rate(shards: usize, keys: usize) -> f64 {
+            let memo: Memo<(u8, u8, bool, bool, u32), ()> = Memo::new(shards);
+            let mut inserted = 0usize;
+            'outer: for v in 0..u32::MAX {
+                for entry in 0..4u8 {
+                    for kcfg in 0..2u8 {
+                        for a in [false, true] {
+                            if inserted == keys {
+                                break 'outer;
+                            }
+                            memo.get_or_build((entry, kcfg, a, v % 2 == 0, v), || ());
+                            inserted += 1;
+                        }
+                    }
+                }
+            }
+            let s = memo.stats();
+            assert_eq!(s.builds as usize, keys);
+            s.shard_collisions as f64 / s.builds as f64
+        }
+        for (name, shards, keys) in [
+            ("reports", REPORT_SHARDS, 2688),
+            ("block_costs", BLOCK_COST_SHARDS, 804),
+            ("ilp_structures", STRUCTURE_SHARDS, 448),
+            ("cfgs", CFG_SHARDS, 224),
+        ] {
+            let r = rate(shards, keys);
+            assert!(r < 0.10, "{name}: collision rate {r:.3} >= 10%");
+        }
     }
 
     #[test]
