@@ -20,7 +20,10 @@ cargo run --release -q -p rt-bench --bin repro -- l2lock --reps 2 --jobs 4 | dif
 # Explorer smoke gate: at depth 6 every scenario must genuinely branch
 # (strictly more interleavings than preemption-point decision sites) and
 # every oracle must hold (zero counterexamples) on every explored path.
-cargo run --release -q -p rt-bench --bin repro -- explore --depth 6 --jobs 2 | awk '
+explore_smoke_json="$(mktemp)"
+trap 'rm -f "$explore_smoke_json"' EXIT
+RT_BENCH_OUT="$explore_smoke_json" cargo run --release -q -p rt-bench --bin repro -- \
+    explore --depth 6 --jobs 2 | awk '
     /interleavings=/ {
         n++
         inter = -1; pts = -1; cex = -1
@@ -52,7 +55,7 @@ explore_json="$(mktemp)"
 explore_off="$(mktemp)"
 explore_por_1="$(mktemp)"
 explore_por_4="$(mktemp)"
-trap 'rm -f "$explore_json" "$explore_off" "$explore_por_1" "$explore_por_4"' EXIT
+trap 'rm -f "$explore_smoke_json" "$explore_json" "$explore_off" "$explore_por_1" "$explore_por_4"' EXIT
 RT_BENCH_OUT="$explore_json" cargo run --release -q -p rt-bench --bin repro -- \
     explore --depth 8 --por off --workers 2 >"$explore_off" 2>/dev/null
 RT_BENCH_OUT="$explore_json" cargo run --release -q -p rt-bench --bin repro -- \
@@ -61,6 +64,21 @@ RT_BENCH_OUT="$explore_json" cargo run --release -q -p rt-bench --bin repro -- \
     explore --depth 8 --por sleep --workers 4 >"$explore_por_4" 2>/dev/null
 diff -u "$explore_por_1" "$explore_por_4" || {
     echo "ci: reduced explore report differs between 1 and 4 workers" >&2
+    exit 1
+}
+
+# Fork-vs-rebuild identity gate: the snapshot engine is an execution
+# shortcut, not a semantic one — the same depth-8 search with
+# snapshotting disabled (every branch rebuilt from boot and replayed)
+# must render byte-identical stdout to the forked runs above, with zero
+# counterexamples (already asserted on the diffed output). A separate
+# process again, so the identity holds across address spaces.
+explore_rebuild="$(mktemp)"
+trap 'rm -f "$explore_smoke_json" "$explore_json" "$explore_off" "$explore_por_1" "$explore_por_4" "$explore_rebuild"' EXIT
+RT_BENCH_OUT="$explore_json" cargo run --release -q -p rt-bench --bin repro -- \
+    explore --depth 8 --por sleep --workers 4 --snapshot-every 0 >"$explore_rebuild" 2>/dev/null
+diff -u "$explore_por_4" "$explore_rebuild" || {
+    echo "ci: forked and rebuilt explore reports differ at depth 8" >&2
     exit 1
 }
 awk '
@@ -89,10 +107,15 @@ awk '
 # Scale gate: the widened small-scope scenario must push at least a
 # million oracle-checked states through the reduced frontier search
 # within the smoke budget (the recorded BENCH_sweep.json explore block
-# carries the 1e7-state run of the same configuration).
+# carries the 1e7-state run of the same configuration), and the
+# snapshot-fork engine must clear it in at most half the wall the
+# rebuild-from-boot engine needs — `--baseline-rebuild` runs both in one
+# process (also asserting byte-identical renders) and records both walls
+# in the JSON. The recorded margin is ~4x, so 2x still catches a fork
+# path that has quietly degenerated into replay without flaking on noise.
 RT_BENCH_OUT="$explore_json" cargo run --release -q -p rt-bench --bin repro -- \
     explore --depth 20 --scenario ep-delete-wide --por sleep --budget-states 1050000 --workers 4 \
-    2>/dev/null | awk '
+    --baseline-rebuild 2>/dev/null | awk '
     /interleavings=/ {
         ok = 1; st = -1; cex = -1
         for (i = 1; i <= NF; i++) {
@@ -109,6 +132,18 @@ RT_BENCH_OUT="$explore_json" cargo run --release -q -p rt-bench --bin repro -- \
         exit bad
     }
 '
+fork_wall=$(sed -n 's/.*"workers": 4, "wall_ms": \([0-9]*\),.*/\1/p' "$explore_json" | head -1)
+rebuild_wall=$(sed -n 's/.*"rebuild_wall_ms": \([0-9]*\),.*/\1/p' "$explore_json" | head -1)
+[ -n "$fork_wall" ] && [ -n "$rebuild_wall" ] || {
+    echo "ci: fork/rebuild walls missing from explore JSON" >&2
+    exit 1
+}
+awk -v f="$fork_wall" -v r="$rebuild_wall" 'BEGIN {
+    if (f * 2 > r) {
+        printf "ci: fork wall %d ms > 0.5x rebuild wall %d ms — snapshot engine lost its edge\n", f, r > "/dev/stderr"
+        exit 1
+    }
+}' || exit 1
 
 # Bench smoke pass: the incremental ILP path must actually engage, and the
 # fleet sweep must hold its guarantees at a reduced job count. The run
@@ -117,7 +152,7 @@ RT_BENCH_OUT="$explore_json" cargo run --release -q -p rt-bench --bin repro -- \
 # axis (hit rate > 0.5) and that every batch/fleet report matched serial
 # (`bit_identical_to_serial` is the AND of both sweeps' identity checks).
 bench_json="$(mktemp)"
-trap 'rm -f "$explore_json" "$explore_off" "$explore_por_1" "$explore_por_4" "$bench_json"' EXIT
+trap 'rm -f "$explore_smoke_json" "$explore_json" "$explore_off" "$explore_por_1" "$explore_por_4" "$explore_rebuild" "$bench_json"' EXIT
 RT_BENCH_OUT="$bench_json" cargo run --release -q -p rt-bench --bin repro -- \
     bench --workers 1,2,4 --fleet-jobs 200 >/dev/null
 grep -q '"bit_identical_to_serial": true' "$bench_json" || {
@@ -178,7 +213,7 @@ awk -v c="$host_cpus" -v w1="$fleet_wall_1" -v w2="$fleet_wall_2" -v w4="$fleet_
 load_out_1="$(mktemp)"
 load_out_4="$(mktemp)"
 load_json="$(mktemp)"
-trap 'rm -f "$explore_json" "$explore_off" "$explore_por_1" "$explore_por_4" "$bench_json" "$load_out_1" "$load_out_4" "$load_json"' EXIT
+trap 'rm -f "$explore_smoke_json" "$explore_json" "$explore_off" "$explore_por_1" "$explore_por_4" "$explore_rebuild" "$bench_json" "$load_out_1" "$load_out_4" "$load_json"' EXIT
 RT_BENCH_OUT="$load_json" cargo run --release -q -p rt-bench --bin repro -- \
     load --events 100000 --shards 16 --tenants 32 --seed 42 --workers 1 >"$load_out_1"
 RT_BENCH_OUT="$load_json" cargo run --release -q -p rt-bench --bin repro -- \

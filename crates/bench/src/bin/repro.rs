@@ -9,7 +9,8 @@
 //! cargo run --release -p rt-bench --bin repro -- overhead
 //! cargo run --release -p rt-bench --bin repro -- latency-bound
 //! cargo run --release -p rt-bench --bin repro -- explore [--depth N] [--por off|sleep|full] \
-//!     [--workers a,b,c] [--budget-states N] [--scenario NAME]
+//!     [--workers a,b,c] [--budget-states N] [--scenario NAME] [--snapshot-every N] \
+//!     [--baseline-rebuild]
 //! cargo run --release -p rt-bench --bin repro -- bench [--workers a,b,c] [--fleet-jobs N]
 //! cargo run --release -p rt-bench --bin repro -- load [--events N --tenants N --shards N --seed N --workers a,b,c]
 //! cargo run --release -p rt-bench --bin repro -- all
@@ -279,8 +280,18 @@ fn load_report(args: &[String]) -> String {
 /// requested worker count, asserts the rendered reports (header plus one
 /// `key=value` line per scenario) are byte-identical across counts,
 /// upserts the `"explore"` block into the bench artifact, and returns the
-/// deterministic report for stdout. Wall-clock and file-path chatter goes
-/// to stderr, as with `repro load`.
+/// deterministic report for stdout. Wall-clock, snapshot-engine stats and
+/// file-path chatter go to stderr, as with `repro load` — the snapshot
+/// cadence must never leak into stdout, because forked and rebuilt
+/// searches are required to render byte-identically.
+///
+/// `--snapshot-every N` sets the fork cadence (default 4, the measured
+/// capture-vs-replay sweet spot; 0 selects the
+/// rebuild-replay engine). `--baseline-rebuild` additionally re-runs the
+/// first worker count with snapshotting off, asserts the rebuilt render
+/// is byte-identical to the forked one, and records the rebuild
+/// wall/throughput beside the fork numbers — the CI scale gate reads the
+/// ratio from the artifact.
 fn explore_cmd(args: &[String], depth: usize, ctx: &SweepCtx) -> String {
     use rt_explore::PorMode;
     let por = match args
@@ -304,6 +315,18 @@ fn explore_cmd(args: &[String], depth: usize, ctx: &SweepCtx) -> String {
             std::process::exit(2);
         }
     };
+    // 0 is meaningful here (rebuild engine), so not `flag_value`.
+    let snapshot_every = match args.iter().position(|a| a == "--snapshot-every") {
+        None => 4,
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) => n,
+            None => {
+                eprintln!("--snapshot-every requires a non-negative integer");
+                std::process::exit(2);
+            }
+        },
+    };
+    let baseline_rebuild = args.iter().any(|a| a == "--baseline-rebuild");
     let scenarios: Vec<rt_explore::Scenario> = match args
         .iter()
         .position(|a| a == "--scenario")
@@ -344,29 +367,82 @@ fn explore_cmd(args: &[String], depth: usize, ctx: &SweepCtx) -> String {
     let mut walls: Vec<(usize, u128, usize)> = Vec::new();
     let mut renders: Vec<String> = Vec::new();
     let mut last_reports: Vec<rt_explore::ExploreReport> = Vec::new();
+    let mut run_all =
+        |every: usize, w: usize| -> (u128, usize, String, Vec<rt_explore::ExploreReport>) {
+            let pool = rt_pool::Pool::new(w);
+            let t0 = std::time::Instant::now();
+            let reports: Vec<_> = scenarios
+                .iter()
+                .map(|sc| {
+                    rt_explore::explore_scenario(
+                        sc,
+                        depth,
+                        por,
+                        budget_states,
+                        every,
+                        &pool,
+                        cache,
+                        &mut memo,
+                    )
+                })
+                .collect();
+            let ms = t0.elapsed().as_millis();
+            let states: usize = reports.iter().map(|r| r.states).sum();
+            let mut s = header.clone();
+            for rep in &reports {
+                s.push_str(&rt_explore::render_line(rep));
+            }
+            (ms, states, s, reports)
+        };
     for &w in &workers {
-        let pool = rt_pool::Pool::new(w);
-        let t0 = std::time::Instant::now();
-        let reports: Vec<_> = scenarios
-            .iter()
-            .map(|sc| {
-                rt_explore::explore_scenario(sc, depth, por, budget_states, &pool, cache, &mut memo)
-            })
-            .collect();
-        let ms = t0.elapsed().as_millis();
-        let states: usize = reports.iter().map(|r| r.states).sum();
-        let mut s = header.clone();
-        for rep in &reports {
-            s.push_str(&rt_explore::render_line(rep));
-        }
+        let (ms, states, s, reports) = run_all(snapshot_every, w);
         walls.push((w, ms, states));
         renders.push(s);
         last_reports = reports;
     }
-    let identical = renders.windows(2).all(|w| w[0] == w[1]);
+    let mut identical = renders.windows(2).all(|w| w[0] == w[1]);
     for (w, ms, states) in &walls {
         let rate = *states as f64 / (*ms as f64 / 1e3).max(1e-9);
         eprintln!("  explore: {w} workers -> {ms} ms, {states} states ({rate:.0} states/sec; stderr only)");
+    }
+    let snap = last_reports
+        .iter()
+        .fold(rt_explore::SnapStats::default(), |mut acc, r| {
+            acc.captured += r.snap.captured;
+            acc.forks += r.snap.forks;
+            acc.replays_avoided += r.snap.replays_avoided;
+            acc.peak_resident = acc.peak_resident.max(r.snap.peak_resident);
+            acc.capture_paused_waves += r.snap.capture_paused_waves;
+            acc
+        });
+    if snapshot_every > 0 {
+        eprintln!(
+            "  explore: snapshot: every={} captured={} forks={} replays-avoided={} \
+             peak-resident={} paused-waves={} (stderr only)",
+            snapshot_every,
+            snap.captured,
+            snap.forks,
+            snap.replays_avoided,
+            snap.peak_resident,
+            snap.capture_paused_waves
+        );
+    }
+    // Rebuild-replay baseline: same search, snapshotting off, first
+    // worker count. The renders must agree to the byte — the fork engine
+    // is an execution shortcut, never a semantic one.
+    let mut rebuild: Option<(u128, usize)> = None;
+    if baseline_rebuild && snapshot_every > 0 {
+        let w = workers[0];
+        let (ms, states, s, _) = run_all(0, w);
+        let rate = states as f64 / (ms as f64 / 1e3).max(1e-9);
+        eprintln!(
+            "  explore: rebuild baseline: {w} workers -> {ms} ms, {states} states \
+             ({rate:.0} states/sec; stderr only)"
+        );
+        if s != renders[0] {
+            identical = false;
+        }
+        rebuild = Some((ms, states));
     }
 
     let path = std::env::var("RT_BENCH_OUT").unwrap_or_else(|_| "BENCH_sweep.json".into());
@@ -374,20 +450,36 @@ fn explore_cmd(args: &[String], depth: usize, ctx: &SweepCtx) -> String {
         .ok()
         .filter(|s| !s.trim().is_empty())
         .unwrap_or_else(|| "{\n}\n".into());
-    let block = explore_json_block(depth, por, budget_states, &walls, identical, &last_reports);
+    let block = explore_json_block(
+        depth,
+        por,
+        budget_states,
+        &walls,
+        identical,
+        &last_reports,
+        snapshot_every,
+        &snap,
+        rebuild,
+    );
     let merged = sweep::upsert_json_block(&existing, "explore", &block);
     std::fs::write(&path, &merged).unwrap_or_else(|e| panic!("write {path}: {e}"));
     eprintln!("  wrote {path}");
 
     if !identical {
-        eprintln!("explore: reports DIVERGED across worker counts {workers:?}");
+        eprintln!(
+            "explore: reports DIVERGED (across worker counts {workers:?}, or forked vs rebuilt)"
+        );
         std::process::exit(1);
     }
     renders.into_iter().next().expect("one render per run")
 }
 
-/// Serializes the `"explore"` block: search shape, per-scenario frontier
-/// and reduction stats, and per-worker wall/throughput measurements.
+/// Serializes the `"explore"` block: search shape, host parallelism (so
+/// recorded throughput is never read against an unknown machine), per-
+/// scenario frontier and reduction stats, per-worker wall/throughput
+/// measurements, and the snapshot-engine sub-block (with the rebuild
+/// baseline and speedup when `--baseline-rebuild` measured one).
+#[allow(clippy::too_many_arguments)]
 fn explore_json_block(
     depth: usize,
     por: rt_explore::PorMode,
@@ -395,8 +487,14 @@ fn explore_json_block(
     walls: &[(usize, u128, usize)],
     identical: bool,
     reports: &[rt_explore::ExploreReport],
+    snapshot_every: usize,
+    snap: &rt_explore::SnapStats,
+    rebuild: Option<(u128, usize)>,
 ) -> String {
     use std::fmt::Write as _;
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut s = String::new();
     let _ = writeln!(s, "  \"explore\": {{");
     let _ = writeln!(s, "    \"depth\": {depth},");
@@ -406,6 +504,7 @@ fn explore_json_block(
         "    \"budget_states\": {},",
         budget_states.map_or("null".into(), |b| b.to_string())
     );
+    let _ = writeln!(s, "    \"host_cpus\": {host_cpus},");
     let _ = writeln!(s, "    \"identical_across_workers\": {identical},");
     let _ = writeln!(s, "    \"scenarios\": [");
     for (i, r) in reports.iter().enumerate() {
@@ -439,7 +538,36 @@ fn explore_json_block(
             if i + 1 == walls.len() { "" } else { "," }
         );
     }
-    let _ = writeln!(s, "    ]");
+    let _ = writeln!(s, "    ],");
+    let _ = writeln!(s, "    \"snapshot\": {{");
+    let _ = writeln!(s, "      \"every\": {snapshot_every},");
+    let _ = writeln!(s, "      \"captured\": {},", snap.captured);
+    let _ = writeln!(s, "      \"forks\": {},", snap.forks);
+    let _ = writeln!(s, "      \"replays_avoided\": {},", snap.replays_avoided);
+    let _ = writeln!(s, "      \"peak_resident\": {},", snap.peak_resident);
+    let _ = writeln!(
+        s,
+        "      \"capture_paused_waves\": {},",
+        snap.capture_paused_waves
+    );
+    match rebuild {
+        Some((ms, states)) => {
+            let rate = states as f64 / (ms as f64 / 1e3).max(1e-9);
+            let (fw, fms, fstates) = walls[0];
+            let fork_rate = fstates as f64 / (fms as f64 / 1e3).max(1e-9);
+            let speedup = fork_rate / rate.max(1e-9);
+            let _ = writeln!(s, "      \"rebuild_workers\": {fw},");
+            let _ = writeln!(s, "      \"rebuild_wall_ms\": {ms},");
+            let _ = writeln!(s, "      \"rebuild_states_per_sec\": {rate:.0},");
+            let _ = writeln!(s, "      \"speedup_vs_rebuild\": {speedup:.2}");
+        }
+        None => {
+            let _ = writeln!(s, "      \"rebuild_wall_ms\": null,");
+            let _ = writeln!(s, "      \"rebuild_states_per_sec\": null,");
+            let _ = writeln!(s, "      \"speedup_vs_rebuild\": null");
+        }
+    }
+    let _ = writeln!(s, "    }}");
     let _ = write!(s, "  }}");
     s
 }

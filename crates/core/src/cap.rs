@@ -17,7 +17,7 @@ use crate::obj::{ObjId, ObjStore};
 use crate::CAP_SLOT_BYTES;
 
 /// Access rights carried by endpoint/notification/frame caps.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Rights {
     /// Permission to receive / read.
     pub read: bool,
@@ -74,7 +74,7 @@ impl Badge {
 /// designs of §3.6 differ exactly here: the legacy design indirects through
 /// an ASID, the shadow design stores the page directory directly (made safe
 /// by eager back-pointer maintenance).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum SpaceRef {
     /// Address-space identifier resolved through the ASID table (Fig. 4).
     Asid(u32),
@@ -84,7 +84,7 @@ pub enum SpaceRef {
 
 /// Frame-cap mapping metadata (§3.6: a mapped frame cap records the address
 /// space and virtual address of its mapping).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Mapping {
     /// The containing address space.
     pub space: SpaceRef,
@@ -93,7 +93,7 @@ pub struct Mapping {
 }
 
 /// The typed content of a capability slot.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum CapType {
     /// Empty slot.
     Null,
@@ -215,7 +215,7 @@ impl SlotRef {
 /// The derivation tree is kept as explicit parent/children links; the §2.2
 /// *well-formed data structures* invariant (checked executably in
 /// [`crate::invariants`]) demands that parent and child links agree.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Hash)]
 pub struct CapSlot {
     /// The capability stored here.
     pub cap: CapType,

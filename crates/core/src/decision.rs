@@ -33,12 +33,16 @@ use rt_hw::{IrqController, IrqLine};
 /// harmless (the controller ignores re-raises) but wastes a branch, so
 /// sources should consult [`IrqController::is_pending`] first.
 ///
-/// `Send` is a supertrait so an instrumented [`Kernel`] can still cross
-/// threads — the exploration engine fans whole kernels out across a
-/// worker pool.
+/// There is deliberately no `Send` supertrait: an instrumented [`Kernel`]
+/// lives and dies on one worker thread (the exploration engine builds or
+/// restores kernels *inside* pool workers and shares single-threaded
+/// `Rc<RefCell<..>>` state with its source). What crosses threads instead
+/// is [`KernelSnapshot`] — plain data, `Send + Sync` — which by
+/// construction carries no decision source at all.
 ///
 /// [`Kernel`]: crate::kernel::Kernel
-pub trait DecisionSource: Send {
+/// [`KernelSnapshot`]: crate::kernel::KernelSnapshot
+pub trait DecisionSource {
     /// Called once per preemption-point poll, before the kernel samples
     /// the pending mask. Return `Some(line)` to assert `line` now.
     fn preemption_poll(&mut self, irq: &IrqController) -> Option<IrqLine>;

@@ -14,7 +14,7 @@ use crate::obj::ObjId;
 pub const NUM_IRQ_LINES: usize = 32;
 
 /// Per-line binding of an IRQ to a notification.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct IrqBinding {
     /// Notification to signal.
     pub ntfn: ObjId,
@@ -23,7 +23,7 @@ pub struct IrqBinding {
 }
 
 /// The kernel's IRQ dispatch table.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, Hash)]
 pub struct IrqTable {
     bindings: [Option<IrqBinding>; NUM_IRQ_LINES],
     /// Lines for which an IrqHandler cap has been issued (at most one each).

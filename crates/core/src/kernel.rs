@@ -20,6 +20,7 @@
 //! * kernel **exit**, including the final pending-interrupt check.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use rt_hw::{Addr, Cycles, HwConfig, InstrClass, IrqLine, Machine};
 
@@ -203,8 +204,9 @@ pub struct Kernel {
     pub asid_table: AsidTable,
     /// IRQ dispatch table.
     pub irq_table: IrqTable,
-    /// Code layout of the kernel "binary".
-    pub layout: Layout,
+    /// Code layout of the kernel "binary". Immutable after boot, so
+    /// snapshots share it via the [`Arc`] instead of copying it.
+    pub layout: Arc<Layout>,
     /// Statistics.
     pub stats: KernelStats,
     /// Interrupt response log.
@@ -231,6 +233,105 @@ pub struct Kernel {
     decisions: Option<Box<dyn DecisionSource>>,
 }
 
+/// A complete, decision-source-free copy of a kernel's state, machine
+/// included — the fork point stateful exploration resumes from.
+///
+/// Every field of [`Kernel`] is plain clonable data *except* the boxed
+/// [`DecisionSource`], so the snapshot is exactly "the kernel minus its
+/// instrumentation hook": [`Kernel::snapshot`] requires the source to be
+/// detached, and [`KernelSnapshot::restore`] always produces a kernel
+/// with `decisions == None` (the production state the decision
+/// differential pins as bit-identical to an uninstrumented run). That
+/// makes the snapshot `Send + Sync` by construction, so frontier branches
+/// can carry `Arc<KernelSnapshot>` forks across worker threads even
+/// though an instrumented `Kernel` itself never crosses one.
+#[derive(Clone, Debug)]
+pub struct KernelSnapshot {
+    config: KernelConfig,
+    machine: Machine,
+    objs: ObjStore,
+    queues: RunQueues,
+    asid_table: AsidTable,
+    irq_table: IrqTable,
+    layout: Arc<Layout>,
+    stats: KernelStats,
+    irq_log: Vec<IrqResponse>,
+    trace: Option<Vec<Block>>,
+    profile: Option<HashMap<Block, BlockStat>>,
+    cur: ObjId,
+    idle: ObjId,
+    sched_action: SchedAction,
+    alloc: BootAlloc,
+    destroying: Vec<ObjId>,
+    pending_delivery: HashMap<ObjId, usize>,
+}
+
+impl KernelSnapshot {
+    /// Reconstructs a live kernel bit-identical to the one
+    /// [`Kernel::snapshot`] captured, with no decision source installed.
+    /// The snapshot is unconsumed — one capture can seed any number of
+    /// forks.
+    pub fn restore(&self) -> Kernel {
+        Kernel {
+            config: self.config,
+            machine: self.machine.clone(),
+            objs: self.objs.clone(),
+            queues: self.queues.clone(),
+            asid_table: self.asid_table.clone(),
+            irq_table: self.irq_table.clone(),
+            layout: self.layout.clone(),
+            stats: self.stats,
+            irq_log: self.irq_log.clone(),
+            trace: self.trace.clone(),
+            profile: self.profile.clone(),
+            cur: self.cur,
+            idle: self.idle,
+            sched_action: self.sched_action,
+            alloc: self.alloc.clone(),
+            destroying: self.destroying.clone(),
+            pending_delivery: self.pending_delivery.clone(),
+            decisions: None,
+        }
+    }
+
+    /// Restores the snapshot *into* an existing kernel, reusing its heap
+    /// buffers (cache line arrays, object slots, run queues, log vectors)
+    /// instead of allocating fresh ones. The result is bit-identical to
+    /// [`KernelSnapshot::restore`] — every field is overwritten, and the
+    /// decision source of the target (if any) is dropped so the restored
+    /// kernel again has `decisions == None`. This is the explorer's
+    /// per-branch fast path: each worker keeps one scratch kernel and
+    /// restores thousands of forks into it per wave, turning fork cost
+    /// into a handful of `memcpy`s.
+    pub fn restore_into(&self, k: &mut Kernel) {
+        k.config = self.config;
+        k.machine.copy_from(&self.machine);
+        k.objs.copy_from(&self.objs);
+        k.queues.copy_from(&self.queues);
+        k.asid_table = self.asid_table.clone();
+        k.irq_table = self.irq_table.clone();
+        k.layout = self.layout.clone();
+        k.stats = self.stats;
+        k.irq_log.clone_from(&self.irq_log);
+        k.trace.clone_from(&self.trace);
+        k.profile.clone_from(&self.profile);
+        k.cur = self.cur;
+        k.idle = self.idle;
+        k.sched_action = self.sched_action;
+        k.alloc = self.alloc.clone();
+        k.destroying.clone_from(&self.destroying);
+        k.pending_delivery.clone_from(&self.pending_delivery);
+        k.decisions = None;
+    }
+}
+
+// The whole point of the snapshot type: it must stay shareable across
+// worker threads no matter what fields are added later.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<KernelSnapshot>();
+};
+
 impl Kernel {
     /// Boots a kernel on a fresh machine. The idle thread is created; all
     /// other objects are made by the caller (standing in for the root
@@ -250,7 +351,7 @@ impl Kernel {
             queues: RunQueues::new(),
             asid_table: AsidTable::new(),
             irq_table: IrqTable::new(),
-            layout: Layout::new(),
+            layout: Arc::new(Layout::new()),
             stats: KernelStats::default(),
             irq_log: Vec::new(),
             trace: None,
@@ -275,6 +376,44 @@ impl Kernel {
     /// uninstrumented production path.
     pub fn clear_decision_source(&mut self) -> Option<Box<dyn DecisionSource>> {
         self.decisions.take()
+    }
+
+    /// Captures the kernel's complete state — machine included — as a
+    /// [`KernelSnapshot`]. Restoring the snapshot yields a kernel
+    /// bit-identical to this one (the decision-differential contract:
+    /// `decisions == None` is the uninstrumented production state, and a
+    /// snapshot always restores to it).
+    ///
+    /// # Panics
+    ///
+    /// If a decision source is installed. Sources are arbitrary boxed
+    /// state (closures over run controllers) and cannot be cloned;
+    /// callers must [`Self::clear_decision_source`] first and re-install
+    /// on whichever kernel — this one, or a restored fork — runs next.
+    pub fn snapshot(&self) -> KernelSnapshot {
+        assert!(
+            self.decisions.is_none(),
+            "detach the decision source before snapshotting"
+        );
+        KernelSnapshot {
+            config: self.config,
+            machine: self.machine.clone(),
+            objs: self.objs.clone(),
+            queues: self.queues.clone(),
+            asid_table: self.asid_table.clone(),
+            irq_table: self.irq_table.clone(),
+            layout: self.layout.clone(),
+            stats: self.stats,
+            irq_log: self.irq_log.clone(),
+            trace: self.trace.clone(),
+            profile: self.profile.clone(),
+            cur: self.cur,
+            idle: self.idle,
+            sched_action: self.sched_action,
+            alloc: self.alloc.clone(),
+            destroying: self.destroying.clone(),
+            pending_delivery: self.pending_delivery.clone(),
+        }
     }
 
     /// The currently running thread.
@@ -1030,5 +1169,102 @@ impl Kernel {
     pub fn force_current_for_test(&mut self, t: ObjId) {
         self.cur = t;
         self.sched_action = SchedAction::ResumeCurrent;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decision::RunToCompletion;
+    use crate::invariants;
+    use crate::testutil::boot_two_threads_one_ep;
+
+    fn observables(k: &Kernel) -> String {
+        format!(
+            "{:?} {:?} {:?} {:?} {:?}",
+            k.machine,
+            k.stats,
+            k.irq_log,
+            k.current(),
+            k.sched_action()
+        )
+    }
+
+    /// Snapshot/restore round-trips to a bit-identical kernel: identical
+    /// at rest, and identical after running both forward under the same
+    /// inputs (interrupt arrival included).
+    #[test]
+    fn snapshot_restore_round_trips() {
+        let (mut k, _client, _server, _ep) = boot_two_threads_one_ep();
+        k.machine.advance(100);
+        k.machine
+            .irq
+            .schedule(k.machine.now() + 50, rt_hw::IrqLine(3));
+        let snap = k.snapshot();
+        let mut f = snap.restore();
+        assert_eq!(observables(&k), observables(&f), "restore diverged at rest");
+        for kernel in [&mut k, &mut f] {
+            kernel.machine.advance(60);
+            kernel.handle_interrupt();
+        }
+        assert_eq!(
+            observables(&k),
+            observables(&f),
+            "restore diverged after identical inputs"
+        );
+        assert!(invariants::check_all(&f).is_empty());
+        // One capture seeds any number of forks.
+        let g = snap.restore();
+        assert!(invariants::check_all(&g).is_empty());
+    }
+
+    /// `restore_into` — the buffer-reusing fast path — is bit-identical
+    /// to `restore()`, whatever state the target kernel is in: every
+    /// field is overwritten, including dropping an installed decision
+    /// source back to the uninstrumented `None`.
+    #[test]
+    fn restore_into_matches_restore() {
+        let (mut k, _client, _server, _ep) = boot_two_threads_one_ep();
+        k.machine.advance(100);
+        k.machine
+            .irq
+            .schedule(k.machine.now() + 50, rt_hw::IrqLine(3));
+        let snap = k.snapshot();
+        let fresh = snap.restore();
+        // A deliberately divergent target: run it forward, take the
+        // interrupt, and install a source.
+        let mut target = boot_two_threads_one_ep().0;
+        target.machine.advance(500);
+        target.handle_interrupt();
+        target.set_decision_source(Box::new(RunToCompletion));
+        snap.restore_into(&mut target);
+        assert!(target.decisions.is_none(), "source survived restore_into");
+        assert_eq!(
+            observables(&fresh),
+            observables(&target),
+            "restore_into diverged from restore at rest"
+        );
+        assert_eq!(format!("{:?}", fresh.objs), format!("{:?}", target.objs));
+        let mut fresh = fresh;
+        for kernel in [&mut fresh, &mut target] {
+            kernel.machine.advance(60);
+            kernel.handle_interrupt();
+        }
+        assert_eq!(
+            observables(&fresh),
+            observables(&target),
+            "restore_into diverged after identical inputs"
+        );
+    }
+
+    /// Snapshotting an instrumented kernel is a caller bug: the boxed
+    /// source cannot be cloned, and silently dropping it would break the
+    /// `None` == uninstrumented bit-identity contract.
+    #[test]
+    #[should_panic(expected = "detach the decision source")]
+    fn snapshot_with_source_installed_panics() {
+        let (mut k, _, _, _) = boot_two_threads_one_ep();
+        k.set_decision_source(Box::new(RunToCompletion));
+        let _ = k.snapshot();
     }
 }

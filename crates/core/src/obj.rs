@@ -7,6 +7,8 @@
 //! object (and of its fields) is what the kernel charges data accesses
 //! against, so object placement directly shapes cache behaviour.
 
+use std::sync::Arc;
+
 use rt_hw::Addr;
 
 use crate::cnode::CNode;
@@ -91,13 +93,27 @@ impl Object {
 /// dangling [`ObjId`]s are kernel bugs and the capability derivation tree
 /// plus the VM back-pointers exist precisely to prevent them (§3.6). The
 /// executable invariant checker validates non-overlap and alignment.
+///
+/// Objects are reference-counted and copy-on-write: cloning the store (the
+/// kernel-snapshot path the schedule explorer takes thousands of times per
+/// wave) shares every object, and [`ObjStore::get_mut`] de-shares just the
+/// one it touches via [`Arc::make_mut`] — one refcount check per exclusive
+/// access on the unique-owner fast path. Shared accessors are untouched.
 #[derive(Clone, Debug, Default)]
 pub struct ObjStore {
-    objs: Vec<Option<Object>>,
+    objs: Vec<Option<Arc<Object>>>,
     free: Vec<u32>,
 }
 
 impl ObjStore {
+    /// Overwrites `self` with `src`, reusing the slot and free-list
+    /// buffers. Objects stay `Arc`-shared with `src` exactly as a fresh
+    /// `clone` would leave them.
+    pub fn copy_from(&mut self, src: &ObjStore) {
+        self.objs.clone_from(&src.objs);
+        self.free.clone_from(&src.free);
+    }
+
     /// Creates an empty store.
     pub fn new() -> ObjStore {
         ObjStore::default()
@@ -121,11 +137,11 @@ impl ObjStore {
         };
         match self.free.pop() {
             Some(i) => {
-                self.objs[i as usize] = Some(obj);
+                self.objs[i as usize] = Some(Arc::new(obj));
                 ObjId(i)
             }
             None => {
-                self.objs.push(Some(obj));
+                self.objs.push(Some(Arc::new(obj)));
                 ObjId(self.objs.len() as u32 - 1)
             }
         }
@@ -143,7 +159,7 @@ impl ObjStore {
             .expect("ObjId out of range");
         let obj = slot.take().expect("double delete of kernel object");
         self.free.push(id.0);
-        obj
+        Arc::try_unwrap(obj).unwrap_or_else(|shared| (*shared).clone())
     }
 
     /// Returns `true` if `id` refers to a live object.
@@ -158,7 +174,7 @@ impl ObjStore {
     /// Panics if `id` is not live.
     pub fn get(&self, id: ObjId) -> &Object {
         self.objs[id.0 as usize]
-            .as_ref()
+            .as_deref()
             .expect("access to dead kernel object")
     }
 
@@ -170,6 +186,7 @@ impl ObjStore {
     pub fn get_mut(&mut self, id: ObjId) -> &mut Object {
         self.objs[id.0 as usize]
             .as_mut()
+            .map(Arc::make_mut)
             .expect("access to dead kernel object")
     }
 
@@ -178,7 +195,7 @@ impl ObjStore {
         self.objs
             .iter()
             .enumerate()
-            .filter_map(|(i, o)| o.as_ref().map(|o| (ObjId(i as u32), o)))
+            .filter_map(|(i, o)| o.as_deref().map(|o| (ObjId(i as u32), o)))
     }
 
     /// Number of live objects.

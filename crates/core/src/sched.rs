@@ -88,6 +88,14 @@ impl Default for RunQueues {
 }
 
 impl RunQueues {
+    /// Overwrites `self` with `src`, reusing the head/tail buffers.
+    pub fn copy_from(&mut self, src: &RunQueues) {
+        self.heads.clone_from(&src.heads);
+        self.tails.clone_from(&src.tails);
+        self.bitmap = src.bitmap;
+        self.len = src.len;
+    }
+
     /// Creates empty queues.
     pub fn new() -> RunQueues {
         RunQueues {

@@ -13,6 +13,8 @@
 //!   constant-time step that partially deconstructs the composite object
 //!   and leaves the system coherent.
 
+use std::sync::Arc;
+
 use rt_hw::Addr;
 
 use crate::cap::{self, Badge, CapType, Mapping, Rights, SlotRef, SpaceRef};
@@ -31,7 +33,7 @@ use crate::vspace::{self, PdEntry, PtEntry};
 use crate::{CLEAR_CHUNK_BYTES, CSPACE_DEPTH_BITS, MAX_MSG_WORDS, MAX_XFER_CAPS};
 
 /// User-visible system calls and invocations.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Syscall {
     /// Send on an endpoint cap; blocks if no receiver and `block`.
     Send {
@@ -1326,7 +1328,7 @@ impl Kernel {
         }
         self.tlb_flush();
         // Remove from the top-level table.
-        for p in &mut self.asid_table.pools {
+        for p in Arc::make_mut(&mut self.asid_table.pools).iter_mut() {
             if *p == Some(pool) {
                 *p = None;
             }

@@ -14,7 +14,7 @@ use crate::obj::{ObjId, ObjStore};
 use crate::syscall::Syscall;
 
 /// Message metadata transferred by IPC (a compressed `msgInfo` word).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct MsgInfo {
     /// Message length in words (`0..=`[`crate::MAX_MSG_WORDS`]).
     pub length: u32,
@@ -34,7 +34,7 @@ impl MsgInfo {
 }
 
 /// Thread scheduling / blocking state.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum ThreadState {
     /// Not schedulable (never started, or suspended).
     Inactive,

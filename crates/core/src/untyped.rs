@@ -23,7 +23,7 @@ use rt_hw::Addr;
 use crate::obj::ObjId;
 
 /// The type a region of untyped memory can be retyped into.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum RetypeKind {
     /// Thread control block (512 B).
     Tcb,
@@ -112,7 +112,7 @@ pub const MAX_RETYPE_COUNT: u32 = 16;
 
 /// Parameters of an in-flight retype, fixed when the operation starts so a
 /// restarted system call continues rather than beginning anew.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct PendingRetype {
     /// What is being created.
     pub kind: RetypeKind,

@@ -11,6 +11,8 @@
 //! "inherently difficult to preempt" (§3.6), which is why the paper's
 //! *after* design removes ASIDs entirely.
 
+use std::sync::Arc;
+
 use crate::obj::{ObjId, ObjStore};
 use crate::vspace::ASID_POOL_ENTRIES;
 
@@ -18,17 +20,22 @@ use crate::vspace::ASID_POOL_ENTRIES;
 pub const ASID_TOP_ENTRIES: u32 = 256;
 
 /// The global two-level ASID lookup table.
+///
+/// The top level is behind an [`Arc`] so that kernel snapshots share it
+/// copy-on-write — it mutates only when pools are installed or deleted,
+/// which is rare next to the thousands of snapshot clones an exploration
+/// takes. Mutators go through [`Arc::make_mut`].
 #[derive(Clone, Debug)]
 pub struct AsidTable {
     /// Top level: pool object per 1024-ASID block.
-    pub pools: Vec<Option<ObjId>>,
+    pub pools: Arc<Vec<Option<ObjId>>>,
 }
 
 impl AsidTable {
     /// Creates an empty table.
     pub fn new() -> AsidTable {
         AsidTable {
-            pools: vec![None; ASID_TOP_ENTRIES as usize],
+            pools: Arc::new(vec![None; ASID_TOP_ENTRIES as usize]),
         }
     }
 
@@ -36,7 +43,7 @@ impl AsidTable {
     /// base it covers.
     pub fn install_pool(&mut self, pool: ObjId) -> Option<u32> {
         let idx = self.pools.iter().position(|p| p.is_none())?;
-        self.pools[idx] = Some(pool);
+        Arc::make_mut(&mut self.pools)[idx] = Some(pool);
         Some(idx as u32 * ASID_POOL_ENTRIES)
     }
 

@@ -63,7 +63,7 @@ impl Frame {
 }
 
 /// One page-directory entry.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Hash)]
 pub enum PdEntry {
     /// Unmapped.
     #[default]
@@ -85,7 +85,7 @@ pub enum PdEntry {
 }
 
 /// One page-table entry.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Hash)]
 pub enum PtEntry {
     /// Unmapped.
     #[default]
@@ -98,7 +98,7 @@ pub enum PtEntry {
 }
 
 /// A top-level page directory (an address space).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Hash)]
 pub struct PageDirectory {
     /// The 4096 hardware entries.
     pub entries: Vec<PdEntry>,
@@ -155,7 +155,7 @@ impl PageDirectory {
 }
 
 /// A second-level page table.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Hash)]
 pub struct PageTable {
     /// The 256 hardware entries.
     pub entries: Vec<PtEntry>,
@@ -199,7 +199,7 @@ impl PageTable {
 }
 
 /// An ASID pool (legacy design): 1024 address-space slots.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Hash)]
 pub struct AsidPool {
     /// Slot `i` holds the page directory assigned ASID `base + i`.
     pub entries: Vec<Option<ObjId>>,

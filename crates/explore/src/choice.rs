@@ -12,7 +12,8 @@
 //! from a seeded [`SplitMix`] generator. Each consultation is logged with
 //! its option count so the exhaustive search knows where to branch.
 
-use std::sync::{Arc, Mutex};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 use rt_hw::{IrqController, IrqLine};
 use rt_kernel::decision::DecisionSource;
@@ -75,9 +76,13 @@ impl SplitMix {
 /// Shared per-run decision state: the scripted prefix, the full trace
 /// taken so far, the decision log, and the interrupt-injection budgets.
 ///
-/// Shared (`Arc<Mutex<..>>`) between the engine's event loop and the
+/// Shared (`Rc<RefCell<..>>`) between the engine's event loop and the
 /// [`ScriptedSource`] installed on the kernel, because preemption-point
 /// polls happen *inside* `Kernel` calls while the engine holds no borrow.
+/// Each run is strictly single-threaded (kernels are built or restored
+/// inside one pool worker and never move), so the former `Arc<Mutex<..>>`
+/// bought nothing but an uncontended-lock round trip at every decision
+/// poll — millions per exploration — and is gone.
 #[derive(Debug)]
 pub(crate) struct RunCtl {
     /// Choices to replay verbatim before extending with defaults/random.
@@ -110,6 +115,31 @@ impl RunCtl {
             budgets,
             injected: 0,
             polls: 0,
+        }
+    }
+
+    /// A controller resuming mid-run from a snapshot: the first
+    /// `consumed` prefix choices are already reflected in the restored
+    /// kernel (with `log`/`budgets`/counters as they stood at capture),
+    /// so replay continues at decision `consumed` instead of 0.
+    pub(crate) fn resumed(
+        prefix: Vec<Choice>,
+        consumed: usize,
+        log: Vec<Decision>,
+        budgets: Vec<(IrqLine, u32)>,
+        injected: u32,
+        polls: u32,
+    ) -> RunCtl {
+        assert!(consumed <= prefix.len(), "snapshot past its branch prefix");
+        let taken = prefix[..consumed].to_vec();
+        RunCtl {
+            prefix,
+            taken,
+            log,
+            rng: None,
+            budgets,
+            injected,
+            polls,
         }
     }
 
@@ -160,12 +190,12 @@ impl RunCtl {
 /// trace entry is recorded, which keeps traces compact and the branch
 /// factor honest.
 pub(crate) struct ScriptedSource {
-    pub ctl: Arc<Mutex<RunCtl>>,
+    pub ctl: Rc<RefCell<RunCtl>>,
 }
 
 impl DecisionSource for ScriptedSource {
     fn preemption_poll(&mut self, irq: &IrqController) -> Option<IrqLine> {
-        let mut ctl = self.ctl.lock().expect("decision ctl lock");
+        let mut ctl = self.ctl.borrow_mut();
         ctl.polls += 1;
         let legal: Vec<usize> = ctl
             .budgets

@@ -13,12 +13,22 @@
 //! interrupt response must be within its WCET-derived bound — per-line
 //! rank-aware bounds when configured, the scalar §6 bound otherwise).
 //!
-//! Exhaustive mode is stateless model checking: execute a trace, then
-//! branch a new trace for every untried alternative at every decision
-//! point past the scripted prefix. Kernels are rebuilt from the scenario
-//! per run (they are not cloneable), which keeps replay trivial and the
-//! frontier compact. Three mechanisms keep the search polynomial in
-//! practice where the raw interleaving count is exponential:
+//! Exhaustive mode branches a new trace for every untried alternative at
+//! every decision point past the scripted prefix. Two execution paths
+//! realise a branch, with identical results by construction:
+//!
+//! * **Snapshot fork** (the default, [`crate::snap`]): the branch carries
+//!   an `Arc` fork of a mid-run `SnapPoint` its parent captured at an
+//!   event boundary, restores it, and replays only the choice gap between
+//!   the capture and its divergence decision — O(1) in depth when a
+//!   snapshot exists at every boundary (`snapshot_every = 1`).
+//! * **Rebuild + replay** (`snapshot_every = 0`, and always the path for
+//!   [`replay`]/[`minimize`]): rebuild the kernel from the scenario and
+//!   re-execute the full prefix from boot — O(depth) per branch, but a
+//!   compact `Vec<Choice>` is all it needs.
+//!
+//! Three mechanisms keep the search polynomial in practice where the raw
+//! interleaving count is exponential:
 //!
 //! * **Duplicate-state pruning** against a sharded visited set of
 //!   canonical time-free hashes ([`crate::state`]);
@@ -39,8 +49,10 @@
 //!
 //! [`DecisionSource`]: rt_kernel::decision::DecisionSource
 
+use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::sync::{Arc, Mutex};
+use std::rc::Rc;
+use std::sync::Arc;
 
 use rt_hw::{Cycles, IrqLine};
 use rt_kernel::invariants::{self, Violation};
@@ -57,6 +69,7 @@ use crate::por::{
     sleep_sig, Footprint, PorMode, SleepEntry,
 };
 use crate::scenario::{self, Instance, Scenario};
+use crate::snap::{SnapAccount, SnapPoint, SnapStats};
 use crate::state::{canonical_hash, SharedVisited};
 
 /// Exploration parameters.
@@ -81,6 +94,21 @@ pub struct ExploreConfig {
     pub max_runs: usize,
     /// Stop (checked between waves) once this many states were checked.
     pub budget_states: Option<usize>,
+    /// Capture a resume snapshot every N top-level events (`1` = every
+    /// boundary, so branches fork in O(1); larger N trades resident
+    /// memory — and capture time — for up to N-1 replayed events per
+    /// fork). `0` disables snapshotting entirely — every branch rebuilds
+    /// from boot and replays its prefix, the pre-fork engine. Reports are
+    /// byte-identical for every value (see [`crate::snap`]). The default
+    /// of 4 is the empirical sweet spot on the depth-36 widened sweep:
+    /// capture cost and replay cost cross between cadence 3 and 6.
+    pub snapshot_every: usize,
+    /// Resident-snapshot cap, enforced at wave boundaries: while the live
+    /// census is at or over this, the next wave runs with capture paused
+    /// and its children inherit their parents' snapshots instead
+    /// (replay gaps lengthen; peak memory stays bounded). Deterministic
+    /// for any worker count — the census is sampled only between waves.
+    pub snapshot_budget: usize,
 }
 
 impl Default for ExploreConfig {
@@ -94,6 +122,8 @@ impl Default for ExploreConfig {
             seeded_bug: None,
             max_runs: 500_000,
             budget_states: None,
+            snapshot_every: 4,
+            snapshot_budget: 32_768,
         }
     }
 }
@@ -160,6 +190,10 @@ pub struct RunRecord {
     pub violations: Vec<Violation>,
     /// Per-decision branch alternatives (POR bookkeeping).
     pub(crate) evinfo: Vec<Option<EventInfo>>,
+    /// Resume points captured during this run, chronological (so strictly
+    /// ascending in consumed-choice count): `(taken_len, point)`. Child
+    /// branches adopt the latest point at or before their divergence.
+    pub(crate) snaps: Vec<(usize, Arc<SnapPoint>)>,
 }
 
 /// A failing schedule: the full trace that produced it, the minimized
@@ -216,6 +250,10 @@ pub struct ExploreReport {
     /// The run cap or state budget stopped the search before the
     /// frontier emptied.
     pub capped: bool,
+    /// Snapshot-fork engine counters (all zero when `snapshot_every` is
+    /// 0). Not part of [`render_line`] — forked and rebuilt searches
+    /// render byte-identically.
+    pub snap: SnapStats,
 }
 
 impl ExploreReport {
@@ -240,6 +278,7 @@ impl ExploreReport {
             latency_bound: bound,
             counterexample: None,
             capped: false,
+            snap: SnapStats::default(),
         }
     }
 
@@ -382,12 +421,78 @@ fn run_current(
     }
 }
 
-/// One unexplored branch: the choice prefix to replay plus the sleep set
-/// in force after the branch-point event (empty when POR is off).
+/// One unexplored branch: the choice prefix to replay, the sleep set in
+/// force after the branch-point event (empty when POR is off), and —
+/// when the fork engine is on — the resume point closest below the
+/// divergence. `snap: None` means rebuild from boot and replay the whole
+/// prefix; a present snapshot replays only `prefix[snap.taken_len..]`.
 #[derive(Clone, Debug, Default)]
 struct Branch {
     prefix: Vec<Choice>,
     sleep0: Vec<SleepEntry>,
+    snap: Option<Arc<SnapPoint>>,
+}
+
+/// Wave-scoped capture policy handed to runs: cadence, whether the
+/// resident budget currently allows captures at all, and the census that
+/// new points register with.
+struct SnapCtx<'a> {
+    every: usize,
+    capture: bool,
+    account: &'a Arc<SnapAccount>,
+}
+
+/// Runs every oracle against the current state and folds the results into
+/// `rec`: kernel invariants, incremental consistency, and the latency
+/// bound over `irq_log` entries past `*checked` (the cursor lives outside
+/// `rec` because snapshots must carry it — the loop-top interrupt drain
+/// can log responses before the next boundary check).
+/// When `verify` is false the invariant and consistency oracles are
+/// skipped (the counters and latency tally still accumulate). Only
+/// snapshot-resumed runs pass false, and only while retracing the
+/// parent's own path below the divergence choice: branches are created
+/// exclusively from violation-free runs, and exclusively at extension
+/// decisions — so every gap state was already oracle-checked, in some
+/// ancestor's extension, by induction down the branch chain. Re-checking
+/// it is pure replay overhead the fork engine exists to avoid.
+fn check_state(
+    kernel: &Kernel,
+    rec: &mut RunRecord,
+    checked: &mut usize,
+    cfg: &ExploreConfig,
+    verify: bool,
+) -> Vec<Violation> {
+    let mut v = if verify {
+        let mut v = invariants::check_all(kernel);
+        v.extend(oracle::check_consistency(kernel));
+        v
+    } else {
+        Vec::new()
+    };
+    while *checked < kernel.irq_log.len() {
+        let r = &kernel.irq_log[*checked];
+        *checked += 1;
+        let latency = r.kernel_ack.saturating_sub(r.raised);
+        rec.responses += 1;
+        rec.max_latency = rec.max_latency.max(latency);
+        let bound = cfg
+            .line_bounds
+            .iter()
+            .find(|&&(l, _)| l == r.line)
+            .map(|&(_, b)| b)
+            .unwrap_or(cfg.latency_bound);
+        if latency > bound {
+            v.push(Violation {
+                invariant: "latency-bound",
+                detail: format!(
+                    "line {:?}: observed {} cycles > bound {} (raised {}, acked {})",
+                    r.line, latency, bound, r.raised, r.kernel_ack
+                ),
+            });
+        }
+    }
+    rec.states += 1;
+    v
 }
 
 fn execute_inner(
@@ -396,56 +501,72 @@ fn execute_inner(
     rng: Option<SplitMix>,
     cfg: &ExploreConfig,
     visited: Option<&SharedVisited>,
+    snapctx: Option<&SnapCtx<'_>>,
 ) -> RunRecord {
-    let Instance {
-        mut kernel,
-        scripts,
-        irqs,
-    } = (sc.build)();
+    let mut rec = RunRecord::default();
+    let mut checked_responses = 0usize;
     // POR bookkeeping is meaningful only for default-extension runs (the
     // exploration mode); random walks skip it.
     let track_por = cfg.por.on() && rng.is_none();
-    let ctl = Arc::new(Mutex::new(RunCtl::new(branch.prefix.clone(), rng, irqs)));
+    // Boot the scenario, or restore the branch's resume point and
+    // pre-seed every counter with what the replayed prefix would have
+    // re-accumulated — the two paths are indistinguishable downstream.
+    let (mut kernel, scripts, mut cursors, ctl) = match &branch.snap {
+        None => {
+            let Instance {
+                kernel,
+                scripts,
+                irqs,
+            } = (sc.build)();
+            let cursors = vec![0usize; scripts.len()];
+            let ctl = RunCtl::new(branch.prefix.clone(), rng, irqs);
+            (kernel, Arc::new(scripts), cursors, ctl)
+        }
+        Some(sp) => {
+            debug_assert!(rng.is_none(), "random walks never fork");
+            // Restore into the worker's scratch kernel when one is
+            // parked: `restore_into` overwrites every field, so this is
+            // bit-identical to `restore()` but reuses the scratch's heap
+            // buffers instead of re-allocating them for every branch.
+            let kernel = SCRATCH.with(|s| s.borrow_mut().take()).map_or_else(
+                || sp.kernel.restore(),
+                |mut k| {
+                    sp.kernel.restore_into(&mut k);
+                    k
+                },
+            );
+            let ctl = RunCtl::resumed(
+                branch.prefix.clone(),
+                sp.taken_len,
+                sp.log.clone(),
+                sp.budgets.clone(),
+                sp.injected,
+                sp.polls,
+            );
+            rec.states = sp.states;
+            rec.events = sp.events;
+            rec.responses = sp.responses;
+            rec.max_latency = sp.max_latency;
+            checked_responses = sp.checked_responses;
+            (kernel, sp.scripts.clone(), sp.cursors.clone(), ctl)
+        }
+    };
+    let resumed_at = branch.snap.as_ref().map(|sp| sp.events);
+    let ctl = Rc::new(RefCell::new(ctl));
     kernel.set_decision_source(Box::new(ScriptedSource { ctl: ctl.clone() }));
-    let mut cursors = vec![0usize; scripts.len()];
-    let mut rec = RunRecord::default();
-    let mut checked_responses = 0usize;
     let mut sleep: Vec<SleepEntry> = branch.sleep0.clone();
 
-    let mut check = |kernel: &Kernel, rec: &mut RunRecord| -> Vec<Violation> {
-        let mut v = invariants::check_all(kernel);
-        v.extend(oracle::check_consistency(kernel));
-        while checked_responses < kernel.irq_log.len() {
-            let r = &kernel.irq_log[checked_responses];
-            checked_responses += 1;
-            let latency = r.kernel_ack.saturating_sub(r.raised);
-            rec.responses += 1;
-            rec.max_latency = rec.max_latency.max(latency);
-            let bound = cfg
-                .line_bounds
-                .iter()
-                .find(|&&(l, _)| l == r.line)
-                .map(|&(_, b)| b)
-                .unwrap_or(cfg.latency_bound);
-            if latency > bound {
-                v.push(Violation {
-                    invariant: "latency-bound",
-                    detail: format!(
-                        "line {:?}: observed {} cycles > bound {} (raised {}, acked {})",
-                        r.line, latency, bound, r.raised, r.kernel_ack
-                    ),
-                });
-            }
-        }
-        rec.states += 1;
-        v
+    // The boot state is checked (and counted) once per path — snapshot
+    // resumption already carries it in `rec.states`.
+    let initial = if resumed_at.is_some() {
+        Vec::new()
+    } else {
+        check_state(&kernel, &mut rec, &mut checked_responses, cfg, true)
     };
-
-    let initial = check(&kernel, &mut rec);
     if !initial.is_empty() {
         rec.violations = initial;
     } else {
-        for _ in 0..cfg.max_depth {
+        while rec.events < cfg.max_depth {
             // "In userspace" with a line pending: the entry happens now,
             // deterministically — same as the simulator's run loop.
             while kernel.machine.irq.has_pending() {
@@ -456,7 +577,7 @@ fn execute_inner(
                 events.push(Event::Run);
             }
             {
-                let g = ctl.lock().expect("ctl lock");
+                let g = ctl.borrow();
                 for (i, &(line, left)) in g.budgets.iter().enumerate() {
                     if left > 0
                         && !kernel.machine.irq.is_masked(line)
@@ -469,18 +590,18 @@ fn execute_inner(
             if events.is_empty() {
                 break; // quiescent
             }
-            let in_extension = ctl.lock().expect("ctl lock").in_extension();
+            let in_extension = ctl.borrow().in_extension();
             // POR: identity and footprint per enabled event (extension
             // only — prefix decisions were branched by the parent).
             let info = if track_por && in_extension {
-                let budgets = ctl.lock().expect("ctl lock").budgets.clone();
+                let budgets = ctl.borrow().budgets.clone();
                 let mut descs = Vec::with_capacity(events.len());
                 let mut fps = Vec::with_capacity(events.len());
                 for e in &events {
                     match *e {
                         Event::Run => {
                             descs.push(desc_run(kernel.current()));
-                            fps.push(run_footprint(&kernel, &scripts, &cursors));
+                            fps.push(run_footprint(&kernel, &scripts[..], &cursors));
                         }
                         Event::Raise(i) => {
                             descs.push(desc_raise(budgets[i].0));
@@ -508,7 +629,7 @@ fn execute_inner(
                 None
             };
             if cfg.prune && in_extension {
-                let budgets = ctl.lock().expect("ctl lock").budgets.clone();
+                let budgets = ctl.borrow().budgets.clone();
                 let sig = sleep_sig(&sleep);
                 let h = canonical_hash(&kernel, &cursors, &budgets);
                 let seen_shared = visited.is_some_and(|v| v.would_prune(h, &sig));
@@ -522,8 +643,45 @@ fn execute_inner(
                 }
                 rec.hashes.push((h, sig));
             }
+            // Capture a resume point at this boundary: the kernel is
+            // quiescent (pending lines drained, no operation on the
+            // stack), so the decision source detaches cleanly. The resume
+            // boundary itself is skipped — the parent's point already
+            // covers it.
+            if let Some(sx) = snapctx {
+                if sx.capture
+                    && rec.events % sx.every == 0
+                    && Some(rec.events) != resumed_at
+                    && (rec.events > 0 || resumed_at.is_none())
+                {
+                    let src = kernel
+                        .clear_decision_source()
+                        .expect("scripted source installed");
+                    let point = {
+                        let g = ctl.borrow();
+                        SnapPoint {
+                            kernel: kernel.snapshot(),
+                            scripts: scripts.clone(),
+                            cursors: cursors.clone(),
+                            budgets: g.budgets.clone(),
+                            log: g.log.clone(),
+                            taken_len: g.taken.len(),
+                            polls: g.polls,
+                            injected: g.injected,
+                            states: rec.states,
+                            events: rec.events,
+                            responses: rec.responses,
+                            max_latency: rec.max_latency,
+                            checked_responses,
+                            account: sx.account.clone(),
+                        }
+                    };
+                    kernel.set_decision_source(src);
+                    rec.snaps.push((point.taken_len, point.register()));
+                }
+            }
             let pick = {
-                let mut g = ctl.lock().expect("ctl lock");
+                let mut g = ctl.borrow_mut();
                 if info.is_some() {
                     // Align evinfo with this decision's index in `taken`.
                     while rec.evinfo.len() < g.taken.len() {
@@ -535,10 +693,10 @@ fn execute_inner(
             };
             let preemptions_before = kernel.stats.preemptions;
             match events[pick as usize] {
-                Event::Run => run_current(&mut kernel, &scripts, &mut cursors),
+                Event::Run => run_current(&mut kernel, &scripts[..], &mut cursors),
                 Event::Raise(i) => {
                     let line = {
-                        let mut g = ctl.lock().expect("ctl lock");
+                        let mut g = ctl.borrow_mut();
                         g.budgets[i].1 -= 1;
                         g.injected += 1;
                         g.budgets[i].0
@@ -563,7 +721,13 @@ fn execute_inner(
                     apply_seeded_bug(&mut kernel, bug);
                 }
             }
-            let v = check(&kernel, &mut rec);
+            // States strictly below the divergence choice of a resumed
+            // run are ancestor-verified (see `check_state`); everything
+            // else — and every state of a rebuild run, which `replay` and
+            // `minimize` rely on to re-find violations — gets the full
+            // oracle pass.
+            let verify = resumed_at.is_none() || ctl.borrow().taken.len() >= branch.prefix.len();
+            let v = check_state(&kernel, &mut rec, &mut checked_responses, cfg, verify);
             if !v.is_empty() {
                 rec.violations = v;
                 break;
@@ -571,7 +735,7 @@ fn execute_inner(
         }
     }
 
-    let g = ctl.lock().expect("ctl lock");
+    let g = ctl.borrow();
     rec.taken = g.taken.clone();
     rec.decisions = g.log.clone();
     rec.polls = g.polls;
@@ -579,7 +743,22 @@ fn execute_inner(
     rec.preempt_decisions = g.log.iter().filter(|d| d.site == Site::PreemptPoll).count() as u32;
     rec.preemptions = kernel.stats.preemptions;
     rec.truncated = rec.events == cfg.max_depth && rec.violations.is_empty() && !rec.pruned;
+    drop(g);
+    // Park the kernel (decision source dropped — it holds an `Rc` into
+    // this run's controller) so the next run on this thread can restore
+    // into its buffers instead of allocating a fresh kernel.
+    kernel.clear_decision_source();
+    SCRATCH.with(|s| *s.borrow_mut() = Some(kernel));
     rec
+}
+
+thread_local! {
+    /// Per-worker parked kernel for [`KernelSnapshot::restore_into`]:
+    /// every run deposits its kernel here on the way out, and every
+    /// snapshot-resumed run withdraws it, so branch forks recycle one
+    /// long-lived set of heap buffers per thread instead of paying a
+    /// full allocate-and-free cycle each.
+    static SCRATCH: RefCell<Option<Kernel>> = const { RefCell::new(None) };
 }
 
 /// Executes one run of `sc` under `prefix` (+ default or random
@@ -595,12 +774,17 @@ pub fn execute(
     let branch = Branch {
         prefix: prefix.to_vec(),
         sleep0: Vec::new(),
+        snap: None,
     };
-    execute_inner(sc, &branch, rng, cfg, None)
+    execute_inner(sc, &branch, rng, cfg, None, None)
 }
 
 /// Replays `trace` against `sc` (no pruning, no extension randomness) and
 /// returns the full record — the repro entry point for counterexamples.
+///
+/// Always the rebuild path: a compact `Vec<Choice>` plus the scenario is
+/// a complete, self-contained reproduction — replaying (and minimizing)
+/// a trace must never require a snapshot from the search that found it.
 pub fn replay(sc: &Scenario, trace: &[Choice], cfg: &ExploreConfig) -> RunRecord {
     let mut c = cfg.clone();
     c.prune = false;
@@ -662,13 +846,18 @@ fn tally(rep: &mut ExploreReport, r: &RunRecord) {
 /// Generates the child branches of one completed run: every untried
 /// alternative at every extension decision, minus what the reduction
 /// discharges (sleeping alternatives; all siblings at persistent
-/// singletons).
+/// singletons). Each child adopts the latest resume point at or before
+/// its divergence decision — falling back to the parent's own point (an
+/// `Arc` fork, so inherited chains cost no extra memory, only a longer
+/// replay gap) when this run captured none, and to rebuild-from-boot when
+/// there is neither.
 fn branch(
     rep: &mut ExploreReport,
     frontier: &mut VecDeque<Branch>,
-    prefix_len: usize,
+    parent: &Branch,
     r: &RunRecord,
 ) {
+    let prefix_len = parent.prefix.len();
     for i in prefix_len..r.taken.len() {
         let info = r.evinfo.get(i).and_then(|o| o.as_ref());
         if let Some(info) = info {
@@ -677,6 +866,13 @@ fn branch(
                 continue;
             }
         }
+        let snap_i = r
+            .snaps
+            .iter()
+            .rev()
+            .find(|&&(tl, _)| tl <= i)
+            .map(|(_, sp)| sp)
+            .or(parent.snap.as_ref());
         // Non-sleeping siblings already branched at this site (option
         // `taken[i]` was executed by this very run).
         let mut explored: Vec<usize> = vec![r.taken[i] as usize];
@@ -710,7 +906,11 @@ fn branch(
                     s0
                 }
             };
-            frontier.push_back(Branch { prefix, sleep0 });
+            frontier.push_back(Branch {
+                prefix,
+                sleep0,
+                snap: snap_i.cloned(),
+            });
         }
     }
 }
@@ -743,6 +943,7 @@ pub fn explore_with_states(
 ) -> (ExploreReport, Vec<u64>) {
     let mut rep = ExploreReport::new(&sc.name, cfg.latency_bound);
     let visited = SharedVisited::new();
+    let account = Arc::new(SnapAccount::default());
     let mut frontier: VecDeque<Branch> = VecDeque::from([Branch::default()]);
 
     while !frontier.is_empty() {
@@ -758,16 +959,55 @@ pub fn explore_with_states(
         rep.waves += 1;
         rep.peak_frontier = rep.peak_frontier.max(wave.len());
 
+        // Capture policy for this wave: pause while the resident census
+        // is over budget (children then inherit parent points — replay
+        // gaps lengthen, memory does not). Sampled only here, between
+        // waves, where the frontier is a deterministic function of the
+        // search — so the policy, like everything else, is independent of
+        // the worker count.
+        let snapping = cfg.snapshot_every > 0;
+        let capture = snapping && account.live() < cfg.snapshot_budget;
+        if snapping && !capture {
+            rep.snap.capture_paused_waves += 1;
+        }
+        let sctx = SnapCtx {
+            every: cfg.snapshot_every,
+            capture,
+            account: &account,
+        };
+
         // Execute the wave: chunks fan out over the pool (work stealing
         // hands whole chunks between idle workers); results come back in
         // frontier order regardless of who ran what. Workers only read
-        // the visited set during the wave.
-        let chunks: Vec<Vec<Branch>> = wave.chunks(WAVE_CHUNK).map(|c| c.to_vec()).collect();
-        let records: Vec<RunRecord> = pool
+        // the visited set during the wave. Branches are *moved* through
+        // the pool and returned beside their records — a wave can hold
+        // thousands of branches whose sleep sets carry footprint vectors,
+        // and deep-cloning them per wave was a measurable slice of the
+        // merge loop.
+        let mut iter = wave.into_iter();
+        let mut chunks: Vec<Vec<Branch>> = Vec::new();
+        loop {
+            let c: Vec<Branch> = iter.by_ref().take(WAVE_CHUNK).collect();
+            if c.is_empty() {
+                break;
+            }
+            chunks.push(c);
+        }
+        let pairs: Vec<(Branch, RunRecord)> = pool
             .parallel_map(chunks, |chunk| {
                 chunk
-                    .iter()
-                    .map(|b| execute_inner(sc, b, None, cfg, Some(&visited)))
+                    .into_iter()
+                    .map(|b| {
+                        let r = execute_inner(
+                            sc,
+                            &b,
+                            None,
+                            cfg,
+                            Some(&visited),
+                            snapping.then_some(&sctx),
+                        );
+                        (b, r)
+                    })
                     .collect::<Vec<_>>()
             })
             .into_iter()
@@ -777,23 +1017,37 @@ pub fn explore_with_states(
         // Deterministic merge, in frontier order: visited-set updates,
         // counters, and child branches.
         let mut failing: Option<&RunRecord> = None;
-        for (b, r) in wave.iter().zip(&records) {
+        for (b, r) in &pairs {
             tally(&mut rep, r);
+            rep.snap.captured += r.snaps.len() as u64;
+            if let Some(sp) = &b.snap {
+                rep.snap.forks += 1;
+                rep.snap.replays_avoided += sp.events as u64;
+            }
             for (h, sig) in &r.hashes {
                 visited.merge(*h, sig);
             }
             if r.violations.is_empty() {
-                branch(&mut rep, &mut frontier, b.prefix.len(), r);
+                branch(&mut rep, &mut frontier, b, r);
             } else if failing.is_none_or(|f| r.taken < f.taken) {
                 failing = Some(r);
             }
         }
-        if let Some(r) = failing {
+        let found_cex = if let Some(r) = failing {
             rep.counterexample = Some(Counterexample {
                 trace: r.taken.clone(),
                 minimized: Vec::new(),
                 violations: r.violations.clone(),
             });
+            true
+        } else {
+            false
+        };
+        // Census the surviving points (frontier-held only, once the
+        // executed wave and its records are gone) for the peak statistic.
+        drop(pairs);
+        rep.snap.peak_resident = rep.snap.peak_resident.max(account.live());
+        if found_cex {
             break;
         }
     }
@@ -909,7 +1163,7 @@ pub fn explore_report(depth: usize, por: PorMode, pool: &Pool, cache: &AnalysisC
     ));
     let mut memo = BoundMemo::default();
     for sc in scenario::all() {
-        let rep = explore_scenario(&sc, depth, por, None, pool, cache, &mut memo);
+        let rep = explore_scenario(&sc, depth, por, None, 1, pool, cache, &mut memo);
         s.push_str(&render_line(&rep));
     }
     s
@@ -926,12 +1180,15 @@ pub struct BoundMemo {
 
 /// Explores one scenario with the standard report configuration:
 /// WCET-derived per-line bounds (memoized by line set across calls) and
-/// the given depth/POR/state budget.
+/// the given depth/POR/state budget/snapshot cadence (`snapshot_every` as
+/// in [`ExploreConfig`]; 0 selects the rebuild-replay engine).
+#[allow(clippy::too_many_arguments)]
 pub fn explore_scenario(
     sc: &Scenario,
     depth: usize,
     por: PorMode,
     budget_states: Option<usize>,
+    snapshot_every: usize,
     pool: &Pool,
     cache: &AnalysisCache,
     memo: &mut BoundMemo,
@@ -956,6 +1213,7 @@ pub fn explore_scenario(
         line_bounds,
         por,
         budget_states,
+        snapshot_every,
         max_runs: usize::MAX,
         ..ExploreConfig::default()
     };

@@ -24,6 +24,9 @@
 //!   visited set shared across exploration workers;
 //! * [`por`] — the independence relation, event footprints, and
 //!   sleep-set/persistent-set partial-order reduction;
+//! * [`snap`] — mid-run resume points (kernel snapshot + run counters)
+//!   that let a branch fork a live state in O(1) instead of replaying
+//!   its prefix from boot, with intrusive residency accounting;
 //! * [`engine`] — bounded-depth search as deterministic frontier waves
 //!   fanned across an `rt_pool::Pool`, seeded random walks, replay, and
 //!   counterexample minimization.
@@ -41,6 +44,7 @@ pub mod engine;
 pub mod oracle;
 pub mod por;
 pub mod scenario;
+pub mod snap;
 pub mod state;
 
 pub use choice::{Choice, Decision, Site, SplitMix};
@@ -51,3 +55,4 @@ pub use engine::{
 };
 pub use por::PorMode;
 pub use scenario::{randomized, Instance, RandomParams, Scenario};
+pub use snap::SnapStats;

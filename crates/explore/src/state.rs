@@ -13,15 +13,14 @@
 //! timing, and the latency oracle checks timing along every *un*pruned
 //! path before the duplicate is cut off.
 //!
-//! The hash is the hot loop of a 10⁷-state search, so it avoids the PR 5
-//! implementation's per-object `format!` allocations: hot object kinds
-//! are hashed field by field with a fast multiply-rotate hasher, and the
-//! cold kinds (page tables, residual cap payloads) stream their `Debug`
-//! rendering straight into the hasher through a `fmt::Write` adapter —
-//! zero allocation either way.
+//! The hash is the hot loop of a 10⁷-state search, so it avoids both the
+//! PR 5 implementation's per-object `format!` allocations and the later
+//! `Debug`-text streaming: scalar fields feed a fast multiply-rotate
+//! hasher directly, and structured fields stream their derived
+//! [`std::hash::Hash`] bytes into the same hasher — zero allocation and
+//! zero formatting either way.
 
 use std::collections::HashMap;
-use std::fmt::Write as _;
 use std::hash::Hasher;
 use std::sync::RwLock;
 
@@ -92,19 +91,12 @@ impl Hasher for FastHasher {
     }
 }
 
-/// Streams `Debug` output into the hasher without allocating.
-struct HashWriter<'a>(&'a mut FastHasher);
-
-impl std::fmt::Write for HashWriter<'_> {
-    fn write_str(&mut self, s: &str) -> std::fmt::Result {
-        self.0.write(s.as_bytes());
-        Ok(())
-    }
-}
-
-macro_rules! stream_debug {
+/// Streams a value's derived [`std::hash::Hash`] into the fast hasher —
+/// raw field bytes, no `Debug` formatting machinery (which profiling
+/// showed as the single hottest function of a 10^7-state search).
+macro_rules! stream_hash {
     ($h:expr, $v:expr) => {
-        let _ = write!(HashWriter($h), "{:?}", $v);
+        std::hash::Hash::hash(&$v, $h)
     };
 }
 
@@ -135,18 +127,18 @@ pub fn canonical_hash(kernel: &Kernel, cursors: &[usize], budgets: &[(IrqLine, u
             ObjKind::Tcb(t) => {
                 h.add(0);
                 h.add(t.prio as u64);
-                stream_debug!(&mut h, t.state);
-                stream_debug!(&mut h, t.cspace_root);
-                stream_debug!(&mut h, t.vspace);
+                stream_hash!(&mut h, t.state);
+                stream_hash!(&mut h, t.cspace_root);
+                stream_hash!(&mut h, t.vspace);
                 h.add(t.fault_handler as u64);
                 for &w in &t.msg {
                     h.add(w as u64);
                 }
-                stream_debug!(&mut h, t.msg_info);
+                stream_hash!(&mut h, t.msg_info);
                 for &w in &t.xfer_caps {
                     h.add(w as u64);
                 }
-                stream_debug!(&mut h, t.recv_slot_spec);
+                stream_hash!(&mut h, t.recv_slot_spec);
                 h.add(t.recv_badge.0 as u64);
                 opt_id(&mut h, t.sched_next);
                 opt_id(&mut h, t.sched_prev);
@@ -155,7 +147,7 @@ pub fn canonical_hash(kernel: &Kernel, cursors: &[usize], budgets: &[(IrqLine, u
                 opt_id(&mut h, t.ep_prev);
                 opt_id(&mut h, t.queued_on);
                 opt_id(&mut h, t.caller);
-                stream_debug!(&mut h, t.current_syscall);
+                stream_hash!(&mut h, t.current_syscall);
             }
             ObjKind::Endpoint(e) => {
                 h.add(1);
@@ -189,7 +181,7 @@ pub fn canonical_hash(kernel: &Kernel, cursors: &[usize], budgets: &[(IrqLine, u
                     let s = c.slot(i);
                     if !s.cap.is_null() {
                         h.add(i as u64);
-                        stream_debug!(&mut h, s);
+                        stream_hash!(&mut h, s);
                     }
                 }
             }
@@ -197,7 +189,7 @@ pub fn canonical_hash(kernel: &Kernel, cursors: &[usize], budgets: &[(IrqLine, u
                 h.add(4);
                 h.add(u.watermark as u64);
                 h.add(u.clear_progress as u64);
-                stream_debug!(&mut h, u.pending);
+                stream_hash!(&mut h, u.pending);
                 for c in &u.children {
                     h.add(c.0 as u64);
                 }
@@ -206,11 +198,18 @@ pub fn canonical_hash(kernel: &Kernel, cursors: &[usize], budgets: &[(IrqLine, u
                 h.add(5);
                 h.add(f.size_bits as u64);
             }
-            // Cold kinds (vspace structures): faithful but rare — stream
-            // the full Debug rendering.
-            other => {
+            // Cold kinds (vspace structures): faithful but rare.
+            ObjKind::PageTable(pt) => {
                 h.add(6);
-                stream_debug!(&mut h, other);
+                stream_hash!(&mut h, pt);
+            }
+            ObjKind::PageDirectory(pd) => {
+                h.add(7);
+                stream_hash!(&mut h, pd);
+            }
+            ObjKind::AsidPool(p) => {
+                h.add(8);
+                stream_hash!(&mut h, p);
             }
         }
     }
@@ -223,7 +222,7 @@ pub fn canonical_hash(kernel: &Kernel, cursors: &[usize], budgets: &[(IrqLine, u
         }
     }
     h.add(kernel.queues.len() as u64);
-    stream_debug!(&mut h, kernel.irq_table);
+    stream_hash!(&mut h, kernel.irq_table);
     h.add(kernel.current().0 as u64);
     for l in 0..rt_hw::irq::NUM_LINES {
         let line = IrqLine(l);

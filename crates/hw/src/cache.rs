@@ -109,6 +109,19 @@ pub struct Cache {
 }
 
 impl Cache {
+    /// Overwrites `self` with `src`, reusing the line and round-robin
+    /// buffers — the allocation-free half of the explorer's
+    /// snapshot-restore fast path (geometry is process-constant, so the
+    /// buffers always fit).
+    pub fn copy_from(&mut self, src: &Cache) {
+        self.geom = src.geom;
+        self.lines.clone_from(&src.lines);
+        self.locked_ways = src.locked_ways;
+        self.policy = src.policy;
+        self.rr.clone_from(&src.rr);
+        self.lfsr = src.lfsr;
+    }
+
     /// Creates an empty (all-invalid) cache.
     pub fn new(geom: CacheGeometry, policy: Replacement) -> Cache {
         assert!(

@@ -31,6 +31,14 @@ pub struct IrqController {
 }
 
 impl IrqController {
+    /// Overwrites `self` with `src`, reusing the schedule buffer.
+    pub fn copy_from(&mut self, src: &IrqController) {
+        self.pending = src.pending;
+        self.masked = src.masked;
+        self.schedule.clone_from(&src.schedule);
+        self.raised_at = src.raised_at;
+    }
+
     /// Creates a controller with all lines unmasked and nothing pending.
     pub fn new() -> IrqController {
         IrqController::default()

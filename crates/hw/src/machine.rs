@@ -83,6 +83,15 @@ impl Default for HwConfig {
 }
 
 /// The machine: timing state, memory contents, interrupts, counters.
+///
+/// `Clone` *is* the machine's snapshot path: every field is plain owned
+/// data (physical memory is a sparse chunk map, so cloning costs only the
+/// pages actually written), and a clone is bit-identical to the original
+/// — running the two forward under the same inputs produces identical
+/// cycle counts, cache states and pending-interrupt sets. Stateful
+/// exploration (`rt-explore`) leans on this to fork mid-run machine
+/// states instead of re-executing from boot; `clone_forks_bit_identical`
+/// below pins the contract.
 #[derive(Clone, Debug)]
 pub struct Machine {
     cfg: HwConfig,
@@ -104,6 +113,23 @@ pub struct Machine {
 }
 
 impl Machine {
+    /// Overwrites this machine with `src` while reusing every heap buffer
+    /// already allocated here (cache line arrays, predictor tables, the
+    /// physical-memory chunk map). Semantically identical to
+    /// `*self = src.clone()`; the schedule explorer restores thousands of
+    /// machine snapshots per second, where the allocation traffic of a
+    /// fresh clone dominates the copy itself.
+    pub fn copy_from(&mut self, src: &Machine) {
+        self.cfg = src.cfg;
+        self.mem.copy_from(&src.mem);
+        self.phys.copy_from(&src.phys);
+        self.bpred.copy_from(&src.bpred);
+        self.irq.copy_from(&src.irq);
+        self.pmu = src.pmu;
+        self.accounts = src.accounts;
+        self.trace.copy_from(&src.trace);
+    }
+
     /// Builds a machine with KZM-board RAM and the given configuration.
     pub fn new(cfg: HwConfig) -> Machine {
         let mut mem = MemSystem::new(cfg.l2_enabled, cfg.replacement);
@@ -359,6 +385,32 @@ mod tests {
         let t0 = m.now();
         m.exec_branch(0xf000_0004, true);
         assert_eq!(m.now() - t0, 5);
+    }
+
+    #[test]
+    fn clone_forks_bit_identical() {
+        // Warm caches, dirty memory, leave an interrupt in flight — then
+        // fork. Running original and clone forward under identical inputs
+        // must agree on every observable (the snapshot contract stateful
+        // exploration relies on).
+        let mut m = Machine::new(HwConfig::default());
+        m.exec_straight(0xf000_0000, 8);
+        m.exec_store(0xf000_0020, 0x8000_0100, 41);
+        m.irq.schedule(m.now() + 10, crate::IrqLine(3));
+        let mut f = m.clone();
+        assert_eq!(format!("{m:?}"), format!("{f:?}"), "fork diverged at rest");
+        for machine in [&mut m, &mut f] {
+            machine.advance(12);
+            machine.exec_load(0xf000_0020, 0x8000_0100);
+            machine.exec_branch(0xf000_0024, true);
+        }
+        assert_eq!(m.now(), f.now());
+        assert!(m.irq.has_pending() && f.irq.has_pending());
+        assert_eq!(
+            format!("{m:?}"),
+            format!("{f:?}"),
+            "fork diverged after identical inputs"
+        );
     }
 
     #[test]

@@ -63,6 +63,22 @@ pub struct MemSystem {
 }
 
 impl MemSystem {
+    /// Overwrites `self` with `src`, reusing every cache's buffers. The
+    /// L2 either exists in both or neither (it is a process-constant
+    /// configuration), so the `Option` never flips shape here.
+    pub fn copy_from(&mut self, src: &MemSystem) {
+        self.l1i.copy_from(&src.l1i);
+        self.l1d.copy_from(&src.l1d);
+        match (&mut self.l2, &src.l2) {
+            (Some(dst), Some(s)) => dst.copy_from(s),
+            (None, None) => {}
+            (dst, s) => *dst = s.clone(),
+        }
+        self.l1i_stats = src.l1i_stats;
+        self.l1d_stats = src.l1d_stats;
+        self.l2_stats = src.l2_stats;
+    }
+
     /// Builds the i.MX31 hierarchy; `l2_enabled` selects whether the 128 KiB
     /// L2 is active (and with it the 96-cycle memory latency).
     pub fn new(l2_enabled: bool, replacement: Replacement) -> MemSystem {

@@ -8,9 +8,15 @@
 //! in preemptible 1 KiB chunks.
 //!
 //! Storage is a sparse map of 4 KiB chunks so that creating a machine with
-//! 128 MiB of RAM does not actually allocate 128 MiB up front.
+//! 128 MiB of RAM does not actually allocate 128 MiB up front. Chunks are
+//! reference-counted and copy-on-write: cloning a `PhysMem` (the snapshot
+//! path the schedule explorer forks thousands of times per wave) shares
+//! every chunk, and a write de-shares just the 4 KiB it touches via
+//! [`Arc::make_mut`]. On the unique-owner fast path that is one refcount
+//! check per write.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::Addr;
 
@@ -26,10 +32,19 @@ const CHUNK: u32 = 4096;
 pub struct PhysMem {
     base: Addr,
     size: u32,
-    chunks: HashMap<u32, Box<[u8; CHUNK as usize]>>,
+    chunks: HashMap<u32, Arc<[u8; CHUNK as usize]>>,
 }
 
 impl PhysMem {
+    /// Overwrites `self` with `src`, reusing the chunk map's buckets.
+    /// Chunks themselves are `Arc`-shared, so this moves refcounts, not
+    /// page contents.
+    pub fn copy_from(&mut self, src: &PhysMem) {
+        self.base = src.base;
+        self.size = src.size;
+        self.chunks.clone_from(&src.chunks);
+    }
+
     /// Creates RAM covering `base..base+size`; contents read as zero until
     /// written.
     pub fn new(base: Addr, size: u32) -> PhysMem {
@@ -98,10 +113,11 @@ impl PhysMem {
             "word write outside RAM at {addr:#x}"
         );
         let (c, o) = self.index(addr);
-        let ch = self
-            .chunks
-            .entry(c)
-            .or_insert_with(|| Box::new([0u8; CHUNK as usize]));
+        let ch = Arc::make_mut(
+            self.chunks
+                .entry(c)
+                .or_insert_with(|| Arc::new([0u8; CHUNK as usize])),
+        );
         ch[o..o + 4].copy_from_slice(&value.to_le_bytes());
     }
 
@@ -122,7 +138,7 @@ impl PhysMem {
             let (c, o) = self.index(a);
             let span = ((CHUNK as usize - o) as u32).min(end - a) as usize;
             if let Some(ch) = self.chunks.get_mut(&c) {
-                ch[o..o + span].fill(0);
+                Arc::make_mut(ch)[o..o + span].fill(0);
             }
             // Absent chunks already read as zero.
             a += span as u32;
@@ -201,6 +217,22 @@ mod tests {
     fn unaligned_read_panics() {
         let m = PhysMem::kzm();
         let _ = m.read_word(RAM_BASE + 2);
+    }
+
+    #[test]
+    fn clone_is_copy_on_write() {
+        let mut a = PhysMem::kzm();
+        a.write_word(RAM_BASE, 1);
+        let mut b = a.clone();
+        b.write_word(RAM_BASE, 2);
+        b.write_word(RAM_BASE + CHUNK, 3);
+        assert_eq!(a.read_word(RAM_BASE), 1);
+        assert_eq!(a.read_word(RAM_BASE + CHUNK), 0);
+        assert_eq!(b.read_word(RAM_BASE), 2);
+        a.zero_range(RAM_BASE, 4);
+        assert_eq!(a.read_word(RAM_BASE), 0);
+        assert_eq!(b.read_word(RAM_BASE), 2);
+        assert_eq!(b.read_word(RAM_BASE + CHUNK), 3);
     }
 
     #[test]

@@ -42,6 +42,15 @@ pub struct BranchPredictor {
 }
 
 impl BranchPredictor {
+    /// Overwrites `self` with `src`, reusing the counter and tag tables.
+    pub fn copy_from(&mut self, src: &BranchPredictor) {
+        self.enabled = src.enabled;
+        self.counters.clone_from(&src.counters);
+        self.tags.clone_from(&src.tags);
+        self.mispredicts = src.mispredicts;
+        self.predicts = src.predicts;
+    }
+
     /// Creates a predictor; if `enabled` is false all branches cost the
     /// constant [`UNPREDICTED_CYCLES`].
     pub fn new(enabled: bool) -> BranchPredictor {

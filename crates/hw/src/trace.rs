@@ -256,6 +256,12 @@ pub struct Trace {
 }
 
 impl Trace {
+    /// Overwrites `self` with `src`, reusing the event buffer.
+    pub fn copy_from(&mut self, src: &Trace) {
+        self.enabled = src.enabled;
+        self.events.clone_from(&src.events);
+    }
+
     /// Creates a disabled sink (the default state).
     pub fn new() -> Trace {
         Trace::default()
