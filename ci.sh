@@ -231,6 +231,48 @@ grep -q '"violations": 0,' "$load_json" || {
     exit 1
 }
 
+# SMP explorer gate (DESIGN.md §14): the which-core scenario set —
+# cross-core wakes, IPI-vs-IRQ races, mid-revoke shootdowns, on 2 and 4
+# cores — must hold every oracle (zero counterexamples, including the
+# idle-core-kicked lost-wakeup invariant) while genuinely branching on
+# the which-core axis, and must render byte-identical stdout from two
+# separate processes at 1 and 4 workers. JSON goes to a scratch path:
+# the committed explore_smp block of BENCH_sweep.json stays as recorded.
+smp_json="$(mktemp)"
+smp_out_1="$(mktemp)"
+smp_out_4="$(mktemp)"
+trap 'rm -f "$explore_smoke_json" "$explore_json" "$explore_off" "$explore_por_1" "$explore_por_4" "$explore_rebuild" "$bench_json" "$load_out_1" "$load_out_4" "$load_json" "$smp_json" "$smp_out_1" "$smp_out_4"' EXIT
+RT_BENCH_OUT="$smp_json" cargo run --release -q -p rt-bench --bin repro -- \
+    explore --smp --depth 6 --por sleep --workers 1 >"$smp_out_1" 2>/dev/null
+RT_BENCH_OUT="$smp_json" cargo run --release -q -p rt-bench --bin repro -- \
+    explore --smp --depth 6 --por sleep --workers 4 >"$smp_out_4" 2>/dev/null
+diff -u "$smp_out_1" "$smp_out_4" || {
+    echo "ci: SMP explore report differs between 1 and 4 workers" >&2
+    exit 1
+}
+awk '
+    /interleavings=/ {
+        n++
+        inter = -1; cex = -1
+        for (i = 1; i <= NF; i++) {
+            if (split($i, kv, "=") == 2) {
+                if (kv[1] == "interleavings") inter = kv[2] + 0
+                else if (kv[1] == "counterexamples") cex = kv[2] + 0
+            }
+        }
+        if (cex != 0) { print "ci: SMP explorer counterexample on line: " $0; bad = 1 }
+        if (inter <= 1) { print "ci: SMP scenario did not branch on the which-core axis: " $0; bad = 1 }
+    }
+    END {
+        if (n < 4) { print "ci: expected >= 4 SMP scenario lines, saw " n; bad = 1 }
+        exit bad
+    }
+' "$smp_out_4"
+grep -q '"explore_smp": {' "$smp_json" || {
+    echo "ci: explore --smp did not write the explore_smp JSON block" >&2
+    exit 1
+}
+
 cargo fmt --check
 cargo clippy --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps

@@ -10,9 +10,9 @@
 //! cargo run --release -p rt-bench --bin repro -- latency-bound
 //! cargo run --release -p rt-bench --bin repro -- explore [--depth N] [--por off|sleep|full] \
 //!     [--workers a,b,c] [--budget-states N] [--scenario NAME] [--snapshot-every N] \
-//!     [--baseline-rebuild]
+//!     [--baseline-rebuild] [--smp]
 //! cargo run --release -p rt-bench --bin repro -- bench [--workers a,b,c] [--fleet-jobs N]
-//! cargo run --release -p rt-bench --bin repro -- load [--events N --tenants N --shards N --seed N --workers a,b,c]
+//! cargo run --release -p rt-bench --bin repro -- load [--events N --tenants N --shards N --seed N --cores N --workers a,b,c]
 //! cargo run --release -p rt-bench --bin repro -- all
 //! ```
 //!
@@ -184,7 +184,7 @@ fn bench_report(opts: &sweep::BenchOpts) -> String {
     // `repro load` / `repro explore` blocks of previous runs — carry
     // them forward.
     if let Ok(old) = std::fs::read_to_string(&path) {
-        for key in ["load", "explore"] {
+        for key in ["load", "explore", "explore_smp"] {
             if let Some(block) = sweep::extract_json_block(&old, key) {
                 json = sweep::upsert_json_block(&json, key, &block);
             }
@@ -217,6 +217,11 @@ fn load_report(args: &[String]) -> String {
     let tenants = grab("--tenants", 64) as u32;
     let shards = grab("--shards", 32) as u32;
     let seed = grab("--seed", 42) as u64;
+    let cores = grab("--cores", 1) as u8;
+    if !(1..=8).contains(&cores) {
+        eprintln!("--cores must be in 1..=8");
+        std::process::exit(2);
+    }
     let workers = args
         .iter()
         .position(|a| a == "--workers")
@@ -232,7 +237,8 @@ fn load_report(args: &[String]) -> String {
         })
         .unwrap_or_else(|| vec![1, 4]);
 
-    let spec = rt_load::LoadSpec::standard(seed, events, tenants, shards);
+    let mut spec = rt_load::LoadSpec::standard(seed, events, tenants, shards);
+    spec.cores = cores;
     let cfg = rt_wcet::AnalysisConfig::after_l2_off();
     // One shared analysis cache: the per-line bounds are computed once
     // and every worker-count run reuses the memo.
@@ -327,11 +333,16 @@ fn explore_cmd(args: &[String], depth: usize, ctx: &SweepCtx) -> String {
         },
     };
     let baseline_rebuild = args.iter().any(|a| a == "--baseline-rebuild");
+    // `--smp` swaps in the which-core-axis scenario set (DESIGN.md §14)
+    // and records under the separate `"explore_smp"` JSON key, so the
+    // single-core `"explore"` block stays exactly as recorded.
+    let smp_set = args.iter().any(|a| a == "--smp");
     let scenarios: Vec<rt_explore::Scenario> = match args
         .iter()
         .position(|a| a == "--scenario")
         .map(|i| args.get(i + 1).cloned().unwrap_or_default())
     {
+        None if smp_set => rt_explore::scenario::smp_all(),
         None => rt_explore::scenario::all(),
         Some(name) => match rt_explore::scenario::by_name(&name) {
             Some(sc) => vec![sc],
@@ -450,7 +461,9 @@ fn explore_cmd(args: &[String], depth: usize, ctx: &SweepCtx) -> String {
         .ok()
         .filter(|s| !s.trim().is_empty())
         .unwrap_or_else(|| "{\n}\n".into());
+    let key = if smp_set { "explore_smp" } else { "explore" };
     let block = explore_json_block(
+        key,
         depth,
         por,
         budget_states,
@@ -461,7 +474,7 @@ fn explore_cmd(args: &[String], depth: usize, ctx: &SweepCtx) -> String {
         &snap,
         rebuild,
     );
-    let merged = sweep::upsert_json_block(&existing, "explore", &block);
+    let merged = sweep::upsert_json_block(&existing, key, &block);
     std::fs::write(&path, &merged).unwrap_or_else(|e| panic!("write {path}: {e}"));
     eprintln!("  wrote {path}");
 
@@ -474,13 +487,15 @@ fn explore_cmd(args: &[String], depth: usize, ctx: &SweepCtx) -> String {
     renders.into_iter().next().expect("one render per run")
 }
 
-/// Serializes the `"explore"` block: search shape, host parallelism (so
+/// Serializes the `"explore"` (or `"explore_smp"`) block under `key`:
+/// search shape, host parallelism (so
 /// recorded throughput is never read against an unknown machine), per-
 /// scenario frontier and reduction stats, per-worker wall/throughput
 /// measurements, and the snapshot-engine sub-block (with the rebuild
 /// baseline and speedup when `--baseline-rebuild` measured one).
 #[allow(clippy::too_many_arguments)]
 fn explore_json_block(
+    key: &str,
     depth: usize,
     por: rt_explore::PorMode,
     budget_states: Option<usize>,
@@ -496,7 +511,7 @@ fn explore_json_block(
         .map(|n| n.get())
         .unwrap_or(1);
     let mut s = String::new();
-    let _ = writeln!(s, "  \"explore\": {{");
+    let _ = writeln!(s, "  \"{key}\": {{");
     let _ = writeln!(s, "    \"depth\": {depth},");
     let _ = writeln!(s, "    \"por\": \"{:?}\",", por);
     let _ = writeln!(

@@ -46,6 +46,16 @@ pub trait DecisionSource {
     /// Called once per preemption-point poll, before the kernel samples
     /// the pending mask. Return `Some(line)` to assert `line` now.
     fn preemption_poll(&mut self, irq: &IrqController) -> Option<IrqLine>;
+
+    /// SMP-aware poll: like [`Self::preemption_poll`], but told which
+    /// core is polling so a source can restrict an injection to the core
+    /// its line is routed to. The default ignores the core — correct for
+    /// single-core kernels, where `core` is always 0 — so pre-SMP
+    /// sources are unaffected.
+    fn preemption_poll_on(&mut self, core: u8, irq: &IrqController) -> Option<IrqLine> {
+        let _ = core;
+        self.preemption_poll(irq)
+    }
 }
 
 /// The production decision source: never injects anything, so every

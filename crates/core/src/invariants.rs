@@ -52,6 +52,7 @@ pub fn check_all(k: &Kernel) -> Vec<Violation> {
     if k.config.vm == VmKind::ShadowPt {
         check_shadow_backpointers(k, &mut v);
     }
+    check_smp(k, &mut v);
     v
 }
 
@@ -115,47 +116,65 @@ fn check_alignment_and_overlap(k: &Kernel, out: &mut Vec<Violation>) {
 }
 
 fn check_run_queues(k: &Kernel, out: &mut Vec<Violation>) {
+    // SMP: every core's run queues must be well-formed, and a queued
+    // thread must be queued on its affinity core (single-core: one loop
+    // iteration, affinity always 0 — identical to the historical check).
     let mut seen = HashSet::new();
-    for prio in 0..=255u8 {
-        let mut cur = k.queues.head(prio);
-        let mut prev: Option<ObjId> = None;
-        let mut steps = 0;
-        while let Some(t) = cur {
-            if !seen.insert(t) {
-                out.push(Violation {
-                    invariant: "runqueue-well-formed",
-                    detail: format!("{t:?} linked twice"),
-                });
-                return;
-            }
-            let tcb = k.objs.tcb(t);
-            if tcb.sched_prev != prev {
-                out.push(Violation {
-                    invariant: "runqueue-well-formed",
-                    detail: format!("{:?} back-pointer disagrees", tcb.name),
-                });
-            }
-            if !tcb.in_runqueue {
-                out.push(Violation {
-                    invariant: "runqueue-well-formed",
-                    detail: format!("{:?} linked but !in_runqueue", tcb.name),
-                });
-            }
-            if tcb.prio != prio {
-                out.push(Violation {
-                    invariant: "runqueue-well-formed",
-                    detail: format!("{:?} at prio {} queued under {}", tcb.name, tcb.prio, prio),
-                });
-            }
-            prev = cur;
-            cur = tcb.sched_next;
-            steps += 1;
-            if steps > crate::MAX_THREADS {
-                out.push(Violation {
-                    invariant: "runqueue-well-formed",
-                    detail: format!("cycle in run queue at prio {prio}"),
-                });
-                return;
+    for core in 0..k.n_cores() {
+        let queues = k.core_queues(core);
+        for prio in 0..=255u8 {
+            let mut cur = queues.head(prio);
+            let mut prev: Option<ObjId> = None;
+            let mut steps = 0;
+            while let Some(t) = cur {
+                if !seen.insert(t) {
+                    out.push(Violation {
+                        invariant: "runqueue-well-formed",
+                        detail: format!("{t:?} linked twice"),
+                    });
+                    return;
+                }
+                let tcb = k.objs.tcb(t);
+                if tcb.sched_prev != prev {
+                    out.push(Violation {
+                        invariant: "runqueue-well-formed",
+                        detail: format!("{:?} back-pointer disagrees", tcb.name),
+                    });
+                }
+                if !tcb.in_runqueue {
+                    out.push(Violation {
+                        invariant: "runqueue-well-formed",
+                        detail: format!("{:?} linked but !in_runqueue", tcb.name),
+                    });
+                }
+                if tcb.prio != prio {
+                    out.push(Violation {
+                        invariant: "runqueue-well-formed",
+                        detail: format!(
+                            "{:?} at prio {} queued under {}",
+                            tcb.name, tcb.prio, prio
+                        ),
+                    });
+                }
+                if tcb.affinity != core {
+                    out.push(Violation {
+                        invariant: "queued-on-affinity-core",
+                        detail: format!(
+                            "{:?} with affinity {} queued on core {}",
+                            tcb.name, tcb.affinity, core
+                        ),
+                    });
+                }
+                prev = cur;
+                cur = tcb.sched_next;
+                steps += 1;
+                if steps > crate::MAX_THREADS {
+                    out.push(Violation {
+                        invariant: "runqueue-well-formed",
+                        detail: format!("cycle in run queue at prio {prio}"),
+                    });
+                    return;
+                }
             }
         }
     }
@@ -176,6 +195,7 @@ fn check_run_queues(k: &Kernel, out: &mut Vec<Violation>) {
 /// scheduler every runnable thread is queued or current (or idle).
 fn check_scheduler_invariant(k: &Kernel, out: &mut Vec<Violation>) {
     let benno = matches!(k.config.sched, SchedKind::Benno | SchedKind::BennoBitmap);
+    let currents: HashSet<ObjId> = (0..k.n_cores()).map(|c| k.core_current(c)).collect();
     for (id, o) in k.objs.iter() {
         if let ObjKind::Tcb(t) = &o.kind {
             if benno && t.in_runqueue && !t.state.is_runnable() {
@@ -184,7 +204,7 @@ fn check_scheduler_invariant(k: &Kernel, out: &mut Vec<Violation>) {
                     detail: format!("{:?} queued in state {:?}", t.name, t.state),
                 });
             }
-            if t.state.is_runnable() && !t.in_runqueue && id != k.current() {
+            if t.state.is_runnable() && !t.in_runqueue && !currents.contains(&id) {
                 out.push(Violation {
                     invariant: "runnable-queued-or-current",
                     detail: format!("{:?} runnable but neither queued nor current", t.name),
@@ -200,14 +220,17 @@ fn check_bitmap(k: &Kernel, out: &mut Vec<Violation>) {
     if k.config.sched != SchedKind::BennoBitmap {
         return;
     }
-    for prio in 0..=255u8 {
-        let queued = k.queues.head(prio).is_some();
-        let bit = k.queues.bitmap.is_set(prio);
-        if queued != bit {
-            out.push(Violation {
-                invariant: "bitmap-reflects-queues",
-                detail: format!("prio {prio}: queued={queued} bit={bit}"),
-            });
+    for core in 0..k.n_cores() {
+        let queues = k.core_queues(core);
+        for prio in 0..=255u8 {
+            let queued = queues.head(prio).is_some();
+            let bit = queues.bitmap.is_set(prio);
+            if queued != bit {
+                out.push(Violation {
+                    invariant: "bitmap-reflects-queues",
+                    detail: format!("core {core} prio {prio}: queued={queued} bit={bit}"),
+                });
+            }
         }
     }
 }
@@ -503,6 +526,63 @@ fn check_shadow_backpointers(k: &Kernel, out: &mut Vec<Violation>) {
                     }
                 }
             }
+        }
+    }
+}
+
+/// SMP progress + bookkeeping invariants (DESIGN.md §14). The key one is
+/// the lost-wakeup catcher: a core sitting in the idle thread with
+/// runnable work queued must have a reschedule IPI pending — every path
+/// that queues work on a remote core sends one, and servicing it forces
+/// `ChooseNew`. A dropped IPI (the seeded `LostIpi` bug) leaves the core
+/// idle with work queued and nothing pending: exactly this violation.
+fn check_smp(k: &Kernel, out: &mut Vec<Violation>) {
+    let Some(smp) = k.smp_state() else {
+        return;
+    };
+    if smp.n_cores <= 1 {
+        return;
+    }
+    for core in 0..smp.n_cores {
+        let queues = k.core_queues(core);
+        let has_work = (0..=255u8).any(|p| queues.head(p).is_some());
+        let idle = k.core_current(core) == k.idle_thread();
+        let resched_pending = k
+            .core_irq(core)
+            .is_pending(rt_hw::IrqLine(crate::smp::IPI_RESCHED_LINE));
+        let will_choose = k.core_sched_action(core) != crate::kernel::SchedAction::ResumeCurrent;
+        if has_work && idle && !resched_pending && !will_choose {
+            out.push(Violation {
+                invariant: "smp-idle-core-kicked",
+                detail: format!(
+                    "core {core} idles with runnable work queued and no \
+                     reschedule IPI pending (lost wakeup)"
+                ),
+            });
+        }
+    }
+    if smp.shootdown.completed > smp.shootdown.initiated {
+        out.push(Violation {
+            invariant: "shootdown-counts-agree",
+            detail: format!(
+                "completed {} > initiated {}",
+                smp.shootdown.completed, smp.shootdown.initiated
+            ),
+        });
+    }
+    for (c, pending) in smp.shootdown.pending.iter().enumerate() {
+        if c as u8 == k.cur_core() {
+            continue; // the active core may be mid-service
+        }
+        if *pending
+            && !k
+                .core_irq(c as u8)
+                .is_pending(rt_hw::IrqLine(crate::smp::IPI_SHOOTDOWN_LINE))
+        {
+            out.push(Violation {
+                invariant: "shootdown-ipi-pending",
+                detail: format!("core {c} marked pending but no shootdown IPI on its line"),
+            });
         }
     }
 }

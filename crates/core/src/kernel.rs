@@ -34,6 +34,7 @@ use crate::ntfn::{self, Notification};
 use crate::obj::{BootAlloc, ObjId, ObjKind, ObjStore};
 use crate::preempt::{PreemptResult, Preempted};
 use crate::sched::RunQueues;
+use crate::smp::{SmpState, IPI_RESCHED_LINE, IPI_SHOOTDOWN_LINE};
 use crate::tcb::{Tcb, ThreadState, TCB_SIZE_BITS};
 use crate::vspace::asid::AsidTable;
 
@@ -231,6 +232,11 @@ pub struct Kernel {
     /// Installed schedule-decision source ([`crate::decision`]); `None`
     /// (the production state) means no poll-time injection at all.
     decisions: Option<Box<dyn DecisionSource>>,
+    /// SMP extension ([`crate::smp`]); `None` (the production
+    /// single-core state) compiles every SMP path out, and `Some` with
+    /// `n_cores == 1` is behaviourally identical to `None` — the
+    /// differential the SMP test layer pins.
+    smp: Option<Box<SmpState>>,
 }
 
 /// A complete, decision-source-free copy of a kernel's state, machine
@@ -264,6 +270,7 @@ pub struct KernelSnapshot {
     alloc: BootAlloc,
     destroying: Vec<ObjId>,
     pending_delivery: HashMap<ObjId, usize>,
+    smp: Option<Box<SmpState>>,
 }
 
 impl KernelSnapshot {
@@ -291,6 +298,7 @@ impl KernelSnapshot {
             destroying: self.destroying.clone(),
             pending_delivery: self.pending_delivery.clone(),
             decisions: None,
+            smp: self.smp.clone(),
         }
     }
 
@@ -322,6 +330,7 @@ impl KernelSnapshot {
         k.destroying.clone_from(&self.destroying);
         k.pending_delivery.clone_from(&self.pending_delivery);
         k.decisions = None;
+        k.smp.clone_from(&self.smp);
     }
 }
 
@@ -363,6 +372,7 @@ impl Kernel {
             destroying: Vec::new(),
             pending_delivery: HashMap::new(),
             decisions: None,
+            smp: None,
         }
     }
 
@@ -413,6 +423,7 @@ impl Kernel {
             alloc: self.alloc.clone(),
             destroying: self.destroying.clone(),
             pending_delivery: self.pending_delivery.clone(),
+            smp: self.smp.clone(),
         }
     }
 
@@ -528,6 +539,19 @@ impl Kernel {
             "boot_resume on a live thread"
         );
         *st = ThreadState::Running;
+        if self.smp_active() {
+            let aff = self.objs.tcb(tcb).affinity;
+            if aff != self.cur_core() {
+                // Boot-time start on a remote core: queue it there and
+                // kick the core (uncharged, like the rest of boot).
+                {
+                    let smp = self.smp.as_deref_mut().expect("smp_active");
+                    smp.slots[aff as usize].queues.enqueue(&mut self.objs, tcb);
+                }
+                self.send_resched_ipi(aff);
+                return;
+            }
+        }
         self.queues.enqueue(&mut self.objs, tcb);
         self.schedule_no_charge();
     }
@@ -683,13 +707,14 @@ impl Kernel {
         if !self.config.preemption_points {
             return Ok(());
         }
+        let core = self.cur_core();
         if let Some(src) = self.decisions.as_mut() {
             // An injected arrival models a device asserting the line in
             // the instant before this poll samples the pending mask. The
             // consultation itself charges no cycles and, when the source
             // declines, mutates nothing — the production path stays
             // bit-identical.
-            if let Some(line) = src.preemption_poll(&self.machine.irq) {
+            if let Some(line) = src.preemption_poll_on(core, &self.machine.irq) {
                 let now = self.machine.now();
                 self.machine.irq.raise(line, now);
             }
@@ -718,6 +743,22 @@ impl Kernel {
         let pr = self.tcb_addr(t, crate::tcb::OFF_PRIO);
         self.blk(Block::WakeThread, &[st, pr]);
         self.objs.tcb_mut(t).state = ThreadState::Running;
+        if self.smp_active() && self.objs.tcb(t).affinity != self.cur_core() {
+            // Cross-core wake (DESIGN.md §14): never direct-switch to a
+            // thread homed on another core — enqueue it there and kick
+            // the core with a reschedule IPI. Lazy scheduling may find
+            // the thread still queued (on its affinity core, by the
+            // migration invariant); then only the kick is needed.
+            if !self.objs.tcb(t).in_runqueue {
+                self.charge_enqueue(t);
+                self.enqueue_remote(t);
+            } else {
+                let aff = self.objs.tcb(t).affinity;
+                self.machine.advance(kprog::DEVICE_ACCESS_CYCLES);
+                self.send_resched_ipi(aff);
+            }
+            return;
+        }
         let t_prio = self.objs.tcb(t).prio;
         let cur_prio = self.objs.tcb(self.cur).prio;
         let eligible = if cur_yields {
@@ -763,9 +804,13 @@ impl Kernel {
         self.blk(Block::WakeThread, &[st, pr]);
         if !self.objs.tcb(t).in_runqueue {
             self.charge_enqueue(t);
-            self.queues.enqueue(&mut self.objs, t);
-            if self.config.sched == SchedKind::BennoBitmap {
-                self.blk0(Block::BitmapSet);
+            if self.smp_active() && self.objs.tcb(t).affinity != self.cur_core() {
+                self.enqueue_remote(t);
+            } else {
+                self.queues.enqueue(&mut self.objs, t);
+                if self.config.sched == SchedKind::BennoBitmap {
+                    self.blk0(Block::BitmapSet);
+                }
             }
         }
         if self.sched_action == SchedAction::ResumeCurrent
@@ -825,14 +870,7 @@ impl Kernel {
                 // The displaced thread is entered into the run queue if it
                 // is still runnable and not queued — §3.1: "the run queue's
                 // consistency can be re-established at preemption time".
-                let cur_runnable = self.objs.tcb(self.cur).state.is_runnable();
-                if cur_runnable && !self.objs.tcb(self.cur).in_runqueue && self.cur != self.idle {
-                    self.charge_enqueue(self.cur);
-                    self.queues.enqueue(&mut self.objs, self.cur);
-                    if self.config.sched == SchedKind::BennoBitmap {
-                        self.blk0(Block::BitmapSet);
-                    }
-                }
+                self.requeue_current();
                 // Benno: the woken thread was never enqueued. Lazy: it may
                 // still be queued — leave it there (Fig. 2 tolerates this).
                 if self.config.sched != SchedKind::Lazy && self.objs.tcb(t).in_runqueue {
@@ -853,15 +891,9 @@ impl Kernel {
     /// The three `chooseThread` implementations with per-step charging.
     fn choose_and_commit(&mut self) {
         // A preempted-but-runnable current thread must be queued before we
-        // choose (it may well be the winner).
-        let cur_runnable = self.objs.tcb(self.cur).state.is_runnable();
-        if cur_runnable && !self.objs.tcb(self.cur).in_runqueue && self.cur != self.idle {
-            self.charge_enqueue(self.cur);
-            self.queues.enqueue(&mut self.objs, self.cur);
-            if self.config.sched == SchedKind::BennoBitmap {
-                self.blk0(Block::BitmapSet);
-            }
-        }
+        // choose (it may well be the winner — unless affinity routes it
+        // to another core, in which case it migrates now).
+        self.requeue_current();
         let chosen = match self.config.sched {
             SchedKind::Lazy => self.choose_lazy_charged(),
             SchedKind::Benno => self.choose_benno_charged(),
@@ -984,6 +1016,10 @@ impl Kernel {
             delivered: None,
         });
         self.blk0(Block::IrqAck);
+        if self.smp_active() && (line.0 == IPI_RESCHED_LINE || line.0 == IPI_SHOOTDOWN_LINE) {
+            self.handle_ipi(line);
+            return;
+        }
         if let Some(b) = binding {
             // seL4's IRQ protocol: the line stays masked until the driver
             // acknowledges with IrqAck, preventing interrupt storms from
@@ -1020,10 +1056,12 @@ impl Kernel {
     /// Full interrupt entry: the path Table 1 and Table 2 bound. Called by
     /// the System harness when an IRQ arrives while userspace runs.
     pub fn handle_interrupt(&mut self) {
+        self.lock_enter();
         self.stats.interrupt_entries += 1;
         self.blk0(Block::IrqEntry);
         self.interrupt_core();
         self.exit_kernel();
+        self.lock_exit();
     }
 
     // --- Kernel exit ----------------------------------------------------
@@ -1056,18 +1094,22 @@ impl Kernel {
     /// faulting thread's fault handler (decoded in *its* cspace — one
     /// 32-level decode in the worst case, §6.1).
     pub fn handle_page_fault(&mut self, fault_addr: Addr) {
+        self.lock_enter();
         self.stats.fault_entries += 1;
         self.blk0(Block::PfEntry);
         self.fault_common(fault_addr, 16);
         self.exit_kernel();
+        self.lock_exit();
     }
 
     /// Undefined-instruction entry.
     pub fn handle_undefined(&mut self) {
+        self.lock_enter();
         self.stats.fault_entries += 1;
         self.blk0(Block::UndefEntry);
         self.fault_common(0, 14);
         self.exit_kernel();
+        self.lock_exit();
     }
 
     /// Common fault handling: decode handler cap, build message, send.
@@ -1169,6 +1211,366 @@ impl Kernel {
     pub fn force_current_for_test(&mut self, t: ObjId) {
         self.cur = t;
         self.sched_action = SchedAction::ResumeCurrent;
+    }
+
+    // --- SMP (DESIGN.md §14) -----------------------------------------------
+
+    /// Turns this kernel into an `n`-core SMP kernel. Core 0 inherits
+    /// the boot state (everything built so far keeps running there);
+    /// cores `1..n` boot cold, idling on the shared idle thread with
+    /// empty run queues. `enable_smp(1)` is behaviourally identical to
+    /// not calling this at all — every SMP charge below is gated on
+    /// `n_cores > 1`, mirroring seL4 compiling the lock and IPIs out of
+    /// uniprocessor builds.
+    ///
+    /// # Panics
+    ///
+    /// If called twice, or with `n` outside `1..=8`.
+    pub fn enable_smp(&mut self, n: u8) {
+        assert!((1..=8).contains(&n), "supported core counts: 1..=8");
+        assert!(self.smp.is_none(), "enable_smp called twice");
+        let cfg = self.machine.config();
+        let idle = self.idle;
+        self.smp = Some(Box::new(SmpState::new(n, idle, || {
+            rt_hw::smp::CoreCtx::new(cfg)
+        })));
+    }
+
+    /// Unmasks `line` on the interrupt-controller interface of the core
+    /// it is routed to. Device lines are distributor resources delivered
+    /// to exactly one core, but a driver may acknowledge from any core
+    /// (cross-core wakes migrate drivers): the unmask must reach the
+    /// routed core's controller, not the acker's. Single-core kernels —
+    /// and local acks — unmask the active controller, bit-identically to
+    /// the pre-SMP path.
+    pub(crate) fn unmask_routed(&mut self, line: IrqLine) {
+        let rc = self.irq_route(line);
+        if rc == self.cur_core() {
+            self.machine.irq.unmask(line);
+        } else {
+            let smp = self.smp.as_deref_mut().expect("remote route implies SMP");
+            smp.slots[rc as usize].ctx.irq.unmask(line);
+        }
+    }
+
+    /// Number of cores (1 for a non-SMP kernel).
+    pub fn n_cores(&self) -> u8 {
+        self.smp.as_ref().map_or(1, |s| s.n_cores)
+    }
+
+    /// The core whose state is resident in the active fields.
+    pub fn cur_core(&self) -> u8 {
+        self.smp.as_ref().map_or(0, |s| s.cur_core)
+    }
+
+    /// Whether any SMP path is live (`n_cores > 1`).
+    pub fn smp_active(&self) -> bool {
+        self.n_cores() > 1
+    }
+
+    /// The SMP extension state, if enabled.
+    pub fn smp_state(&self) -> Option<&SmpState> {
+        self.smp.as_deref()
+    }
+
+    /// Mutable SMP state (test/bug-seeding hook).
+    pub fn smp_state_mut(&mut self) -> Option<&mut SmpState> {
+        self.smp.as_deref_mut()
+    }
+
+    /// Seeded-bug hook: drop reschedule IPIs instead of raising them
+    /// (the lost-wakeup bug the explorer's SMP invariant catches).
+    pub fn set_drop_resched_ipis(&mut self, on: bool) {
+        if let Some(smp) = self.smp.as_deref_mut() {
+            smp.drop_resched_ipis = on;
+        }
+    }
+
+    /// Sets the big-lock hold-overlap cap (see [`crate::smp::BigLock`]).
+    pub fn set_lock_hold_cap(&mut self, cap: Cycles) {
+        if let Some(smp) = self.smp.as_deref_mut() {
+            smp.lock.hold_cap = cap;
+        }
+    }
+
+    /// Lock-wait cycles charged to core `c` so far.
+    pub fn lock_wait_cycles(&self, c: u8) -> Cycles {
+        self.smp
+            .as_ref()
+            .map_or(0, |s| s.lock.wait_cycles[c as usize])
+    }
+
+    /// Current thread of core `c`.
+    pub fn core_current(&self, c: u8) -> ObjId {
+        if c == self.cur_core() {
+            self.cur
+        } else {
+            self.smp.as_ref().expect("no such core").slots[c as usize].cur
+        }
+    }
+
+    /// Run queues of core `c`.
+    pub fn core_queues(&self, c: u8) -> &RunQueues {
+        if c == self.cur_core() {
+            &self.queues
+        } else {
+            &self.smp.as_ref().expect("no such core").slots[c as usize].queues
+        }
+    }
+
+    /// Pending scheduling decision of core `c`.
+    pub fn core_sched_action(&self, c: u8) -> SchedAction {
+        if c == self.cur_core() {
+            self.sched_action
+        } else {
+            self.smp.as_ref().expect("no such core").slots[c as usize].sched_action
+        }
+    }
+
+    /// Interrupt-controller interface of core `c`.
+    pub fn core_irq(&self, c: u8) -> &rt_hw::IrqController {
+        if c == self.cur_core() {
+            &self.machine.irq
+        } else {
+            &self.smp.as_ref().expect("no such core").slots[c as usize]
+                .ctx
+                .irq
+        }
+    }
+
+    /// Local cycle counter of core `c`.
+    pub fn core_now(&self, c: u8) -> Cycles {
+        if c == self.cur_core() {
+            self.machine.now()
+        } else {
+            self.smp.as_ref().expect("no such core").slots[c as usize]
+                .ctx
+                .pmu
+                .cycles
+        }
+    }
+
+    /// Routes device line `line` to core `core`'s interrupt interface.
+    /// Advisory for the *driver* layer (explorer, load engine): the
+    /// kernel never raises device lines itself; drivers consult
+    /// [`Self::irq_route`] to pick the controller to raise on.
+    pub fn route_irq(&mut self, line: IrqLine, core: u8) {
+        let smp = self
+            .smp
+            .as_deref_mut()
+            .expect("route_irq without enable_smp");
+        assert!(core < smp.n_cores, "core {core} out of range");
+        smp.routing.set(line, core);
+    }
+
+    /// The core `line` is routed to (0 for a non-SMP kernel).
+    pub fn irq_route(&self, line: IrqLine) -> u8 {
+        self.smp.as_ref().map_or(0, |s| s.routing.core_of(line))
+    }
+
+    /// Makes core `c` the active core: parks the current core's
+    /// scheduler + hardware state in its slot and swaps in `c`'s. O(1);
+    /// a no-op when `c` is already active. `N = 1` configurations never
+    /// take the swap path, preserving bit-identity.
+    pub fn switch_core(&mut self, c: u8) {
+        let cur = self.cur_core();
+        if c == cur {
+            return;
+        }
+        let smp = self
+            .smp
+            .as_deref_mut()
+            .expect("switch_core without enable_smp");
+        assert!(c < smp.n_cores, "core {c} out of range");
+        {
+            let slot = &mut smp.slots[cur as usize];
+            self.machine.swap_core(&mut slot.ctx);
+            std::mem::swap(&mut self.queues, &mut slot.queues);
+            slot.cur = self.cur;
+            slot.sched_action = self.sched_action;
+        }
+        {
+            let slot = &mut smp.slots[c as usize];
+            self.machine.swap_core(&mut slot.ctx);
+            std::mem::swap(&mut self.queues, &mut slot.queues);
+            self.cur = slot.cur;
+            self.sched_action = slot.sched_action;
+        }
+        smp.cur_core = c;
+    }
+
+    /// Changes `t`'s affinity (uncharged management operation, like the
+    /// `boot_*` helpers). A *queued* thread migrates between run queues
+    /// immediately and the destination core is kicked with a reschedule
+    /// IPI; a running thread keeps its core until next displaced, at
+    /// which point the routed enqueue migrates it.
+    pub fn set_affinity(&mut self, t: ObjId, core: u8) {
+        assert!(core < self.n_cores(), "core {core} out of range");
+        let old = self.objs.tcb(t).affinity;
+        if old == core {
+            return;
+        }
+        if self.objs.tcb(t).in_runqueue {
+            if old == self.cur_core() {
+                self.queues.dequeue(&mut self.objs, t);
+            } else {
+                let smp = self.smp.as_deref_mut().expect("no such core");
+                smp.slots[old as usize].queues.dequeue(&mut self.objs, t);
+            }
+            self.objs.tcb_mut(t).affinity = core;
+            if core == self.cur_core() {
+                self.queues.enqueue(&mut self.objs, t);
+            } else {
+                {
+                    let smp = self.smp.as_deref_mut().expect("no such core");
+                    smp.slots[core as usize].queues.enqueue(&mut self.objs, t);
+                }
+                self.send_resched_ipi(core);
+            }
+        } else {
+            self.objs.tcb_mut(t).affinity = core;
+        }
+    }
+
+    /// Raises the reschedule IPI on `target`'s interrupt interface,
+    /// stamped with the target's local clock. Dropped silently when the
+    /// seeded lost-IPI bug is armed.
+    fn send_resched_ipi(&mut self, target: u8) {
+        let Some(smp) = self.smp.as_deref_mut() else {
+            return;
+        };
+        if smp.n_cores <= 1 {
+            return;
+        }
+        smp.resched_sent[target as usize] += 1;
+        if smp.drop_resched_ipis {
+            return;
+        }
+        debug_assert_ne!(target, smp.cur_core, "IPI to self");
+        let slot = &mut smp.slots[target as usize];
+        let at = slot.ctx.pmu.cycles;
+        slot.ctx.irq.raise(IrqLine(IPI_RESCHED_LINE), at);
+    }
+
+    /// Enqueues `t` on its (remote) affinity core and kicks that core:
+    /// the charged cross-core wake path. Charges the bitmap write and
+    /// the distributor register write on the *current* core.
+    fn enqueue_remote(&mut self, t: ObjId) {
+        let aff = self.objs.tcb(t).affinity;
+        {
+            let smp = self.smp.as_deref_mut().expect("remote enqueue without SMP");
+            smp.slots[aff as usize].queues.enqueue(&mut self.objs, t);
+        }
+        if self.config.sched == SchedKind::BennoBitmap {
+            self.blk0(Block::BitmapSet);
+        }
+        // Distributor write raising the IPI: one uncached device access.
+        self.machine.advance(kprog::DEVICE_ACCESS_CYCLES);
+        self.send_resched_ipi(aff);
+    }
+
+    /// Requeues a displaced-but-runnable current thread, routing by
+    /// affinity (bit-identical to the historical inline sequence when
+    /// SMP is off or the thread stays local).
+    fn requeue_current(&mut self) {
+        let cur_runnable = self.objs.tcb(self.cur).state.is_runnable();
+        if cur_runnable && !self.objs.tcb(self.cur).in_runqueue && self.cur != self.idle {
+            self.charge_enqueue(self.cur);
+            if self.smp_active() && self.objs.tcb(self.cur).affinity != self.cur_core() {
+                self.enqueue_remote(self.cur);
+            } else {
+                self.queues.enqueue(&mut self.objs, self.cur);
+                if self.config.sched == SchedKind::BennoBitmap {
+                    self.blk0(Block::BitmapSet);
+                }
+            }
+        }
+    }
+
+    /// Services an IPI line on the active core: decode phase marker,
+    /// the kind-specific work, then the (auto-)EOI marker. The shared
+    /// interrupt path has already acked the line — that ack *is* the
+    /// EOI; IPI lines are never masked (no driver protocol).
+    fn handle_ipi(&mut self, line: IrqLine) {
+        self.machine.trace_phase("ipi-decode");
+        if line.0 == IPI_SHOOTDOWN_LINE {
+            // Remote TLB invalidate: same block as the local flush.
+            self.blk0(Block::TlbFlush);
+            let smp = self.smp.as_deref_mut().expect("IPI without SMP");
+            smp.shootdown.pending[smp.cur_core as usize] = false;
+            smp.shootdown.completed += 1;
+        } else if self.sched_action == SchedAction::ResumeCurrent {
+            // Reschedule kick: force a full chooseThread on this core.
+            self.sched_action = SchedAction::ChooseNew;
+        }
+        self.machine.trace_phase("ipi-eoi");
+        if let Some(smp) = self.smp.as_deref_mut() {
+            smp.ipi_eois += 1;
+        }
+    }
+
+    /// Broadcasts a TLB shootdown to every other core (called from the
+    /// local TLB-flush path). Asynchronous completion: each target
+    /// invalidates its TLB when it services the IPI; the initiator does
+    /// not spin (stale remote translations are benign in this model —
+    /// the window closes at the target's next kernel entry, and the
+    /// §2.1 latency story is what the model is for).
+    pub(crate) fn tlb_shootdown_broadcast(&mut self) {
+        if !self.smp_active() {
+            return;
+        }
+        let n = self.n_cores();
+        let cur = self.cur_core();
+        for c in 0..n {
+            if c == cur {
+                continue;
+            }
+            self.machine.trace_phase("shootdown-send");
+            self.machine.advance(kprog::DEVICE_ACCESS_CYCLES);
+            let smp = self.smp.as_deref_mut().expect("smp_active");
+            smp.shootdown.pending[c as usize] = true;
+            smp.shootdown.initiated += 1;
+            let slot = &mut smp.slots[c as usize];
+            let at = slot.ctx.pmu.cycles;
+            slot.ctx.irq.raise(IrqLine(IPI_SHOOTDOWN_LINE), at);
+        }
+    }
+
+    /// Acquires the big kernel lock on kernel entry: charges the
+    /// modeled wait for overlap with other cores' recorded holds and
+    /// records this hold's start. Compiled out (`return`) below 2
+    /// cores.
+    pub(crate) fn lock_enter(&mut self) {
+        let Some(smp) = self.smp.as_deref_mut() else {
+            return;
+        };
+        if smp.n_cores <= 1 {
+            return;
+        }
+        let c = smp.cur_core;
+        let now = self.machine.now();
+        let wait = smp.lock.wait_for_entry(c, now);
+        if wait > 0 {
+            self.machine.trace_phase("lock-wait");
+            self.machine.advance(wait);
+            smp.lock.wait_cycles[c as usize] += wait;
+        }
+        let start = self.machine.now();
+        smp.lock.enter(c, start);
+    }
+
+    /// Releases the big kernel lock on kernel exit, recording the hold
+    /// interval.
+    pub(crate) fn lock_exit(&mut self) {
+        let Some(smp) = self.smp.as_deref_mut() else {
+            return;
+        };
+        if smp.n_cores <= 1 {
+            return;
+        }
+        let c = smp.cur_core;
+        let now = self.machine.now();
+        smp.lock.exit(c, now);
     }
 }
 

@@ -66,6 +66,7 @@ pub mod obj;
 pub mod pinning;
 pub mod preempt;
 pub mod sched;
+pub mod smp;
 pub mod syscall;
 pub mod system;
 pub mod tcb;

@@ -243,6 +243,14 @@ impl Kernel {
     /// Full system-call entry: trap, (possibly) fastpath, dispatch,
     /// perform, schedule, exit.
     pub fn handle_syscall(&mut self, sys: Syscall) -> SyscallOutcome {
+        self.lock_enter();
+        let out = self.handle_syscall_locked(sys);
+        self.lock_exit();
+        out
+    }
+
+    /// The system-call body, run under the big kernel lock.
+    fn handle_syscall_locked(&mut self, sys: Syscall) -> SyscallOutcome {
         self.stats.syscall_entries += 1;
         self.blk0(Block::SwiEntry);
         let cur = self.current();
@@ -1678,6 +1686,9 @@ impl Kernel {
 
     fn tlb_flush(&mut self) {
         self.blk0(Block::TlbFlush);
+        // SMP: remote cores may cache translations from this address
+        // space — broadcast a shootdown IPI (no-op below 2 cores).
+        self.tlb_shootdown_broadcast();
     }
 
     // --- IRQ / TCB management ------------------------------------------------
@@ -1694,7 +1705,7 @@ impl Kernel {
             _ => return Err(SysError::InvalidCap),
         };
         self.irq_table.bind(line, n_obj, badge);
-        self.machine.irq.unmask(rt_hw::IrqLine(line));
+        self.unmask_routed(rt_hw::IrqLine(line));
         Ok(())
     }
 
@@ -1763,7 +1774,7 @@ impl Kernel {
             CapType::IrqHandler(l) => l,
             _ => return Err(SysError::InvalidCap),
         };
-        self.machine.irq.unmask(rt_hw::IrqLine(line));
+        self.unmask_routed(rt_hw::IrqLine(line));
         Ok(())
     }
 

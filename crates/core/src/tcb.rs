@@ -138,6 +138,11 @@ pub struct Tcb {
     /// Cycle at which the thread last started waiting (for response-time
     /// accounting in experiments).
     pub wait_since: u64,
+    /// SMP affinity: the core this thread runs (and queues) on. Always 0
+    /// on a single-core kernel; scheduling metadata only — no modelled
+    /// TCB field address, so single-core timing is untouched (DESIGN.md
+    /// §14).
+    pub affinity: u8,
 }
 
 /// TCB object size in bits (512 bytes).
@@ -191,6 +196,7 @@ impl Tcb {
             caller: None,
             current_syscall: None,
             wait_since: 0,
+            affinity: 0,
         }
     }
 

@@ -185,23 +185,32 @@ impl RunCtl {
 ///
 /// A line is legal to inject only if it has budget left, is unmasked
 /// (masked lines model seL4's not-yet-acknowledged IRQs — asserting them
-/// would be invisible to this poll anyway) and is not already pending.
-/// When no line is legal the poll is not a decision point at all — no
-/// trace entry is recorded, which keeps traces compact and the branch
-/// factor honest.
+/// would be invisible to this poll anyway), is not already pending, and
+/// — on SMP instances — is routed to the core that is polling (the
+/// distributor delivers a device line to exactly one core, so asserting
+/// it at another core's poll would be invisible there too). When no line
+/// is legal the poll is not a decision point at all — no trace entry is
+/// recorded, which keeps traces compact and the branch factor honest.
 pub(crate) struct ScriptedSource {
     pub ctl: Rc<RefCell<RunCtl>>,
+    /// Delivery core per budget entry (all zero on single-core
+    /// instances, where every poll is on core 0 — the filter passes
+    /// everything and behaviour is bit-identical to pre-SMP). Routing is
+    /// fixed at scenario build, so a plain snapshot of it is safe.
+    pub routes: Vec<u8>,
 }
 
-impl DecisionSource for ScriptedSource {
-    fn preemption_poll(&mut self, irq: &IrqController) -> Option<IrqLine> {
+impl ScriptedSource {
+    fn poll_on(&mut self, core: u8, irq: &IrqController) -> Option<IrqLine> {
         let mut ctl = self.ctl.borrow_mut();
         ctl.polls += 1;
         let legal: Vec<usize> = ctl
             .budgets
             .iter()
             .enumerate()
-            .filter(|&(_, &(line, left))| left > 0 && !irq.is_masked(line) && !irq.is_pending(line))
+            .filter(|&(i, &(line, left))| {
+                left > 0 && self.routes[i] == core && !irq.is_masked(line) && !irq.is_pending(line)
+            })
             .map(|(i, _)| i)
             .collect();
         if legal.is_empty() {
@@ -215,6 +224,16 @@ impl DecisionSource for ScriptedSource {
         ctl.budgets[bi].1 -= 1;
         ctl.injected += 1;
         Some(ctl.budgets[bi].0)
+    }
+}
+
+impl DecisionSource for ScriptedSource {
+    fn preemption_poll(&mut self, irq: &IrqController) -> Option<IrqLine> {
+        self.poll_on(0, irq)
+    }
+
+    fn preemption_poll_on(&mut self, core: u8, irq: &IrqController) -> Option<IrqLine> {
+        self.poll_on(core, irq)
     }
 }
 

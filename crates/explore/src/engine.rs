@@ -60,7 +60,7 @@ use rt_kernel::kernel::{EntryPoint, Kernel, KernelConfig};
 use rt_kernel::system::Action;
 use rt_kernel::tcb::ThreadState;
 use rt_pool::Pool;
-use rt_wcet::{AnalysisCache, AnalysisConfig};
+use rt_wcet::{smp_latency_margin, AnalysisCache, AnalysisConfig, SmpParams};
 
 use crate::choice::{Choice, Decision, RunCtl, ScriptedSource, Site, SplitMix};
 use crate::oracle;
@@ -142,6 +142,13 @@ pub enum SeededBug {
     /// the Benno "runnable iff queued or current" discipline, caught by
     /// the scheduler invariants.
     DropRunnable,
+    /// Drop reschedule IPIs instead of raising them (set at boot on the
+    /// kernel, not applied per event) — the classic SMP lost-wakeup bug:
+    /// a cross-core wake enqueues remotely but never kicks the target,
+    /// which idles with work queued. Caught by the `smp-idle-core-kicked`
+    /// invariant, but only along interleavings that actually take a
+    /// cross-core wake. Meaningless on single-core instances.
+    LostIpi,
 }
 
 /// Per-decision alternatives recorded for branch generation: event
@@ -333,15 +340,20 @@ pub fn scenario_line_bounds(cache: &AnalysisCache, lines: &[IrqLine]) -> Vec<(Ir
 }
 
 /// A top-level event enabled at an event boundary, in enumeration order:
-/// step the current thread first, then arrivals in budget order.
+/// step each core's current thread first (core order), then arrivals in
+/// budget order. Single-core instances only ever enumerate `Run(0)`, so
+/// their decision structure is bit-identical to the pre-SMP engine.
 #[derive(Clone, Copy, Debug)]
 enum Event {
-    Run,
+    Run(u8),
     Raise(usize),
 }
 
 fn apply_seeded_bug(k: &mut Kernel, bug: SeededBug) {
     match bug {
+        // Installed once at boot (`set_drop_resched_ipis`), nothing to do
+        // per event.
+        SeededBug::LostIpi => {}
         SeededBug::AbortSkip => {
             let target = k.objs.iter().find_map(|(id, o)| match &o.kind {
                 rt_kernel::obj::ObjKind::Endpoint(e) => {
@@ -514,10 +526,16 @@ fn execute_inner(
     let (mut kernel, scripts, mut cursors, ctl) = match &branch.snap {
         None => {
             let Instance {
-                kernel,
+                mut kernel,
                 scripts,
                 irqs,
             } = (sc.build)();
+            // The lost-IPI bug is a boot-time installation (every later
+            // cross-core wake drops its kick); snapshots carry the flag,
+            // so resumed branches need no re-application.
+            if cfg.seeded_bug == Some(SeededBug::LostIpi) {
+                kernel.set_drop_resched_ipis(true);
+            }
             let cursors = vec![0usize; scripts.len()];
             let ctl = RunCtl::new(branch.prefix.clone(), rng, irqs);
             (kernel, Arc::new(scripts), cursors, ctl)
@@ -553,7 +571,16 @@ fn execute_inner(
     };
     let resumed_at = branch.snap.as_ref().map(|sp| sp.events);
     let ctl = Rc::new(RefCell::new(ctl));
-    kernel.set_decision_source(Box::new(ScriptedSource { ctl: ctl.clone() }));
+    let routes: Vec<u8> = ctl
+        .borrow()
+        .budgets
+        .iter()
+        .map(|&(l, _)| kernel.irq_route(l))
+        .collect();
+    kernel.set_decision_source(Box::new(ScriptedSource {
+        ctl: ctl.clone(),
+        routes,
+    }));
     let mut sleep: Vec<SleepEntry> = branch.sleep0.clone();
 
     // The boot state is checked (and counted) once per path — snapshot
@@ -568,21 +595,38 @@ fn execute_inner(
     } else {
         while rec.events < cfg.max_depth {
             // "In userspace" with a line pending: the entry happens now,
-            // deterministically — same as the simulator's run loop.
-            while kernel.machine.irq.has_pending() {
-                kernel.handle_interrupt();
+            // deterministically — same as the simulator's run loop. SMP
+            // instances drain every core in core order (IPIs raised by
+            // one core's service are picked up in the same sweep when
+            // they target a later core, or at the next boundary).
+            if kernel.n_cores() > 1 {
+                for c in 0..kernel.n_cores() {
+                    if kernel.core_irq(c).has_pending() {
+                        kernel.switch_core(c);
+                        while kernel.machine.irq.has_pending() {
+                            kernel.handle_interrupt();
+                        }
+                    }
+                }
+            } else {
+                while kernel.machine.irq.has_pending() {
+                    kernel.handle_interrupt();
+                }
             }
             let mut events: Vec<Event> = Vec::new();
-            if !kernel.is_idle() {
-                events.push(Event::Run);
+            for c in 0..kernel.n_cores() {
+                if kernel.core_current(c) != kernel.idle_thread() {
+                    events.push(Event::Run(c));
+                }
             }
             {
                 let g = ctl.borrow();
                 for (i, &(line, left)) in g.budgets.iter().enumerate() {
-                    if left > 0
-                        && !kernel.machine.irq.is_masked(line)
-                        && !kernel.machine.irq.is_pending(line)
-                    {
+                    // Mask/pending state lives on the controller of the
+                    // core the line is routed to (`core_irq(0)` *is* the
+                    // active controller on single-core instances).
+                    let cirq = kernel.core_irq(kernel.irq_route(line));
+                    if left > 0 && !cirq.is_masked(line) && !cirq.is_pending(line) {
                         events.push(Event::Raise(i));
                     }
                 }
@@ -599,9 +643,9 @@ fn execute_inner(
                 let mut fps = Vec::with_capacity(events.len());
                 for e in &events {
                     match *e {
-                        Event::Run => {
-                            descs.push(desc_run(kernel.current()));
-                            fps.push(run_footprint(&kernel, &scripts[..], &cursors));
+                        Event::Run(c) => {
+                            descs.push(desc_run(c, kernel.core_current(c)));
+                            fps.push(run_footprint(&kernel, c, &scripts[..], &cursors));
                         }
                         Event::Raise(i) => {
                             descs.push(desc_raise(budgets[i].0));
@@ -615,7 +659,7 @@ fn execute_inner(
                 // entirely (Full mode; see crate::por).
                 let persistent_only = cfg.por == PorMode::Full
                     && events.len() > 1
-                    && matches!(events[0], Event::Run)
+                    && matches!(events[0], Event::Run(_))
                     && fps[0].invisible_step()
                     && !sleep.iter().any(|e| e.desc == descs[0])
                     && fps[1..].iter().all(|f| independent(&fps[0], f));
@@ -693,7 +737,10 @@ fn execute_inner(
             };
             let preemptions_before = kernel.stats.preemptions;
             match events[pick as usize] {
-                Event::Run => run_current(&mut kernel, &scripts[..], &mut cursors),
+                Event::Run(c) => {
+                    kernel.switch_core(c);
+                    run_current(&mut kernel, &scripts[..], &mut cursors);
+                }
                 Event::Raise(i) => {
                     let line = {
                         let mut g = ctl.borrow_mut();
@@ -701,6 +748,11 @@ fn execute_inner(
                         g.injected += 1;
                         g.budgets[i].0
                     };
+                    // The distributor delivers the line to its routed
+                    // core: switch there (no-op on single-core and for
+                    // core-0 routes) and stamp the arrival with that
+                    // core's own clock.
+                    kernel.switch_core(kernel.irq_route(line));
                     let now = kernel.machine.now();
                     kernel.machine.irq.raise(line, now);
                     kernel.handle_interrupt();
@@ -1170,13 +1222,18 @@ pub fn explore_report(depth: usize, por: PorMode, pool: &Pool, cache: &AnalysisC
 }
 
 /// Per-scenario latency-bound memo, keyed by a scenario's (sorted,
-/// deduplicated) injectable line set. Scenarios sharing a line set share
-/// one rank-aware bound table; the underlying WCETs are memoized again
-/// inside [`AnalysisCache`], so a memo miss costs warm resolves only.
+/// deduplicated) injectable line set plus its SMP shape (core count and
+/// lock-hold cap — SMP instances carry the [`smp_latency_margin`] on
+/// every bound). Scenarios sharing a key share one rank-aware bound
+/// table; the underlying WCETs are memoized again inside
+/// [`AnalysisCache`], so a memo miss costs warm resolves only.
 #[derive(Default)]
 pub struct BoundMemo {
-    bounds: std::collections::HashMap<Vec<u8>, Vec<(IrqLine, Cycles)>>,
+    bounds: std::collections::HashMap<BoundKey, Vec<(IrqLine, Cycles)>>,
 }
+
+/// [`BoundMemo`] key: (sorted line set, core count, lock-hold cap).
+type BoundKey = (Vec<u8>, u8, Cycles);
 
 /// Explores one scenario with the standard report configuration:
 /// WCET-derived per-line bounds (memoized by line set across calls) and
@@ -1197,19 +1254,40 @@ pub fn explore_scenario(
     let mut lines: Vec<u8> = inst.irqs.iter().map(|&(l, _)| l.0).collect();
     lines.sort_unstable();
     lines.dedup();
+    // SMP instances widen every bound by the cross-core margin (big-lock
+    // wait at the servicing entry plus IPI services draining ahead);
+    // single-core instances get a zero margin and the pre-SMP bounds to
+    // the cycle.
+    let smp = SmpParams {
+        cores: inst.kernel.n_cores(),
+        lock_hold_cap: inst.kernel.smp_state().map_or(0, |s| s.lock.hold_cap),
+    };
+    let margin = if smp.cores > 1 {
+        smp_latency_margin(
+            cache
+                .analyze(EntryPoint::Interrupt, &bound_analysis_config())
+                .cycles,
+            &smp,
+        )
+    } else {
+        0
+    };
     let line_bounds = memo
         .bounds
-        .entry(lines.clone())
+        .entry((lines.clone(), smp.cores, smp.lock_hold_cap))
         .or_insert_with(|| {
             scenario_line_bounds(
                 cache,
                 &lines.iter().map(|&l| IrqLine(l)).collect::<Vec<_>>(),
             )
+            .into_iter()
+            .map(|(l, b)| (l, b + margin))
+            .collect()
         })
         .clone();
     let cfg = ExploreConfig {
         max_depth: depth,
-        latency_bound: wcet_latency_bound(cache),
+        latency_bound: wcet_latency_bound(cache) + margin,
         line_bounds,
         por,
         budget_states,

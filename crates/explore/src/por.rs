@@ -104,15 +104,18 @@ impl PorMode {
 /// Compact event identity: which transition an alternative denotes,
 /// stable across the states where it stays enabled. `Run` is tied to the
 /// thread (a `Sched` write changes which thread a "step" means, and any
-/// such write drops dependent sleepers anyway).
+/// such write drops dependent sleepers anyway) and, on SMP instances, to
+/// the core it steps on.
 pub(crate) type Desc = u32;
 
 const DESC_RUN: u32 = 0x4000_0000;
 const DESC_RAISE: u32 = 0x8000_0000;
 
-/// Identity of a thread-step event.
-pub(crate) fn desc_run(t: ObjId) -> Desc {
-    DESC_RUN | t.0
+/// Identity of a thread-step event on `core`. Core 0 encodes exactly as
+/// the pre-SMP identity, so single-core traces and sleep signatures are
+/// bit-identical.
+pub(crate) fn desc_run(core: u8, t: ObjId) -> Desc {
+    DESC_RUN | (core as u32) << 24 | t.0
 }
 
 /// Identity of an interrupt-arrival event.
@@ -120,8 +123,14 @@ pub(crate) fn desc_raise(line: IrqLine) -> Desc {
     DESC_RAISE | line.0 as u32
 }
 
-/// Footprint variable tokens.
+/// Footprint variable tokens. The scheduler token is per core (each core
+/// owns its run queues, bitmap and current thread); `tok_sched(0)` is
+/// the pre-SMP `Sched` token, so single-core footprints are unchanged.
 const TOK_SCHED: u32 = 1;
+
+fn tok_sched(core: u8) -> u32 {
+    TOK_SCHED + core as u32
+}
 
 fn tok_line(line: IrqLine) -> u32 {
     0x0100_0000 | line.0 as u32
@@ -177,15 +186,16 @@ pub(crate) fn independent(a: &Footprint, b: &Footprint) -> bool {
         && !intersects(&b.writes, &a.writes)
 }
 
-/// Footprint of stepping the current thread once, derived from what the
-/// step will actually do (the scripts and cursors are harness state the
-/// engine owns, so the next action is statically known).
+/// Footprint of stepping `core`'s current thread once, derived from what
+/// the step will actually do (the scripts and cursors are harness state
+/// the engine owns, so the next action is statically known).
 pub(crate) fn run_footprint(
     kernel: &Kernel,
+    core: u8,
     scripts: &[(ObjId, Vec<Action>)],
     cursors: &[usize],
 ) -> Footprint {
-    let cur = kernel.current();
+    let cur = kernel.core_current(core);
     if kernel.objs.tcb(cur).state == ThreadState::Restart {
         // Mid-operation resume: continues an arbitrary kernel operation.
         return Footprint::universal();
@@ -200,15 +210,15 @@ pub(crate) fn run_footprint(
         // be running at all.
         Some(Action::Compute(_)) | Some(Action::Pollute) => Footprint {
             universal: false,
-            reads: vec![TOK_SCHED],
+            reads: vec![tok_sched(core)],
             writes: vec![tok_obj(cur)],
         },
         // Script exhaustion and explicit stops park the thread: a
         // scheduler write.
         Some(Action::Stop) | None => Footprint {
             universal: false,
-            reads: vec![TOK_SCHED],
-            writes: vec![tok_obj(cur), TOK_SCHED],
+            reads: vec![tok_sched(core)],
+            writes: vec![tok_obj(cur), tok_sched(core)],
         },
         // Kernel entries (syscall / fault / undefined instruction) can
         // touch arbitrary objects, unmask lines, and host injections at
@@ -219,8 +229,12 @@ pub(crate) fn run_footprint(
 
 /// Footprint of a top-level arrival on `line`. Unbound lines touch only
 /// their own token (the kernel acks and drops them); bound lines signal
-/// the notification, wake its waiters and preempt — a scheduler write.
+/// the notification, wake its waiters and preempt — a scheduler write on
+/// the core the line is routed to, plus (SMP) on every woken waiter's
+/// affinity core: a cross-core wake enqueues remotely and sends a
+/// reschedule IPI there.
 pub(crate) fn raise_footprint(kernel: &Kernel, line: IrqLine) -> Footprint {
+    let route = kernel.irq_route(line);
     match kernel.irq_table.lookup(line.0) {
         None => Footprint {
             universal: false,
@@ -228,17 +242,20 @@ pub(crate) fn raise_footprint(kernel: &Kernel, line: IrqLine) -> Footprint {
             writes: vec![tok_line(line)],
         },
         Some(binding) => {
-            let mut writes = vec![tok_line(line), tok_obj(binding.ntfn), TOK_SCHED];
+            let mut writes = vec![tok_line(line), tok_obj(binding.ntfn), tok_sched(route)];
             for (id, o) in kernel.objs.iter() {
                 if let ObjKind::Tcb(t) = &o.kind {
                     if t.state == (ThreadState::BlockedOnNotification { ntfn: binding.ntfn }) {
                         writes.push(tok_obj(id));
+                        if t.affinity != route {
+                            writes.push(tok_sched(t.affinity));
+                        }
                     }
                 }
             }
             Footprint {
                 universal: false,
-                reads: vec![TOK_SCHED],
+                reads: vec![tok_sched(route)],
                 writes,
             }
         }
@@ -333,7 +350,7 @@ mod tests {
                 fp: fp(&[], &[tok_line(IrqLine(7))]),
             },
             SleepEntry {
-                desc: desc_run(ObjId(2)),
+                desc: desc_run(0, ObjId(2)),
                 fp: fp(&[TOK_SCHED], &[tok_obj(ObjId(2))]),
             },
         ];

@@ -22,7 +22,7 @@ use rt_kernel::cap::{insert_cap, Badge, CapType, Rights, SlotRef};
 use rt_kernel::ep::{ep_append, EpState};
 use rt_kernel::kernel::{Kernel, KernelConfig};
 use rt_kernel::ntfn::ntfn_append;
-use rt_kernel::obj::ObjId;
+use rt_kernel::obj::{ObjId, ObjKind};
 use rt_kernel::syscall::{Syscall, SyscallOutcome};
 use rt_kernel::system::Action;
 use rt_kernel::tcb::ThreadState;
@@ -422,6 +422,187 @@ fn ep_delete_wide() -> Instance {
     }
 }
 
+/// Threads currently blocked sending on an endpoint, in object order —
+/// the SMP builders re-pin some of them to other cores so aborting them
+/// exercises the cross-core wake path.
+fn blocked_senders(k: &Kernel) -> Vec<ObjId> {
+    k.objs
+        .iter()
+        .filter_map(|(id, o)| match &o.kind {
+            ObjKind::Tcb(t) if matches!(t.state, ThreadState::BlockedOnSend { .. }) => Some(id),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Two-core §3.3 deletion: the deleter unwinds the send queue on core 0
+/// while every second aborted sender has affinity 1, so its wake is a
+/// remote Benno enqueue plus a reschedule IPI. [`FREE_LINE`] is routed
+/// to core 1 for pure preemption pressure against the IPI services.
+fn smp_ep_delete() -> Instance {
+    let mut b = base();
+    b.k.enable_smp(2);
+    let _ep = queued_ep(&mut b, 3, 2, false);
+    for (i, t) in blocked_senders(&b.k).into_iter().enumerate() {
+        if i % 2 == 1 {
+            b.k.set_affinity(t, 1);
+        }
+    }
+    b.k.route_irq(FREE_LINE, 1);
+    let deleter = start(&mut b, "deleter", 100);
+    Instance {
+        kernel: b.k,
+        scripts: vec![(
+            deleter,
+            vec![
+                Action::Syscall(Syscall::Delete { cptr: cptrs::EP }),
+                Action::Stop,
+            ],
+        )],
+        irqs: vec![(FREE_LINE, 2)],
+    }
+}
+
+/// Four-core §3.3 deletion: the deleter unwinds the send queue on core 0
+/// while the aborted senders are pinned round-robin across cores 1–3, so
+/// each abort is a remote Benno enqueue plus a reschedule IPI to a
+/// *different* core — the which-core axis at its widest. [`FREE_LINE`]
+/// routed to core 2 adds device pressure against one of the IPI targets.
+fn smp_quad_ep_delete() -> Instance {
+    let mut b = base();
+    b.k.enable_smp(4);
+    let _ep = queued_ep(&mut b, 3, 2, false);
+    for (i, t) in blocked_senders(&b.k).into_iter().enumerate() {
+        b.k.set_affinity(t, (i % 3 + 1) as u8);
+    }
+    b.k.route_irq(FREE_LINE, 2);
+    let deleter = start(&mut b, "deleter", 100);
+    Instance {
+        kernel: b.k,
+        scripts: vec![(
+            deleter,
+            vec![
+                Action::Syscall(Syscall::Delete { cptr: cptrs::EP }),
+                Action::Stop,
+            ],
+        )],
+        irqs: vec![(FREE_LINE, 1)],
+    }
+}
+
+/// Two-core IPI-vs-IRQ race: [`DRIVER_LINE`] is serviced on core 0 (its
+/// default route) but the driver thread lives on core 1, so every
+/// delivery is a cross-core wake whose reschedule IPI races the
+/// [`FREE_LINE`] arrivals routed straight to core 1. The driver's ack
+/// then unmasks the line back on core 0's controller.
+fn smp_ipi_irq_race() -> Instance {
+    let mut b = base();
+    b.k.enable_smp(2);
+    let _ep = queued_ep(&mut b, 2, 0, false);
+    let (driver, driver_script) = add_driver(&mut b);
+    b.k.set_affinity(driver, 1);
+    b.k.route_irq(FREE_LINE, 1);
+    let deleter = start(&mut b, "deleter", 100);
+    Instance {
+        kernel: b.k,
+        scripts: vec![
+            (
+                deleter,
+                vec![
+                    Action::Syscall(Syscall::Delete { cptr: cptrs::EP }),
+                    Action::Stop,
+                ],
+            ),
+            (driver, driver_script),
+        ],
+        irqs: vec![(DRIVER_LINE, 2), (FREE_LINE, 2)],
+    }
+}
+
+/// Two-core TLB shootdown landing mid-revoke: core 0 runs a preemptible
+/// badged revoke (with [`FREE_LINE`] pressure to park it in `Restart`),
+/// while core 1's flusher deletes a mapped page table — the local flush
+/// broadcasts a shootdown IPI that core 0 may service between any two
+/// revoke steps.
+fn smp_shootdown_revoke() -> Instance {
+    let mut b = base();
+    b.k.enable_smp(2);
+    let _ep = queued_ep(&mut b, 3, 2, true);
+    let ut = b.k.boot_untyped(17);
+    insert_cap(
+        &mut b.k.objs,
+        SlotRef::new(b.cnode, cptrs::UT),
+        CapType::Untyped(ut),
+        None,
+    );
+    let server = start(&mut b, "server", 100);
+    const VADDR: u32 = 0x1000_0000;
+    for sys in [
+        Syscall::Retype {
+            untyped: cptrs::UT,
+            kind: RetypeKind::PageDirectory,
+            count: 1,
+            dest_cnode: cptrs::ROOT,
+            dest_offset: cptrs::PD,
+        },
+        Syscall::Retype {
+            untyped: cptrs::UT,
+            kind: RetypeKind::PageTable,
+            count: 1,
+            dest_cnode: cptrs::ROOT,
+            dest_offset: cptrs::PT,
+        },
+        Syscall::Retype {
+            untyped: cptrs::UT,
+            kind: RetypeKind::Frame { size_bits: 12 },
+            count: 1,
+            dest_cnode: cptrs::ROOT,
+            dest_offset: cptrs::FRAME,
+        },
+        Syscall::MapPageTable {
+            pt: cptrs::PT,
+            pd: cptrs::PD,
+            vaddr: VADDR,
+        },
+        Syscall::MapFrame {
+            frame: cptrs::FRAME,
+            pd: cptrs::PD,
+            vaddr: VADDR,
+        },
+    ] {
+        setup_syscall(&mut b.k, sys);
+    }
+    let flusher = b.k.boot_tcb("flusher", 90);
+    b.k.objs.tcb_mut(flusher).cspace_root = b.root.clone();
+    b.k.set_affinity(flusher, 1);
+    b.k.objs.tcb_mut(flusher).state = ThreadState::Running;
+    b.k.switch_core(1);
+    b.k.force_current_for_test(flusher);
+    b.k.switch_core(0);
+    Instance {
+        kernel: b.k,
+        scripts: vec![
+            (
+                server,
+                vec![
+                    Action::Syscall(Syscall::Revoke {
+                        cptr: cptrs::BADGED,
+                    }),
+                    Action::Stop,
+                ],
+            ),
+            (
+                flusher,
+                vec![
+                    Action::Syscall(Syscall::Delete { cptr: cptrs::PT }),
+                    Action::Stop,
+                ],
+            ),
+        ],
+        irqs: vec![(FREE_LINE, 1)],
+    }
+}
+
 /// Parameters for a randomized small-scope scenario (property tests):
 /// a queued endpoint, an optional driver, and a delete/revoke operation,
 /// all within the small-scope envelope the differential suites can
@@ -535,8 +716,38 @@ pub fn all() -> Vec<Scenario> {
     ]
 }
 
-/// Scenarios addressable by name: the report set plus the widened-scope
-/// search target.
+/// The SMP scenarios (DESIGN.md §14): the which-core decision axis over
+/// cross-core wakes, IPI-vs-IRQ races and TLB shootdowns. Deliberately
+/// *not* part of [`all`] — the single-core report and its goldens stay
+/// byte-identical — the SMP differential suite, the CI SMP smoke gate
+/// and `repro explore --scenario smp-*` drive these.
+pub fn smp_all() -> Vec<Scenario> {
+    vec![
+        Scenario::new(
+            "smp-ep-delete",
+            "cross-core §3.3 deletion: core-1 senders woken by remote enqueue + IPI",
+            smp_ep_delete,
+        ),
+        Scenario::new(
+            "smp-ipi-race",
+            "reschedule IPI racing a device IRQ on core 1 (cross-core driver wake)",
+            smp_ipi_irq_race,
+        ),
+        Scenario::new(
+            "smp-shootdown-revoke",
+            "TLB shootdown from core 1 landing mid-revoke on core 0",
+            smp_shootdown_revoke,
+        ),
+        Scenario::new(
+            "smp-quad-ep-delete",
+            "four-core deletion: aborted senders spread over cores 1-3, IPIs fan out",
+            smp_quad_ep_delete,
+        ),
+    ]
+}
+
+/// Scenarios addressable by name: the report set, the SMP set, plus the
+/// widened-scope search target.
 pub fn by_name(name: &str) -> Option<Scenario> {
     if name == "ep-delete-wide" {
         return Some(Scenario::new(
@@ -545,7 +756,7 @@ pub fn by_name(name: &str) -> Option<Scenario> {
             ep_delete_wide,
         ));
     }
-    all().into_iter().find(|s| s.name == name)
+    all().into_iter().chain(smp_all()).find(|s| s.name == name)
 }
 
 #[cfg(test)]
@@ -560,6 +771,20 @@ mod tests {
             assert!(v.is_empty(), "{}: {v:?}", sc.name);
             assert!(!inst.scripts.is_empty(), "{}", sc.name);
             assert!(!inst.irqs.is_empty(), "{}", sc.name);
+        }
+    }
+
+    #[test]
+    fn smp_scenarios_build_clean_and_deterministic() {
+        for sc in smp_all() {
+            let inst = (sc.build)();
+            assert!(inst.kernel.n_cores() > 1, "{}", sc.name);
+            let v = rt_kernel::invariants::check_all(&inst.kernel);
+            assert!(v.is_empty(), "{}: {v:?}", sc.name);
+            let again = (sc.build)();
+            let ha = crate::state::canonical_hash(&inst.kernel, &[], &inst.irqs);
+            let hb = crate::state::canonical_hash(&again.kernel, &[], &again.irqs);
+            assert_eq!(ha, hb, "{}", sc.name);
         }
     }
 

@@ -232,6 +232,54 @@ pub fn canonical_hash(kernel: &Kernel, cursors: &[usize], budgets: &[(IrqLine, u
                 | (l as u64) << 8,
         );
     }
+    // SMP extension: per-core scheduler and interrupt state, read through
+    // the core accessors so the hash is canonical regardless of which
+    // core happens to be resident (the active core's copy lives in the
+    // kernel fields hashed above). Appended only for `n_cores > 1`, so
+    // single-core hashes are bit-identical to the pre-SMP ones. Lock
+    // hold intervals are deliberately excluded: they are clock values,
+    // and lock wait affects timing only — which the latency oracle
+    // checks along every unpruned path.
+    if kernel.n_cores() > 1 {
+        let smp = kernel.smp_state().expect("n_cores > 1 implies SMP state");
+        h.add(smp.cur_core as u64);
+        for c in 0..kernel.n_cores() {
+            h.add(kernel.core_current(c).0 as u64);
+            h.add(match kernel.core_sched_action(c) {
+                rt_kernel::kernel::SchedAction::ResumeCurrent => u64::MAX - 1,
+                rt_kernel::kernel::SchedAction::ChooseNew => u64::MAX - 2,
+                rt_kernel::kernel::SchedAction::SwitchTo(t) => 0x2_0000_0000 | t.0 as u64,
+            });
+            let q = kernel.core_queues(c);
+            for prio in 0..=255u8 {
+                if let Some(head) = q.head(prio) {
+                    h.add(prio as u64);
+                    h.add(head.0 as u64);
+                }
+            }
+            h.add(q.len() as u64);
+            let irq = kernel.core_irq(c);
+            for l in 0..rt_hw::irq::NUM_LINES {
+                let line = IrqLine(l);
+                h.add(
+                    (irq.is_pending(line) as u64) << 1
+                        | irq.is_masked(line) as u64
+                        | (l as u64) << 8,
+                );
+            }
+            h.add(smp.shootdown.pending[c as usize] as u64);
+            h.add(smp.resched_sent[c as usize]);
+        }
+        h.add(smp.shootdown.initiated);
+        h.add(smp.shootdown.completed);
+        h.add(smp.ipi_eois);
+        h.add(smp.drop_resched_ipis as u64);
+        for (_, o) in kernel.objs.iter() {
+            if let ObjKind::Tcb(t) = &o.kind {
+                h.add(t.affinity as u64);
+            }
+        }
+    }
     for &c in cursors {
         h.add(c as u64);
     }

@@ -45,6 +45,7 @@ pub mod mem;
 pub mod phys;
 pub mod pmu;
 pub mod predictor;
+pub mod smp;
 pub mod trace;
 
 pub use cache::{Cache, CacheGeometry, Replacement};
@@ -54,6 +55,7 @@ pub use mem::{AccessKind, MemLevelStats, MemSystem};
 pub use phys::PhysMem;
 pub use pmu::Pmu;
 pub use predictor::BranchPredictor;
+pub use smp::{CoreCtx, IrqRouting};
 pub use trace::{AccessReport, BranchOutcome, Bucket, CycleAccounts, Trace, TraceEvent};
 
 /// Cycle count type used throughout the workspace.

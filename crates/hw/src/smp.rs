@@ -1,0 +1,223 @@
+//! SMP core multiplexing: per-core private machine state.
+//!
+//! The workspace models an N-core machine by *multiplexing* one
+//! [`Machine`] across cores: everything private to a core — its L1
+//! caches, branch predictor, interrupt-controller CPU interface, PMU,
+//! cycle accounts and trace sink — lives in a [`CoreCtx`], and
+//! [`Machine::swap_core`](crate::Machine::swap_core) exchanges the
+//! machine's resident private state with a parked context in O(1)
+//! (pointer swaps, no copying). What is *not* swapped is exactly what a
+//! real i.MX31-style SMP part physically shares: physical memory and
+//! the unified L2. A burst of misses on one core therefore evicts
+//! another core's L2-resident lines for real — the cross-core
+//! interference that `rt-wcet`'s SMP bound must dominate.
+//!
+//! Clock model: each core's PMU cycle counter advances only while that
+//! core is resident, so per-core clocks are independent and the driver
+//! (kernel, load engine, explorer) interleaves cores at event
+//! granularity. Cross-core timestamps (IPI raise times, lock-hold
+//! overlap) are compared with saturating arithmetic and documented as a
+//! model, not a cycle-true global clock.
+//!
+//! The `N = 1` configuration never constructs a [`CoreCtx`] and never
+//! calls `swap_core`, so single-core behaviour is bit-identical by
+//! construction.
+
+use crate::cache::Cache;
+use crate::irq::{IrqController, IrqLine, NUM_LINES};
+use crate::machine::{HwConfig, Machine};
+use crate::mem::{MemLevelStats, MemSystem};
+use crate::pmu::Pmu;
+use crate::predictor::BranchPredictor;
+use crate::trace::{CycleAccounts, Trace};
+
+/// One core's private machine state, parked while the core is not
+/// resident in the [`Machine`]. Swapped wholesale by
+/// [`Machine::swap_core`](crate::Machine::swap_core).
+#[derive(Clone, Debug)]
+pub struct CoreCtx {
+    /// Private L1 instruction cache.
+    pub l1i: Cache,
+    /// Private L1 data cache.
+    pub l1d: Cache,
+    /// L1-I access statistics.
+    pub l1i_stats: MemLevelStats,
+    /// L1-D access statistics.
+    pub l1d_stats: MemLevelStats,
+    /// Private branch predictor.
+    pub bpred: BranchPredictor,
+    /// Per-core interrupt-controller CPU interface (GIC-style: the
+    /// distributor routes each line to exactly one core's interface).
+    pub irq: IrqController,
+    /// Per-core cycle counter and event counts.
+    pub pmu: Pmu,
+    /// Per-core cycle attribution (`accounts.total() == pmu.cycles`
+    /// holds per core).
+    pub accounts: CycleAccounts,
+    /// Per-core trace sink.
+    pub trace: Trace,
+}
+
+impl CoreCtx {
+    /// Builds a cold secondary-core context for a machine configured
+    /// with `cfg` (same L1 geometry, replacement policy and locked-way
+    /// reservation as the boot core).
+    pub fn new(cfg: HwConfig) -> CoreCtx {
+        // Borrow MemSystem's L1 construction so the geometry can never
+        // drift from the boot core's; the scratch L2 is discarded.
+        let mut mem = MemSystem::new(false, cfg.replacement);
+        if cfg.locked_l1_ways > 0 {
+            mem.l1i.lock_ways(cfg.locked_l1_ways);
+            mem.l1d.lock_ways(cfg.locked_l1_ways);
+        }
+        CoreCtx {
+            l1i: mem.l1i,
+            l1d: mem.l1d,
+            l1i_stats: MemLevelStats::default(),
+            l1d_stats: MemLevelStats::default(),
+            bpred: BranchPredictor::new(cfg.bpred_enabled),
+            irq: IrqController::new(),
+            pmu: Pmu::new(),
+            accounts: CycleAccounts::default(),
+            trace: Trace::new(),
+        }
+    }
+
+    /// Reuses `self`'s buffers to become a copy of `src` (the
+    /// restore-path analogue of [`Machine::copy_from`]).
+    pub fn copy_from(&mut self, src: &CoreCtx) {
+        self.l1i.copy_from(&src.l1i);
+        self.l1d.copy_from(&src.l1d);
+        self.l1i_stats = src.l1i_stats;
+        self.l1d_stats = src.l1d_stats;
+        self.bpred.copy_from(&src.bpred);
+        self.irq.copy_from(&src.irq);
+        self.pmu = src.pmu;
+        self.accounts = src.accounts;
+        self.trace.copy_from(&src.trace);
+    }
+}
+
+/// GIC-style distributor state: which core's CPU interface each
+/// interrupt line is delivered to. Lines default to core 0, preserving
+/// single-core behaviour for every pre-SMP caller.
+#[derive(Clone, Debug)]
+pub struct IrqRouting {
+    route: [u8; NUM_LINES as usize],
+}
+
+impl Default for IrqRouting {
+    fn default() -> IrqRouting {
+        IrqRouting {
+            route: [0; NUM_LINES as usize],
+        }
+    }
+}
+
+impl IrqRouting {
+    /// Routes `line` to `core`'s CPU interface.
+    pub fn set(&mut self, line: IrqLine, core: u8) {
+        self.route[line.0 as usize] = core;
+    }
+
+    /// The core `line` is delivered to.
+    pub fn core_of(&self, line: IrqLine) -> u8 {
+        self.route[line.0 as usize]
+    }
+}
+
+impl Machine {
+    /// Exchanges the machine's resident per-core private state with the
+    /// parked context `ctx`. Physical memory, the shared L2 and its
+    /// statistics stay resident — they are physically shared. O(1).
+    pub fn swap_core(&mut self, ctx: &mut CoreCtx) {
+        std::mem::swap(&mut self.mem.l1i, &mut ctx.l1i);
+        std::mem::swap(&mut self.mem.l1d, &mut ctx.l1d);
+        std::mem::swap(&mut self.mem.l1i_stats, &mut ctx.l1i_stats);
+        std::mem::swap(&mut self.mem.l1d_stats, &mut ctx.l1d_stats);
+        std::mem::swap(&mut self.bpred, &mut ctx.bpred);
+        std::mem::swap(&mut self.irq, &mut ctx.irq);
+        std::mem::swap(&mut self.pmu, &mut ctx.pmu);
+        std::mem::swap(&mut self.accounts, &mut ctx.accounts);
+        std::mem::swap(&mut self.trace, &mut ctx.trace);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::InstrClass;
+
+    #[test]
+    fn swap_core_preserves_per_core_clocks_and_shares_l2() {
+        let cfg = HwConfig {
+            l2_enabled: true,
+            ..HwConfig::default()
+        };
+        let mut m = Machine::new(cfg);
+        let mut c1 = CoreCtx::new(cfg);
+
+        // Core 0 warms a kernel line into L1 and (via the miss) the L2.
+        m.exec_straight(0xf000_0000, 8);
+        let core0_cycles = m.now();
+        assert!(core0_cycles > 0);
+
+        // Switch to core 1: fresh clock, cold private L1 — but the
+        // shared L2 already holds core 0's line, so the first fetch is
+        // an L2 hit (26), not a DRAM access (96).
+        m.swap_core(&mut c1);
+        assert_eq!(m.now(), 0, "core 1 boots with its own clock");
+        let t0 = m.now();
+        m.exec(InstrClass::Alu, 0xf000_0000);
+        assert_eq!(m.now() - t0, 26 + 1, "core 1 must hit the shared L2");
+
+        // Switch back: core 0's clock, L1 and accounts are untouched.
+        m.swap_core(&mut c1);
+        assert_eq!(m.now(), core0_cycles);
+        assert_eq!(m.accounts.total(), m.pmu.cycles);
+        let t1 = m.now();
+        m.exec(InstrClass::Alu, 0xf000_0000);
+        assert_eq!(m.now() - t1, 1, "core 0's private L1 line survived");
+    }
+
+    #[test]
+    fn cross_core_l2_eviction_is_real() {
+        let cfg = HwConfig {
+            l2_enabled: true,
+            ..HwConfig::default()
+        };
+        let mut m = Machine::new(cfg);
+        let mut c1 = CoreCtx::new(cfg);
+
+        m.exec_straight(0xf000_0000, 1); // core 0: line now in L1+L2
+        m.swap_core(&mut c1);
+        m.pollute(0x4000_0000); // core 1 thrashes the shared L2
+        m.swap_core(&mut c1);
+
+        // Core 0's private L1 still hits...
+        let t0 = m.now();
+        m.exec(InstrClass::Alu, 0xf000_0000);
+        assert_eq!(m.now() - t0, 1);
+        // ...but after its own L1 copy is invalidated, the L2 copy is
+        // gone too: full DRAM latency.
+        m.mem.l1i.invalidate_unlocked();
+        let t1 = m.now();
+        m.exec(InstrClass::Alu, 0xf000_0000);
+        // DRAM refill (96) plus the dirty L2 victim the thrasher left
+        // in the set (96), plus the ALU cycle.
+        assert_eq!(
+            m.now() - t1,
+            96 + 96 + 1,
+            "core 1's pollution evicted the L2 line"
+        );
+    }
+
+    #[test]
+    fn routing_defaults_to_core0() {
+        let mut r = IrqRouting::default();
+        assert_eq!(r.core_of(IrqLine(5)), 0);
+        r.set(IrqLine(5), 2);
+        assert_eq!(r.core_of(IrqLine(5)), 2);
+        assert_eq!(r.core_of(IrqLine(6)), 0);
+    }
+}

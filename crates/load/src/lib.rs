@@ -64,7 +64,11 @@ pub fn run_load(
     cfg: &AnalysisConfig,
 ) -> LoadResult {
     let lines = spec.active_lines();
-    let bounds = cache.irq_line_bounds(cfg, &lines);
+    // Interference-aware per-line bounds: bit-identical to
+    // `irq_line_bounds` when `spec.cores <= 1`, widened by the §14 SMP
+    // margin otherwise.
+    let smp = rt_wcet::SmpParams::new(spec.cores);
+    let bounds = rt_wcet::smp_irq_line_bounds(cache, cfg, &lines, &smp);
     let syscall_wcet = cache.analyze(EntryPoint::Syscall, cfg).cycles;
     let shard_ixs: Vec<u32> = (0..spec.shards).collect();
     let reports = pool.parallel_map(shard_ixs, |s| engine::run_shard(spec, s, &bounds));

@@ -85,6 +85,13 @@ pub struct LoadSpec {
     pub storm: Vec<(u8, Arrival)>,
     /// Closed-loop driver-bound lines.
     pub driver_lines: Vec<u8>,
+    /// Simulated cores per shard (DESIGN.md §14). `1` (the default) is
+    /// the single-core engine, bit-identical to before the knob
+    /// existed. Above 1 each shard boots an SMP kernel with `cores - 1`
+    /// adversarial cache-thrasher tenants pinned to the extra cores;
+    /// device lines stay routed to core 0, and the per-line bounds must
+    /// come from [`rt_wcet::smp_irq_line_bounds`].
+    pub cores: u8,
     /// Optional seeded-bug injection (testing only).
     pub fault: Option<FaultInjection>,
 }
@@ -119,6 +126,7 @@ impl LoadSpec {
                 ),
             ],
             driver_lines: vec![3, 4],
+            cores: 1,
             fault: None,
         }
     }
@@ -342,6 +350,9 @@ pub struct ShardSim {
 /// so the shard RNG stream is wholly owned by the engine loop.
 pub fn build_shard(spec: &LoadSpec) -> ShardSim {
     let mut k = Kernel::new(KernelConfig::after(), HwConfig::default());
+    if spec.cores > 1 {
+        k.enable_smp(spec.cores);
+    }
     let mut behaviors = HashMap::new();
     let mut threads = 0u32;
     let mut endpoints = 0u32;
@@ -536,6 +547,29 @@ pub fn build_shard(spec: &LoadSpec) -> ShardSim {
             threads += 1;
             k.boot_resume(t);
         }
+    }
+
+    // Remote adversaries: one cache thrasher pinned to each extra core
+    // (DESIGN.md §14). They pollute the shared L2 and take the big lock
+    // from the other side — the cross-core interference the SMP latency
+    // margin has to cover. `boot_resume` queues each on its affinity
+    // core and kicks it; the engine's per-core slices service the kick.
+    for c in 1..spec.cores {
+        let t = k.boot_tcb(&format!("rthrash{c}"), 60);
+        k.objs.tcb_mut(t).cspace_root = root.clone();
+        k.set_affinity(t, c);
+        behaviors.insert(
+            t,
+            Behavior::Thrasher {
+                think: Think {
+                    lo: 5_000,
+                    hi: 40_000,
+                },
+                phase: 0,
+            },
+        );
+        threads += 1;
+        k.boot_resume(t);
     }
 
     ShardSim {

@@ -60,6 +60,7 @@ pub mod cost;
 pub mod ipet;
 pub mod kmodel;
 pub mod loopbound;
+pub mod smp;
 
 pub use analysis::{
     analyze, analyze_batch, analyze_batch_bounds_with, analyze_batch_with, ipet_ilp, ipet_ilp_with,
@@ -67,3 +68,4 @@ pub use analysis::{
 };
 pub use cache::{AnalysisCache, CacheStats, MemoStats, ResolveStats};
 pub use cfg::{Cfg, CfgBuilder, NodeId, UserConstraint};
+pub use smp::{analyze_smp, smp_irq_line_bounds, smp_latency_margin, SmpParams};

@@ -1,0 +1,91 @@
+//! SMP soundness under adversarial load (DESIGN.md §14): with 2 and 4
+//! simulated cores — every extra core running a pinned cache thrasher
+//! that takes the big lock and dirties the shared L2 from the other side
+//! — no observed interrupt response on the device cores may exceed the
+//! interference-aware per-line bound
+//! ([`rt_wcet::smp_irq_line_bounds`]). And the other direction of the
+//! contract: at one core the SMP bound helper returns the single-core
+//! bounds unchanged **to the cycle**, so the existing goldens and BENCH
+//! blocks stand.
+
+use std::sync::OnceLock;
+
+use rt_load::LoadSpec;
+use rt_pool::Pool;
+use rt_wcet::{smp_irq_line_bounds, smp_latency_margin, AnalysisCache, AnalysisConfig, SmpParams};
+
+fn cache() -> &'static AnalysisCache {
+    static CACHE: OnceLock<AnalysisCache> = OnceLock::new();
+    CACHE.get_or_init(AnalysisCache::new)
+}
+
+fn cfg() -> AnalysisConfig {
+    AnalysisConfig::after_l2_off()
+}
+
+#[test]
+fn n1_smp_bounds_are_the_single_core_bounds_to_the_cycle() {
+    let spec = LoadSpec::standard(1, 100, 8, 1);
+    let lines = spec.active_lines();
+    let base = cache().irq_line_bounds(&cfg(), &lines);
+    let smp1 = smp_irq_line_bounds(cache(), &cfg(), &lines, &SmpParams::new(1));
+    assert_eq!(base, smp1, "N=1 must not move any bound by a single cycle");
+}
+
+#[test]
+fn widened_bounds_are_base_plus_margin_per_line() {
+    let spec = LoadSpec::standard(1, 100, 8, 1);
+    let lines = spec.active_lines();
+    let base = cache().irq_line_bounds(&cfg(), &lines);
+    for cores in [2u8, 4] {
+        let smp = SmpParams::new(cores);
+        let irq_wcet = cache()
+            .analyze(rt_kernel::kernel::EntryPoint::Interrupt, &cfg())
+            .cycles;
+        let margin = smp_latency_margin(irq_wcet, &smp);
+        assert!(margin > 0);
+        let widened = smp_irq_line_bounds(cache(), &cfg(), &lines, &smp);
+        for (&(l, b), &(wl, wb)) in base.iter().zip(widened.iter()) {
+            assert_eq!(l, wl);
+            assert_eq!(wb, b + margin, "line {l} at {cores} cores");
+        }
+    }
+}
+
+/// The dynamic half: 2- and 4-core heavy-traffic runs with remote
+/// thrashers stay inside the interference-aware bounds — zero oracle
+/// violations — and the merged report stays byte-identical at any
+/// worker count, remote cores included.
+#[test]
+fn thrasher_load_on_2_and_4_cores_stays_within_widened_bounds() {
+    for cores in [2u8, 4] {
+        let mut spec = LoadSpec::standard(2026, 2_500, 14, 2);
+        spec.cores = cores;
+        let serial = rt_load::run_load(&spec, &Pool::new(1), cache(), &cfg());
+        assert!(
+            serial.sound(),
+            "{cores} cores: {} responses above the widened bound\n{}",
+            serial.violations_total,
+            serial.render()
+        );
+        assert!(serial.irq_responses > 0, "no interrupt traffic measured");
+        // The remote thrashers actually booted: one per extra core per
+        // shard, on top of the standard tenant mix.
+        let base_threads = {
+            let mut single = spec.clone();
+            single.cores = 1;
+            rt_load::run_load(&single, &Pool::new(4), cache(), &cfg()).threads
+        };
+        assert_eq!(
+            serial.threads,
+            base_threads + u64::from(spec.shards) * u64::from(cores - 1),
+            "{cores} cores: remote thrashers missing from the census"
+        );
+        let parallel = rt_load::run_load(&spec, &Pool::new(4), cache(), &cfg());
+        assert_eq!(
+            serial.render(),
+            parallel.render(),
+            "{cores} cores: report depends on worker count"
+        );
+    }
+}
